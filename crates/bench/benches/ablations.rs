@@ -1,0 +1,19 @@
+//! Ablation studies on the reproduction's design decisions (see
+//! DESIGN.md "Model fidelity notes"). Run with
+//! `cargo bench -p ringmesh-bench --bench ablations`.
+use ringmesh::ablations;
+use ringmesh::Scale;
+use ringmesh_stats::Table;
+
+fn main() {
+    let scale = Scale::from_env();
+    println!("{}", ablations::ablation_iri_queue(scale));
+    println!("{}", ablations::ablation_memory_latency(scale));
+    println!("{}", ablations::ablation_mesh_out_queue(scale));
+    let t = Table::from_series(
+        "Ablation: miss-interval process (latency vs T)",
+        "T",
+        &ablations::ablation_miss_process(scale),
+    );
+    println!("{t}");
+}

@@ -1,0 +1,54 @@
+//! Criterion micro-benchmarks: raw step throughput of the two network
+//! simulators under a steady synthetic load, and the M-MRP driver loop.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use ringmesh::{NetworkSpec, SimParams, System, SystemConfig};
+use ringmesh_net::{BufferRegime, CacheLineSize};
+
+fn bench_point(c: &mut Criterion, name: &str, network: NetworkSpec) {
+    // One short closed-loop measurement per iteration: building the
+    // system is cheap relative to the 1500 simulated cycles.
+    let cfg = SystemConfig::new(network, CacheLineSize::B64).with_sim(SimParams {
+        warmup: 500,
+        batch_cycles: 500,
+        batches: 2,
+    });
+    c.bench_function(name, |b| {
+        b.iter_batched(
+            || System::new(cfg.clone()).expect("valid config"),
+            |system| system.run().expect("no deadlock"),
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+fn benches(c: &mut Criterion) {
+    bench_point(
+        c,
+        "ring_3x3x6_1500_cycles",
+        NetworkSpec::ring("3:3:6".parse().expect("valid spec")),
+    );
+    bench_point(
+        c,
+        "ring_3x3x6_double_speed_1500_cycles",
+        NetworkSpec::Ring {
+            spec: "3:3:6".parse().expect("valid spec"),
+            speedup: 2,
+        },
+    );
+    bench_point(
+        c,
+        "mesh_7x7_1500_cycles",
+        NetworkSpec::Mesh {
+            side: 7,
+            buffers: BufferRegime::FourFlit,
+        },
+    );
+}
+
+criterion_group! {
+    name = engine;
+    config = Criterion::default().sample_size(10);
+    targets = benches
+}
+criterion_main!(engine);

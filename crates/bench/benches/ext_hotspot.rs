@@ -1,0 +1,44 @@
+//! Extension: hot-spot traffic (not in the paper). A fraction of every
+//! processor's misses targets one PM — a lock or shared work queue —
+//! which stresses the two topologies very differently: the mesh
+//! serializes at the hot node's links, while the ring's hot local ring
+//! congests its whole subtree. Run with
+//! `cargo bench -p ringmesh-bench --bench ext_hotspot`.
+use ringmesh::{run_config, NetworkSpec, Scale, SystemConfig};
+use ringmesh_net::CacheLineSize;
+use ringmesh_stats::{Series, Table};
+use ringmesh_workload::WorkloadParams;
+
+fn main() {
+    let scale = Scale::from_env();
+    let cl = CacheLineSize::B64;
+    let mut series = Vec::new();
+    for (label, network) in [
+        ("ring 2:3:6", NetworkSpec::ring("2:3:6".parse().expect("valid"))),
+        ("mesh 6x6", NetworkSpec::mesh(6)),
+    ] {
+        let mut s = Series::new(label);
+        for hot in [0.0, 0.05, 0.1, 0.2, 0.4] {
+            let mut w = WorkloadParams::paper_baseline();
+            if hot > 0.0 {
+                w = w.with_hot_spot(0, hot);
+            }
+            let cfg = SystemConfig::new(network.clone(), cl)
+                .with_workload(w)
+                .with_sim(scale.sim);
+            match run_config(cfg) {
+                Ok(r) => s.push(hot, r.mean_latency()),
+                Err(e) => eprintln!("warning: {label} hot={hot}: {e}"),
+            }
+        }
+        series.push(s);
+    }
+    println!(
+        "{}",
+        Table::from_series(
+            "Extension: hot-spot sensitivity, 36 PMs, 64B lines (R=1.0, C=0.04, T=4)",
+            "hot-spot fraction",
+            &series
+        )
+    );
+}

@@ -1,0 +1,47 @@
+//! Extension: wormhole vs slotted ring switching (the comparison of the
+//! authors' companion paper, IEICE Trans. 1996 — reference [21] —
+//! finding slotted rings perform somewhat better). Run with
+//! `cargo bench -p ringmesh-bench --bench ext_slotted`.
+use ringmesh::{run_config, NetworkSpec, Scale, SystemConfig};
+use ringmesh_net::CacheLineSize;
+use ringmesh_stats::{Series, Table};
+use ringmesh_workload::WorkloadParams;
+
+fn main() {
+    let scale = Scale::from_env();
+    let mut series = Vec::new();
+    for cl in [CacheLineSize::B32, CacheLineSize::B128] {
+        for slotted in [false, true] {
+            let name = if slotted { "slotted" } else { "wormhole" };
+            let mut s = Series::new(format!("{cl} {name}"));
+            for spec_str in ["2:6", "3:6", "2:3:6", "3:3:6", "2:3:3:6"] {
+                let spec: ringmesh_ring::RingSpec = spec_str.parse().expect("valid");
+                let p = spec.num_pms();
+                if p > scale.max_pms.max(60) {
+                    continue;
+                }
+                let network = if slotted {
+                    NetworkSpec::SlottedRing { spec }
+                } else {
+                    NetworkSpec::ring(spec)
+                };
+                let cfg = SystemConfig::new(network, cl)
+                    .with_workload(WorkloadParams::paper_baseline())
+                    .with_sim(scale.sim);
+                match run_config(cfg) {
+                    Ok(r) => s.push(f64::from(p), r.mean_latency()),
+                    Err(e) => eprintln!("warning: {spec_str} {name}: {e}"),
+                }
+            }
+            series.push(s);
+        }
+    }
+    println!(
+        "{}",
+        Table::from_series(
+            "Extension: wormhole vs slotted hierarchical rings (R=1.0, C=0.04, T=4)",
+            "nodes",
+            &series
+        )
+    );
+}

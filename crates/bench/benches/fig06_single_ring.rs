@@ -1,0 +1,5 @@
+//! Regenerates the paper's fig06 experiment. Run with
+//! `cargo bench -p ringmesh-bench --bench fig06_single_ring`.
+fn main() {
+    ringmesh_bench::run("fig06");
+}

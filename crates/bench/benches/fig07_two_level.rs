@@ -1,0 +1,5 @@
+//! Regenerates the paper's fig07 experiment. Run with
+//! `cargo bench -p ringmesh-bench --bench fig07_two_level`.
+fn main() {
+    ringmesh_bench::run("fig07");
+}

@@ -1,0 +1,5 @@
+//! Regenerates the paper's fig08 experiment. Run with
+//! `cargo bench -p ringmesh-bench --bench fig08_two_level_util`.
+fn main() {
+    ringmesh_bench::run("fig08");
+}

@@ -1,0 +1,5 @@
+//! Regenerates the paper's fig09 experiment. Run with
+//! `cargo bench -p ringmesh-bench --bench fig09_three_level`.
+fn main() {
+    ringmesh_bench::run("fig09");
+}

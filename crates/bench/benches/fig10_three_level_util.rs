@@ -1,0 +1,5 @@
+//! Regenerates the paper's fig10 experiment. Run with
+//! `cargo bench -p ringmesh-bench --bench fig10_three_level_util`.
+fn main() {
+    ringmesh_bench::run("fig10");
+}

@@ -1,0 +1,5 @@
+//! Regenerates the paper's fig11 experiment. Run with
+//! `cargo bench -p ringmesh-bench --bench fig11_levels`.
+fn main() {
+    ringmesh_bench::run("fig11");
+}

@@ -1,0 +1,5 @@
+//! Regenerates the paper's fig12 experiment. Run with
+//! `cargo bench -p ringmesh-bench --bench fig12_mesh_latency`.
+fn main() {
+    ringmesh_bench::run("fig12");
+}

@@ -1,0 +1,5 @@
+//! Regenerates the paper's fig13 experiment. Run with
+//! `cargo bench -p ringmesh-bench --bench fig13_mesh_util`.
+fn main() {
+    ringmesh_bench::run("fig13");
+}

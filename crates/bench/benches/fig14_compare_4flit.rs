@@ -1,0 +1,5 @@
+//! Regenerates the paper's fig14 experiment. Run with
+//! `cargo bench -p ringmesh-bench --bench fig14_compare_4flit`.
+fn main() {
+    ringmesh_bench::run("fig14");
+}

@@ -1,0 +1,5 @@
+//! Regenerates the paper's fig15 experiment. Run with
+//! `cargo bench -p ringmesh-bench --bench fig15_compare_clbuf`.
+fn main() {
+    ringmesh_bench::run("fig15");
+}

@@ -1,0 +1,5 @@
+//! Regenerates the paper's fig16 experiment. Run with
+//! `cargo bench -p ringmesh-bench --bench fig16_compare_1flit`.
+fn main() {
+    ringmesh_bench::run("fig16");
+}

@@ -1,0 +1,5 @@
+//! Regenerates the paper's fig17 experiment. Run with
+//! `cargo bench -p ringmesh-bench --bench fig17_locality`.
+fn main() {
+    ringmesh_bench::run("fig17");
+}

@@ -1,0 +1,5 @@
+//! Regenerates the paper's fig18 experiment. Run with
+//! `cargo bench -p ringmesh-bench --bench fig18_locality_clbuf`.
+fn main() {
+    ringmesh_bench::run("fig18");
+}

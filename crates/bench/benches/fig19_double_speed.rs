@@ -1,0 +1,5 @@
+//! Regenerates the paper's fig19 experiment. Run with
+//! `cargo bench -p ringmesh-bench --bench fig19_double_speed`.
+fn main() {
+    ringmesh_bench::run("fig19");
+}

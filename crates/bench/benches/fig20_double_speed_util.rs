@@ -1,0 +1,5 @@
+//! Regenerates the paper's fig20 experiment. Run with
+//! `cargo bench -p ringmesh-bench --bench fig20_double_speed_util`.
+fn main() {
+    ringmesh_bench::run("fig20");
+}

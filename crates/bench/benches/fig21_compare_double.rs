@@ -1,0 +1,5 @@
+//! Regenerates the paper's fig21 experiment. Run with
+//! `cargo bench -p ringmesh-bench --bench fig21_compare_double`.
+fn main() {
+    ringmesh_bench::run("fig21");
+}

@@ -1,0 +1,5 @@
+//! Regenerates the paper's table1 experiment. Run with
+//! `cargo bench -p ringmesh-bench --bench table1_memory`.
+fn main() {
+    ringmesh_bench::run("table1");
+}

@@ -1,0 +1,5 @@
+//! Regenerates the paper's table2 experiment. Run with
+//! `cargo bench -p ringmesh-bench --bench table2_topology`.
+fn main() {
+    ringmesh_bench::run("table2");
+}

@@ -1,0 +1,77 @@
+//! Benchmark harness regenerating every table and figure of Ravindran &
+//! Stumm (HPCA 1997).
+//!
+//! Each `benches/figNN.rs` target is a custom-harness binary that runs
+//! the corresponding experiment from [`ringmesh::figures`] and prints
+//! the series the paper plots. By default experiments run at
+//! [`Scale::quick`]; set `RINGMESH_FULL=1` to regenerate at
+//! publication scale:
+//!
+//! ```text
+//! RINGMESH_FULL=1 cargo bench -p ringmesh-bench --bench fig14_compare_4flit
+//! ```
+//!
+//! `benches/engine.rs` is a conventional Criterion micro-benchmark of
+//! the two network simulators' step throughput.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::time::Instant;
+
+use ringmesh::figures::{self, print_figure};
+use ringmesh::Scale;
+
+/// Runs the named experiment and prints its tables. Used by every
+/// custom-harness bench target.
+///
+/// # Panics
+///
+/// Panics on an unknown experiment name — bench targets pass their own
+/// fixed name, so this indicates a build mistake.
+pub fn run(name: &str) {
+    let scale = Scale::from_env();
+    let t0 = Instant::now();
+    println!(
+        "ringmesh experiment {name} at {} scale (RINGMESH_FULL=1 for publication scale)",
+        if scale.quick { "quick" } else { "full" }
+    );
+    println!();
+    match name {
+        "table1" => println!("{}", figures::table1()),
+        "table2" => println!("{}", figures::table2_overview()),
+        "fig06" => print_figure("Figure 6: single-ring latency", &figures::fig06(scale)),
+        "fig07" => print_figure("Figure 7: 2-level ring latency", &figures::fig07_08(scale).0),
+        "fig08" => print_figure("Figure 8: 2-level ring utilization", &figures::fig07_08(scale).1),
+        "fig09" => print_figure("Figure 9: 3-level ring latency", &figures::fig09_10(scale).0),
+        "fig10" => print_figure(
+            "Figure 10: 3-level global ring utilization",
+            &figures::fig09_10(scale).1,
+        ),
+        "fig11" => print_figure("Figure 11: benefit of hierarchy depth", &figures::fig11(scale)),
+        "fig12" => print_figure("Figure 12: mesh latency", &figures::fig12_13(scale).0),
+        "fig13" => print_figure("Figure 13: mesh utilization", &figures::fig12_13(scale).1),
+        "fig14" => print_figure("Figure 14: ring vs mesh, 4-flit buffers", &figures::fig14(scale)),
+        "fig15" => print_figure("Figure 15: ring vs mesh, cl-sized buffers", &figures::fig15(scale)),
+        "fig16" => print_figure("Figure 16: ring vs mesh, 1-flit buffers", &figures::fig16(scale)),
+        "fig17" => print_figure("Figure 17: ring vs mesh with locality", &figures::fig17(scale)),
+        "fig18" => print_figure(
+            "Figure 18: locality, cl-sized mesh buffers",
+            &figures::fig18(scale),
+        ),
+        "fig19" => print_figure(
+            "Figure 19: double-speed global ring latency",
+            &figures::fig19_20(scale).0,
+        ),
+        "fig20" => print_figure(
+            "Figure 20: double-speed global ring utilization",
+            &figures::fig19_20(scale).1,
+        ),
+        "fig21" => print_figure(
+            "Figure 21: mesh vs double-speed-global rings",
+            &figures::fig21(scale),
+        ),
+        other => panic!("unknown experiment {other:?}"),
+    }
+    println!("[{name} completed in {:.1?}]", t0.elapsed());
+}

@@ -1,0 +1,40 @@
+//! Calibration against the paper's quantitative anchors (§4):
+//! mesh latency growth factors from 4 to 121 processors per buffer
+//! regime, and the 121-processor buffer-size ratios for 128-byte lines.
+//!
+//! ```text
+//! cargo run --release -p ringmesh --example calibration
+//! ```
+
+use ringmesh::{run_config, NetworkSpec, SimParams, SystemConfig};
+use ringmesh_net::{BufferRegime, CacheLineSize};
+
+fn main() {
+    println!("paper §4: 4->121 processor latency growth: cl-sized 5-7x, 4-flit 6-8x, 1-flit 9-12x\n");
+    let mut at121 = Vec::new();
+    for regime in [BufferRegime::CacheLine, BufferRegime::FourFlit, BufferRegime::OneFlit] {
+        for cl in [CacheLineSize::B16, CacheLineSize::B64, CacheLineSize::B128] {
+            let lat = |side: u32| {
+                run_config(
+                    SystemConfig::new(NetworkSpec::Mesh { side, buffers: regime }, cl)
+                        .with_sim(SimParams::full()),
+                )
+                .expect("mesh runs deadlock-free")
+                .mean_latency()
+            };
+            let (small, big) = (lat(2), lat(11));
+            println!(
+                "{regime:>9} buffers, {cl:>4}: 4p={small:5.0}  121p={big:5.0}  factor={:.1}",
+                big / small
+            );
+            if cl == CacheLineSize::B128 {
+                at121.push(big);
+            }
+        }
+    }
+    println!(
+        "\n121p, 128B ratios vs cl-sized buffers: 4-flit {:.2}x (paper ~1.3x), 1-flit {:.1}x (paper ~3x)",
+        at121[1] / at121[0],
+        at121[2] / at121[0]
+    );
+}

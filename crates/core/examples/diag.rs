@@ -1,0 +1,32 @@
+use ringmesh::*;
+use ringmesh_net::CacheLineSize;
+use ringmesh_ring::RingConfig;
+use ringmesh_workload::WorkloadParams;
+
+fn main() {
+    let mut stalls = 0;
+    for (spec, cl) in [
+        ("3:3:12", CacheLineSize::B16), ("3:3:8", CacheLineSize::B32),
+        ("3:3:6", CacheLineSize::B64), ("3:3:4", CacheLineSize::B128),
+        ("2:3:3:6", CacheLineSize::B32), ("4:3:8", CacheLineSize::B32),
+        ("2:3:4", CacheLineSize::B128), ("3:12", CacheLineSize::B16),
+    ] {
+        for t in [2u32, 4, 8] {
+            for seed in [1u64, 0x1997_0201] {
+                let mut rc = RingConfig::new(cl);
+                rc.iri_queue_packets = Some(2);
+                rc.watchdog_horizon = 20_000;
+                let cfg = SystemConfig::new(NetworkSpec::ring(spec.parse().unwrap()), cl)
+                    .with_workload(WorkloadParams::paper_baseline().with_outstanding(t))
+                    .with_sim(SimParams::full())
+                    .with_seed(seed);
+                match System::with_ring_config(cfg, rc).unwrap().run() {
+                    Ok(r) => print!("{:.0}/{:.2} ", r.mean_latency(), r.throughput),
+                    Err(e) => { print!("STALL({e}) "); stalls += 1; }
+                }
+            }
+        }
+        println!(" <- {spec} {cl}");
+    }
+    println!("total stalls: {stalls}");
+}

@@ -1,0 +1,216 @@
+//! `ringmesh` command-line interface: run a single simulation point and
+//! print its metrics, without writing any Rust.
+//!
+//! ```text
+//! ringmesh --ring 2:3:4 --cache-line 128B --r 0.2 --t 4
+//! ringmesh --mesh 6 --buffers 1flit --cache-line 64B --format csv
+//! ringmesh --slotted-ring 3:3:6 --cache-line 64B
+//! ```
+//!
+//! Run `ringmesh --help` for the full flag list. Argument parsing is
+//! hand-rolled to keep the dependency set to the crates the simulator
+//! itself needs.
+
+use std::process::ExitCode;
+
+use ringmesh::{run_config, NetworkSpec, SimParams, SystemConfig};
+use ringmesh_net::{BufferRegime, CacheLineSize};
+use ringmesh_workload::{MemoryParams, MissProcess, WorkloadParams};
+
+const HELP: &str = "\
+ringmesh — flit-level hierarchical-ring / mesh interconnect simulator
+
+USAGE:
+    ringmesh <NETWORK> [OPTIONS]
+
+NETWORK (exactly one):
+    --ring <SPEC>          hierarchical ring, e.g. --ring 2:3:4
+    --slotted-ring <SPEC>  slotted (non-blocking) hierarchical ring
+    --mesh <SIDE>          square bi-directional mesh, e.g. --mesh 6
+
+OPTIONS:
+    --cache-line <SZ>      16B | 32B | 64B | 128B        [default: 64B]
+    --buffers <B>          mesh buffers: 1flit|4flit|cl  [default: 4flit]
+    --double-global        clock the ring's global ring at 2x
+    --r <R>                locality region fraction (0,1] [default: 1.0]
+    --c <C>                cache miss rate (0,1]          [default: 0.04]
+    --t <T>                outstanding transaction limit  [default: 4]
+    --geometric            geometric (memoryless) miss intervals
+    --mem-latency <N>      memory access latency, cycles  [default: 10]
+    --warmup <N>           warm-up cycles                 [default: 4000]
+    --batch <N>            cycles per batch               [default: 4000]
+    --batches <N>          measured batches               [default: 8]
+    --seed <N>             RNG seed                       [default: 1380011591]
+    --format <F>           text | csv                     [default: text]
+    -h, --help             print this help
+";
+
+struct Args(Vec<String>);
+
+impl Args {
+    fn take_flag(&mut self, name: &str) -> bool {
+        if let Some(i) = self.0.iter().position(|a| a == name) {
+            self.0.remove(i);
+            true
+        } else {
+            false
+        }
+    }
+
+    fn take_value(&mut self, name: &str) -> Result<Option<String>, String> {
+        if let Some(i) = self.0.iter().position(|a| a == name) {
+            if i + 1 >= self.0.len() {
+                return Err(format!("{name} requires a value"));
+            }
+            let v = self.0.remove(i + 1);
+            self.0.remove(i);
+            Ok(Some(v))
+        } else {
+            Ok(None)
+        }
+    }
+
+    fn take_parsed<T: std::str::FromStr>(&mut self, name: &str) -> Result<Option<T>, String>
+    where
+        T::Err: std::fmt::Display,
+    {
+        match self.take_value(name)? {
+            Some(v) => v
+                .parse::<T>()
+                .map(Some)
+                .map_err(|e| format!("invalid value for {name}: {e}")),
+            None => Ok(None),
+        }
+    }
+}
+
+fn build_config(args: &mut Args) -> Result<SystemConfig, String> {
+    let ring: Option<String> = args.take_value("--ring")?;
+    let slotted: Option<String> = args.take_value("--slotted-ring")?;
+    let mesh: Option<u32> = args.take_parsed("--mesh")?;
+    let buffers = match args.take_value("--buffers")?.as_deref() {
+        None | Some("4flit") => BufferRegime::FourFlit,
+        Some("1flit") => BufferRegime::OneFlit,
+        Some("cl") => BufferRegime::CacheLine,
+        Some(other) => return Err(format!("unknown buffer regime {other:?}")),
+    };
+    let double = args.take_flag("--double-global");
+    let network = match (ring, slotted, mesh) {
+        (Some(spec), None, None) => NetworkSpec::Ring {
+            spec: spec.parse()?,
+            speedup: if double { 2 } else { 1 },
+        },
+        (None, Some(spec), None) => NetworkSpec::SlottedRing { spec: spec.parse()? },
+        (None, None, Some(side)) => NetworkSpec::Mesh { side, buffers },
+        _ => return Err("specify exactly one of --ring, --slotted-ring, --mesh".into()),
+    };
+    let cache_line: CacheLineSize = args
+        .take_value("--cache-line")?
+        .as_deref()
+        .unwrap_or("64B")
+        .parse()?;
+    let mut workload = WorkloadParams::paper_baseline();
+    if let Some(r) = args.take_parsed::<f64>("--r")? {
+        if !(r > 0.0 && r <= 1.0) {
+            return Err(format!("--r must be in (0, 1], got {r}"));
+        }
+        workload = workload.with_region(r);
+    }
+    if let Some(c) = args.take_parsed::<f64>("--c")? {
+        if !(c > 0.0 && c <= 1.0) {
+            return Err(format!("--c must be in (0, 1], got {c}"));
+        }
+        workload.miss_rate = c;
+    }
+    if let Some(t) = args.take_parsed::<u32>("--t")? {
+        if t == 0 {
+            return Err("--t must be at least 1".into());
+        }
+        workload = workload.with_outstanding(t);
+    }
+    if args.take_flag("--geometric") {
+        workload = workload.with_miss_process(MissProcess::Geometric);
+    }
+    let mut memory = MemoryParams::default();
+    if let Some(l) = args.take_parsed::<u32>("--mem-latency")? {
+        memory.latency = l;
+    }
+    let sim = SimParams {
+        warmup: args.take_parsed("--warmup")?.unwrap_or(4_000),
+        batch_cycles: args.take_parsed::<u64>("--batch")?.unwrap_or(4_000).max(1),
+        batches: args.take_parsed::<usize>("--batches")?.unwrap_or(8).max(1),
+    };
+    let mut cfg = SystemConfig::new(network, cache_line)
+        .with_workload(workload)
+        .with_sim(sim);
+    cfg.memory = memory;
+    if let Some(seed) = args.take_parsed::<u64>("--seed")? {
+        cfg = cfg.with_seed(seed);
+    }
+    Ok(cfg)
+}
+
+fn main() -> ExitCode {
+    let mut args = Args(std::env::args().skip(1).collect());
+    if args.take_flag("--help") || args.take_flag("-h") || args.0.is_empty() {
+        print!("{HELP}");
+        return ExitCode::SUCCESS;
+    }
+    let format = match args.take_value("--format") {
+        Ok(f) => f.unwrap_or_else(|| "text".into()),
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let cfg = match build_config(&mut args) {
+        Ok(cfg) => cfg,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    if !args.0.is_empty() {
+        eprintln!("error: unrecognized arguments: {:?}", args.0);
+        return ExitCode::FAILURE;
+    }
+    let label = cfg.network.label();
+    let pms = cfg.network.num_pms();
+    match run_config(cfg) {
+        Ok(r) => {
+            match format.as_str() {
+                "csv" => {
+                    println!("network,pms,latency,ci95,throughput,utilization");
+                    println!(
+                        "{label},{pms},{:.3},{:.3},{:.5},{:.4}",
+                        r.latency.mean, r.latency.ci95, r.throughput, r.utilization.overall
+                    );
+                }
+                _ => {
+                    println!("network     : {label} ({pms} PMs)");
+                    println!(
+                        "latency     : {:.1} ± {:.1} cycles (95% CI over {} batches)",
+                        r.latency.mean, r.latency.ci95, r.latency.n
+                    );
+                    if let Some((p50, p95, p99)) = r.percentiles {
+                        println!("percentiles : p50 {p50:.0}, p95 {p95:.0}, p99 {p99:.0} cycles");
+                    }
+                    println!("throughput  : {:.4} transactions/cycle", r.throughput);
+                    println!("utilization : {:.1}%", 100.0 * r.utilization.overall);
+                    for level in &r.utilization.levels {
+                        println!("  {:18}: {:.1}%", level.label, 100.0 * level.utilization);
+                    }
+                    println!(
+                        "workload    : {} issued, {} retired ({} local)",
+                        r.workload.issued, r.workload.retired, r.workload.local_retired
+                    );
+                }
+            }
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

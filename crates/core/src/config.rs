@@ -1,0 +1,180 @@
+//! Top-level system configuration.
+
+use ringmesh_net::{BufferRegime, CacheLineSize};
+use ringmesh_ring::RingSpec;
+use ringmesh_workload::{MemoryParams, WorkloadParams};
+
+/// Which interconnect to simulate.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum NetworkSpec {
+    /// A hierarchical ring with the given topology; `speedup` = 2 gives
+    /// the §6 double-speed global ring.
+    Ring {
+        /// Hierarchy spec (e.g. `"2:3:4".parse()`).
+        spec: RingSpec,
+        /// Global-ring clock multiplier (1 or 2).
+        speedup: u32,
+    },
+    /// A square `side × side` bi-directional mesh.
+    Mesh {
+        /// Mesh side length.
+        side: u32,
+        /// Router input buffer regime.
+        buffers: BufferRegime,
+    },
+    /// A hierarchical ring with slotted (non-blocking) switching — the
+    /// Hector/NUMAchine discipline the paper's footnote 3 mentions;
+    /// provided as an extension for switching-technique comparisons.
+    SlottedRing {
+        /// Hierarchy spec.
+        spec: RingSpec,
+    },
+}
+
+impl NetworkSpec {
+    /// A normal-speed ring network.
+    pub fn ring(spec: RingSpec) -> Self {
+        NetworkSpec::Ring { spec, speedup: 1 }
+    }
+
+    /// A mesh with the paper's default 4-flit buffers.
+    pub fn mesh(side: u32) -> Self {
+        NetworkSpec::Mesh {
+            side,
+            buffers: BufferRegime::FourFlit,
+        }
+    }
+
+    /// Number of processing modules.
+    pub fn num_pms(&self) -> u32 {
+        match self {
+            NetworkSpec::Ring { spec, .. } | NetworkSpec::SlottedRing { spec } => spec.num_pms(),
+            NetworkSpec::Mesh { side, .. } => side * side,
+        }
+    }
+
+    /// Short human-readable description ("ring 2:3:4", "mesh 6x6").
+    pub fn label(&self) -> String {
+        match self {
+            NetworkSpec::Ring { spec, speedup: 1 } => format!("ring {spec}"),
+            NetworkSpec::Ring { spec, speedup } => format!("ring {spec} ({speedup}x global)"),
+            NetworkSpec::Mesh { side, buffers } => format!("mesh {side}x{side} ({buffers} buffers)"),
+            NetworkSpec::SlottedRing { spec } => format!("slotted ring {spec}"),
+        }
+    }
+}
+
+/// Simulation run lengths for the batch-means method.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SimParams {
+    /// Warm-up cycles discarded (the paper's discarded first batch).
+    pub warmup: u64,
+    /// Cycles per measured batch.
+    pub batch_cycles: u64,
+    /// Number of measured batches.
+    pub batches: usize,
+}
+
+impl SimParams {
+    /// Full measurement quality: 4k warm-up + 8 × 4k batches.
+    pub fn full() -> Self {
+        SimParams {
+            warmup: 4_000,
+            batch_cycles: 4_000,
+            batches: 8,
+        }
+    }
+
+    /// Reduced lengths for smoke tests and quick sweeps.
+    pub fn quick() -> Self {
+        SimParams {
+            warmup: 1_500,
+            batch_cycles: 1_500,
+            batches: 5,
+        }
+    }
+
+    /// Total simulated cycles.
+    pub fn horizon(&self) -> u64 {
+        self.warmup + self.batch_cycles * self.batches as u64
+    }
+}
+
+impl Default for SimParams {
+    fn default() -> Self {
+        SimParams::full()
+    }
+}
+
+/// Everything needed to run one simulation point.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SystemConfig {
+    /// The interconnect under test.
+    pub network: NetworkSpec,
+    /// Cache line size (16/32/64/128 bytes).
+    pub cache_line: CacheLineSize,
+    /// M-MRP workload attributes (R, C, T, read fraction).
+    pub workload: WorkloadParams,
+    /// Memory-system timing.
+    pub memory: MemoryParams,
+    /// Batch-means run lengths.
+    pub sim: SimParams,
+    /// Root RNG seed; equal seeds replay bit-for-bit.
+    pub seed: u64,
+}
+
+impl SystemConfig {
+    /// A configuration with paper-default workload, memory and
+    /// measurement parameters.
+    pub fn new(network: NetworkSpec, cache_line: CacheLineSize) -> Self {
+        SystemConfig {
+            network,
+            cache_line,
+            workload: WorkloadParams::paper_baseline(),
+            memory: MemoryParams::default(),
+            sim: SimParams::default(),
+            seed: 0x52_49_4e_47, // "RING"
+        }
+    }
+
+    /// Returns the config with different workload parameters.
+    pub fn with_workload(mut self, workload: WorkloadParams) -> Self {
+        self.workload = workload;
+        self
+    }
+
+    /// Returns the config with different measurement lengths.
+    pub fn with_sim(mut self, sim: SimParams) -> Self {
+        self.sim = sim;
+        self
+    }
+
+    /// Returns the config with a different seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn network_labels() {
+        let r = NetworkSpec::ring("2:3:4".parse().unwrap());
+        assert_eq!(r.label(), "ring 2:3:4");
+        assert_eq!(r.num_pms(), 24);
+        let m = NetworkSpec::mesh(6);
+        assert_eq!(m.label(), "mesh 6x6 (4-flit buffers)");
+        assert_eq!(m.num_pms(), 36);
+        let f = NetworkSpec::Ring { spec: "3:3:4".parse().unwrap(), speedup: 2 };
+        assert_eq!(f.label(), "ring 3:3:4 (2x global)");
+    }
+
+    #[test]
+    fn sim_horizon() {
+        assert_eq!(SimParams::full().horizon(), 36_000);
+        assert!(SimParams::quick().horizon() < SimParams::full().horizon());
+    }
+}

@@ -1,0 +1,154 @@
+//! Parameter-sweep helpers: run a list of configurations and collect a
+//! labelled series of `(system size, metric)` points.
+
+use ringmesh_stats::Series;
+
+use crate::system::{run_config, RunError, RunResult};
+use crate::SystemConfig;
+
+/// Scale of an experiment run.
+///
+/// `Full` regenerates the paper's figures at publication quality;
+/// `Quick` shrinks run lengths and sweep ranges so the entire harness
+/// finishes in minutes (used by smoke tests and the default `cargo
+/// bench` invocation — set `RINGMESH_FULL=1` for full scale).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Scale {
+    /// Batch-means run lengths for every simulation point.
+    pub sim: crate::SimParams,
+    /// Largest system size to sweep.
+    pub max_pms: u32,
+    /// Whether parameter lists should be thinned.
+    pub quick: bool,
+}
+
+impl Scale {
+    /// Publication-quality scale (the paper sweeps to 121/128 PMs).
+    pub fn full() -> Self {
+        Scale {
+            sim: crate::SimParams::full(),
+            max_pms: 128,
+            quick: false,
+        }
+    }
+
+    /// Fast scale for smoke tests and default benches.
+    pub fn quick() -> Self {
+        Scale {
+            sim: crate::SimParams::quick(),
+            max_pms: 40,
+            quick: true,
+        }
+    }
+
+    /// `Scale::full()` if the `RINGMESH_FULL` environment variable is
+    /// set (to anything but `0`), else `Scale::quick()`.
+    pub fn from_env() -> Self {
+        match std::env::var("RINGMESH_FULL") {
+            Ok(v) if v != "0" => Scale::full(),
+            _ => Scale::quick(),
+        }
+    }
+}
+
+/// Runs every `(x, config)` point and collects `metric` of each result
+/// into a series. Points whose simulation stalls (a deadlocked
+/// saturated configuration) are skipped with a warning on stderr rather
+/// than aborting the sweep.
+pub fn run_series(
+    label: impl Into<String>,
+    points: Vec<(f64, SystemConfig)>,
+    metric: impl Fn(&RunResult) -> f64,
+) -> Series {
+    let mut series = Series::new(label);
+    for (x, cfg) in points {
+        if let Some(result) = run_point(cfg, x) {
+            series.push(x, metric(&result));
+        }
+    }
+    series
+}
+
+/// Runs one configuration; a deadlocked (finite-buffer) run is retried
+/// twice with perturbed seeds before the point is skipped with a
+/// warning — rare stalls are seed-dependent and a retry recovers the
+/// measurement without biasing it.
+fn run_point(cfg: SystemConfig, x: f64) -> Option<RunResult> {
+    let desc = cfg.network.label();
+    let seed = cfg.seed;
+    for attempt in 0..3u64 {
+        let c = cfg.clone().with_seed(seed.wrapping_add(attempt * 0x9e37_79b9));
+        match run_config(c) {
+            Ok(result) => {
+                if result.latency.n == 0 {
+                    eprintln!("warning: {desc} at x={x}: no completed transactions");
+                    return None;
+                }
+                return Some(result);
+            }
+            Err(RunError::Stall(e)) => {
+                eprintln!("warning: {desc} at x={x} (attempt {attempt}): {e}");
+            }
+            Err(e) => {
+                eprintln!("warning: skipping {desc} at x={x}: {e}");
+                return None;
+            }
+        }
+    }
+    None
+}
+
+/// Runs every point once and returns full results, for figures that
+/// need several metrics (latency *and* utilization) from one sweep.
+pub fn run_points(points: Vec<(f64, SystemConfig)>) -> Vec<(f64, RunResult)> {
+    let mut out = Vec::new();
+    for (x, cfg) in points {
+        if let Some(result) = run_point(cfg, x) {
+            out.push((x, result));
+        }
+    }
+    out
+}
+
+/// Extracts a metric series from pre-computed results.
+pub fn series_of(
+    label: impl Into<String>,
+    points: &[(f64, RunResult)],
+    metric: impl Fn(&RunResult) -> f64,
+) -> Series {
+    let mut s = Series::new(label);
+    for (x, r) in points {
+        s.push(*x, metric(r));
+    }
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{NetworkSpec, SystemConfig};
+    use ringmesh_net::CacheLineSize;
+
+    #[test]
+    fn scale_from_env_defaults_quick() {
+        // The test environment does not set RINGMESH_FULL.
+        if std::env::var("RINGMESH_FULL").is_err() {
+            assert!(Scale::from_env().quick);
+        }
+    }
+
+    #[test]
+    fn run_series_collects_points() {
+        let mk = |n: u32| {
+            SystemConfig::new(NetworkSpec::ring(ringmesh_ring::RingSpec::single(n)), CacheLineSize::B32)
+                .with_sim(crate::SimParams { warmup: 200, batch_cycles: 200, batches: 3 })
+        };
+        let s = run_series(
+            "demo",
+            vec![(2.0, mk(2)), (4.0, mk(4))],
+            |r| r.mean_latency(),
+        );
+        assert_eq!(s.points.len(), 2);
+        assert!(s.points.iter().all(|&(_, y)| y > 0.0));
+    }
+}

@@ -1,0 +1,341 @@
+//! One simulated system: a network plus the M-MRP workload driving it.
+
+use std::error::Error;
+use std::fmt;
+
+use ringmesh_engine::StallError;
+use ringmesh_mesh::{MeshConfig, MeshNetwork, MeshTopology};
+use ringmesh_net::{Interconnect, NodeId, Packet, PacketFormat, UtilizationReport};
+use ringmesh_ring::{RingConfig, RingNetwork, SlottedRingNetwork};
+use ringmesh_stats::{BatchMeans, Histogram, Summary};
+use ringmesh_workload::{Mmrp, MmrpStats, PacketSizer, Placement};
+
+use crate::config::{NetworkSpec, SystemConfig};
+
+/// Failure modes of a simulation run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RunError {
+    /// The network watchdog detected a deadlock-like stall.
+    Stall(StallError),
+    /// The configuration is invalid (e.g. a non-square mesh size).
+    InvalidConfig(String),
+}
+
+impl fmt::Display for RunError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RunError::Stall(e) => write!(f, "simulation stalled: {e}"),
+            RunError::InvalidConfig(m) => write!(f, "invalid configuration: {m}"),
+        }
+    }
+}
+
+impl Error for RunError {}
+
+impl From<StallError> for RunError {
+    fn from(e: StallError) -> Self {
+        RunError::Stall(e)
+    }
+}
+
+/// Results of one simulation point.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RunResult {
+    /// Round-trip access latency across batch means, in network cycles.
+    pub latency: Summary,
+    /// Latency percentiles `(p50, p95, p99)` over all post-warm-up
+    /// transactions (to ~5% bucket resolution); `None` if none
+    /// completed.
+    pub percentiles: Option<(f64, f64, f64)>,
+    /// Completed transactions per cycle over the measurement horizon
+    /// (system throughput).
+    pub throughput: f64,
+    /// Network utilization over the measurement horizon.
+    pub utilization: UtilizationReport,
+    /// Workload counters over the whole run (including warm-up).
+    pub workload: MmrpStats,
+    /// Number of processing modules simulated.
+    pub pms: u32,
+}
+
+impl RunResult {
+    /// Mean round-trip latency in cycles — the paper's primary measure.
+    pub fn mean_latency(&self) -> f64 {
+        self.latency.mean
+    }
+}
+
+/// A ready-to-run simulation: network + workload + measurement plan.
+///
+/// # Example
+///
+/// ```
+/// use ringmesh::{NetworkSpec, SimParams, System, SystemConfig};
+/// use ringmesh_net::CacheLineSize;
+///
+/// let cfg = SystemConfig::new(NetworkSpec::mesh(2), CacheLineSize::B32)
+///     .with_sim(SimParams::quick());
+/// let result = System::new(cfg)?.run()?;
+/// assert!(result.mean_latency() > 0.0);
+/// # Ok::<(), ringmesh::RunError>(())
+/// ```
+pub struct System {
+    cfg: SystemConfig,
+    net: Box<dyn Interconnect>,
+    workload: Mmrp,
+}
+
+impl fmt::Debug for System {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("System")
+            .field("network", &self.cfg.network.label())
+            .field("pms", &self.cfg.network.num_pms())
+            .finish()
+    }
+}
+
+impl System {
+    /// Builds the network and workload described by `cfg`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RunError::InvalidConfig`] for inconsistent
+    /// configurations.
+    pub fn new(cfg: SystemConfig) -> Result<System, RunError> {
+        let (net, placement, format): (Box<dyn Interconnect>, Placement, PacketFormat) =
+            match &cfg.network {
+                NetworkSpec::Ring { spec, speedup } => {
+                    let rc = RingConfig::new(cfg.cache_line).with_global_speedup(*speedup);
+                    let net = RingNetwork::new(spec, rc);
+                    (
+                        Box::new(net),
+                        Placement::Linear { pms: spec.num_pms() },
+                        PacketFormat::RING,
+                    )
+                }
+                NetworkSpec::Mesh { side, buffers } => {
+                    if *side == 0 {
+                        return Err(RunError::InvalidConfig("mesh side must be positive".into()));
+                    }
+                    let mc = MeshConfig::new(cfg.cache_line).with_buffers(*buffers);
+                    let net = MeshNetwork::new(MeshTopology::new(*side), mc);
+                    (Box::new(net), Placement::Grid { side: *side }, PacketFormat::MESH)
+                }
+                NetworkSpec::SlottedRing { spec } => {
+                    let rc = RingConfig::new(cfg.cache_line);
+                    let net = SlottedRingNetwork::new(spec, rc);
+                    (
+                        Box::new(net),
+                        Placement::Linear { pms: spec.num_pms() },
+                        PacketFormat::RING,
+                    )
+                }
+            };
+        let sizer = PacketSizer {
+            format,
+            cache_line: cfg.cache_line,
+        };
+        let workload = Mmrp::new(placement, cfg.workload, cfg.memory, sizer, cfg.seed);
+        Ok(System { cfg, net, workload })
+    }
+
+    /// Builds a system with an explicitly-tuned ring network (e.g. a
+    /// finite IRI queue capacity for flow-control ablations). The
+    /// `cfg.network` must be a `Ring` variant supplying the topology;
+    /// the cache line of `ring_cfg` overrides `cfg.cache_line`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RunError::InvalidConfig`] if `cfg.network` is not a
+    /// ring.
+    pub fn with_ring_config(cfg: SystemConfig, ring_cfg: RingConfig) -> Result<System, RunError> {
+        let NetworkSpec::Ring { spec, .. } = &cfg.network else {
+            return Err(RunError::InvalidConfig(
+                "with_ring_config requires a ring network spec".into(),
+            ));
+        };
+        let net = RingNetwork::new(spec, ring_cfg.clone());
+        let sizer = PacketSizer {
+            format: ring_cfg.format,
+            cache_line: ring_cfg.cache_line,
+        };
+        let workload = Mmrp::new(
+            Placement::Linear { pms: spec.num_pms() },
+            cfg.workload,
+            cfg.memory,
+            sizer,
+            cfg.seed,
+        );
+        Ok(System {
+            cfg,
+            net: Box::new(net),
+            workload,
+        })
+    }
+
+    /// Runs the full batch-means measurement and reports the results.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RunError::Stall`] if the network deadlocks.
+    pub fn run(mut self) -> Result<RunResult, RunError> {
+        let sim = self.cfg.sim;
+        let mut latency = BatchMeans::new(sim.warmup, sim.batch_cycles, sim.batches);
+        let mut histogram = Histogram::new();
+        let mut delivered: Vec<(NodeId, Packet)> = Vec::new();
+        let mut samples: Vec<(u64, f64)> = Vec::new();
+        let net = self.net.as_mut();
+        while !latency.is_complete(net.cycle()) {
+            let now = net.cycle();
+            if now == sim.warmup {
+                net.reset_counters();
+            }
+            samples.clear();
+            self.workload.pre_cycle(net, now, &mut samples);
+            delivered.clear();
+            net.step(&mut delivered)?;
+            // Deliveries happen during cycle `now`; timestamp them so.
+            self.workload.post_cycle(&delivered, now, &mut samples);
+            for &(t, v) in &samples {
+                latency.record(t, v);
+                if t >= sim.warmup {
+                    histogram.record(v);
+                }
+            }
+        }
+        Ok(RunResult {
+            latency: latency.summary(),
+            percentiles: histogram.p50_p95_p99(),
+            throughput: latency.rate_per_cycle(),
+            utilization: self.net.utilization(),
+            workload: self.workload.stats(),
+            pms: self.cfg.network.num_pms(),
+        })
+    }
+}
+
+/// Builds and runs `cfg` in one call.
+///
+/// # Errors
+///
+/// Propagates [`System::new`] and [`System::run`] errors.
+pub fn run_config(cfg: SystemConfig) -> Result<RunResult, RunError> {
+    System::new(cfg)?.run()
+}
+
+/// Runs a pre-built network under `cfg`'s workload and measurement
+/// plan (for ablations that tune network internals beyond what
+/// [`NetworkSpec`] exposes). The placement and packet format are
+/// derived from `cfg.network`, which must describe the same network
+/// shape as `net`.
+pub(crate) fn run_prebuilt(
+    net: Box<dyn Interconnect>,
+    cfg: SystemConfig,
+) -> Result<RunResult, RunError> {
+    let (placement, format) = match &cfg.network {
+        NetworkSpec::Ring { spec, .. } | NetworkSpec::SlottedRing { spec } => (
+            Placement::Linear { pms: spec.num_pms() },
+            PacketFormat::RING,
+        ),
+        NetworkSpec::Mesh { side, .. } => (Placement::Grid { side: *side }, PacketFormat::MESH),
+    };
+    if net.num_pms() != cfg.network.num_pms() as usize {
+        return Err(RunError::InvalidConfig(
+            "prebuilt network size does not match the config".into(),
+        ));
+    }
+    let sizer = PacketSizer {
+        format,
+        cache_line: cfg.cache_line,
+    };
+    let workload = Mmrp::new(placement, cfg.workload, cfg.memory, sizer, cfg.seed);
+    System { cfg, net, workload }.run()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::SimParams;
+    use ringmesh_net::CacheLineSize;
+    use ringmesh_workload::WorkloadParams;
+
+    fn quick(network: NetworkSpec, cl: CacheLineSize) -> SystemConfig {
+        SystemConfig::new(network, cl).with_sim(SimParams::quick())
+    }
+
+    #[test]
+    fn small_ring_runs_and_measures() {
+        let cfg = quick(NetworkSpec::ring("4".parse().unwrap()), CacheLineSize::B32);
+        let r = run_config(cfg).unwrap();
+        assert!(r.latency.n >= 4, "batches populated: {:?}", r.latency);
+        // Zero-load-ish latency on a 4-ring: a couple of hops + memory.
+        assert!(r.mean_latency() > 10.0 && r.mean_latency() < 100.0, "{}", r.mean_latency());
+        assert!(r.throughput > 0.0);
+        assert!(r.workload.retired > 0);
+    }
+
+    #[test]
+    fn small_mesh_runs_and_measures() {
+        let cfg = quick(NetworkSpec::mesh(2), CacheLineSize::B32);
+        let r = run_config(cfg).unwrap();
+        assert!(r.mean_latency() > 10.0 && r.mean_latency() < 200.0, "{}", r.mean_latency());
+        assert!(r.utilization.overall > 0.0);
+    }
+
+    #[test]
+    fn equal_seeds_replay_exactly() {
+        let cfg = quick(NetworkSpec::ring("2:3".parse().unwrap()), CacheLineSize::B64);
+        let a = run_config(cfg.clone()).unwrap();
+        let b = run_config(cfg).unwrap();
+        assert_eq!(a.latency, b.latency);
+        assert_eq!(a.workload, b.workload);
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let base = quick(NetworkSpec::ring("2:3".parse().unwrap()), CacheLineSize::B64);
+        let a = run_config(base.clone().with_seed(1)).unwrap();
+        let b = run_config(base.with_seed(2)).unwrap();
+        assert_ne!(a.latency.mean, b.latency.mean);
+    }
+
+    #[test]
+    fn issued_eventually_retire() {
+        let cfg = quick(NetworkSpec::mesh(3), CacheLineSize::B16);
+        let r = run_config(cfg).unwrap();
+        // Closed-loop with T=4: in-flight at the end is at most 4 per PM.
+        assert!(r.workload.issued - r.workload.retired <= 4 * 9);
+    }
+
+    #[test]
+    fn locality_reduces_latency_on_rings() {
+        let mk = |r: f64| {
+            quick(
+                NetworkSpec::ring("3:3:6".parse().unwrap()),
+                CacheLineSize::B64,
+            )
+            .with_workload(
+                WorkloadParams::paper_baseline()
+                    .with_region(r)
+                    .with_outstanding(2),
+            )
+        };
+        let no_loc = run_config(mk(1.0)).unwrap();
+        let loc = run_config(mk(0.1)).unwrap();
+        assert!(
+            loc.mean_latency() < no_loc.mean_latency(),
+            "R=0.1 {} !< R=1.0 {}",
+            loc.mean_latency(),
+            no_loc.mean_latency()
+        );
+    }
+
+    #[test]
+    fn invalid_mesh_rejected() {
+        let cfg = quick(
+            NetworkSpec::Mesh { side: 0, buffers: ringmesh_net::BufferRegime::FourFlit },
+            CacheLineSize::B32,
+        );
+        assert!(matches!(System::new(cfg), Err(RunError::InvalidConfig(_))));
+    }
+}

@@ -1,0 +1,297 @@
+//! Ring topology selection: the paper's Table 2 plus a search that
+//! generalizes its policy to arbitrary node counts.
+//!
+//! The paper's selection rules (derived in its §3):
+//!
+//! * a single ring conservatively sustains 12/8/6/4 PMs for
+//!   16/32/64/128-byte cache lines (Figure 6);
+//! * an upper-level ring sustains at most ~3 child rings before the
+//!   global ring saturates — a bisection-bandwidth limit independent of
+//!   the cache line size (Figures 7–10);
+//! * hence 3-level systems reach 108/72/54/36 PMs, and double-speed
+//!   global rings stretch that to 5 child rings (§6: 180/120/90/60).
+
+use ringmesh_net::CacheLineSize;
+use ringmesh_ring::RingSpec;
+
+/// Maximum PMs a single ring sustains with almost no degradation
+/// (paper, Figure 6).
+pub fn single_ring_max(cl: CacheLineSize) -> u32 {
+    match cl {
+        CacheLineSize::B16 => 12,
+        CacheLineSize::B32 => 8,
+        CacheLineSize::B64 => 6,
+        CacheLineSize::B128 => 4,
+    }
+}
+
+/// Maximum PMs a 3-level hierarchy reasonably supports (paper, §3).
+pub fn three_level_max(cl: CacheLineSize) -> u32 {
+    match cl {
+        CacheLineSize::B16 => 108,
+        CacheLineSize::B32 => 72,
+        CacheLineSize::B64 => 54,
+        CacheLineSize::B128 => 36,
+    }
+}
+
+/// Maximum PMs with a double-speed global ring: 5 second-level rings
+/// (paper, §6).
+pub fn double_speed_max(cl: CacheLineSize) -> u32 {
+    match cl {
+        CacheLineSize::B16 => 180,
+        CacheLineSize::B32 => 120,
+        CacheLineSize::B64 => 90,
+        CacheLineSize::B128 => 60,
+    }
+}
+
+/// The paper's Table 2: optimal hierarchical ring topology for the
+/// given processor count and cache line size (workloads with R = 1.0,
+/// C = 0.04). Returns `None` for (P, cl) pairs not in the table.
+pub fn table2(p: u32, cl: CacheLineSize) -> Option<RingSpec> {
+    use CacheLineSize::*;
+    let spec = match (p, cl) {
+        (4, B16) | (4, B32) | (4, B64) | (4, B128) => "4",
+        (6, B16) | (6, B32) | (6, B64) => "6",
+        (6, B128) => "2:3",
+        (8, B16) | (8, B32) => "8",
+        (8, B64) | (8, B128) => "2:4",
+        (12, B16) => "12",
+        (12, B32) | (12, B64) => "2:6",
+        (12, B128) => "3:4",
+        (18, B16) => "2:9",
+        (18, B32) | (18, B64) => "3:6",
+        (18, B128) => "3:2:3",
+        (24, B16) => "2:12",
+        (24, B32) => "3:8",
+        (24, B64) => "2:2:6",
+        (24, B128) => "2:3:4",
+        (36, B16) => "3:12",
+        (36, B32) | (36, B64) => "2:3:6",
+        (36, B128) => "3:3:4",
+        (54, B16) => "2:3:9",
+        (54, B32) | (54, B64) => "3:3:6",
+        (54, B128) => "3:3:2:3",
+        (72, B16) => "2:3:12",
+        (72, B32) => "3:3:8",
+        (72, B64) => "2:2:3:6",
+        (72, B128) => "2:3:3:4",
+        (108, B16) => "3:3:12",
+        (108, B32) | (108, B64) => "2:3:3:6",
+        (108, B128) => "3:3:3:4",
+        _ => return None,
+    };
+    Some(spec.parse().expect("table entries are valid specs"))
+}
+
+/// Finds the best ring spec for `p` PMs under the paper's selection
+/// policy, optionally constrained to exactly `levels` hierarchy levels.
+///
+/// The search enumerates all ordered factorizations of `p` into at most
+/// 4 levels and scores them lexicographically: fewest levels (subject to
+/// the leaf fitting a single ring), fewest over-limit arities (leaves
+/// beyond [`single_ring_max`], non-leaf fan-outs beyond 3), then the
+/// largest leaf ring. Returns `None` only if `levels` is given and `p`
+/// has no factorization with that many levels.
+pub fn best_spec(p: u32, cl: CacheLineSize, levels: Option<usize>) -> Option<RingSpec> {
+    assert!(p >= 1, "need at least one PM");
+    let leaf_max = single_ring_max(cl);
+    let mut best: Option<(u64, Vec<u32>)> = None;
+    let mut consider = |arities: &[u32]| {
+        if let Some(l) = levels {
+            if arities.len() != l {
+                return;
+            }
+        }
+        let leaf = *arities.last().expect("non-empty");
+        let leaf_over = leaf.saturating_sub(leaf_max) as u64;
+        let fan_over: u64 = arities[..arities.len() - 1]
+            .iter()
+            .map(|&a| u64::from(a.saturating_sub(3)))
+            .sum();
+        // Lexicographic score packed into one integer: over-limit
+        // penalties dominate, then level count, then small leaves.
+        let score = (leaf_over * 100 + fan_over) * 1_000_000
+            + (arities.len() as u64) * 1_000
+            + u64::from(leaf_max.saturating_sub(leaf));
+        if best.as_ref().is_none_or(|(s, _)| score < *s) {
+            best = Some((score, arities.to_vec()));
+        }
+    };
+    // Depth-first enumeration of ordered factorizations (root-first).
+    let mut stack = vec![p];
+    factorize(&mut stack, p, &mut consider);
+    let (_, arities) = best?;
+    Some(RingSpec::new(arities).expect("search yields valid arities"))
+}
+
+/// Enumerates ordered factorizations: `prefix` currently ends with the
+/// unfactored remainder; each call either accepts it as the leaf or
+/// splits off another level.
+fn factorize(prefix: &mut Vec<u32>, remainder: u32, consider: &mut impl FnMut(&[u32])) {
+    consider(prefix);
+    if prefix.len() >= 4 {
+        return;
+    }
+    for a in 2..=remainder / 2 {
+        if remainder.is_multiple_of(a) {
+            let rest = remainder / a;
+            // Replace the trailing remainder with (a, rest).
+            prefix.pop();
+            prefix.push(a);
+            prefix.push(rest);
+            factorize(prefix, rest, consider);
+            prefix.pop();
+            prefix.pop();
+            prefix.push(remainder);
+        }
+    }
+}
+
+/// The ring-natural system-size ladder for latency-vs-size sweeps:
+/// every Table 2 size plus the single-ring sizes, up to `max_pms`.
+pub fn ring_size_ladder(cl: CacheLineSize, max_pms: u32) -> Vec<(u32, RingSpec)> {
+    let mut out: Vec<(u32, RingSpec)> = Vec::new();
+    for p in 2..=single_ring_max(cl) {
+        if p <= max_pms {
+            out.push((p, RingSpec::single(p)));
+        }
+    }
+    for p in [12, 18, 24, 36, 54, 72, 108] {
+        if p <= max_pms && out.iter().all(|&(q, _)| q != p) {
+            if let Some(spec) = table2(p, cl) {
+                out.push((p, spec));
+            }
+        }
+    }
+    out.sort_by_key(|&(p, _)| p);
+    out
+}
+
+/// Mesh-natural sizes: perfect squares `4..=max_pms`.
+pub fn mesh_size_ladder(max_pms: u32) -> Vec<u32> {
+    (2..)
+        .map(|s| s * s)
+        .take_while(|&p| p <= max_pms)
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table2_products_match_processor_counts() {
+        for &p in &[4u32, 6, 8, 12, 18, 24, 36, 54, 72, 108] {
+            for &cl in &CacheLineSize::ALL {
+                let spec = table2(p, cl).unwrap_or_else(|| panic!("missing ({p}, {cl})"));
+                assert_eq!(spec.num_pms(), p, "({p}, {cl}) -> {spec}");
+            }
+        }
+    }
+
+    #[test]
+    fn table2_leaves_fit_single_ring_limits() {
+        for &p in &[4u32, 6, 8, 12, 18, 24, 36, 54, 72, 108] {
+            for &cl in &CacheLineSize::ALL {
+                let spec = table2(p, cl).unwrap();
+                let leaf = *spec.arities().last().unwrap();
+                assert!(
+                    leaf <= single_ring_max(cl),
+                    "({p}, {cl}) leaf {leaf} > {}",
+                    single_ring_max(cl)
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn table2_fanouts_at_most_three() {
+        for &p in &[4u32, 6, 8, 12, 18, 24, 36, 54, 72, 108] {
+            for &cl in &CacheLineSize::ALL {
+                let spec = table2(p, cl).unwrap();
+                let arities = spec.arities();
+                assert!(
+                    arities[..arities.len() - 1].iter().all(|&a| a <= 3),
+                    "({p}, {cl}) -> {spec}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn unknown_table_entries_are_none() {
+        assert!(table2(17, CacheLineSize::B32).is_none());
+        assert!(table2(121, CacheLineSize::B16).is_none());
+    }
+
+    #[test]
+    fn best_spec_prefers_single_ring_when_it_fits() {
+        let s = best_spec(6, CacheLineSize::B16, None).unwrap();
+        assert_eq!(s.to_string(), "6");
+    }
+
+    #[test]
+    fn best_spec_splits_when_single_ring_overflows() {
+        // 12 PMs with 32B lines: single ring max is 8, so go 2-level.
+        let s = best_spec(12, CacheLineSize::B32, None).unwrap();
+        assert_eq!(s.levels(), 2);
+        assert_eq!(s.num_pms(), 12);
+        let leaf = *s.arities().last().unwrap();
+        assert!(leaf <= 8);
+    }
+
+    #[test]
+    fn best_spec_matches_table2_shape() {
+        // The generalized policy should agree with Table 2 on level
+        // counts for the canonical sizes.
+        for &(p, cl) in &[
+            (24u32, CacheLineSize::B16),
+            (24, CacheLineSize::B32),
+            (36, CacheLineSize::B64),
+            (108, CacheLineSize::B16),
+        ] {
+            let ours = best_spec(p, cl, None).unwrap();
+            let table = table2(p, cl).unwrap();
+            assert_eq!(ours.levels(), table.levels(), "p={p} cl={cl}: {ours} vs {table}");
+        }
+    }
+
+    #[test]
+    fn best_spec_respects_level_constraint() {
+        let s = best_spec(54, CacheLineSize::B32, Some(3)).unwrap();
+        assert_eq!(s.levels(), 3);
+        assert_eq!(s.num_pms(), 54);
+        // A prime cannot be split into 2 levels.
+        assert!(best_spec(7, CacheLineSize::B32, Some(2)).is_none());
+    }
+
+    #[test]
+    fn best_spec_handles_awkward_sizes() {
+        // 25, 49, 121: mesh-natural sizes that rings must approximate
+        // with over-limit arities rather than fail.
+        for p in [25u32, 49, 121] {
+            let s = best_spec(p, CacheLineSize::B32, None).unwrap();
+            assert_eq!(s.num_pms(), p);
+        }
+    }
+
+    #[test]
+    fn ladders_are_sorted_and_bounded() {
+        let ladder = ring_size_ladder(CacheLineSize::B32, 72);
+        assert!(ladder.windows(2).all(|w| w[0].0 < w[1].0));
+        assert!(ladder.iter().all(|&(p, _)| p <= 72));
+        assert!(ladder.iter().any(|&(p, _)| p == 72));
+        let meshes = mesh_size_ladder(121);
+        assert_eq!(meshes, vec![4, 9, 16, 25, 36, 49, 64, 81, 100, 121]);
+    }
+
+    #[test]
+    fn max_size_tables_match_paper() {
+        use CacheLineSize::*;
+        assert_eq!([B16, B32, B64, B128].map(single_ring_max), [12, 8, 6, 4]);
+        assert_eq!([B16, B32, B64, B128].map(three_level_max), [108, 72, 54, 36]);
+        assert_eq!([B16, B32, B64, B128].map(double_speed_max), [180, 120, 90, 60]);
+    }
+}

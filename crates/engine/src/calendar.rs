@@ -1,0 +1,230 @@
+//! Deterministic discrete-event calendar.
+//!
+//! This is the Rust analogue of the event list at the core of
+//! MacDougall's `smpl` library: events are scheduled at absolute or
+//! relative times and dequeued in time order, with ties broken in FIFO
+//! (schedule) order so that runs are exactly reproducible.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+use crate::SimTime;
+
+/// A pending event: ordered by time, then by schedule sequence number.
+struct Scheduled<E> {
+    time: SimTime,
+    seq: u64,
+    event: E,
+}
+
+impl<E> PartialEq for Scheduled<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+impl<E> Eq for Scheduled<E> {}
+impl<E> PartialOrd for Scheduled<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<E> Ord for Scheduled<E> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // BinaryHeap is a max-heap; invert so the earliest event (and,
+        // among equals, the earliest-scheduled) surfaces first.
+        other
+            .time
+            .cmp(&self.time)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+/// A discrete-event calendar with deterministic FIFO tie-breaking.
+///
+/// The calendar tracks the current simulation time, which advances to
+/// the timestamp of each event as it is dequeued with [`next`].
+///
+/// # Example
+///
+/// ```
+/// use ringmesh_engine::EventCalendar;
+///
+/// #[derive(Debug, PartialEq)]
+/// enum Ev { MemoryReady(u32) }
+///
+/// let mut cal = EventCalendar::new();
+/// cal.schedule(20, Ev::MemoryReady(7));
+/// assert_eq!(cal.next(), Some((20, Ev::MemoryReady(7))));
+/// assert_eq!(cal.now(), 20);
+/// ```
+///
+/// [`next`]: EventCalendar::next
+#[derive(Default)]
+pub struct EventCalendar<E> {
+    heap: BinaryHeap<Scheduled<E>>,
+    seq: u64,
+    now: SimTime,
+}
+
+impl<E> EventCalendar<E> {
+    /// Creates an empty calendar with the clock at time zero.
+    pub fn new() -> Self {
+        EventCalendar {
+            heap: BinaryHeap::new(),
+            seq: 0,
+            now: 0,
+        }
+    }
+
+    /// Current simulation time: the timestamp of the most recently
+    /// dequeued event (zero before any event fires).
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Schedules `event` to fire `delay` time units from now.
+    pub fn schedule(&mut self, delay: SimTime, event: E) {
+        self.schedule_at(self.now + delay, event);
+    }
+
+    /// Schedules `event` at absolute time `time`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `time` is in the past (before [`now`](Self::now)) —
+    /// scheduling into the past is always a model bug.
+    pub fn schedule_at(&mut self, time: SimTime, event: E) {
+        assert!(
+            time >= self.now,
+            "scheduled event at t={time} before current time t={}",
+            self.now
+        );
+        let seq = self.seq;
+        self.seq += 1;
+        self.heap.push(Scheduled { time, seq, event });
+    }
+
+    /// Removes and returns the next event, advancing the clock to its
+    /// timestamp. Returns `None` when the calendar is empty.
+    #[allow(clippy::should_implement_trait)] // not an Iterator: advances the clock
+    pub fn next(&mut self) -> Option<(SimTime, E)> {
+        let sched = self.heap.pop()?;
+        debug_assert!(sched.time >= self.now);
+        self.now = sched.time;
+        Some((sched.time, sched.event))
+    }
+
+    /// Timestamp of the next pending event, if any, without dequeuing.
+    pub fn peek_time(&self) -> Option<SimTime> {
+        self.heap.peek().map(|s| s.time)
+    }
+
+    /// Removes and returns the next event only if it fires at or before
+    /// `deadline`. Leaves the clock untouched otherwise.
+    pub fn next_before(&mut self, deadline: SimTime) -> Option<(SimTime, E)> {
+        match self.peek_time() {
+            Some(t) if t <= deadline => self.next(),
+            _ => None,
+        }
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Whether no events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+}
+
+impl<E> std::fmt::Debug for EventCalendar<E> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("EventCalendar")
+            .field("now", &self.now)
+            .field("pending", &self.heap.len())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dequeues_in_time_order() {
+        let mut cal = EventCalendar::new();
+        cal.schedule(30, "c");
+        cal.schedule(10, "a");
+        cal.schedule(20, "b");
+        assert_eq!(cal.next(), Some((10, "a")));
+        assert_eq!(cal.next(), Some((20, "b")));
+        assert_eq!(cal.next(), Some((30, "c")));
+        assert_eq!(cal.next(), None);
+    }
+
+    #[test]
+    fn ties_break_fifo() {
+        let mut cal = EventCalendar::new();
+        for i in 0..100 {
+            cal.schedule(5, i);
+        }
+        for i in 0..100 {
+            assert_eq!(cal.next(), Some((5, i)));
+        }
+    }
+
+    #[test]
+    fn clock_advances_with_dequeue() {
+        let mut cal = EventCalendar::new();
+        cal.schedule(7, ());
+        assert_eq!(cal.now(), 0);
+        cal.next();
+        assert_eq!(cal.now(), 7);
+        // Relative scheduling is now relative to t=7.
+        cal.schedule(3, ());
+        assert_eq!(cal.next(), Some((10, ())));
+    }
+
+    #[test]
+    fn next_before_respects_deadline() {
+        let mut cal = EventCalendar::new();
+        cal.schedule(15, "later");
+        assert_eq!(cal.next_before(14), None);
+        assert_eq!(cal.now(), 0, "clock must not advance on a miss");
+        assert_eq!(cal.next_before(15), Some((15, "later")));
+    }
+
+    #[test]
+    #[should_panic(expected = "before current time")]
+    fn scheduling_into_past_panics() {
+        let mut cal = EventCalendar::new();
+        cal.schedule(10, ());
+        cal.next();
+        cal.schedule_at(5, ());
+    }
+
+    #[test]
+    fn len_and_is_empty_track_contents() {
+        let mut cal = EventCalendar::new();
+        assert!(cal.is_empty());
+        cal.schedule(1, ());
+        cal.schedule(2, ());
+        assert_eq!(cal.len(), 2);
+        cal.next();
+        assert_eq!(cal.len(), 1);
+        assert!(!cal.is_empty());
+    }
+
+    #[test]
+    fn interleaved_schedule_and_dequeue_is_stable() {
+        let mut cal = EventCalendar::new();
+        cal.schedule(10, 1u32);
+        cal.schedule(10, 2);
+        assert_eq!(cal.next(), Some((10, 1)));
+        cal.schedule_at(10, 3); // same time, scheduled later -> after 2
+        assert_eq!(cal.next(), Some((10, 2)));
+        assert_eq!(cal.next(), Some((10, 3)));
+    }
+}

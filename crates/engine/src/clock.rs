@@ -1,0 +1,154 @@
+//! Cycle-synchronous execution discipline.
+//!
+//! The flit-level network models are evaluated once per clock cycle in
+//! two conceptual phases: every component first *computes* its transfers
+//! from previous-cycle (registered) state, then all transfers *commit*
+//! simultaneously. The network crates realise the two phases internally;
+//! this module provides the outer driver plus the clock-divider used for
+//! the double-speed global ring of §6 of the paper.
+
+use crate::SimTime;
+
+/// A system advanced one clock cycle at a time.
+///
+/// Implementors are expected to be deterministic: the same sequence of
+/// `step_cycle` calls from the same initial state must produce the same
+/// final state (all randomness must come from explicitly seeded
+/// generators).
+pub trait ClockedSystem {
+    /// Advances the system by one base clock cycle. `cycle` is the index
+    /// of the cycle being executed, starting from the value the system
+    /// was constructed at (usually 0).
+    fn step_cycle(&mut self, cycle: SimTime);
+}
+
+/// Runs `system` for `cycles` consecutive cycles starting at
+/// `first_cycle`, returning the next cycle index (i.e. `first_cycle +
+/// cycles`).
+///
+/// # Example
+///
+/// ```
+/// use ringmesh_engine::{run_cycles, ClockedSystem};
+///
+/// struct Counter(u64);
+/// impl ClockedSystem for Counter {
+///     fn step_cycle(&mut self, _cycle: u64) { self.0 += 1; }
+/// }
+///
+/// let mut c = Counter(0);
+/// let next = run_cycles(&mut c, 0, 100);
+/// assert_eq!((c.0, next), (100, 100));
+/// ```
+pub fn run_cycles<S: ClockedSystem>(system: &mut S, first_cycle: SimTime, cycles: SimTime) -> SimTime {
+    let end = first_cycle + cycles;
+    for c in first_cycle..end {
+        system.step_cycle(c);
+    }
+    end
+}
+
+/// Divides a fast tick stream down to a slower clock domain.
+///
+/// The simulator kernel runs at the *fastest* clock in the system; a
+/// component in a slower domain is active only on ticks where
+/// [`ClockDivider::active`] is true. With `period == 1` the component
+/// runs every tick; with `period == 2` every second tick, and so on.
+/// This is how a double-speed global ring coexists with normal-speed
+/// local rings: the kernel ticks at the global-ring rate and everything
+/// else uses a `period`-2 divider.
+///
+/// # Example
+///
+/// ```
+/// use ringmesh_engine::ClockDivider;
+///
+/// let slow = ClockDivider::new(2);
+/// let ticks: Vec<bool> = (0..6).map(|t| slow.active(t)).collect();
+/// assert_eq!(ticks, [true, false, true, false, true, false]);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ClockDivider {
+    period: u32,
+}
+
+impl ClockDivider {
+    /// Creates a divider for a domain that runs every `period` ticks.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `period` is zero.
+    pub fn new(period: u32) -> Self {
+        assert!(period > 0, "clock divider period must be positive");
+        ClockDivider { period }
+    }
+
+    /// The division period in ticks.
+    pub fn period(&self) -> u32 {
+        self.period
+    }
+
+    /// Whether the domain is active on tick `tick`.
+    pub fn active(&self, tick: SimTime) -> bool {
+        tick.is_multiple_of(u64::from(self.period))
+    }
+
+    /// Converts a tick count into the number of elapsed cycles in this
+    /// domain (rounding down).
+    pub fn cycles_elapsed(&self, ticks: SimTime) -> SimTime {
+        ticks / u64::from(self.period)
+    }
+}
+
+impl Default for ClockDivider {
+    fn default() -> Self {
+        ClockDivider::new(1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct Recorder(Vec<SimTime>);
+    impl ClockedSystem for Recorder {
+        fn step_cycle(&mut self, cycle: SimTime) {
+            self.0.push(cycle);
+        }
+    }
+
+    #[test]
+    fn run_cycles_passes_consecutive_indices() {
+        let mut r = Recorder(Vec::new());
+        let next = run_cycles(&mut r, 5, 4);
+        assert_eq!(r.0, vec![5, 6, 7, 8]);
+        assert_eq!(next, 9);
+    }
+
+    #[test]
+    fn run_zero_cycles_is_noop() {
+        let mut r = Recorder(Vec::new());
+        assert_eq!(run_cycles(&mut r, 3, 0), 3);
+        assert!(r.0.is_empty());
+    }
+
+    #[test]
+    fn divider_period_one_always_active() {
+        let d = ClockDivider::new(1);
+        assert!((0..10).all(|t| d.active(t)));
+    }
+
+    #[test]
+    fn divider_counts_cycles() {
+        let d = ClockDivider::new(2);
+        assert_eq!(d.cycles_elapsed(0), 0);
+        assert_eq!(d.cycles_elapsed(3), 1);
+        assert_eq!(d.cycles_elapsed(4), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_period_rejected() {
+        ClockDivider::new(0);
+    }
+}

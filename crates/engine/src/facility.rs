@@ -1,0 +1,236 @@
+//! `smpl`-style facilities: serially reusable resources with queueing.
+//!
+//! A facility models a resource with one or more servers (a memory bank,
+//! a bus, a port). Requests either seize a free server immediately or
+//! join a FIFO queue ordered by priority. The facility tracks busy time
+//! so utilization can be reported the way `smpl` did.
+
+use std::collections::VecDeque;
+
+use crate::SimTime;
+
+/// Outcome of a [`Facility::request`] call.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RequestOutcome {
+    /// A server was free; the request is now in service.
+    Granted,
+    /// All servers busy; the request was enqueued at the given queue
+    /// position (0 = head).
+    Queued(usize),
+}
+
+/// Cumulative statistics for a facility.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct FacilityStats {
+    /// Total server-busy time accumulated (summed over servers).
+    pub busy_time: u64,
+    /// Number of requests granted service (immediately or after
+    /// queueing).
+    pub completed: u64,
+    /// Number of requests that had to queue.
+    pub queued: u64,
+}
+
+/// A serially-reusable resource with `servers` servers and a
+/// priority-ordered FIFO queue, in the style of `smpl`'s `facility`.
+///
+/// Time does not advance inside the facility; the caller supplies the
+/// current simulation time on each state-changing call so busy time can
+/// be integrated.
+///
+/// # Example
+///
+/// ```
+/// use ringmesh_engine::{Facility, RequestOutcome};
+///
+/// let mut mem = Facility::new("memory", 1);
+/// assert_eq!(mem.request(0, 17, 0), RequestOutcome::Granted);
+/// assert_eq!(mem.request(0, 18, 0), RequestOutcome::Queued(0));
+/// // Token 17 finishes at t=10; 18 enters service.
+/// assert_eq!(mem.release(10), Some(18));
+/// assert_eq!(mem.release(20), None);
+/// assert!((mem.utilization(20) - 1.0).abs() < 1e-9);
+/// ```
+#[derive(Debug)]
+pub struct Facility {
+    name: String,
+    servers: u32,
+    busy: u32,
+    queue: VecDeque<(u64 /* token */, u8 /* priority */)>,
+    last_change: SimTime,
+    stats: FacilityStats,
+}
+
+impl Facility {
+    /// Creates a facility with the given display `name` and number of
+    /// `servers`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `servers` is zero.
+    pub fn new(name: impl Into<String>, servers: u32) -> Self {
+        assert!(servers > 0, "facility must have at least one server");
+        Facility {
+            name: name.into(),
+            servers,
+            busy: 0,
+            queue: VecDeque::new(),
+            last_change: 0,
+            stats: FacilityStats::default(),
+        }
+    }
+
+    /// The facility's display name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Number of servers currently in service.
+    pub fn busy_servers(&self) -> u32 {
+        self.busy
+    }
+
+    /// Number of requests waiting in the queue.
+    pub fn queue_len(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Requests service for `token` at time `now` with the given
+    /// `priority` (higher wins; equal priorities keep FIFO order).
+    pub fn request(&mut self, now: SimTime, token: u64, priority: u8) -> RequestOutcome {
+        self.integrate(now);
+        if self.busy < self.servers {
+            self.busy += 1;
+            self.stats.completed += 1;
+            RequestOutcome::Granted
+        } else {
+            self.stats.queued += 1;
+            // Insert after the last entry with priority >= ours to keep
+            // FIFO order within a priority class.
+            let pos = self
+                .queue
+                .iter()
+                .rposition(|&(_, p)| p >= priority)
+                .map_or(0, |i| i + 1);
+            self.queue.insert(pos, (token, priority));
+            RequestOutcome::Queued(pos)
+        }
+    }
+
+    /// Releases one server at time `now`. If a request was queued, it
+    /// enters service immediately and its token is returned.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no server is busy.
+    pub fn release(&mut self, now: SimTime) -> Option<u64> {
+        assert!(self.busy > 0, "release on idle facility {}", self.name);
+        self.integrate(now);
+        match self.queue.pop_front() {
+            Some((token, _)) => {
+                // Server stays busy, now serving the dequeued request.
+                self.stats.completed += 1;
+                Some(token)
+            }
+            None => {
+                self.busy -= 1;
+                None
+            }
+        }
+    }
+
+    /// Fraction of server capacity used over `[0, now]`.
+    pub fn utilization(&self, now: SimTime) -> f64 {
+        if now == 0 {
+            return 0.0;
+        }
+        let pending = u64::from(self.busy) * (now - self.last_change);
+        (self.stats.busy_time + pending) as f64 / (now * u64::from(self.servers)) as f64
+    }
+
+    /// Snapshot of cumulative statistics (busy time integrated up to the
+    /// last state change).
+    pub fn stats(&self) -> FacilityStats {
+        self.stats
+    }
+
+    fn integrate(&mut self, now: SimTime) {
+        debug_assert!(now >= self.last_change, "time went backwards");
+        self.stats.busy_time += u64::from(self.busy) * (now - self.last_change);
+        self.last_change = now;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn grants_until_full_then_queues() {
+        let mut f = Facility::new("bus", 2);
+        assert_eq!(f.request(0, 1, 0), RequestOutcome::Granted);
+        assert_eq!(f.request(0, 2, 0), RequestOutcome::Granted);
+        assert_eq!(f.request(0, 3, 0), RequestOutcome::Queued(0));
+        assert_eq!(f.request(0, 4, 0), RequestOutcome::Queued(1));
+        assert_eq!(f.busy_servers(), 2);
+        assert_eq!(f.queue_len(), 2);
+    }
+
+    #[test]
+    fn release_serves_queue_fifo() {
+        let mut f = Facility::new("bus", 1);
+        f.request(0, 1, 0);
+        f.request(0, 2, 0);
+        f.request(0, 3, 0);
+        assert_eq!(f.release(5), Some(2));
+        assert_eq!(f.release(9), Some(3));
+        assert_eq!(f.release(12), None);
+        assert_eq!(f.busy_servers(), 0);
+    }
+
+    #[test]
+    fn priority_jumps_queue_but_not_service() {
+        let mut f = Facility::new("bus", 1);
+        f.request(0, 1, 0);
+        f.request(0, 2, 0); // low prio, queued first
+        f.request(0, 3, 5); // high prio, jumps ahead of 2
+        f.request(0, 4, 5); // high prio, FIFO after 3
+        assert_eq!(f.release(1), Some(3));
+        assert_eq!(f.release(2), Some(4));
+        assert_eq!(f.release(3), Some(2));
+    }
+
+    #[test]
+    fn utilization_integrates_busy_time() {
+        let mut f = Facility::new("mem", 1);
+        f.request(0, 1, 0);
+        f.release(10); // busy [0,10)
+        assert!((f.utilization(20) - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn utilization_counts_in_flight_service() {
+        let mut f = Facility::new("mem", 2);
+        f.request(0, 1, 0); // one of two servers busy forever
+        assert!((f.utilization(10) - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "release on idle")]
+    fn release_idle_panics() {
+        let mut f = Facility::new("mem", 1);
+        f.release(0);
+    }
+
+    #[test]
+    fn stats_count_completed_and_queued() {
+        let mut f = Facility::new("mem", 1);
+        f.request(0, 1, 0);
+        f.request(0, 2, 0);
+        f.release(4);
+        let s = f.stats();
+        assert_eq!(s.completed, 2);
+        assert_eq!(s.queued, 1);
+        assert_eq!(s.busy_time, 4);
+    }
+}

@@ -1,0 +1,58 @@
+//! Simulation substrate for the `ringmesh` interconnect simulator.
+//!
+//! The original study (Ravindran & Stumm, HPCA 1997) built its
+//! register-transfer-level simulator on MacDougall's `smpl` simulation
+//! library. This crate is the Rust equivalent of that substrate. It
+//! provides:
+//!
+//! * [`EventCalendar`] — a deterministic discrete-event calendar with
+//!   FIFO tie-breaking, the heart of any `smpl`-style simulation.
+//! * [`Facility`] — an `smpl`-style single- or multi-server resource
+//!   with FIFO/priority queueing and utilization accounting.
+//! * [`SimRng`] — a seedable, splittable random-number source with the
+//!   variate generators the workload model needs (uniform, Bernoulli,
+//!   exponential, geometric).
+//! * [`ClockedSystem`] and [`run_cycles`] — the cycle-synchronous
+//!   execution discipline used by the flit-level network models, where
+//!   every component is evaluated once per clock with *registered*
+//!   (previous-cycle) flow-control state.
+//! * [`Watchdog`] — a progress monitor that converts a hung simulation
+//!   (e.g. an undetected wormhole deadlock) into a hard error instead of
+//!   an infinite loop.
+//!
+//! The networks themselves (hierarchical rings, 2-D meshes) live in the
+//! `ringmesh-ring` and `ringmesh-mesh` crates; workload generation lives
+//! in `ringmesh-workload`.
+//!
+//! # Example
+//!
+//! ```
+//! use ringmesh_engine::EventCalendar;
+//!
+//! let mut cal: EventCalendar<&'static str> = EventCalendar::new();
+//! cal.schedule(10, "timer-a");
+//! cal.schedule(5, "timer-b");
+//! let (t, ev) = cal.next().unwrap();
+//! assert_eq!((t, ev), (5, "timer-b"));
+//! let (t, ev) = cal.next().unwrap();
+//! assert_eq!((t, ev), (10, "timer-a"));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod calendar;
+mod clock;
+mod facility;
+mod rng;
+mod watchdog;
+
+pub use calendar::EventCalendar;
+pub use clock::{run_cycles, ClockDivider, ClockedSystem};
+pub use facility::{Facility, FacilityStats, RequestOutcome};
+pub use rng::SimRng;
+pub use watchdog::{StallError, Watchdog};
+
+/// Simulation time, measured in clock cycles (or, for multi-rate
+/// systems, in the finest-grained sub-cycle ticks).
+pub type SimTime = u64;

@@ -1,0 +1,183 @@
+//! Deterministic, splittable random-number source.
+//!
+//! Every stochastic element of the simulation (per-processor reference
+//! streams, read/write coin flips) draws from a [`SimRng`] derived from
+//! a single experiment seed, so whole experiments replay bit-for-bit.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// Mixes a 64-bit value through the `splitmix64` finalizer; used to
+/// derive well-separated child seeds from `(seed, stream-id)` pairs.
+fn splitmix64(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// A seedable random-number generator with the variates the M-MRP
+/// workload model needs.
+///
+/// Wraps a non-cryptographic PRNG (`rand::rngs::SmallRng`); use
+/// [`SimRng::stream`] to derive independent per-component generators
+/// from one experiment seed.
+///
+/// # Example
+///
+/// ```
+/// use ringmesh_engine::SimRng;
+///
+/// let mut a = SimRng::from_seed(42).stream(7);
+/// let mut b = SimRng::from_seed(42).stream(7);
+/// assert_eq!(a.uniform_usize(100), b.uniform_usize(100));
+/// ```
+#[derive(Debug, Clone)]
+pub struct SimRng {
+    seed: u64,
+    rng: SmallRng,
+}
+
+impl SimRng {
+    /// Creates a generator from a 64-bit seed.
+    pub fn from_seed(seed: u64) -> Self {
+        SimRng {
+            seed,
+            rng: SmallRng::seed_from_u64(splitmix64(seed)),
+        }
+    }
+
+    /// Derives an independent generator for stream `id`.
+    ///
+    /// Streams derived from the same `(seed, id)` pair are identical;
+    /// different ids give statistically independent sequences. Derivation
+    /// depends only on the root seed, not on how many values have been
+    /// drawn from `self`.
+    pub fn stream(&self, id: u64) -> SimRng {
+        SimRng::from_seed(splitmix64(self.seed ^ splitmix64(id.wrapping_add(0xA5A5_5A5A))))
+    }
+
+    /// The root seed this generator was created from.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// Uniform integer in `[0, bound)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bound` is zero.
+    pub fn uniform_usize(&mut self, bound: usize) -> usize {
+        assert!(bound > 0, "uniform_usize bound must be positive");
+        self.rng.gen_range(0..bound)
+    }
+
+    /// Uniform float in `[0, 1)`.
+    pub fn uniform_f64(&mut self) -> f64 {
+        self.rng.gen::<f64>()
+    }
+
+    /// Bernoulli trial: true with probability `p`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is outside `[0, 1]`.
+    pub fn bernoulli(&mut self, p: f64) -> bool {
+        assert!((0.0..=1.0).contains(&p), "probability {p} outside [0,1]");
+        self.rng.gen::<f64>() < p
+    }
+
+    /// Exponentially distributed value with the given `mean`.
+    pub fn exponential(&mut self, mean: f64) -> f64 {
+        assert!(mean > 0.0, "exponential mean must be positive");
+        let u: f64 = self.rng.gen_range(f64::MIN_POSITIVE..1.0);
+        -mean * u.ln()
+    }
+
+    /// Geometrically distributed trial count (>= 1) with success
+    /// probability `p`: the number of Bernoulli trials up to and
+    /// including the first success.
+    pub fn geometric(&mut self, p: f64) -> u64 {
+        assert!(p > 0.0 && p <= 1.0, "probability {p} outside (0,1]");
+        if p >= 1.0 {
+            return 1;
+        }
+        let u: f64 = self.rng.gen_range(f64::MIN_POSITIVE..1.0);
+        (u.ln() / (1.0 - p).ln()).ceil().max(1.0) as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_seed_same_sequence() {
+        let mut a = SimRng::from_seed(1);
+        let mut b = SimRng::from_seed(1);
+        for _ in 0..100 {
+            assert_eq!(a.uniform_usize(1000), b.uniform_usize(1000));
+        }
+    }
+
+    #[test]
+    fn different_seeds_diverge() {
+        let mut a = SimRng::from_seed(1);
+        let mut b = SimRng::from_seed(2);
+        let same = (0..64).filter(|_| a.uniform_usize(1 << 30) == b.uniform_usize(1 << 30)).count();
+        assert!(same < 4, "sequences should be essentially disjoint");
+    }
+
+    #[test]
+    fn streams_are_independent_of_draw_position() {
+        let root = SimRng::from_seed(9);
+        let mut early = root.stream(3);
+        let mut consumed = root.clone();
+        for _ in 0..10 {
+            consumed.uniform_f64();
+        }
+        let mut late = consumed.stream(3);
+        for _ in 0..16 {
+            assert_eq!(early.uniform_usize(1 << 20), late.uniform_usize(1 << 20));
+        }
+    }
+
+    #[test]
+    fn bernoulli_mean_close_to_p() {
+        let mut r = SimRng::from_seed(7);
+        let n = 20_000;
+        let hits = (0..n).filter(|_| r.bernoulli(0.7)).count();
+        let mean = hits as f64 / n as f64;
+        assert!((mean - 0.7).abs() < 0.02, "mean {mean}");
+    }
+
+    #[test]
+    fn exponential_mean_close() {
+        let mut r = SimRng::from_seed(11);
+        let n = 20_000;
+        let sum: f64 = (0..n).map(|_| r.exponential(25.0)).sum();
+        let mean = sum / n as f64;
+        assert!((mean - 25.0).abs() < 1.0, "mean {mean}");
+    }
+
+    #[test]
+    fn geometric_mean_close() {
+        let mut r = SimRng::from_seed(13);
+        let n = 20_000;
+        let sum: u64 = (0..n).map(|_| r.geometric(0.04)).sum();
+        let mean = sum as f64 / n as f64;
+        assert!((mean - 25.0).abs() < 1.0, "mean {mean}");
+    }
+
+    #[test]
+    fn uniform_usize_stays_in_bounds() {
+        let mut r = SimRng::from_seed(5);
+        assert!((0..10_000).all(|_| r.uniform_usize(7) < 7));
+    }
+
+    #[test]
+    fn geometric_with_p_one_is_one() {
+        let mut r = SimRng::from_seed(17);
+        assert_eq!(r.geometric(1.0), 1);
+    }
+}

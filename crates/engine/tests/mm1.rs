@@ -1,0 +1,77 @@
+//! An `smpl`-style discrete-event simulation built from the engine's
+//! pieces alone (calendar + facility + RNG), validated against M/M/1
+//! queueing theory — the same kind of check MacDougall's book uses to
+//! validate `smpl` itself.
+
+use ringmesh_engine::{EventCalendar, Facility, RequestOutcome, SimRng};
+
+#[derive(Debug)]
+enum Event {
+    Arrival(u64),
+    Departure(u64),
+}
+
+/// Simulates an M/M/1 queue with arrival rate `lambda` and service rate
+/// `mu`, returning (mean time in system, server utilization).
+fn simulate_mm1(lambda: f64, mu: f64, customers: u64, seed: u64) -> (f64, f64) {
+    let mut cal = EventCalendar::new();
+    let mut server = Facility::new("server", 1);
+    let mut rng = SimRng::from_seed(seed);
+    let mut arrivals: std::collections::HashMap<u64, u64> = std::collections::HashMap::new();
+    let mut total_time = 0.0;
+    let mut completed = 0u64;
+    let mut next_id = 0u64;
+
+    cal.schedule(rng.exponential(1.0 / lambda).ceil() as u64, Event::Arrival(0));
+    while completed < customers {
+        let Some((now, event)) = cal.next() else { break };
+        match event {
+            Event::Arrival(id) => {
+                arrivals.insert(id, now);
+                if server.request(now, id, 0) == RequestOutcome::Granted {
+                    cal.schedule(rng.exponential(1.0 / mu).ceil().max(1.0) as u64, Event::Departure(id));
+                }
+                next_id += 1;
+                cal.schedule(
+                    rng.exponential(1.0 / lambda).ceil().max(1.0) as u64,
+                    Event::Arrival(next_id),
+                );
+            }
+            Event::Departure(id) => {
+                let arrived = arrivals.remove(&id).expect("departure without arrival");
+                total_time += (now - arrived) as f64;
+                completed += 1;
+                if let Some(next) = server.release(now) {
+                    cal.schedule(rng.exponential(1.0 / mu).ceil().max(1.0) as u64, Event::Departure(next));
+                }
+            }
+        }
+    }
+    (total_time / completed as f64, server.utilization(cal.now()))
+}
+
+#[test]
+fn mm1_time_in_system_matches_theory() {
+    // lambda = 0.02, mu = 0.05: rho = 0.4, W = 1/(mu - lambda) = 33.3.
+    let (w, rho) = simulate_mm1(0.02, 0.05, 60_000, 42);
+    assert!((rho - 0.4).abs() < 0.03, "utilization {rho}");
+    // Integer-cycle rounding of the exponential variates adds a small
+    // positive bias; allow 10%.
+    assert!((w / 33.33 - 1.0).abs() < 0.10, "W = {w}");
+}
+
+#[test]
+fn mm1_utilization_tracks_load() {
+    let (_, rho_light) = simulate_mm1(0.01, 0.05, 30_000, 7);
+    let (_, rho_heavy) = simulate_mm1(0.04, 0.05, 30_000, 7);
+    assert!((rho_light - 0.2).abs() < 0.03, "{rho_light}");
+    assert!((rho_heavy - 0.8).abs() < 0.04, "{rho_heavy}");
+}
+
+#[test]
+fn mm1_latency_explodes_near_saturation() {
+    let (w_moderate, _) = simulate_mm1(0.02, 0.05, 30_000, 3);
+    let (w_near_sat, _) = simulate_mm1(0.045, 0.05, 30_000, 3);
+    // Theory: 33.3 vs 200 cycles; demand a clear blow-up.
+    assert!(w_near_sat > 3.0 * w_moderate, "{w_moderate} -> {w_near_sat}");
+}

@@ -1,0 +1,404 @@
+//! The 2-D mesh network simulator.
+
+use ringmesh_engine::{StallError, Watchdog};
+use ringmesh_net::{
+    Interconnect, LevelUtil, NodeId, Packet, PacketStore, QueueClass, UtilizationReport,
+};
+
+use crate::router::{Router, Send};
+use crate::topology::MeshTopology;
+use crate::MeshConfig;
+
+/// A flit-level, cycle-accurate 2-D bi-directional wormhole mesh.
+///
+/// Implements [`Interconnect`]; drive it with the `ringmesh-workload`
+/// crate or directly as in the example below.
+///
+/// # Example
+///
+/// ```
+/// use ringmesh_net::{CacheLineSize, Interconnect, NodeId, Packet, PacketKind, TxnId};
+/// use ringmesh_mesh::{MeshConfig, MeshNetwork, MeshTopology};
+///
+/// let topo = MeshTopology::new(3);
+/// let cfg = MeshConfig::new(CacheLineSize::B32);
+/// let mut net = MeshNetwork::new(topo, cfg.clone());
+/// let kind = PacketKind::ReadReq;
+/// net.inject(NodeId::new(0), Packet {
+///     txn: TxnId::new(1), kind,
+///     src: NodeId::new(0), dst: NodeId::new(8),
+///     flits: cfg.format.flits(kind, cfg.cache_line),
+///     injected_at: 0,
+/// });
+/// let mut delivered = Vec::new();
+/// while delivered.is_empty() {
+///     net.step(&mut delivered).unwrap();
+/// }
+/// assert_eq!(delivered[0].0, NodeId::new(8));
+/// ```
+#[derive(Debug)]
+pub struct MeshNetwork {
+    topo: MeshTopology,
+    cfg: MeshConfig,
+    store: PacketStore,
+    routers: Vec<Router>,
+    /// Registered stop/go per router input buffer (`node*5 + port`).
+    go: Vec<bool>,
+    sends: Vec<Send>,
+    cycle: u64,
+    link_flits: u64,
+    reset_cycle: u64,
+    watchdog: Watchdog,
+}
+
+impl MeshNetwork {
+    /// Builds the network for `topo` under `cfg`.
+    pub fn new(topo: MeshTopology, cfg: MeshConfig) -> Self {
+        let n = topo.num_pms() as usize;
+        let routers = (0..n as u32)
+            .map(|i| Router::new(NodeId::new(i), cfg.buffer_flits(), cfg.out_queue_packets))
+            .collect();
+        let horizon = cfg.watchdog_horizon;
+        MeshNetwork {
+            topo,
+            cfg,
+            store: PacketStore::new(),
+            routers,
+            go: vec![true; n * 5],
+            sends: Vec::new(),
+            cycle: 0,
+            link_flits: 0,
+            reset_cycle: 0,
+            watchdog: Watchdog::new(horizon),
+        }
+    }
+
+    /// The mesh topology.
+    pub fn topology(&self) -> &MeshTopology {
+        &self.topo
+    }
+
+    /// The configuration the network was built with.
+    pub fn config(&self) -> &MeshConfig {
+        &self.cfg
+    }
+}
+
+impl Interconnect for MeshNetwork {
+    fn num_pms(&self) -> usize {
+        self.topo.num_pms() as usize
+    }
+
+    fn cycle(&self) -> u64 {
+        self.cycle
+    }
+
+    fn can_inject(&self, pm: NodeId, class: QueueClass) -> bool {
+        self.routers[pm.index()].can_accept(class)
+    }
+
+    fn inject(&mut self, pm: NodeId, packet: Packet) {
+        assert_eq!(packet.src, pm, "packet injected at the wrong PM");
+        assert_ne!(packet.src, packet.dst, "local accesses bypass the network");
+        assert!(
+            packet.dst.index() < self.num_pms(),
+            "destination {} out of range",
+            packet.dst
+        );
+        let class = QueueClass::of(packet.kind);
+        let r = self.store.insert(packet);
+        self.routers[pm.index()].enqueue(class, r);
+    }
+
+    fn step(&mut self, delivered: &mut Vec<(NodeId, Packet)>) -> Result<(), StallError> {
+        let now = self.cycle;
+        let mut moved = 0u64;
+        self.sends.clear();
+        for i in 0..self.routers.len() {
+            self.routers[i].step(
+                now,
+                &self.topo,
+                &self.go,
+                &mut self.store,
+                &mut self.sends,
+                delivered,
+                &mut moved,
+            );
+        }
+        for i in 0..self.sends.len() {
+            let s = self.sends[i];
+            self.routers[s.to_node as usize]
+                .input_mut(s.to_port)
+                .push(s.flit, now);
+        }
+        moved += self.sends.len() as u64;
+        self.link_flits += self.sends.len() as u64;
+        for i in 0..self.routers.len() {
+            self.routers[i].latch(&mut self.go);
+        }
+        self.cycle += 1;
+        self.watchdog.observe(self.cycle, moved, self.store.live());
+        self.watchdog.check(self.cycle)
+    }
+
+    fn in_flight(&self) -> u64 {
+        self.store.live()
+    }
+
+    fn utilization(&self) -> UtilizationReport {
+        let cycles = self.cycle - self.reset_cycle;
+        if cycles == 0 || self.topo.num_links() == 0 {
+            return UtilizationReport::default();
+        }
+        let overall = self.link_flits as f64 / (self.topo.num_links() as u64 * cycles) as f64;
+        UtilizationReport {
+            overall,
+            levels: vec![LevelUtil {
+                label: "mesh links".to_string(),
+                utilization: overall,
+            }],
+        }
+    }
+
+    fn reset_counters(&mut self) {
+        self.link_flits = 0;
+        self.reset_cycle = self.cycle;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ringmesh_net::{BufferRegime, CacheLineSize, PacketKind, TxnId};
+
+    fn packet(cfg: &MeshConfig, txn: u64, kind: PacketKind, src: u32, dst: u32) -> Packet {
+        Packet {
+            txn: TxnId::new(txn),
+            kind,
+            src: NodeId::new(src),
+            dst: NodeId::new(dst),
+            flits: cfg.format.flits(kind, cfg.cache_line),
+            injected_at: 0,
+        }
+    }
+
+    fn fly(net: &mut MeshNetwork, max: u64) -> (u64, Vec<(NodeId, Packet)>) {
+        let mut delivered = Vec::new();
+        for c in 1..=max {
+            net.step(&mut delivered).unwrap();
+            if !delivered.is_empty() {
+                return (c, delivered);
+            }
+        }
+        panic!("no delivery within {max} cycles");
+    }
+
+    #[test]
+    fn zero_load_latency_matches_hop_prediction() {
+        // One-way delivery: 1 (inject into local buffer) + hops (link
+        // traversals) + 1 (ejection) + flits-1 (serialization).
+        let cfg = MeshConfig::new(CacheLineSize::B32);
+        for (src, dst) in [(0u32, 1u32), (0, 8), (4, 2), (8, 0)] {
+            let mut net = MeshNetwork::new(MeshTopology::new(3), cfg.clone());
+            let p = packet(&cfg, 1, PacketKind::ReadReq, src, dst);
+            let flits = u64::from(p.flits);
+            net.inject(NodeId::new(src), p);
+            let (cycles, got) = fly(&mut net, 200);
+            let hops = net.topology().manhattan(NodeId::new(src), NodeId::new(dst)) as u64;
+            assert_eq!(cycles, 1 + hops + 1 + flits - 1, "src={src} dst={dst}");
+            assert_eq!(got[0].0, NodeId::new(dst));
+        }
+    }
+
+    #[test]
+    fn all_pairs_delivered() {
+        let cfg = MeshConfig::new(CacheLineSize::B16);
+        for side in [2u32, 3, 4] {
+            let p = side * side;
+            let mut net = MeshNetwork::new(MeshTopology::new(side), cfg.clone());
+            let mut expected = 0u32;
+            let mut txn = 0;
+            for s in 0..p {
+                for d in 0..p {
+                    if s != d && net.can_inject(NodeId::new(s), QueueClass::Request) {
+                        txn += 1;
+                        net.inject(NodeId::new(s), packet(&cfg, txn, PacketKind::ReadReq, s, d));
+                        expected += 1;
+                    }
+                }
+            }
+            let mut out = Vec::new();
+            for _ in 0..10_000 {
+                net.step(&mut out).unwrap();
+                if out.len() as u32 >= expected {
+                    break;
+                }
+            }
+            assert_eq!(out.len() as u32, expected, "side={side}");
+            assert_eq!(net.in_flight(), 0);
+        }
+    }
+
+    #[test]
+    fn one_flit_buffers_still_deliver() {
+        let cfg = MeshConfig::new(CacheLineSize::B128).with_buffers(BufferRegime::OneFlit);
+        let mut net = MeshNetwork::new(MeshTopology::new(4), cfg.clone());
+        // A long worm (36 flits) across the full diagonal with 1-flit
+        // buffers spans many routers at once.
+        net.inject(NodeId::new(0), packet(&cfg, 1, PacketKind::ReadResp, 0, 15));
+        let (cycles, got) = fly(&mut net, 500);
+        assert_eq!(got[0].1.flits, 36);
+        // With 1-flit buffers each flit advances behind the head; total
+        // is still hops-dominated + serialization, but stop/go bubbles
+        // make it larger than the deep-buffer bound.
+        assert!(cycles >= 1 + 6 + 1 + 35, "cycles={cycles}");
+    }
+
+    #[test]
+    fn cl_buffers_match_deep_buffer_bound() {
+        let cfg = MeshConfig::new(CacheLineSize::B128).with_buffers(BufferRegime::CacheLine);
+        let mut net = MeshNetwork::new(MeshTopology::new(4), cfg.clone());
+        net.inject(NodeId::new(0), packet(&cfg, 1, PacketKind::ReadResp, 0, 15));
+        let (cycles, _) = fly(&mut net, 500);
+        assert_eq!(cycles, 1 + 6 + 1 + 35);
+    }
+
+    #[test]
+    fn response_beats_request_at_injection() {
+        let cfg = MeshConfig::new(CacheLineSize::B32);
+        let mut net = MeshNetwork::new(MeshTopology::new(2), cfg.clone());
+        net.inject(NodeId::new(0), packet(&cfg, 1, PacketKind::ReadReq, 0, 3));
+        net.inject(NodeId::new(0), packet(&cfg, 2, PacketKind::WriteResp, 0, 3));
+        let mut out = Vec::new();
+        for _ in 0..100 {
+            net.step(&mut out).unwrap();
+            if out.len() == 2 {
+                break;
+            }
+        }
+        assert_eq!(out[0].1.txn, TxnId::new(2), "response first");
+        assert_eq!(out[1].1.txn, TxnId::new(1));
+    }
+
+    #[test]
+    fn contention_on_shared_column_is_serialized_fairly() {
+        // Two packets from (0,0) and (2,0) both to (1,2): they share the
+        // column-2 approach into the destination. Both must arrive.
+        let cfg = MeshConfig::new(CacheLineSize::B64);
+        let mut net = MeshNetwork::new(MeshTopology::new(3), cfg.clone());
+        let dst = 5; // (1,2)
+        net.inject(NodeId::new(0), packet(&cfg, 1, PacketKind::ReadResp, 0, dst));
+        net.inject(NodeId::new(6), packet(&cfg, 2, PacketKind::ReadResp, 6, dst));
+        let mut out = Vec::new();
+        for _ in 0..500 {
+            net.step(&mut out).unwrap();
+            if out.len() == 2 {
+                break;
+            }
+        }
+        assert_eq!(out.len(), 2);
+    }
+
+    #[test]
+    fn utilization_accounts_inter_router_links_only() {
+        let cfg = MeshConfig::new(CacheLineSize::B16);
+        let mut net = MeshNetwork::new(MeshTopology::new(2), cfg.clone());
+        // src->dst adjacent: request is 4 flits over exactly 1 link.
+        net.inject(NodeId::new(0), packet(&cfg, 1, PacketKind::ReadReq, 0, 1));
+        let mut out = Vec::new();
+        let mut cycles = 0u64;
+        while out.is_empty() {
+            net.step(&mut out).unwrap();
+            cycles += 1;
+        }
+        let util = net.utilization();
+        let expected = 4.0 / (net.topology().num_links() as u64 * cycles) as f64;
+        assert!((util.overall - expected).abs() < 1e-12);
+    }
+
+    #[test]
+    fn watchdog_clean_under_saturation_burst() {
+        // Flood a small mesh and make sure it drains without tripping
+        // the watchdog (e-cube + guaranteed ejection is deadlock-free).
+        let cfg = MeshConfig::new(CacheLineSize::B64);
+        let mut net = MeshNetwork::new(MeshTopology::new(4), cfg.clone());
+        let p = 16u32;
+        let mut txn = 0u64;
+        let mut out = Vec::new();
+        for round in 0..50 {
+            for s in 0..p {
+                let d = (s + 1 + round % (p - 1)) % p;
+                if d != s && net.can_inject(NodeId::new(s), QueueClass::Request) {
+                    txn += 1;
+                    net.inject(NodeId::new(s), packet(&cfg, txn, PacketKind::WriteReq, s, d));
+                }
+            }
+            net.step(&mut out).unwrap();
+        }
+        for _ in 0..5_000 {
+            net.step(&mut out).unwrap();
+            if net.in_flight() == 0 {
+                break;
+            }
+        }
+        assert_eq!(net.in_flight(), 0, "mesh must drain");
+        assert_eq!(out.len() as u64, txn);
+    }
+}
+
+#[cfg(test)]
+mod arbitration_tests {
+    use super::*;
+    use ringmesh_net::{CacheLineSize, PacketKind, TxnId};
+
+    /// Two single-source flows contending for one output column must
+    /// share it near-evenly (round-robin arbitration, §2.2).
+    #[test]
+    fn round_robin_shares_a_contended_output() {
+        let cfg = MeshConfig::new(CacheLineSize::B16);
+        let mut net = MeshNetwork::new(MeshTopology::new(3), cfg.clone());
+        // Sources 0 (0,0) and 6 (2,0) both send to 5 (1,2): their
+        // packets meet at router (1,2)'s north/south inputs... they
+        // actually meet at column 2 via different rows, so contend at
+        // the destination's ejection port instead: both e-cube routes
+        // go east along their own rows then turn into column 2.
+        let mut txn = 0u64;
+        let mut delivered = Vec::new();
+        let mut counts = [0u32; 2];
+        for _ in 0..3_000 {
+            for (i, src) in [0u32, 6].into_iter().enumerate() {
+                if net.can_inject(NodeId::new(src), QueueClass::Request) {
+                    txn += 1;
+                    net.inject(NodeId::new(src), Packet {
+                        txn: TxnId::new(txn * 2 + i as u64),
+                        kind: PacketKind::WriteReq,
+                        src: NodeId::new(src),
+                        dst: NodeId::new(5),
+                        flits: cfg.format.flits(PacketKind::WriteReq, cfg.cache_line),
+                        injected_at: 0,
+                    });
+                }
+            }
+            delivered.clear();
+            net.step(&mut delivered).unwrap();
+            for (_, p) in &delivered {
+                counts[(p.txn.raw() % 2) as usize] += 1;
+            }
+        }
+        let total = counts[0] + counts[1];
+        assert!(total > 100, "flows must make progress: {total}");
+        let share = f64::from(counts[0]) / f64::from(total);
+        assert!((share - 0.5).abs() < 0.1, "unfair split: {counts:?}");
+    }
+
+    /// The Interconnect trait stays object-safe (systems hold networks
+    /// as `Box<dyn Interconnect>`).
+    #[test]
+    fn interconnect_is_object_safe() {
+        let cfg = MeshConfig::new(CacheLineSize::B32);
+        let boxed: Box<dyn Interconnect> =
+            Box::new(MeshNetwork::new(MeshTopology::new(2), cfg));
+        assert_eq!(boxed.num_pms(), 4);
+        assert_eq!(boxed.cycle(), 0);
+    }
+}

@@ -1,0 +1,186 @@
+//! The mesh Network Interface Controller (Figure 5 of the paper): a
+//! 5×5 crossbar wormhole router with input buffering, e-cube routing
+//! and round-robin output arbitration.
+
+use ringmesh_net::{
+    Assembler, DrainState, FlitFifo, NodeId, Packet, PacketQueue, PacketRef, PacketStore,
+    QueueClass,
+};
+
+use crate::topology::{Direction, MeshTopology};
+
+/// Port index of the local PM; ports 0..4 are N/E/S/W per
+/// [`Direction::port`].
+pub(crate) const LOCAL: usize = 4;
+
+/// A flit transfer onto an inter-router link, applied after all routers
+/// have stepped.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct Send {
+    pub to_node: u32,
+    pub to_port: usize,
+    pub flit: ringmesh_net::Flit,
+}
+
+/// Per-router simulation state.
+#[derive(Debug)]
+pub(crate) struct Router {
+    node: NodeId,
+    inputs: [FlitFifo; 5],
+    /// Output port assigned to the packet at the front of each input,
+    /// held from head to tail.
+    route_of: [Option<(PacketRef, usize)>; 5],
+    /// Input currently connected to each output.
+    conn: [Option<usize>; 5],
+    /// Round-robin arbitration pointer per output.
+    rr: [usize; 5],
+    out_req: PacketQueue,
+    out_resp: PacketQueue,
+    drain: DrainState,
+    assembler: Assembler,
+}
+
+impl Router {
+    pub(crate) fn new(node: NodeId, buffer_flits: usize, out_queue_packets: usize) -> Self {
+        Router {
+            node,
+            inputs: std::array::from_fn(|_| FlitFifo::new(buffer_flits)),
+            route_of: [None; 5],
+            conn: [None; 5],
+            rr: [0; 5],
+            out_req: PacketQueue::new(out_queue_packets),
+            out_resp: PacketQueue::new(out_queue_packets),
+            drain: DrainState::idle(),
+            assembler: Assembler::new(),
+        }
+    }
+
+    pub(crate) fn input_mut(&mut self, port: usize) -> &mut FlitFifo {
+        &mut self.inputs[port]
+    }
+
+    pub(crate) fn can_accept(&self, class: QueueClass) -> bool {
+        match class {
+            QueueClass::Request => self.out_req.can_accept(),
+            QueueClass::Response => self.out_resp.can_accept(),
+        }
+    }
+
+    pub(crate) fn enqueue(&mut self, class: QueueClass, r: PacketRef) {
+        match class {
+            QueueClass::Request => self.out_req.push(r),
+            QueueClass::Response => self.out_resp.push(r),
+        }
+    }
+
+    /// One clock of the router. `go` holds the registered stop/go of
+    /// each *neighbouring* input buffer, indexed `node*5 + port`.
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn step(
+        &mut self,
+        now: u64,
+        topo: &MeshTopology,
+        go: &[bool],
+        store: &mut PacketStore,
+        sends: &mut Vec<Send>,
+        delivered: &mut Vec<(NodeId, Packet)>,
+        moved: &mut u64,
+    ) {
+        // 1. PM injection: serialize queued packets (responses first)
+        //    into the local input buffer at one flit per cycle.
+        if !self.drain.is_active() {
+            let next = if !self.out_resp.is_empty() {
+                self.out_resp.pop()
+            } else {
+                self.out_req.pop()
+            };
+            if let Some(r) = next {
+                self.drain.begin(r, store.get(r).flits);
+            }
+        }
+        if self.drain.is_active() && self.inputs[LOCAL].space_latched() {
+            let flit = self.drain.emit();
+            self.inputs[LOCAL].push(flit, now);
+            *moved += 1;
+        }
+
+        // 2. Route computation for new head flits at input fronts.
+        for i in 0..5 {
+            if let Some(flit) = self.inputs[i].front_ready(now) {
+                let stale = self.route_of[i].is_none_or(|(r, _)| r != flit.packet);
+                if stale {
+                    debug_assert!(flit.is_head(), "mid-packet flit without a route");
+                    let dst = store.get(flit.packet).dst;
+                    let port = match topo.ecube(self.node, dst) {
+                        Some(dir) => dir.port(),
+                        None => LOCAL,
+                    };
+                    self.route_of[i] = Some((flit.packet, port));
+                }
+            }
+        }
+
+        // 3. Round-robin arbitration for free outputs.
+        for o in 0..5 {
+            if self.conn[o].is_some() {
+                continue;
+            }
+            for k in 0..5 {
+                let i = (self.rr[o] + k) % 5;
+                if matches!(self.route_of[i], Some((_, port)) if port == o) {
+                    self.conn[o] = Some(i);
+                    self.rr[o] = (i + 1) % 5;
+                    break;
+                }
+            }
+        }
+
+        // 4. Transfers: one flit per connected output, gated by the
+        //    downstream buffer's registered stop/go; the local output
+        //    ejects into the always-ready PM.
+        for o in 0..5 {
+            let Some(i) = self.conn[o] else { continue };
+            if o == LOCAL {
+                if let Some(flit) = self.inputs[i].pop_ready(now) {
+                    *moved += 1;
+                    if flit.is_tail {
+                        self.conn[o] = None;
+                        self.route_of[i] = None;
+                    }
+                    if let Some(done) = self.assembler.push(flit) {
+                        let pkt = store.remove(done);
+                        delivered.push((self.node, pkt));
+                    }
+                }
+            } else {
+                let dir = Direction::ALL[o];
+                let neighbor = topo
+                    .neighbor(self.node, dir)
+                    .expect("e-cube never routes off the mesh edge");
+                let to_port = dir.opposite().port();
+                if go[neighbor.index() * 5 + to_port] {
+                    if let Some(flit) = self.inputs[i].pop_ready(now) {
+                        if flit.is_tail {
+                            self.conn[o] = None;
+                            self.route_of[i] = None;
+                        }
+                        sends.push(Send {
+                            to_node: neighbor.raw(),
+                            to_port,
+                            flit,
+                        });
+                    }
+                }
+            }
+        }
+    }
+
+    /// Latches all input buffers; writes this router's stop/go signals
+    /// into `go[node*5 ..]`.
+    pub(crate) fn latch(&mut self, go: &mut [bool]) {
+        for (p, input) in self.inputs.iter_mut().enumerate() {
+            input.latch();
+            go[self.node.index() * 5 + p] = input.space_latched();
+        }
+    }
+}

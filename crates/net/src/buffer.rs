@@ -1,0 +1,528 @@
+//! FIFO buffers and streaming helpers for wormhole switching.
+//!
+//! Every NIC and inter-ring interface in the simulator is assembled from
+//! these pieces:
+//!
+//! * [`FlitFifo`] — a bounded flit FIFO with the *registered* stop/go
+//!   flow-control discipline: upstream senders consult the occupancy
+//!   latched at the previous cycle boundary ([`FlitFifo::space_latched`]),
+//!   and a flit can leave a buffer only on a cycle after the one it
+//!   arrived in (realizing the paper's one-cycle routing delay per
+//!   network node).
+//! * [`PacketQueue`] — a bounded queue of whole packets (the NIC's
+//!   input/output request and response buffers, which hold exactly one
+//!   cache-line packet each in the paper).
+//! * [`DrainState`] — serializes a queued packet onto a link one flit at
+//!   a time, enforcing wormhole contiguity.
+//! * [`Assembler`] — reassembles arriving flit trains into packets at
+//!   the ejection port.
+
+use std::collections::VecDeque;
+
+use crate::packet::{Flit, PacketRef};
+
+/// A bounded flit FIFO with registered (previous-cycle) stop/go state.
+///
+/// Call [`latch`](FlitFifo::latch) once per component clock at the end
+/// of the cycle; upstream senders must gate on
+/// [`space_latched`](FlitFifo::space_latched), which reflects the
+/// occupancy at the last latch. Because each buffer has exactly one
+/// upstream producer (a link carries one flit per cycle), this
+/// guarantees the capacity is never exceeded.
+///
+/// # Example
+///
+/// ```
+/// use ringmesh_net::{Flit, FlitFifo, PacketRef, PacketStore, Packet, PacketKind, NodeId, TxnId};
+///
+/// let mut store = PacketStore::new();
+/// let r = store.insert(Packet {
+///     txn: TxnId::new(0), kind: PacketKind::ReadReq,
+///     src: NodeId::new(0), dst: NodeId::new(1), flits: 1, injected_at: 0,
+/// });
+/// let mut fifo = FlitFifo::new(2);
+/// assert!(fifo.space_latched());
+/// fifo.push(Flit { packet: r, seq: 0, is_tail: true }, 5);
+/// // Not poppable in the arrival cycle (1-cycle routing delay)…
+/// assert!(fifo.pop_ready(5).is_none());
+/// // …but ready the next cycle.
+/// assert!(fifo.pop_ready(6).is_some());
+/// ```
+#[derive(Debug, Clone)]
+pub struct FlitFifo {
+    q: VecDeque<(Flit, u64)>,
+    cap: usize,
+    latched_len: usize,
+    tails: usize,
+}
+
+impl FlitFifo {
+    /// Creates a FIFO holding at most `cap` flits.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cap` is zero.
+    pub fn new(cap: usize) -> Self {
+        assert!(cap > 0, "flit FIFO capacity must be positive");
+        FlitFifo {
+            // Effectively-unbounded FIFOs (huge caps) grow on demand.
+            q: VecDeque::with_capacity(cap.min(64)),
+            cap,
+            latched_len: 0,
+            tails: 0,
+        }
+    }
+
+    /// Capacity in flits.
+    pub fn capacity(&self) -> usize {
+        self.cap
+    }
+
+    /// Current occupancy in flits.
+    pub fn len(&self) -> usize {
+        self.q.len()
+    }
+
+    /// Whether the FIFO is currently empty.
+    pub fn is_empty(&self) -> bool {
+        self.q.is_empty()
+    }
+
+    /// Registered stop/go signal: whether the occupancy latched at the
+    /// previous cycle boundary leaves room for one more flit. This is
+    /// what an upstream sender consults before transmitting.
+    pub fn space_latched(&self) -> bool {
+        self.latched_len < self.cap
+    }
+
+    /// Registered free-slot count: capacity minus the occupancy latched
+    /// at the previous cycle boundary. Ring stations use this both for
+    /// the bubble rule (injections keep one slot free so a ring can
+    /// never fill completely) and for whole-packet crossing
+    /// reservations at inter-ring interfaces.
+    pub fn free_latched(&self) -> usize {
+        self.cap - self.latched_len
+    }
+
+    /// Pushes a flit arriving at cycle `now`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the FIFO is full — the sender must gate on
+    /// [`space_latched`](Self::space_latched), so overflow is a model bug.
+    pub fn push(&mut self, flit: Flit, now: u64) {
+        assert!(self.q.len() < self.cap, "flit FIFO overflow");
+        if flit.is_tail {
+            self.tails += 1;
+        }
+        self.q.push_back((flit, now));
+    }
+
+    /// The head flit, if it arrived on an earlier cycle than `now`
+    /// (flits cannot cut through a node in zero cycles).
+    pub fn front_ready(&self, now: u64) -> Option<Flit> {
+        match self.q.front() {
+            Some(&(flit, arrived)) if arrived < now => Some(flit),
+            _ => None,
+        }
+    }
+
+    /// Pops the head flit if it is ready at cycle `now`.
+    pub fn pop_ready(&mut self, now: u64) -> Option<Flit> {
+        if self.front_ready(now).is_some() {
+            let (flit, _) = self.q.pop_front().expect("front was ready");
+            if flit.is_tail {
+                self.tails -= 1;
+            }
+            Some(flit)
+        } else {
+            None
+        }
+    }
+
+    /// Whether the packet at the front of the FIFO is buffered in its
+    /// entirety (its tail flit has arrived). Because packets queue
+    /// sequentially and uninterleaved, any buffered tail implies the
+    /// front packet is complete. Ring stations use this to start ring
+    /// entries only for worms that cannot stall on upstream supply.
+    pub fn has_complete_packet(&self) -> bool {
+        self.tails > 0
+    }
+
+    /// Latches the current occupancy as the registered state consulted
+    /// by upstream senders next cycle. Call once per component clock.
+    pub fn latch(&mut self) {
+        self.latched_len = self.q.len();
+    }
+
+    /// Iterates over buffered flits, head first (diagnostics).
+    pub fn iter(&self) -> impl Iterator<Item = &Flit> {
+        self.q.iter().map(|(f, _)| f)
+    }
+}
+
+/// A bounded queue of whole packets: the NIC-side input/output request
+/// and response buffers (capacity is one cache-line packet each in the
+/// paper, but configurable here).
+#[derive(Debug, Clone)]
+pub struct PacketQueue {
+    q: VecDeque<PacketRef>,
+    cap: usize,
+}
+
+impl PacketQueue {
+    /// Creates a queue holding at most `cap` packets.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cap` is zero.
+    pub fn new(cap: usize) -> Self {
+        assert!(cap > 0, "packet queue capacity must be positive");
+        PacketQueue {
+            q: VecDeque::with_capacity(cap),
+            cap,
+        }
+    }
+
+    /// Whether another packet can be enqueued.
+    pub fn can_accept(&self) -> bool {
+        self.q.len() < self.cap
+    }
+
+    /// Enqueues a packet.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the queue is full; callers gate on
+    /// [`can_accept`](Self::can_accept).
+    pub fn push(&mut self, r: PacketRef) {
+        assert!(self.can_accept(), "packet queue overflow");
+        self.q.push_back(r);
+    }
+
+    /// The packet at the head of the queue.
+    pub fn front(&self) -> Option<PacketRef> {
+        self.q.front().copied()
+    }
+
+    /// Dequeues the head packet.
+    pub fn pop(&mut self) -> Option<PacketRef> {
+        self.q.pop_front()
+    }
+
+    /// Number of queued packets.
+    pub fn len(&self) -> usize {
+        self.q.len()
+    }
+
+    /// Whether the queue is empty.
+    pub fn is_empty(&self) -> bool {
+        self.q.is_empty()
+    }
+}
+
+/// Serializes one packet onto a link flit by flit, enforcing wormhole
+/// contiguity: once begun, only this packet's flits may use the link
+/// until the tail has been sent.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct DrainState {
+    current: Option<(PacketRef, u32, u32)>, // (packet, next_seq, total)
+}
+
+impl DrainState {
+    /// An idle drain.
+    pub fn idle() -> Self {
+        DrainState::default()
+    }
+
+    /// Whether a packet is mid-transmission.
+    pub fn is_active(&self) -> bool {
+        self.current.is_some()
+    }
+
+    /// The packet being transmitted, if any.
+    pub fn packet(&self) -> Option<PacketRef> {
+        self.current.map(|(r, _, _)| r)
+    }
+
+    /// Begins transmitting `packet` of `total_flits` flits.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a transmission is already active or `total_flits` is 0.
+    pub fn begin(&mut self, packet: PacketRef, total_flits: u32) {
+        assert!(self.current.is_none(), "drain already active");
+        assert!(total_flits > 0, "packet must have at least one flit");
+        self.current = Some((packet, 0, total_flits));
+    }
+
+    /// Produces the next flit and advances. Returns the flit; the drain
+    /// becomes idle after the tail flit is produced.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no transmission is active.
+    pub fn emit(&mut self) -> Flit {
+        let (r, seq, total) = self.current.expect("emit on idle drain");
+        let is_tail = seq + 1 == total;
+        self.current = if is_tail { None } else { Some((r, seq + 1, total)) };
+        Flit {
+            packet: r,
+            seq,
+            is_tail,
+        }
+    }
+}
+
+/// Reassembles an arriving flit train into a packet at an ejection port.
+///
+/// Wormhole switching guarantees the flits of a packet arrive in order
+/// and uninterleaved; the assembler checks those invariants and reports
+/// each completed packet.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Assembler {
+    current: Option<(PacketRef, u32)>, // (packet, flits received)
+}
+
+impl Assembler {
+    /// An empty assembler.
+    pub fn new() -> Self {
+        Assembler::default()
+    }
+
+    /// Whether a packet is partially assembled.
+    pub fn is_mid_packet(&self) -> bool {
+        self.current.is_some()
+    }
+
+    /// Accepts the next flit; returns the packet handle when the tail
+    /// flit completes a packet.
+    ///
+    /// # Panics
+    ///
+    /// Panics if flits interleave or arrive out of order — wormhole
+    /// switching makes that impossible, so it is a model bug.
+    pub fn push(&mut self, flit: Flit) -> Option<PacketRef> {
+        match self.current {
+            None => {
+                assert!(flit.is_head(), "packet must start with its head flit");
+                if flit.is_tail {
+                    return Some(flit.packet); // single-flit packet
+                }
+                self.current = Some((flit.packet, 1));
+                None
+            }
+            Some((r, n)) => {
+                assert_eq!(r, flit.packet, "interleaved flits at ejection port");
+                assert_eq!(flit.seq, n, "out-of-order flit at ejection port");
+                if flit.is_tail {
+                    self.current = None;
+                    Some(r)
+                } else {
+                    self.current = Some((r, n + 1));
+                    None
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn flit(slot: u32, seq: u32, tail: bool) -> Flit {
+        // PacketRef has no public constructor by design; go through a store.
+        use crate::packet::{NodeId, Packet, PacketKind, PacketStore, TxnId};
+        let mut store = PacketStore::new();
+        let mut r = store.insert(Packet {
+            txn: TxnId::new(0),
+            kind: PacketKind::ReadReq,
+            src: NodeId::new(0),
+            dst: NodeId::new(0),
+            flits: 1,
+            injected_at: 0,
+        });
+        for _ in 0..slot {
+            r = store.insert(Packet {
+                txn: TxnId::new(0),
+                kind: PacketKind::ReadReq,
+                src: NodeId::new(0),
+                dst: NodeId::new(0),
+                flits: 1,
+                injected_at: 0,
+            });
+        }
+        Flit { packet: r, seq, is_tail: tail }
+    }
+
+    #[test]
+    fn fifo_respects_arrival_cycle() {
+        let mut f = FlitFifo::new(4);
+        f.push(flit(0, 0, true), 10);
+        assert_eq!(f.front_ready(10), None);
+        assert!(f.front_ready(11).is_some());
+        assert!(f.pop_ready(11).is_some());
+        assert!(f.is_empty());
+    }
+
+    #[test]
+    fn fifo_latched_space_lags_occupancy() {
+        let mut f = FlitFifo::new(1);
+        assert!(f.space_latched());
+        f.push(flit(0, 0, true), 0);
+        // Occupancy changed but the registered signal hasn't latched yet.
+        assert!(f.space_latched());
+        f.latch();
+        assert!(!f.space_latched());
+        f.pop_ready(1).unwrap();
+        // Still stopped until the next latch — the stop/go bubble.
+        assert!(!f.space_latched());
+        f.latch();
+        assert!(f.space_latched());
+    }
+
+    #[test]
+    #[should_panic(expected = "overflow")]
+    fn fifo_overflow_panics() {
+        let mut f = FlitFifo::new(1);
+        f.push(flit(0, 0, true), 0);
+        f.push(flit(0, 0, true), 0);
+    }
+
+    #[test]
+    fn fifo_preserves_order() {
+        let mut f = FlitFifo::new(3);
+        for seq in 0..3 {
+            f.push(flit(0, seq, seq == 2), 0);
+        }
+        for seq in 0..3 {
+            assert_eq!(f.pop_ready(1).unwrap().seq, seq);
+        }
+    }
+
+    #[test]
+    fn packet_queue_bounds() {
+        let mut store = crate::packet::PacketStore::new();
+        let mk = |s: &mut crate::packet::PacketStore| {
+            s.insert(crate::packet::Packet {
+                txn: crate::packet::TxnId::new(0),
+                kind: crate::packet::PacketKind::ReadReq,
+                src: crate::packet::NodeId::new(0),
+                dst: crate::packet::NodeId::new(0),
+                flits: 1,
+                injected_at: 0,
+            })
+        };
+        let mut q = PacketQueue::new(1);
+        assert!(q.can_accept());
+        let a = mk(&mut store);
+        q.push(a);
+        assert!(!q.can_accept());
+        assert_eq!(q.front(), Some(a));
+        assert_eq!(q.pop(), Some(a));
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn drain_emits_contiguous_train() {
+        let f = flit(3, 0, false);
+        let mut d = DrainState::idle();
+        d.begin(f.packet, 3);
+        let flits: Vec<Flit> = (0..3).map(|_| d.emit()).collect();
+        assert!(!d.is_active());
+        assert_eq!(flits[0].seq, 0);
+        assert!(flits[0].is_head());
+        assert_eq!(flits[1].seq, 1);
+        assert!(flits[2].is_tail);
+        assert!(flits.iter().all(|fl| fl.packet == f.packet));
+    }
+
+    #[test]
+    #[should_panic(expected = "already active")]
+    fn drain_rejects_overlap() {
+        let f = flit(0, 0, false);
+        let mut d = DrainState::idle();
+        d.begin(f.packet, 2);
+        d.begin(f.packet, 2);
+    }
+
+    #[test]
+    fn assembler_completes_multiflit_packet() {
+        let head = flit(2, 0, false);
+        let mut a = Assembler::new();
+        assert_eq!(a.push(head), None);
+        assert!(a.is_mid_packet());
+        assert_eq!(a.push(Flit { seq: 1, ..head }), None);
+        let done = a.push(Flit { seq: 2, is_tail: true, ..head });
+        assert_eq!(done, Some(head.packet));
+        assert!(!a.is_mid_packet());
+    }
+
+    #[test]
+    fn assembler_single_flit_packet() {
+        let f = flit(0, 0, true);
+        let mut a = Assembler::new();
+        assert_eq!(a.push(f), Some(f.packet));
+    }
+
+    #[test]
+    #[should_panic(expected = "interleaved")]
+    fn assembler_rejects_interleave() {
+        let a1 = flit(0, 0, false);
+        let b1 = flit(5, 1, false);
+        let mut a = Assembler::new();
+        a.push(a1);
+        a.push(b1);
+    }
+}
+
+#[cfg(test)]
+mod complete_packet_tests {
+    use super::*;
+    use crate::packet::{NodeId, Packet, PacketKind, PacketStore, TxnId};
+
+    fn mk_ref(store: &mut PacketStore) -> crate::packet::PacketRef {
+        store.insert(Packet {
+            txn: TxnId::new(0),
+            kind: PacketKind::ReadResp,
+            src: NodeId::new(0),
+            dst: NodeId::new(1),
+            flits: 3,
+            injected_at: 0,
+        })
+    }
+
+    #[test]
+    fn tracks_complete_packets_across_push_pop() {
+        let mut store = PacketStore::new();
+        let r = mk_ref(&mut store);
+        let mut f = FlitFifo::new(8);
+        assert!(!f.has_complete_packet());
+        f.push(Flit { packet: r, seq: 0, is_tail: false }, 0);
+        f.push(Flit { packet: r, seq: 1, is_tail: false }, 1);
+        assert!(!f.has_complete_packet(), "tail not yet arrived");
+        f.push(Flit { packet: r, seq: 2, is_tail: true }, 2);
+        assert!(f.has_complete_packet());
+        f.pop_ready(3).unwrap();
+        f.pop_ready(3).unwrap();
+        assert!(f.has_complete_packet(), "tail still buffered");
+        f.pop_ready(3).unwrap();
+        assert!(!f.has_complete_packet());
+    }
+
+    #[test]
+    fn multiple_packets_count_tails() {
+        let mut store = PacketStore::new();
+        let a = mk_ref(&mut store);
+        let b = mk_ref(&mut store);
+        let mut f = FlitFifo::new(8);
+        f.push(Flit { packet: a, seq: 0, is_tail: true }, 0);
+        f.push(Flit { packet: b, seq: 0, is_tail: true }, 0);
+        assert!(f.has_complete_packet());
+        f.pop_ready(1).unwrap();
+        assert!(f.has_complete_packet(), "second packet still complete");
+        f.pop_ready(1).unwrap();
+        assert!(!f.has_complete_packet());
+    }
+}

@@ -1,0 +1,271 @@
+//! Sizing rules from §2 of the paper: cache line sizes, channel widths,
+//! packet formats and buffer regimes, including the buffer-memory
+//! arithmetic behind Table 1.
+
+use std::fmt;
+use std::str::FromStr;
+
+use crate::packet::PacketKind;
+
+/// Cache line sizes studied in the paper.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum CacheLineSize {
+    /// 16-byte cache lines.
+    B16,
+    /// 32-byte cache lines.
+    B32,
+    /// 64-byte cache lines.
+    B64,
+    /// 128-byte cache lines.
+    B128,
+}
+
+impl CacheLineSize {
+    /// All four sizes, in ascending order — handy for parameter sweeps.
+    pub const ALL: [CacheLineSize; 4] = [
+        CacheLineSize::B16,
+        CacheLineSize::B32,
+        CacheLineSize::B64,
+        CacheLineSize::B128,
+    ];
+
+    /// The line size in bytes.
+    pub fn bytes(self) -> u32 {
+        match self {
+            CacheLineSize::B16 => 16,
+            CacheLineSize::B32 => 32,
+            CacheLineSize::B64 => 64,
+            CacheLineSize::B128 => 128,
+        }
+    }
+
+    /// Constructs from a byte count.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error message if `bytes` is not one of 16/32/64/128.
+    pub fn from_bytes(bytes: u32) -> Result<Self, String> {
+        match bytes {
+            16 => Ok(CacheLineSize::B16),
+            32 => Ok(CacheLineSize::B32),
+            64 => Ok(CacheLineSize::B64),
+            128 => Ok(CacheLineSize::B128),
+            other => Err(format!("unsupported cache line size: {other} bytes")),
+        }
+    }
+}
+
+impl fmt::Display for CacheLineSize {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}B", self.bytes())
+    }
+}
+
+impl FromStr for CacheLineSize {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let digits = s.trim().trim_end_matches(['B', 'b']);
+        let bytes: u32 = digits
+            .parse()
+            .map_err(|_| format!("invalid cache line size: {s:?}"))?;
+        CacheLineSize::from_bytes(bytes)
+    }
+}
+
+/// Per-network packet format: header length and flit width.
+///
+/// Under the paper's constant-pin-count assumption, the ring has a
+/// 128-bit (16-byte) channel with 1-flit headers, while the mesh has
+/// 32-bit (4-byte) channels with 4-flit headers — the same number of
+/// header *bytes*, serialized differently.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct PacketFormat {
+    /// Number of flits in a packet header.
+    pub header_flits: u32,
+    /// Width of one flit in bytes (the channel width; the paper draws no
+    /// distinction between phits and flits).
+    pub flit_bytes: u32,
+}
+
+impl PacketFormat {
+    /// The hierarchical-ring format: 128-bit channel, 1-flit header.
+    pub const RING: PacketFormat = PacketFormat {
+        header_flits: 1,
+        flit_bytes: 16,
+    };
+
+    /// The mesh format: 32-bit channels, 4-flit header.
+    pub const MESH: PacketFormat = PacketFormat {
+        header_flits: 4,
+        flit_bytes: 4,
+    };
+
+    /// Number of data flits needed to carry one cache line.
+    pub fn data_flits(self, cl: CacheLineSize) -> u32 {
+        cl.bytes().div_ceil(self.flit_bytes)
+    }
+
+    /// Total flits in a packet of the given kind: header-only for
+    /// requests without data (read request, write acknowledgement),
+    /// header plus a cache line otherwise.
+    pub fn flits(self, kind: PacketKind, cl: CacheLineSize) -> u32 {
+        if kind.carries_data() {
+            self.header_flits + self.data_flits(cl)
+        } else {
+            self.header_flits
+        }
+    }
+
+    /// Flits in the largest packet (one carrying a cache line): the
+    /// paper's `cl` buffer size. For rings this is 2/3/5/9 flits for
+    /// 16/32/64/128-byte lines; for meshes 8/12/20/36.
+    pub fn cl_packet_flits(self, cl: CacheLineSize) -> u32 {
+        self.header_flits + self.data_flits(cl)
+    }
+}
+
+/// Input-buffer sizing regimes studied for the mesh routers (§2.2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum BufferRegime {
+    /// Single-flit buffers: the cheapest routers; worms stall across
+    /// many links.
+    OneFlit,
+    /// Four-flit buffers: the paper's middle ground.
+    #[default]
+    FourFlit,
+    /// Cache-line-sized buffers: a whole maximum-size packet fits in one
+    /// router, so a worm never stalls more than one link.
+    CacheLine,
+}
+
+impl BufferRegime {
+    /// All regimes in ascending-cost order.
+    pub const ALL: [BufferRegime; 3] = [
+        BufferRegime::OneFlit,
+        BufferRegime::FourFlit,
+        BufferRegime::CacheLine,
+    ];
+
+    /// Buffer depth in flits under this regime for the given format and
+    /// cache line size.
+    pub fn flits(self, format: PacketFormat, cl: CacheLineSize) -> u32 {
+        match self {
+            BufferRegime::OneFlit => 1,
+            BufferRegime::FourFlit => 4,
+            BufferRegime::CacheLine => format.cl_packet_flits(cl),
+        }
+    }
+}
+
+impl fmt::Display for BufferRegime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BufferRegime::OneFlit => write!(f, "1-flit"),
+            BufferRegime::FourFlit => write!(f, "4-flit"),
+            BufferRegime::CacheLine => write!(f, "cl-sized"),
+        }
+    }
+}
+
+/// Bytes of buffer memory in a ring NIC's transit (ring) buffer — always
+/// cache-line sized (Table 1, "Rings" rows).
+pub fn ring_nic_buffer_bytes(cl: CacheLineSize) -> u32 {
+    PacketFormat::RING.cl_packet_flits(cl) * PacketFormat::RING.flit_bytes
+}
+
+/// Bytes of buffer memory across a mesh NIC's four network input buffers
+/// under the given regime (Table 1, "Meshes" rows). The paper counts the
+/// four inter-router inputs; the PM injection queue is common to both
+/// designs and excluded.
+pub fn mesh_nic_buffer_bytes(cl: CacheLineSize, regime: BufferRegime) -> u32 {
+    4 * regime.flits(PacketFormat::MESH, cl) * PacketFormat::MESH.flit_bytes
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ring_cl_packet_flits_match_paper() {
+        // §2.2: "cl will be either 2, 3, 5 or 9 flits ... for rings".
+        let got: Vec<u32> = CacheLineSize::ALL
+            .iter()
+            .map(|&cl| PacketFormat::RING.cl_packet_flits(cl))
+            .collect();
+        assert_eq!(got, [2, 3, 5, 9]);
+    }
+
+    #[test]
+    fn mesh_cl_packet_flits_match_paper() {
+        // §2.2: "cl will be either 8, 12, 20 or 36 flits" for meshes.
+        let got: Vec<u32> = CacheLineSize::ALL
+            .iter()
+            .map(|&cl| PacketFormat::MESH.cl_packet_flits(cl))
+            .collect();
+        assert_eq!(got, [8, 12, 20, 36]);
+    }
+
+    #[test]
+    fn header_only_packets_have_header_size() {
+        for &cl in &CacheLineSize::ALL {
+            assert_eq!(PacketFormat::RING.flits(PacketKind::ReadReq, cl), 1);
+            assert_eq!(PacketFormat::RING.flits(PacketKind::WriteResp, cl), 1);
+            assert_eq!(PacketFormat::MESH.flits(PacketKind::ReadReq, cl), 4);
+            assert_eq!(PacketFormat::MESH.flits(PacketKind::WriteResp, cl), 4);
+        }
+    }
+
+    #[test]
+    fn data_packets_carry_the_line() {
+        assert_eq!(
+            PacketFormat::RING.flits(PacketKind::WriteReq, CacheLineSize::B128),
+            9
+        );
+        assert_eq!(
+            PacketFormat::MESH.flits(PacketKind::ReadResp, CacheLineSize::B16),
+            8
+        );
+    }
+
+    #[test]
+    fn table1_ring_column() {
+        // Table 1 "Rings / cl" column: 32, 48, 80, 144 bytes (the paper's
+        // printed 144B for 128-byte lines anchors the formula).
+        let got: Vec<u32> = CacheLineSize::ALL.iter().map(|&c| ring_nic_buffer_bytes(c)).collect();
+        assert_eq!(got, [32, 48, 80, 144]);
+    }
+
+    #[test]
+    fn table1_mesh_columns() {
+        // Table 1 "Meshes" rows: cl-sized 128/192/320/576, 4-flit 64, 1-flit 16.
+        let cl_col: Vec<u32> = CacheLineSize::ALL
+            .iter()
+            .map(|&c| mesh_nic_buffer_bytes(c, BufferRegime::CacheLine))
+            .collect();
+        assert_eq!(cl_col, [128, 192, 320, 576]);
+        for &c in &CacheLineSize::ALL {
+            assert_eq!(mesh_nic_buffer_bytes(c, BufferRegime::FourFlit), 64);
+            assert_eq!(mesh_nic_buffer_bytes(c, BufferRegime::OneFlit), 16);
+        }
+    }
+
+    #[test]
+    fn cache_line_parsing_round_trips() {
+        for &cl in &CacheLineSize::ALL {
+            let shown = cl.to_string();
+            assert_eq!(shown.parse::<CacheLineSize>().unwrap(), cl);
+        }
+        assert!("48B".parse::<CacheLineSize>().is_err());
+        assert!("xyz".parse::<CacheLineSize>().is_err());
+    }
+
+    #[test]
+    fn regime_flit_depths() {
+        let cl = CacheLineSize::B128;
+        assert_eq!(BufferRegime::OneFlit.flits(PacketFormat::MESH, cl), 1);
+        assert_eq!(BufferRegime::FourFlit.flits(PacketFormat::MESH, cl), 4);
+        assert_eq!(BufferRegime::CacheLine.flits(PacketFormat::MESH, cl), 36);
+        assert_eq!(BufferRegime::CacheLine.flits(PacketFormat::RING, cl), 9);
+    }
+}

@@ -1,0 +1,143 @@
+//! The [`Interconnect`] trait: the contract between the workload driver
+//! and a network model, satisfied by both the hierarchical-ring and the
+//! mesh simulators so experiments can swap networks freely.
+
+use ringmesh_engine::StallError;
+
+use crate::packet::{NodeId, Packet};
+use crate::PacketKind;
+
+/// The two traffic classes. Requests and responses queue separately at
+/// every injection point (NIC output buffers, IRI up/down buffers) and
+/// responses have priority, which is essential for forward progress in
+/// a request/response protocol.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum QueueClass {
+    /// Read and write requests.
+    Request,
+    /// Read and write responses.
+    Response,
+}
+
+impl QueueClass {
+    /// The class a packet of the given kind travels in.
+    pub fn of(kind: PacketKind) -> QueueClass {
+        if kind.is_request() {
+            QueueClass::Request
+        } else {
+            QueueClass::Response
+        }
+    }
+}
+
+/// Utilization of one level of the network (one ring level, or the whole
+/// mesh fabric), in fraction of maximum link capacity.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LevelUtil {
+    /// Human-readable label ("local rings", "global ring", "mesh links").
+    pub label: String,
+    /// Busy link-cycles divided by available link-cycles, in `[0, 1]`.
+    pub utilization: f64,
+}
+
+/// Network utilization snapshot since the last counter reset.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct UtilizationReport {
+    /// Utilization over all network links combined.
+    pub overall: f64,
+    /// Per-level breakdown, outermost (local) first.
+    pub levels: Vec<LevelUtil>,
+}
+
+impl UtilizationReport {
+    /// Utilization of the level with the given label, if present.
+    pub fn level(&self, label: &str) -> Option<f64> {
+        self.levels
+            .iter()
+            .find(|l| l.label == label)
+            .map(|l| l.utilization)
+    }
+}
+
+/// A flit-level interconnection network connecting `P` processing
+/// modules, advanced one clock cycle at a time.
+///
+/// Injection is two-step: the driver checks [`can_inject`] (the PM's NIC
+/// output queue for the packet's class has room) and then calls
+/// [`inject`]. Each [`step`] advances every network component one cycle
+/// and appends fully-delivered packets to `delivered`.
+///
+/// [`can_inject`]: Interconnect::can_inject
+/// [`inject`]: Interconnect::inject
+/// [`step`]: Interconnect::step
+pub trait Interconnect {
+    /// Number of processing modules attached to the network.
+    fn num_pms(&self) -> usize;
+
+    /// Current simulation cycle (number of completed [`step`]s).
+    ///
+    /// [`step`]: Interconnect::step
+    fn cycle(&self) -> u64;
+
+    /// Whether PM `pm`'s output queue for `class` can accept a packet.
+    fn can_inject(&self, pm: NodeId, class: QueueClass) -> bool;
+
+    /// Hands `packet` to PM `pm`'s network interface.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the corresponding output queue is full (callers gate on
+    /// [`can_inject`](Interconnect::can_inject)) or if source/destination
+    /// are out of range.
+    fn inject(&mut self, pm: NodeId, packet: Packet);
+
+    /// Advances the network one clock cycle. Packets whose tail flit
+    /// reached their destination PM this cycle are appended to
+    /// `delivered` as `(destination, packet)` pairs.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`StallError`] if the network watchdog detects a
+    /// deadlock (no flit movement for its horizon while packets are in
+    /// flight).
+    fn step(&mut self, delivered: &mut Vec<(NodeId, Packet)>) -> Result<(), StallError>;
+
+    /// Number of packets currently inside the network (injected but not
+    /// yet delivered).
+    fn in_flight(&self) -> u64;
+
+    /// Utilization accumulated since the last [`reset_counters`] call.
+    ///
+    /// [`reset_counters`]: Interconnect::reset_counters
+    fn utilization(&self) -> UtilizationReport;
+
+    /// Clears utilization counters (called at the end of the warm-up
+    /// phase so statistics exclude initialization bias).
+    fn reset_counters(&mut self);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn class_of_kind() {
+        assert_eq!(QueueClass::of(PacketKind::ReadReq), QueueClass::Request);
+        assert_eq!(QueueClass::of(PacketKind::WriteReq), QueueClass::Request);
+        assert_eq!(QueueClass::of(PacketKind::ReadResp), QueueClass::Response);
+        assert_eq!(QueueClass::of(PacketKind::WriteResp), QueueClass::Response);
+    }
+
+    #[test]
+    fn report_lookup_by_label() {
+        let report = UtilizationReport {
+            overall: 0.4,
+            levels: vec![
+                LevelUtil { label: "local rings".into(), utilization: 0.3 },
+                LevelUtil { label: "global ring".into(), utilization: 0.9 },
+            ],
+        };
+        assert_eq!(report.level("global ring"), Some(0.9));
+        assert_eq!(report.level("nonexistent"), None);
+    }
+}

@@ -1,0 +1,330 @@
+//! Packets, flits and the in-flight packet store.
+//!
+//! The paper simulates four packet types — read request, read response,
+//! write request and write response — transferred as trains of flits.
+//! The simulator keeps one [`Packet`] record per in-flight packet in a
+//! [`PacketStore`] slab; the flits moving through buffers are tiny
+//! [`Flit`] values that reference their packet by [`PacketRef`].
+
+use std::fmt;
+
+/// Identifier of a processing module (PM): processor + cache + its slice
+/// of the global memory. PMs are numbered 0..P in the network's natural
+/// order (DFS order for ring hierarchies, row-major for meshes).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct NodeId(u32);
+
+impl NodeId {
+    /// Creates a node id from its index.
+    pub fn new(index: u32) -> Self {
+        NodeId(index)
+    }
+
+    /// The node's index as a `usize`, for table lookups.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// The node's raw index.
+    pub fn raw(self) -> u32 {
+        self.0
+    }
+}
+
+impl From<u32> for NodeId {
+    fn from(v: u32) -> Self {
+        NodeId(v)
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "PM{}", self.0)
+    }
+}
+
+/// Identifier of a memory transaction (one request/response pair).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct TxnId(u64);
+
+impl TxnId {
+    /// Creates a transaction id from its sequence number.
+    pub fn new(seq: u64) -> Self {
+        TxnId(seq)
+    }
+
+    /// The raw sequence number.
+    pub fn raw(self) -> u64 {
+        self.0
+    }
+}
+
+impl fmt::Display for TxnId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "txn#{}", self.0)
+    }
+}
+
+/// The four packet types the paper simulates (§2, footnote 1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum PacketKind {
+    /// Request for a cache line (header only).
+    ReadReq,
+    /// Cache-line data returning to the requester.
+    ReadResp,
+    /// Write of a cache line to its home memory (header + data).
+    WriteReq,
+    /// Write acknowledgement (header only).
+    WriteResp,
+}
+
+impl PacketKind {
+    /// Whether this packet travels on the request network class.
+    /// Requests and responses queue separately in NICs and IRIs.
+    pub fn is_request(self) -> bool {
+        matches!(self, PacketKind::ReadReq | PacketKind::WriteReq)
+    }
+
+    /// Whether the packet carries a cache line of data.
+    pub fn carries_data(self) -> bool {
+        matches!(self, PacketKind::ReadResp | PacketKind::WriteReq)
+    }
+
+    /// The packet kind of the memory's reply to this request.
+    ///
+    /// # Panics
+    ///
+    /// Panics if called on a response kind.
+    pub fn response(self) -> PacketKind {
+        match self {
+            PacketKind::ReadReq => PacketKind::ReadResp,
+            PacketKind::WriteReq => PacketKind::WriteResp,
+            other => panic!("{other:?} is not a request kind"),
+        }
+    }
+}
+
+impl fmt::Display for PacketKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            PacketKind::ReadReq => "read-req",
+            PacketKind::ReadResp => "read-resp",
+            PacketKind::WriteReq => "write-req",
+            PacketKind::WriteResp => "write-resp",
+        };
+        f.write_str(s)
+    }
+}
+
+/// One network packet: a contiguous worm of `flits` flits.
+///
+/// This is a passive record; the network models move [`Flit`]s that
+/// reference it through their buffers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Packet {
+    /// Transaction this packet belongs to.
+    pub txn: TxnId,
+    /// Packet type.
+    pub kind: PacketKind,
+    /// Originating PM.
+    pub src: NodeId,
+    /// Destination PM (the home memory for requests, the requester for
+    /// responses).
+    pub dst: NodeId,
+    /// Total length in flits, per the owning network's [`PacketFormat`].
+    ///
+    /// [`PacketFormat`]: crate::PacketFormat
+    pub flits: u32,
+    /// Cycle at which the packet entered the network interface.
+    pub injected_at: u64,
+}
+
+/// Handle to an in-flight packet inside a [`PacketStore`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct PacketRef(u32);
+
+impl PacketRef {
+    /// The slab slot index.
+    pub fn slot(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// One flit of an in-flight packet. `seq == 0` is the head flit (the
+/// only one carrying routing information); `is_tail` marks the last.
+/// A one-flit packet's single flit is both head and tail.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Flit {
+    /// The packet this flit belongs to.
+    pub packet: PacketRef,
+    /// Position within the packet, starting at 0 for the head.
+    pub seq: u32,
+    /// Whether this is the final flit of the packet.
+    pub is_tail: bool,
+}
+
+impl Flit {
+    /// Whether this is the head flit (carries routing information).
+    pub fn is_head(self) -> bool {
+        self.seq == 0
+    }
+}
+
+/// Slab of in-flight packets. Insertion returns a stable [`PacketRef`]
+/// used by every flit of the packet; removal returns the record when the
+/// packet is fully delivered.
+#[derive(Debug, Default)]
+pub struct PacketStore {
+    slots: Vec<Option<Packet>>,
+    free: Vec<u32>,
+    live: u64,
+}
+
+impl PacketStore {
+    /// Creates an empty store.
+    pub fn new() -> Self {
+        PacketStore::default()
+    }
+
+    /// Inserts a packet, returning its handle.
+    pub fn insert(&mut self, packet: Packet) -> PacketRef {
+        self.live += 1;
+        if let Some(slot) = self.free.pop() {
+            debug_assert!(self.slots[slot as usize].is_none());
+            self.slots[slot as usize] = Some(packet);
+            PacketRef(slot)
+        } else {
+            self.slots.push(Some(packet));
+            PacketRef((self.slots.len() - 1) as u32)
+        }
+    }
+
+    /// Looks up an in-flight packet.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the handle does not refer to a live packet (a handle
+    /// used after removal is always a simulator bug).
+    pub fn get(&self, r: PacketRef) -> &Packet {
+        self.slots[r.slot()].as_ref().expect("stale PacketRef")
+    }
+
+    /// Removes a fully-delivered packet, freeing its slot.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the handle does not refer to a live packet.
+    pub fn remove(&mut self, r: PacketRef) -> Packet {
+        let pkt = self.slots[r.slot()].take().expect("stale PacketRef");
+        self.free.push(r.slot() as u32);
+        self.live -= 1;
+        pkt
+    }
+
+    /// Number of packets currently in flight.
+    pub fn live(&self) -> u64 {
+        self.live
+    }
+
+    /// Whether no packets are in flight.
+    pub fn is_empty(&self) -> bool {
+        self.live == 0
+    }
+
+    /// Iterates over live packets (diagnostics; not on the hot path).
+    pub fn iter(&self) -> impl Iterator<Item = (PacketRef, &Packet)> {
+        self.slots
+            .iter()
+            .enumerate()
+            .filter_map(|(i, s)| s.as_ref().map(|p| (PacketRef(i as u32), p)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn packet(txn: u64) -> Packet {
+        Packet {
+            txn: TxnId::new(txn),
+            kind: PacketKind::ReadReq,
+            src: NodeId::new(0),
+            dst: NodeId::new(1),
+            flits: 1,
+            injected_at: 0,
+        }
+    }
+
+    #[test]
+    fn kind_classification() {
+        assert!(PacketKind::ReadReq.is_request());
+        assert!(PacketKind::WriteReq.is_request());
+        assert!(!PacketKind::ReadResp.is_request());
+        assert!(!PacketKind::WriteResp.is_request());
+        assert!(PacketKind::ReadResp.carries_data());
+        assert!(PacketKind::WriteReq.carries_data());
+        assert!(!PacketKind::ReadReq.carries_data());
+        assert!(!PacketKind::WriteResp.carries_data());
+    }
+
+    #[test]
+    fn response_pairs() {
+        assert_eq!(PacketKind::ReadReq.response(), PacketKind::ReadResp);
+        assert_eq!(PacketKind::WriteReq.response(), PacketKind::WriteResp);
+    }
+
+    #[test]
+    #[should_panic(expected = "not a request")]
+    fn response_of_response_panics() {
+        PacketKind::ReadResp.response();
+    }
+
+    #[test]
+    fn store_insert_get_remove() {
+        let mut store = PacketStore::new();
+        let a = store.insert(packet(1));
+        let b = store.insert(packet(2));
+        assert_eq!(store.live(), 2);
+        assert_eq!(store.get(a).txn, TxnId::new(1));
+        assert_eq!(store.get(b).txn, TxnId::new(2));
+        assert_eq!(store.remove(a).txn, TxnId::new(1));
+        assert_eq!(store.live(), 1);
+    }
+
+    #[test]
+    fn store_reuses_slots() {
+        let mut store = PacketStore::new();
+        let a = store.insert(packet(1));
+        store.remove(a);
+        let b = store.insert(packet(2));
+        assert_eq!(a.slot(), b.slot(), "freed slot should be reused");
+        assert_eq!(store.get(b).txn, TxnId::new(2));
+    }
+
+    #[test]
+    #[should_panic(expected = "stale PacketRef")]
+    fn stale_ref_detected() {
+        let mut store = PacketStore::new();
+        let a = store.insert(packet(1));
+        store.remove(a);
+        store.get(a);
+    }
+
+    #[test]
+    fn head_and_tail_flags() {
+        let f = Flit { packet: PacketRef(0), seq: 0, is_tail: false };
+        assert!(f.is_head());
+        let single = Flit { packet: PacketRef(0), seq: 0, is_tail: true };
+        assert!(single.is_head() && single.is_tail);
+    }
+
+    #[test]
+    fn iter_visits_live_packets_only() {
+        let mut store = PacketStore::new();
+        let a = store.insert(packet(1));
+        let _b = store.insert(packet(2));
+        store.remove(a);
+        let txns: Vec<u64> = store.iter().map(|(_, p)| p.txn.raw()).collect();
+        assert_eq!(txns, [2]);
+    }
+}

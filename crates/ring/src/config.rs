@@ -1,0 +1,134 @@
+//! Configuration of the hierarchical ring network model.
+
+use ringmesh_net::{CacheLineSize, PacketFormat};
+
+/// Tunable parameters of a [`RingNetwork`](crate::RingNetwork).
+///
+/// Defaults reproduce the paper's setup: cache-line-sized ring and IRI
+/// buffers, single-packet injection queues per traffic class, all rings
+/// at the same clock. Set [`global_ring_speedup`] to 2 for the §6
+/// double-speed global ring experiments.
+///
+/// [`global_ring_speedup`]: RingConfig::global_ring_speedup
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RingConfig {
+    /// Cache line size; determines packet and buffer sizes.
+    pub cache_line: CacheLineSize,
+    /// Packet format (header flits and flit width). Defaults to the
+    /// 128-bit-channel ring format.
+    pub format: PacketFormat,
+    /// NIC output queue capacity per class, in packets (paper: 1).
+    pub out_queue_packets: usize,
+    /// IRI up/down queue capacity per class, in cache-line packets.
+    /// `Some(2)` (the default) keeps the paper's finite, back-pressured
+    /// design — whose pacing realises nearly the full bisection
+    /// bandwidth — with one packet of slack beyond the paper's
+    /// single-packet buffers, which deadlock under wormhole switching
+    /// even inside the paper's parameter space. Finite queues can still
+    /// deadlock under extreme load (observed beyond the paper's space,
+    /// e.g. T = 8 on 4-level hierarchies — the watchdog reports it);
+    /// set `None` for elastic queues, which cannot deadlock but hold
+    /// saturated throughput ~30% lower. See DESIGN.md "Model fidelity
+    /// notes" and the `ablations` bench.
+    pub iri_queue_packets: Option<usize>,
+    /// Transit (ring) buffer depth, in maximum-size packets (see
+    /// [`ring_buffer_flits`](RingConfig::ring_buffer_flits)).
+    pub ring_buffer_packets: usize,
+    /// Convoy-control threshold: when an IRI crossing queue holds more
+    /// than this many maximum-size packets, its drain takes priority
+    /// over continuing transit. Effectively disabled by default
+    /// (`usize::MAX / 2`): it does not change saturated throughput,
+    /// only moves queueing from the (uncounted) processor side to the
+    /// (counted) network side; kept as a knob for flow-control
+    /// experiments (see DESIGN.md and the `ablations` bench).
+    pub convoy_threshold_packets: usize,
+    /// Clock multiplier for the global (root) ring: 1 = normal, 2 =
+    /// the §6 double-speed global ring.
+    pub global_ring_speedup: u32,
+    /// Cycles without any flit movement (with packets in flight) before
+    /// the watchdog reports a deadlock.
+    pub watchdog_horizon: u64,
+}
+
+impl RingConfig {
+    /// Paper-default configuration for the given cache line size.
+    pub fn new(cache_line: CacheLineSize) -> Self {
+        RingConfig {
+            cache_line,
+            format: PacketFormat::RING,
+            out_queue_packets: 1,
+            ring_buffer_packets: 2,
+            convoy_threshold_packets: usize::MAX / 2,
+            iri_queue_packets: Some(2),
+            global_ring_speedup: 1,
+            watchdog_horizon: 10_000,
+        }
+    }
+
+    /// Returns the config with the global ring clocked at `speedup`×.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `speedup` is not 1 or 2.
+    pub fn with_global_speedup(mut self, speedup: u32) -> Self {
+        assert!(
+            (1..=2).contains(&speedup),
+            "global ring speedup must be 1 or 2"
+        );
+        self.global_ring_speedup = speedup;
+        self
+    }
+
+    /// Transit (ring) buffer depth in flits: *two* maximum-size packets
+    /// (header + cache line). The paper's Figure 3 shows a one-packet
+    /// ring buffer; we add a second packet of headroom because the
+    /// ring-entry reservation (an entering worm must fit the downstream
+    /// buffer whole, so it never stalls mid-packet holding the link)
+    /// would otherwise demand a completely empty buffer and starve
+    /// injection. See DESIGN.md "Model fidelity notes".
+    pub fn ring_buffer_flits(&self) -> usize {
+        self.ring_buffer_packets * self.format.cl_packet_flits(self.cache_line) as usize
+    }
+
+    /// IRI up/down queue depth in flits per class (a huge sentinel
+    /// capacity when elastic).
+    pub fn iri_queue_flits(&self) -> usize {
+        match self.iri_queue_packets {
+            Some(n) => self.format.cl_packet_flits(self.cache_line) as usize * n,
+            None => usize::MAX / 2,
+        }
+    }
+}
+
+impl Default for RingConfig {
+    fn default() -> Self {
+        RingConfig::new(CacheLineSize::B32)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_paper() {
+        let cfg = RingConfig::new(CacheLineSize::B64);
+        // Two cl packets: 10 flits for 64B lines.
+        assert_eq!(cfg.ring_buffer_flits(), 10);
+        assert_eq!(cfg.iri_queue_packets, Some(2), "two-packet IRI queues by default");
+        assert_eq!(cfg.out_queue_packets, 1);
+        assert_eq!(cfg.global_ring_speedup, 1);
+    }
+
+    #[test]
+    fn speedup_builder() {
+        let cfg = RingConfig::new(CacheLineSize::B32).with_global_speedup(2);
+        assert_eq!(cfg.global_ring_speedup, 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "speedup")]
+    fn invalid_speedup_rejected() {
+        RingConfig::new(CacheLineSize::B32).with_global_speedup(3);
+    }
+}

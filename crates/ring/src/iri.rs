@@ -1,0 +1,285 @@
+//! The Inter-Ring Interface (Figure 4 of the paper).
+//!
+//! An IRI joins a child ("lower") ring to its parent ("upper") ring and
+//! is modelled as a 2×2 crossbar: each side has a cache-line-sized
+//! transit buffer and an output link; packets changing rings pass
+//! through class-split *up* (lower→upper) and *down* (upper→lower)
+//! queues. Switching on the two sides is independent, and continuing
+//! ring traffic has priority over ring-changing traffic.
+
+use ringmesh_net::{FlitFifo, PacketStore, QueueClass};
+
+use crate::station::{ClassQueues, LinkOwner, Send, SideRef, TransitRoute};
+
+/// Side index of the child (lower) ring.
+pub(crate) const LOWER: usize = 0;
+/// Side index of the parent (upper) ring.
+pub(crate) const UPPER: usize = 1;
+
+/// Per-IRI simulation state.
+#[derive(Debug)]
+pub(crate) struct Iri {
+    subtree: (u32, u32),
+    convoy_threshold: usize,
+    rings: [u32; 2],
+    downstream: [SideRef; 2],
+    bufs: [FlitFifo; 2],
+    /// Lower→upper crossing queues (request/response).
+    up: ClassQueues<FlitFifo>,
+    /// Upper→lower crossing queues (request/response).
+    down: ClassQueues<FlitFifo>,
+    owner: [LinkOwner; 2],
+    transit: [TransitRoute; 2],
+}
+
+impl Iri {
+    pub(crate) fn new(
+        subtree: (u32, u32),
+        rings: [u32; 2],
+        downstream: [SideRef; 2],
+        ring_buf_flits: usize,
+        queue_flits: usize,
+        convoy_threshold: usize,
+    ) -> Self {
+        Iri {
+            subtree,
+            convoy_threshold,
+            rings,
+            downstream,
+            bufs: [FlitFifo::new(ring_buf_flits), FlitFifo::new(ring_buf_flits)],
+            up: ClassQueues::new(FlitFifo::new(queue_flits), FlitFifo::new(queue_flits)),
+            down: ClassQueues::new(FlitFifo::new(queue_flits), FlitFifo::new(queue_flits)),
+            owner: [LinkOwner::Idle, LinkOwner::Idle],
+            transit: [TransitRoute::default(), TransitRoute::default()],
+        }
+    }
+
+    pub(crate) fn buf_mut(&mut self, side: usize) -> &mut FlitFifo {
+        &mut self.bufs[side]
+    }
+
+    #[cfg(debug_assertions)]
+    pub(crate) fn buf(&self, side: usize) -> &FlitFifo {
+        &self.bufs[side]
+    }
+
+
+    fn inside(&self, dst: u32) -> bool {
+        (self.subtree.0..self.subtree.1).contains(&dst)
+    }
+
+    /// One clock of one crossbar side. On the lower side the crossing
+    /// target is the up queue and the crossing source the down queue;
+    /// on the upper side the reverse.
+    ///
+    /// `free_out` is the downstream station's registered free-slot
+    /// count; every link transfer needs one free slot per flit.
+    /// `credits` tracks each ring's total free transit slots: a flit
+    /// may *enter* this side's ring from a crossing queue only while at
+    /// least two such slots remain (the credit rule, as at the NICs).
+    /// Crossing queues are elastic, so a worm never stalls straddling
+    /// two rings; together these keep the hierarchy deadlock-free
+    /// (DESIGN.md, "Model fidelity notes").
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn step_side(
+        &mut self,
+        side: usize,
+        now: u64,
+        free_out: usize,
+        credits: &mut [i64],
+        store: &PacketStore,
+        sends: &mut Vec<Send>,
+        moved: &mut u64,
+    ) {
+        let this_ring = self.rings[side] as usize;
+        let go_transit = free_out >= 1;
+        // Classify the packet at the front of this side's transit buffer.
+        if let Some(flit) = self.bufs[side].front_ready(now) {
+            if self.transit[side].packet() != Some(flit.packet) {
+                debug_assert!(flit.is_head(), "mid-packet flit without a route");
+                let dst = store.get(flit.packet).dst.raw();
+                let crossing = if side == LOWER {
+                    !self.inside(dst) // leave the subtree upward
+                } else {
+                    self.inside(dst) // descend into the subtree
+                };
+                self.transit[side].set(flit.packet, crossing);
+            }
+        }
+
+        // Crossing path: one flit per cycle from this side's transit
+        // buffer into the up (lower side) or down (upper side) queue,
+        // gated by the queue's registered occupancy.
+        if self.transit[side].crossing() {
+            if let Some(flit) = self.bufs[side].front_ready(now) {
+                let class = QueueClass::of(store.get(flit.packet).kind);
+                let q = if side == LOWER {
+                    self.up.get_mut(class)
+                } else {
+                    self.down.get_mut(class)
+                };
+                if q.space_latched() {
+                    let flit = self.bufs[side].pop_ready(now).expect("front was ready");
+                    credits[this_ring] += 1; // the flit left this ring
+                    if flit.is_tail {
+                        self.transit[side].clear();
+                    }
+                    q.push(flit, now);
+                    *moved += 1;
+                }
+            }
+        }
+
+        // Output link of this side: transit has priority; then packets
+        // entering this ring from the other ring (responses first).
+        let ring = self.rings[side];
+        let to = self.downstream[side];
+        match self.owner[side] {
+            LinkOwner::Transit => {
+                if go_transit {
+                    if let Some(flit) = self.bufs[side].pop_ready(now) {
+                        debug_assert_eq!(Some(flit.packet), self.transit[side].packet());
+                        if flit.is_tail {
+                            self.owner[side] = LinkOwner::Idle;
+                            self.transit[side].clear();
+                        }
+                        sends.push(Send { to, flit, ring });
+                    }
+                }
+            }
+            LinkOwner::Cross(class) => {
+                // Buffer space and credits for the whole worm were
+                // reserved at start and the worm is entirely in the
+                // queue, so continuation is unconditional.
+                let q = if side == LOWER {
+                    self.down.get_mut(class)
+                } else {
+                    self.up.get_mut(class)
+                };
+                if let Some(flit) = q.pop_ready(now) {
+                    if flit.is_tail {
+                        self.owner[side] = LinkOwner::Idle;
+                    }
+                    sends.push(Send { to, flit, ring });
+                }
+            }
+            LinkOwner::Idle => {
+                // Continuing ring traffic normally has priority over
+                // ring-changing traffic (§2.1). When a crossing queue
+                // backs up beyond what the paper's one-packet buffers
+                // could ever hold, its drain takes priority instead:
+                // this recreates the backpressure a finite buffer would
+                // exert (upstream transit stalls), pacing the sources
+                // and preventing unbounded convoys.
+                let backlogged = self.cross_backlogged(side);
+                let transit_ready =
+                    self.transit[side].forwarding() && self.bufs[side].front_ready(now).is_some();
+                if transit_ready && !backlogged {
+                    if go_transit {
+                        let flit = self.bufs[side].pop_ready(now).expect("front was ready");
+                        if flit.is_tail {
+                            self.transit[side].clear();
+                        } else {
+                            self.owner[side] = LinkOwner::Transit;
+                        }
+                        sends.push(Send { to, flit, ring });
+                    }
+                } else if let Some(class) =
+                    self.next_cross_injection(side, now, free_out, credits[this_ring], store)
+                {
+                    let q = if side == LOWER {
+                        self.down.get_mut(class)
+                    } else {
+                        self.up.get_mut(class)
+                    };
+                    let flit = q.pop_ready(now).expect("front checked");
+                    debug_assert!(flit.is_head(), "cross queue must start at a head flit");
+                    credits[this_ring] -= i64::from(store.get(flit.packet).flits);
+                    if !flit.is_tail {
+                        self.owner[side] = LinkOwner::Cross(class);
+                    }
+                    sends.push(Send { to, flit, ring });
+                } else if transit_ready && go_transit {
+                    // Backlogged but nothing can cross yet: let transit
+                    // continue rather than idle the link.
+                    let flit = self.bufs[side].pop_ready(now).expect("front was ready");
+                    if flit.is_tail {
+                        self.transit[side].clear();
+                    } else {
+                        self.owner[side] = LinkOwner::Transit;
+                    }
+                    sends.push(Send { to, flit, ring });
+                }
+            }
+        }
+    }
+
+    /// Whether the queues feeding `side`'s output link hold more than
+    /// `convoy_threshold` flits — beyond anything the paper's
+    /// one-packet IRI buffers could absorb, i.e. a forming convoy.
+    fn cross_backlogged(&self, side: usize) -> bool {
+        let qs = if side == LOWER { &self.down } else { &self.up };
+        qs.get(QueueClass::Response).len() + qs.get(QueueClass::Request).len()
+            > self.convoy_threshold
+    }
+
+    /// Which crossing class can start on `side`'s output link: responses
+    /// beat requests. A class is ready when (a) its queue's front flit
+    /// has satisfied the one-cycle switch delay, (b) the *whole* front
+    /// worm is already in the queue — so the entry never waits on flits
+    /// still crossing the other ring, (c) the downstream transit buffer
+    /// has latched room for all of it, and (d) the ring's credits cover
+    /// it with one to spare. A started entry therefore completes
+    /// unconditionally, which is what makes the hierarchy live.
+    fn next_cross_injection(
+        &self,
+        side: usize,
+        now: u64,
+        free_out: usize,
+        credits: i64,
+        store: &PacketStore,
+    ) -> Option<QueueClass> {
+        let qs = if side == LOWER { &self.down } else { &self.up };
+        for class in [QueueClass::Response, QueueClass::Request] {
+            let q = qs.get(class);
+            if let Some(flit) = q.front_ready(now) {
+                if !q.has_complete_packet() {
+                    continue;
+                }
+                let flits = store.get(flit.packet).flits;
+                if free_out >= flits as usize && credits > i64::from(flits) {
+                    return Some(class);
+                }
+            }
+        }
+        None
+    }
+
+    pub(crate) fn debug_state(&self) -> String {
+        format!(
+            "bufs=({},{}) up=(r{} s{}) down=(r{} s{}) owner={:?} transit=({:?},{:?})",
+            self.bufs[0].len(),
+            self.bufs[1].len(),
+            self.up.get(QueueClass::Request).len(),
+            self.up.get(QueueClass::Response).len(),
+            self.down.get(QueueClass::Request).len(),
+            self.down.get(QueueClass::Response).len(),
+            self.owner,
+            self.transit[0].packet().map(|p| p.slot()),
+            self.transit[1].packet().map(|p| p.slot()),
+        )
+    }
+
+    /// Latches all buffers; returns the free-slot counts for (lower,
+    /// upper) transit buffers advertised to the upstream neighbours.
+    pub(crate) fn latch(&mut self) -> (usize, usize) {
+        self.bufs[LOWER].latch();
+        self.bufs[UPPER].latch();
+        self.up.each_mut(FlitFifo::latch);
+        self.down.each_mut(FlitFifo::latch);
+        (
+            self.bufs[LOWER].free_latched(),
+            self.bufs[UPPER].free_latched(),
+        )
+    }
+}

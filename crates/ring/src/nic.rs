@@ -1,0 +1,220 @@
+//! The ring Network Interface Controller (Figure 3 of the paper).
+//!
+//! A NIC switches (1) incoming ring packets destined to the local PM
+//! onto the ejection path, (2) outgoing packets from the PM onto the
+//! ring, and (3) continuing transit packets from the input link to the
+//! output link through a cache-line-sized ring (bypass) buffer. The
+//! output link gives priority to transit traffic; among local packets
+//! responses beat requests.
+
+use ringmesh_net::{
+    Assembler, DrainState, FlitFifo, NodeId, Packet, PacketQueue, PacketRef, PacketStore,
+    QueueClass,
+};
+
+use crate::station::{ClassQueues, LinkOwner, Send, SideRef, TransitRoute};
+
+/// Per-NIC simulation state.
+#[derive(Debug)]
+pub(crate) struct Nic {
+    pm: NodeId,
+    ring: u32,
+    downstream: SideRef,
+    ring_buf: FlitFifo,
+    out: ClassQueues<PacketQueue>,
+    drain: DrainState,
+    owner: LinkOwner,
+    transit: TransitRoute,
+    assembler: Assembler,
+}
+
+impl Nic {
+    pub(crate) fn new(
+        pm: NodeId,
+        ring: u32,
+        downstream: SideRef,
+        ring_buf_flits: usize,
+        out_queue_packets: usize,
+    ) -> Self {
+        Nic {
+            pm,
+            ring,
+            downstream,
+            ring_buf: FlitFifo::new(ring_buf_flits),
+            out: ClassQueues::new(
+                PacketQueue::new(out_queue_packets),
+                PacketQueue::new(out_queue_packets),
+            ),
+            drain: DrainState::idle(),
+            owner: LinkOwner::Idle,
+            transit: TransitRoute::default(),
+            assembler: Assembler::new(),
+        }
+    }
+
+    pub(crate) fn pm(&self) -> NodeId {
+        self.pm
+    }
+
+    pub(crate) fn ring_buf_mut(&mut self) -> &mut FlitFifo {
+        &mut self.ring_buf
+    }
+
+    pub(crate) fn ring_buf(&self) -> &FlitFifo {
+        &self.ring_buf
+    }
+
+    /// Whether the PM-side output queue for `class` can accept a packet.
+    pub(crate) fn can_accept(&self, class: QueueClass) -> bool {
+        self.out.get(class).can_accept()
+    }
+
+    /// Enqueues an outgoing packet from the PM.
+    pub(crate) fn enqueue(&mut self, class: QueueClass, r: PacketRef) {
+        self.out.get_mut(class).push(r);
+    }
+
+    /// One clock of the NIC. `free_out` is the downstream station's
+    /// registered free-slot count; every link transfer needs one free
+    /// slot per flit. `credits` tracks each ring's total free transit
+    /// slots: a flit may *enter* the ring (from the PM) only while at
+    /// least two such slots remain, so one free slot always circulates,
+    /// forwarding always progresses, and every packet monotonically
+    /// reaches its exit station — the credit rule that keeps the
+    /// uni-directional rings deadlock-free (DESIGN.md, "Model fidelity
+    /// notes"). Emits at most one flit on the output link (into
+    /// `sends`) and at most one flit onto the ejection path.
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn step(
+        &mut self,
+        now: u64,
+        free_out: usize,
+        credits: &mut [i64],
+        store: &mut PacketStore,
+        sends: &mut Vec<Send>,
+        delivered: &mut Vec<(NodeId, Packet)>,
+        moved: &mut u64,
+    ) {
+        let ring = self.ring as usize;
+        let go_transit = free_out >= 1;
+        // Classify the packet at the front of the ring buffer (decided
+        // once, at its head flit).
+        if let Some(flit) = self.ring_buf.front_ready(now) {
+            if self.transit.packet() != Some(flit.packet) {
+                debug_assert!(flit.is_head(), "mid-packet flit without a route");
+                let eject = store.get(flit.packet).dst == self.pm;
+                self.transit.set(flit.packet, eject);
+            }
+        }
+
+        // Ejection path: one flit per cycle from the ring buffer to the
+        // PM. This is independent of the output link (Figure 3 shows
+        // separate paths), so it can proceed while the PM injects.
+        if self.transit.crossing() {
+            if let Some(flit) = self.ring_buf.pop_ready(now) {
+                credits[ring] += 1; // the flit left the ring
+                *moved += 1;
+                if flit.is_tail {
+                    self.transit.clear();
+                }
+                if let Some(done) = self.assembler.push(flit) {
+                    let pkt = store.remove(done);
+                    delivered.push((self.pm, pkt));
+                }
+            }
+        }
+
+        // Output link: at most one flit per cycle toward the downstream
+        // neighbour, gated by its registered stop/go.
+        match self.owner {
+            LinkOwner::Transit => {
+                if go_transit {
+                    if let Some(flit) = self.ring_buf.pop_ready(now) {
+                        debug_assert_eq!(Some(flit.packet), self.transit.packet());
+                        if flit.is_tail {
+                            self.owner = LinkOwner::Idle;
+                            self.transit.clear();
+                        }
+                        sends.push(Send { to: self.downstream, flit, ring: self.ring });
+                    }
+                }
+            }
+            LinkOwner::Cross(_) => {
+                // The injection drain: buffer space and credits for the
+                // whole worm were reserved at start, and the packet is
+                // held locally, so continuation is unconditional — an
+                // entering worm never stalls holding the link.
+                let flit = self.drain.emit();
+                if flit.is_tail {
+                    self.owner = LinkOwner::Idle;
+                }
+                sends.push(Send { to: self.downstream, flit, ring: self.ring });
+            }
+            LinkOwner::Idle => {
+                if self.transit.forwarding() && self.ring_buf.front_ready(now).is_some() {
+                    // Transit traffic has priority on the output link.
+                    if go_transit {
+                        let flit = self.ring_buf.pop_ready(now).expect("front was ready");
+                        if flit.is_tail {
+                            self.transit.clear();
+                        } else {
+                            self.owner = LinkOwner::Transit;
+                        }
+                        sends.push(Send { to: self.downstream, flit, ring: self.ring });
+                    }
+                } else if let Some(class) = self.next_injection(free_out, credits[ring], store) {
+                    let r = self.out.get_mut(class).pop().expect("front checked");
+                    let flits = store.get(r).flits;
+                    credits[ring] -= i64::from(flits);
+                    self.drain.begin(r, flits);
+                    let flit = self.drain.emit();
+                    if !flit.is_tail {
+                        self.owner = LinkOwner::Cross(class);
+                    }
+                    sends.push(Send { to: self.downstream, flit, ring: self.ring });
+                }
+            }
+        }
+    }
+
+    /// Which class can start injecting: responses beat requests (§2.1).
+    /// A worm may start entering the ring only if the downstream
+    /// transit buffer has latched room for all of it (it then never
+    /// stalls mid-entry) and the ring's free-slot credits cover it with
+    /// one to spare (a free slot always keeps circulating).
+    fn next_injection(&self, free_out: usize, credits: i64, store: &PacketStore) -> Option<QueueClass> {
+        for class in [QueueClass::Response, QueueClass::Request] {
+            if let Some(r) = self.out.get(class).front() {
+                let flits = store.get(r).flits;
+                if free_out >= flits as usize && credits > i64::from(flits) {
+                    return Some(class);
+                }
+            }
+        }
+        None
+    }
+
+    pub(crate) fn debug_idle(&self) -> bool {
+        matches!(self.owner, LinkOwner::Idle)
+            && self.out.get(QueueClass::Request).is_empty()
+            && self.out.get(QueueClass::Response).is_empty()
+    }
+
+    pub(crate) fn debug_state(&self) -> String {
+        format!(
+            "owner={:?} outq=(r{} s{}) drain={} transit=({:?})",
+            self.owner,
+            self.out.get(QueueClass::Request).len(),
+            self.out.get(QueueClass::Response).len(),
+            self.drain.is_active(),
+            self.transit.packet().map(|p| p.slot()),
+        )
+    }
+
+    /// Latches the ring buffer's registered occupancy; returns the new
+    /// free-slot count advertised to the upstream neighbour.
+    pub(crate) fn latch(&mut self) -> usize {
+        self.ring_buf.latch();
+        self.ring_buf.free_latched()
+    }
+}

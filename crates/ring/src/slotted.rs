@@ -1,0 +1,428 @@
+//! Slotted-ring switching: the Hector/NUMAchine alternative.
+//!
+//! The paper simulates *wormhole* rings but notes (footnote 3) that the
+//! NUMAchine hardware implements *slotted* rings, and the authors'
+//! companion study (Ravindran & Stumm, IEICE Trans. 1996 — reference
+//! [21]) finds slotted rings perform somewhat better. This module
+//! implements that alternative as an extension: each ring is a
+//! synchronous circular pipeline of one-flit slots that advance every
+//! cycle unconditionally. A station fills empty slots with its outgoing
+//! flits and drains slots addressed to it; nothing ever blocks, so the
+//! design is trivially deadlock-free and uses each link's full
+//! bandwidth under load.
+//!
+//! Flits of one packet always travel the same path in order, but may be
+//! separated by gaps and interleaved with other packets' flits —
+//! reassembly at the destination is per-packet ([`SlotAssembler`]).
+
+use std::collections::VecDeque;
+
+use ringmesh_engine::{StallError, Watchdog};
+use ringmesh_net::{
+    DrainState, Flit, Interconnect, LevelUtil, NodeId, Packet, PacketRef, PacketStore,
+    QueueClass, UtilizationReport,
+};
+
+use crate::topology::{RingAction, RingSpec, RingTopology, StationKind};
+use crate::RingConfig;
+
+/// Reassembles per-packet flit streams that may interleave with other
+/// packets (slotted rings do not enforce wormhole contiguity).
+#[derive(Debug, Default)]
+struct SlotAssembler {
+    /// `(packet, flits received)` for packets mid-assembly. Small and
+    /// scanned linearly: a PM rarely assembles more than a handful of
+    /// packets at once.
+    partial: Vec<(PacketRef, u32)>,
+}
+
+impl SlotAssembler {
+    /// Accepts a flit; returns the packet when its tail completes it.
+    fn push(&mut self, flit: Flit) -> Option<PacketRef> {
+        match self.partial.iter_mut().find(|(r, _)| *r == flit.packet) {
+            Some((_, n)) => {
+                debug_assert_eq!(*n, flit.seq, "out-of-order slotted flit");
+                *n += 1;
+            }
+            None => {
+                debug_assert!(flit.is_head(), "mid-packet flit without assembly state");
+                self.partial.push((flit.packet, 1));
+            }
+        }
+        if flit.is_tail {
+            let idx = self
+                .partial
+                .iter()
+                .position(|(r, _)| *r == flit.packet)
+                .expect("just updated");
+            self.partial.swap_remove(idx);
+            Some(flit.packet)
+        } else {
+            None
+        }
+    }
+}
+
+/// Per-station outgoing state: ring-changing flits pass straight
+/// through (`crossing`), while locally-originated packets queue per
+/// class and serialize one flit at a time into passing empty slots.
+#[derive(Debug, Default)]
+struct Outbox {
+    crossing: VecDeque<Flit>,
+    resp: VecDeque<PacketRef>,
+    req: VecDeque<PacketRef>,
+    drain: DrainState,
+}
+
+impl Outbox {
+    fn enqueue(&mut self, class: QueueClass, r: PacketRef) {
+        match class {
+            QueueClass::Response => self.resp.push_back(r),
+            QueueClass::Request => self.req.push_back(r),
+        }
+    }
+
+    /// Accepts a flit crossing rings; crossings re-serialize through
+    /// the outbox in arrival order, preserving per-packet order.
+    fn drain_continue(&mut self, flit: Flit) {
+        self.crossing.push_back(flit);
+    }
+
+    /// The next flit to inject, if any: ring-changing traffic first
+    /// (the IRI priority rule), then local responses, then requests.
+    fn next_flit(&mut self, store: &PacketStore) -> Option<Flit> {
+        if let Some(flit) = self.crossing.pop_front() {
+            return Some(flit);
+        }
+        if !self.drain.is_active() {
+            let r = self.resp.pop_front().or_else(|| self.req.pop_front())?;
+            self.drain.begin(r, store.get(r).flits);
+        }
+        Some(self.drain.emit())
+    }
+
+    fn len(&self) -> usize {
+        self.resp.len() + self.req.len() + usize::from(self.drain.is_active())
+    }
+}
+
+/// A hierarchical ring network with slotted (non-blocking) switching.
+///
+/// Shares [`RingSpec`]/[`RingTopology`] and [`RingConfig`] with the
+/// wormhole model ([`RingNetwork`](crate::RingNetwork)); only the
+/// switching discipline differs. Implements [`Interconnect`].
+///
+/// # Example
+///
+/// ```
+/// use ringmesh_net::{CacheLineSize, Interconnect, NodeId, Packet, PacketKind, TxnId};
+/// use ringmesh_ring::{RingConfig, RingSpec, SlottedRingNetwork};
+///
+/// let cfg = RingConfig::new(CacheLineSize::B32);
+/// let mut net = SlottedRingNetwork::new(&RingSpec::single(4), cfg.clone());
+/// net.inject(NodeId::new(0), Packet {
+///     txn: TxnId::new(1), kind: PacketKind::ReadReq,
+///     src: NodeId::new(0), dst: NodeId::new(2),
+///     flits: 1, injected_at: 0,
+/// });
+/// let mut delivered = Vec::new();
+/// while delivered.is_empty() {
+///     net.step(&mut delivered).unwrap();
+/// }
+/// assert_eq!(delivered[0].0, NodeId::new(2));
+/// ```
+#[derive(Debug)]
+pub struct SlottedRingNetwork {
+    topo: RingTopology,
+    store: PacketStore,
+    /// One slot vector per ring, indexed by member position; `slots[r][i]`
+    /// is the slot that station `members[i]` examines this cycle.
+    slots: Vec<Vec<Option<Flit>>>,
+    /// PM outboxes (indexed by PM) and IRI up/down outboxes (indexed by
+    /// station id): slotted crossings queue in elastic outboxes on the
+    /// target ring's side.
+    pm_out: Vec<Outbox>,
+    iri_up: Vec<Outbox>,
+    iri_down: Vec<Outbox>,
+    assemblers: Vec<SlotAssembler>,
+    cycle: u64,
+    ring_flits: Vec<u64>,
+    reset_cycle: u64,
+    watchdog: Watchdog,
+}
+
+impl SlottedRingNetwork {
+    /// Builds the slotted network for `spec` under `cfg` (only the
+    /// cache-line/packet sizing of `cfg` is used; buffer depths do not
+    /// apply to slotted switching, and the global-ring speedup is not
+    /// supported in this extension).
+    pub fn new(spec: &RingSpec, cfg: RingConfig) -> Self {
+        let topo = RingTopology::new(spec);
+        let slots = topo
+            .rings()
+            .map(|(_, r)| vec![None; r.members.len()])
+            .collect();
+        let n_st = topo.num_stations();
+        let pms = topo.num_pms() as usize;
+        let horizon = cfg.watchdog_horizon;
+        let num_rings = topo.num_rings();
+        SlottedRingNetwork {
+            topo,
+            store: PacketStore::new(),
+            slots,
+            pm_out: (0..pms).map(|_| Outbox::default()).collect(),
+            iri_up: (0..n_st).map(|_| Outbox::default()).collect(),
+            iri_down: (0..n_st).map(|_| Outbox::default()).collect(),
+            assemblers: (0..pms).map(|_| SlotAssembler::default()).collect(),
+            cycle: 0,
+            ring_flits: vec![0; num_rings],
+            reset_cycle: 0,
+            watchdog: Watchdog::new(horizon),
+        }
+    }
+
+    /// The expanded topology.
+    pub fn topology(&self) -> &RingTopology {
+        &self.topo
+    }
+
+    /// One station's interaction with the slot currently at its
+    /// position on ring `rid`: drain it if addressed here, else leave
+    /// it; fill an empty slot from the local outbox.
+    #[allow(clippy::too_many_arguments)]
+    fn service_slot(
+        &mut self,
+        rid: u32,
+        pos: usize,
+        st: u32,
+        side: u8,
+        delivered: &mut Vec<(NodeId, Packet)>,
+        moved: &mut u64,
+    ) {
+        // Drain: does the occupying flit leave the ring here?
+        if let Some(flit) = self.slots[rid as usize][pos] {
+            let dst = self.store.get(flit.packet).dst;
+            match self.topo.action(st, side, dst) {
+                RingAction::Eject => {
+                    let pm = match self.topo.station(st) {
+                        StationKind::Nic { pm } => pm,
+                        StationKind::Iri { .. } => unreachable!("eject at IRI"),
+                    };
+                    self.slots[rid as usize][pos] = None;
+                    *moved += 1;
+                    if let Some(done) = self.assemblers[pm.index()].push(flit) {
+                        let pkt = self.store.remove(done);
+                        delivered.push((pm, pkt));
+                    }
+                }
+                RingAction::Up => {
+                    self.slots[rid as usize][pos] = None;
+                    self.iri_up[st as usize].drain_continue(flit);
+                    *moved += 1;
+                }
+                RingAction::Down => {
+                    self.slots[rid as usize][pos] = None;
+                    self.iri_down[st as usize].drain_continue(flit);
+                    *moved += 1;
+                }
+                RingAction::Forward => {}
+            }
+        }
+        // Fill: an empty slot takes the next outgoing flit (the PM's
+        // outbox at NICs; the down outbox on an IRI's lower side, the
+        // up outbox on its upper side).
+        if self.slots[rid as usize][pos].is_none() {
+            let outbox = match (self.topo.station(st), side) {
+                (StationKind::Nic { pm }, _) => &mut self.pm_out[pm.index()],
+                (StationKind::Iri { .. }, 0) => &mut self.iri_down[st as usize],
+                (StationKind::Iri { .. }, _) => &mut self.iri_up[st as usize],
+            };
+            if let Some(flit) = outbox.next_flit(&self.store) {
+                self.slots[rid as usize][pos] = Some(flit);
+                *moved += 1;
+            }
+        }
+    }
+}
+
+impl Interconnect for SlottedRingNetwork {
+    fn num_pms(&self) -> usize {
+        self.topo.num_pms() as usize
+    }
+
+    fn cycle(&self) -> u64 {
+        self.cycle
+    }
+
+    fn can_inject(&self, pm: NodeId, _class: QueueClass) -> bool {
+        // Slotted NIC outboxes are elastic but we keep the paper's
+        // one-packet pacing per class at the PM boundary.
+        self.pm_out[pm.index()].len() < 2
+    }
+
+    fn inject(&mut self, pm: NodeId, packet: Packet) {
+        assert_eq!(packet.src, pm, "packet injected at the wrong PM");
+        assert_ne!(packet.src, packet.dst, "local accesses bypass the network");
+        let class = QueueClass::of(packet.kind);
+        let r = self.store.insert(packet);
+        self.pm_out[pm.index()].enqueue(class, r);
+    }
+
+    fn step(&mut self, delivered: &mut Vec<(NodeId, Packet)>) -> Result<(), StallError> {
+        let mut moved = 0u64;
+        // 1. Rotate every ring by one position (slots advance).
+        for (rid, _) in self.topo.rings() {
+            self.slots[rid as usize].rotate_right(1);
+            moved += self.slots[rid as usize].iter().flatten().count() as u64;
+            self.ring_flits[rid as usize] +=
+                self.slots[rid as usize].iter().flatten().count() as u64;
+        }
+        // 2. Every station services the slot now at its position.
+        for (rid, ring) in self
+            .topo
+            .rings()
+            .map(|(r, info)| (r, info.members.clone()))
+            .collect::<Vec<_>>()
+        {
+            for (pos, (st, side)) in ring.into_iter().enumerate() {
+                self.service_slot(rid, pos, st, side, delivered, &mut moved);
+            }
+        }
+        self.cycle += 1;
+        self.watchdog.observe(self.cycle, moved, self.store.live());
+        self.watchdog.check(self.cycle)
+    }
+
+    fn in_flight(&self) -> u64 {
+        self.store.live()
+    }
+
+    fn utilization(&self) -> UtilizationReport {
+        let cycles = self.cycle - self.reset_cycle;
+        if cycles == 0 {
+            return UtilizationReport::default();
+        }
+        let levels = self.topo.levels();
+        let mut busy = vec![0u64; levels];
+        let mut cap = vec![0u64; levels];
+        for (rid, ring) in self.topo.rings() {
+            let d = ring.depth as usize;
+            busy[d] += self.ring_flits[rid as usize];
+            cap[d] += ring.members.len() as u64 * cycles;
+        }
+        UtilizationReport {
+            overall: busy.iter().sum::<u64>() as f64 / cap.iter().sum::<u64>().max(1) as f64,
+            levels: (0..levels)
+                .map(|d| LevelUtil {
+                    label: self.topo.depth_label(d as u32),
+                    utilization: busy[d] as f64 / cap[d].max(1) as f64,
+                })
+                .collect(),
+        }
+    }
+
+    fn reset_counters(&mut self) {
+        self.ring_flits.iter_mut().for_each(|c| *c = 0);
+        self.reset_cycle = self.cycle;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ringmesh_net::{CacheLineSize, PacketKind, TxnId};
+
+    fn packet(cfg: &RingConfig, txn: u64, kind: PacketKind, src: u32, dst: u32) -> Packet {
+        Packet {
+            txn: TxnId::new(txn),
+            kind,
+            src: NodeId::new(src),
+            dst: NodeId::new(dst),
+            flits: cfg.format.flits(kind, cfg.cache_line),
+            injected_at: 0,
+        }
+    }
+
+    #[test]
+    fn delivers_single_packet() {
+        let cfg = RingConfig::new(CacheLineSize::B32);
+        let mut net = SlottedRingNetwork::new(&RingSpec::single(4), cfg.clone());
+        net.inject(NodeId::new(0), packet(&cfg, 1, PacketKind::ReadResp, 0, 2));
+        let mut out = Vec::new();
+        let mut cycles = 0;
+        while out.is_empty() {
+            net.step(&mut out).unwrap();
+            cycles += 1;
+            assert!(cycles < 100);
+        }
+        assert_eq!(out[0].0, NodeId::new(2));
+        // 3 flits over 2 hops in a non-blocking pipeline.
+        assert!(cycles <= 8, "cycles={cycles}");
+    }
+
+    #[test]
+    fn all_pairs_delivered_hierarchical() {
+        let cfg = RingConfig::new(CacheLineSize::B64);
+        let spec: RingSpec = "2:2:3".parse().unwrap();
+        let p = spec.num_pms();
+        let mut net = SlottedRingNetwork::new(&spec, cfg.clone());
+        let mut expected = 0u32;
+        let mut txn = 0;
+        let mut out = Vec::new();
+        for s in 0..p {
+            for d in 0..p {
+                if s != d {
+                    // Pump injections over time (outbox pacing).
+                    while !net.can_inject(NodeId::new(s), QueueClass::Request) {
+                        net.step(&mut out).unwrap();
+                    }
+                    txn += 1;
+                    net.inject(NodeId::new(s), packet(&cfg, txn, PacketKind::WriteReq, s, d));
+                    expected += 1;
+                }
+            }
+        }
+        for _ in 0..20_000 {
+            net.step(&mut out).unwrap();
+            if out.len() as u32 >= expected {
+                break;
+            }
+        }
+        assert_eq!(out.len() as u32, expected);
+        assert_eq!(net.in_flight(), 0);
+        // Exactly-once delivery.
+        let mut txns: Vec<u64> = out.iter().map(|(_, p)| p.txn.raw()).collect();
+        txns.sort_unstable();
+        txns.dedup();
+        assert_eq!(txns.len() as u32, expected);
+    }
+
+    #[test]
+    fn slots_never_block_under_flood() {
+        // Saturate a small hierarchy: slotted switching must keep
+        // moving (no watchdog trip) and drain completely.
+        let cfg = RingConfig::new(CacheLineSize::B128);
+        let spec: RingSpec = "3:4".parse().unwrap();
+        let mut net = SlottedRingNetwork::new(&spec, cfg.clone());
+        let mut out = Vec::new();
+        let mut txn = 0u64;
+        for round in 0..200u32 {
+            for s in 0..12u32 {
+                let d = (s + 1 + round % 11) % 12;
+                if d != s && net.can_inject(NodeId::new(s), QueueClass::Request) {
+                    txn += 1;
+                    net.inject(NodeId::new(s), packet(&cfg, txn, PacketKind::WriteReq, s, d));
+                }
+            }
+            net.step(&mut out).unwrap();
+        }
+        for _ in 0..20_000 {
+            net.step(&mut out).unwrap();
+            if net.in_flight() == 0 {
+                break;
+            }
+        }
+        assert_eq!(net.in_flight(), 0);
+        assert_eq!(out.len() as u64, txn);
+    }
+}

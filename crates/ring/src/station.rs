@@ -1,0 +1,152 @@
+//! Small shared pieces of ring station state.
+
+use ringmesh_net::{Flit, PacketRef, QueueClass};
+
+/// `(station index, ring side)` — mirrors
+/// [`topology::SideRef`](crate::topology::SideRef).
+pub(crate) type SideRef = (u32, u8);
+
+/// A flit transfer decided this cycle, applied after all stations have
+/// stepped (so everyone sees consistent registered state).
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct Send {
+    /// Receiving station side (its transit buffer).
+    pub to: SideRef,
+    /// The flit on the wire.
+    pub flit: Flit,
+    /// Ring carrying the transfer (for utilization accounting).
+    pub ring: u32,
+}
+
+/// Who currently owns an output link. Wormhole switching holds the link
+/// from a packet's head flit to its tail.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum LinkOwner {
+    /// Link free.
+    Idle,
+    /// Forwarding a transit packet from the ring buffer.
+    Transit,
+    /// Injecting a packet that is changing rings (or entering from the
+    /// PM), from the queue of the given class.
+    Cross(QueueClass),
+}
+
+/// Routing disposition of the packet currently at the front of a
+/// transit buffer: decided once at its head flit, held until the tail.
+#[derive(Debug, Clone, Copy, Default)]
+pub(crate) struct TransitRoute {
+    current: Option<(PacketRef, bool)>, // (packet, leaves this ring here)
+}
+
+impl TransitRoute {
+    pub(crate) fn packet(&self) -> Option<PacketRef> {
+        self.current.map(|(r, _)| r)
+    }
+
+    /// Whether the current front packet leaves the ring at this station
+    /// (ejects to the PM, or crosses up/down at an IRI).
+    pub(crate) fn crossing(&self) -> bool {
+        matches!(self.current, Some((_, true)))
+    }
+
+    /// Whether the current front packet continues around the ring.
+    pub(crate) fn forwarding(&self) -> bool {
+        matches!(self.current, Some((_, false)))
+    }
+
+    pub(crate) fn set(&mut self, packet: PacketRef, crossing: bool) {
+        self.current = Some((packet, crossing));
+    }
+
+    pub(crate) fn clear(&mut self) {
+        self.current = None;
+    }
+}
+
+/// A request/response pair of queues (the paper splits every
+/// injection-side buffer by class and gives responses priority).
+#[derive(Debug, Clone)]
+pub(crate) struct ClassQueues<Q> {
+    request: Q,
+    response: Q,
+}
+
+impl<Q> ClassQueues<Q> {
+    pub(crate) fn new(request: Q, response: Q) -> Self {
+        ClassQueues { request, response }
+    }
+
+    pub(crate) fn get(&self, class: QueueClass) -> &Q {
+        match class {
+            QueueClass::Request => &self.request,
+            QueueClass::Response => &self.response,
+        }
+    }
+
+    pub(crate) fn get_mut(&mut self, class: QueueClass) -> &mut Q {
+        match class {
+            QueueClass::Request => &mut self.request,
+            QueueClass::Response => &mut self.response,
+        }
+    }
+
+    pub(crate) fn each_mut(&mut self, mut f: impl FnMut(&mut Q)) {
+        f(&mut self.response);
+        f(&mut self.request);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ringmesh_net::{NodeId, Packet, PacketKind, PacketStore, TxnId};
+
+    fn some_ref() -> PacketRef {
+        let mut store = PacketStore::new();
+        store.insert(Packet {
+            txn: TxnId::new(0),
+            kind: PacketKind::ReadReq,
+            src: NodeId::new(0),
+            dst: NodeId::new(1),
+            flits: 1,
+            injected_at: 0,
+        })
+    }
+
+    #[test]
+    fn transit_route_lifecycle() {
+        let mut tr = TransitRoute::default();
+        assert!(!tr.forwarding() && !tr.crossing());
+        let r = some_ref();
+        tr.set(r, false);
+        assert!(tr.forwarding());
+        assert_eq!(tr.packet(), Some(r));
+        tr.set(r, true);
+        assert!(tr.crossing());
+        tr.clear();
+        assert_eq!(tr.packet(), None);
+    }
+
+    #[test]
+    fn class_queues_route_by_class() {
+        let mut q = ClassQueues::new(1u32, 2u32);
+        assert_eq!(*q.get(QueueClass::Request), 1);
+        assert_eq!(*q.get(QueueClass::Response), 2);
+        *q.get_mut(QueueClass::Request) = 10;
+        assert_eq!(*q.get(QueueClass::Request), 10);
+        let mut seen = Vec::new();
+        q.each_mut(|v| seen.push(*v));
+        // Response visited first (it has priority everywhere).
+        assert_eq!(seen, vec![2, 10]);
+    }
+
+    #[test]
+    fn link_owner_equality() {
+        assert_eq!(LinkOwner::Idle, LinkOwner::Idle);
+        assert_ne!(LinkOwner::Transit, LinkOwner::Cross(QueueClass::Request));
+        assert_ne!(
+            LinkOwner::Cross(QueueClass::Request),
+            LinkOwner::Cross(QueueClass::Response)
+        );
+    }
+}

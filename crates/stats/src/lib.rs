@@ -1,0 +1,38 @@
+//! Output analysis for the `ringmesh` simulator.
+//!
+//! The paper uses the *batch means* method: the run is divided into
+//! fixed-length batches, the first batch is discarded to remove
+//! initialization bias, and the mean and confidence interval are
+//! computed over the per-batch means. This crate provides that method
+//! ([`BatchMeans`]), basic summary statistics ([`Summary`]), and the
+//! series/table containers the benchmark harness uses to print
+//! paper-style figures ([`Series`], [`Table`]).
+//!
+//! # Example
+//!
+//! ```
+//! use ringmesh_stats::BatchMeans;
+//!
+//! // 100-cycle warm-up (the discarded batch), then 4 batches of
+//! // 1000 cycles each.
+//! let mut bm = BatchMeans::new(100, 1000, 4);
+//! for t in 0..4100u64 {
+//!     bm.record(t, 50.0);
+//! }
+//! assert!(bm.is_complete(4100));
+//! let s = bm.summary();
+//! assert_eq!(s.mean, 50.0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod batch;
+mod histogram;
+mod series;
+mod summary;
+
+pub use batch::BatchMeans;
+pub use histogram::Histogram;
+pub use series::{Series, Table};
+pub use summary::Summary;

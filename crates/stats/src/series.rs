@@ -1,0 +1,332 @@
+//! Series and table containers used by the benchmark harness to print
+//! paper-style figures and tables.
+
+use std::fmt;
+
+/// One labelled curve of `(x, y)` points — e.g. "Ring, T=4" latency as a
+/// function of node count.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Series {
+    /// Curve label, matching the paper's legend text where possible.
+    pub label: String,
+    /// `(x, y)` points in ascending `x` order.
+    pub points: Vec<(f64, f64)>,
+}
+
+impl Series {
+    /// Creates an empty series with the given label.
+    pub fn new(label: impl Into<String>) -> Self {
+        Series {
+            label: label.into(),
+            points: Vec::new(),
+        }
+    }
+
+    /// Appends a point.
+    pub fn push(&mut self, x: f64, y: f64) {
+        self.points.push((x, y));
+    }
+
+    /// Linear interpolation of `y` at `x`; `None` outside the series'
+    /// x-range or for an empty series.
+    pub fn interpolate(&self, x: f64) -> Option<f64> {
+        let pts = &self.points;
+        if pts.is_empty() || x < pts[0].0 || x > pts[pts.len() - 1].0 {
+            return None;
+        }
+        for w in pts.windows(2) {
+            let ((x0, y0), (x1, y1)) = (w[0], w[1]);
+            if x >= x0 && x <= x1 {
+                if (x1 - x0).abs() < f64::EPSILON {
+                    return Some(y0);
+                }
+                return Some(y0 + (y1 - y0) * (x - x0) / (x1 - x0));
+            }
+        }
+        None
+    }
+
+    /// The first `x` at which this series' `y` exceeds `other`'s,
+    /// determined by linear interpolation over the overlapping x-range —
+    /// used to locate the ring/mesh *cross-over points* of §5.
+    ///
+    /// Returns `None` if the ordering never flips in the overlap.
+    pub fn crossover_with(&self, other: &Series) -> Option<f64> {
+        let lo = self.points.first()?.0.max(other.points.first()?.0);
+        let hi = self.points.last()?.0.min(other.points.last()?.0);
+        if lo >= hi {
+            return None;
+        }
+        // Sample the overlap densely on the union of both x-grids.
+        let mut xs: Vec<f64> = self
+            .points
+            .iter()
+            .chain(&other.points)
+            .map(|&(x, _)| x)
+            .filter(|&x| (lo..=hi).contains(&x))
+            .collect();
+        xs.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        xs.dedup();
+        let diff = |x: f64| Some(self.interpolate(x)? - other.interpolate(x)?);
+        let mut prev: Option<(f64, f64)> = None;
+        for &x in &xs {
+            let d = diff(x)?;
+            if let Some((px, pd)) = prev {
+                if pd <= 0.0 && d > 0.0 {
+                    // Linear root between px and x.
+                    let t = if (d - pd).abs() < f64::EPSILON { 0.0 } else { -pd / (d - pd) };
+                    return Some(px + t * (x - px));
+                }
+            }
+            prev = Some((x, d));
+        }
+        None
+    }
+}
+
+/// A printable table with a title, column headers and string cells;
+/// renders as aligned plain text (and as Markdown via
+/// [`Table::to_markdown`]).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Table {
+    /// Table title, printed above the header row.
+    pub title: String,
+    /// Column headers.
+    pub columns: Vec<String>,
+    /// Data rows; each must have `columns.len()` cells.
+    pub rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates an empty table.
+    pub fn new(title: impl Into<String>, columns: &[&str]) -> Self {
+        Table {
+            title: title.into(),
+            columns: columns.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the cell count does not match the column count.
+    pub fn push_row(&mut self, cells: Vec<String>) {
+        assert_eq!(
+            cells.len(),
+            self.columns.len(),
+            "row width {} != column count {}",
+            cells.len(),
+            self.columns.len()
+        );
+        self.rows.push(cells);
+    }
+
+    fn widths(&self) -> Vec<usize> {
+        let mut w: Vec<usize> = self.columns.iter().map(|c| c.len()).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                w[i] = w[i].max(cell.len());
+            }
+        }
+        w
+    }
+
+    /// Renders the table as GitHub-flavoured Markdown.
+    pub fn to_markdown(&self) -> String {
+        let mut out = format!("### {}\n\n", self.title);
+        out.push_str(&format!("| {} |\n", self.columns.join(" | ")));
+        out.push_str(&format!(
+            "|{}\n",
+            self.columns.iter().map(|_| "---|").collect::<String>()
+        ));
+        for row in &self.rows {
+            out.push_str(&format!("| {} |\n", row.join(" | ")));
+        }
+        out
+    }
+
+    /// Renders the table as RFC-4180-style CSV (cells containing commas
+    /// or quotes are quoted).
+    pub fn to_csv(&self) -> String {
+        fn cell(c: &str) -> String {
+            if c.contains([',', '"', '\n']) {
+                format!("\"{}\"", c.replace('"', "\"\""))
+            } else {
+                c.to_string()
+            }
+        }
+        let mut out = String::new();
+        out.push_str(&self.columns.iter().map(|c| cell(c)).collect::<Vec<_>>().join(","));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&row.iter().map(|c| cell(c)).collect::<Vec<_>>().join(","));
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Builds a table from series: one `x` column plus one column per
+    /// series, rows on the union of x-grids (blank where a series has no
+    /// point at that x).
+    pub fn from_series(title: impl Into<String>, x_label: &str, series: &[Series]) -> Table {
+        let mut xs: Vec<f64> = series.iter().flat_map(|s| s.points.iter().map(|&(x, _)| x)).collect();
+        xs.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        xs.dedup_by(|a, b| (*a - *b).abs() < 1e-9);
+        let mut cols = vec![x_label.to_string()];
+        cols.extend(series.iter().map(|s| s.label.clone()));
+        let mut table = Table {
+            title: title.into(),
+            columns: cols,
+            rows: Vec::new(),
+        };
+        for &x in &xs {
+            let mut row = vec![format_num(x)];
+            for s in series {
+                let cell = s
+                    .points
+                    .iter()
+                    .find(|&&(px, _)| (px - x).abs() < 1e-9)
+                    .map(|&(_, y)| format!("{y:.1}"))
+                    .unwrap_or_default();
+                row.push(cell);
+            }
+            table.rows.push(row);
+        }
+        table
+    }
+}
+
+fn format_num(x: f64) -> String {
+    if (x - x.round()).abs() < 1e-9 {
+        format!("{}", x.round() as i64)
+    } else {
+        format!("{x:.2}")
+    }
+}
+
+impl fmt::Display for Table {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let w = self.widths();
+        writeln!(f, "{}", self.title)?;
+        let header: Vec<String> = self
+            .columns
+            .iter()
+            .enumerate()
+            .map(|(i, c)| format!("{:>width$}", c, width = w[i]))
+            .collect();
+        writeln!(f, "  {}", header.join("  "))?;
+        writeln!(f, "  {}", w.iter().map(|&x| "-".repeat(x)).collect::<Vec<_>>().join("  "))?;
+        for row in &self.rows {
+            let cells: Vec<String> = row
+                .iter()
+                .enumerate()
+                .map(|(i, c)| format!("{:>width$}", c, width = w[i]))
+                .collect();
+            writeln!(f, "  {}", cells.join("  "))?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn interpolation_basics() {
+        let mut s = Series::new("a");
+        s.push(0.0, 0.0);
+        s.push(10.0, 100.0);
+        assert_eq!(s.interpolate(5.0), Some(50.0));
+        assert_eq!(s.interpolate(0.0), Some(0.0));
+        assert_eq!(s.interpolate(10.0), Some(100.0));
+        assert_eq!(s.interpolate(-1.0), None);
+        assert_eq!(s.interpolate(11.0), None);
+    }
+
+    #[test]
+    fn empty_series_interpolates_none() {
+        let s = Series::new("empty");
+        assert_eq!(s.interpolate(1.0), None);
+    }
+
+    #[test]
+    fn crossover_found() {
+        // Ring starts cheaper, grows steeper: crosses mesh at x = 20.
+        let mut ring = Series::new("ring");
+        let mut mesh = Series::new("mesh");
+        for x in [0.0, 10.0, 20.0, 30.0, 40.0] {
+            ring.push(x, 2.0 * x); // 0,20,40,60,80
+            mesh.push(x, x + 20.0); // 20,30,40,50,60
+        }
+        let cx = ring.crossover_with(&mesh).unwrap();
+        assert!((cx - 20.0).abs() < 1e-9, "crossover at {cx}");
+    }
+
+    #[test]
+    fn crossover_absent_when_one_dominates() {
+        let mut a = Series::new("a");
+        let mut b = Series::new("b");
+        for x in [0.0, 10.0] {
+            a.push(x, 1.0);
+            b.push(x, 2.0);
+        }
+        assert_eq!(a.crossover_with(&b), None);
+    }
+
+    #[test]
+    fn table_render_alignment() {
+        let mut t = Table::new("demo", &["nodes", "latency"]);
+        t.push_row(vec!["4".into(), "31.5".into()]);
+        t.push_row(vec!["121".into(), "650.0".into()]);
+        let s = t.to_string();
+        assert!(s.contains("nodes"));
+        assert!(s.contains("650.0"));
+        // Aligned right: the "4" row should pad to width of "nodes".
+        assert!(s.lines().nth(3).unwrap().contains("    4"));
+    }
+
+    #[test]
+    #[should_panic(expected = "row width")]
+    fn table_rejects_ragged_rows() {
+        let mut t = Table::new("demo", &["a", "b"]);
+        t.push_row(vec!["1".into()]);
+    }
+
+    #[test]
+    fn table_from_series_unions_grids() {
+        let mut a = Series::new("A");
+        a.push(4.0, 1.0);
+        a.push(8.0, 2.0);
+        let mut b = Series::new("B");
+        b.push(8.0, 3.0);
+        b.push(16.0, 4.0);
+        let t = Table::from_series("t", "nodes", &[a, b]);
+        assert_eq!(t.rows.len(), 3);
+        assert_eq!(t.rows[0], vec!["4", "1.0", ""]);
+        assert_eq!(t.rows[1], vec!["8", "2.0", "3.0"]);
+        assert_eq!(t.rows[2], vec!["16", "", "4.0"]);
+    }
+
+    #[test]
+    fn csv_quotes_when_needed() {
+        let mut t = Table::new("m", &["a", "b"]);
+        t.push_row(vec!["1,5".into(), "plain".into()]);
+        t.push_row(vec!["say \"hi\"".into(), "2".into()]);
+        let csv = t.to_csv();
+        assert_eq!(csv, "a,b\n\"1,5\",plain\n\"say \"\"hi\"\"\",2\n");
+    }
+
+    #[test]
+    fn markdown_shape() {
+        let mut t = Table::new("m", &["x"]);
+        t.push_row(vec!["1".into()]);
+        let md = t.to_markdown();
+        assert!(md.starts_with("### m"));
+        assert!(md.contains("| x |"));
+        assert!(md.contains("|---|"));
+        assert!(md.contains("| 1 |"));
+    }
+}

@@ -1,0 +1,145 @@
+//! Summary statistics with small-sample confidence intervals.
+
+use std::fmt;
+
+/// Critical values of Student's t distribution at 97.5% (two-sided 95%
+/// CI) for 1..=30 degrees of freedom; larger samples use the normal
+/// approximation 1.96.
+const T_975: [f64; 30] = [
+    12.706, 4.303, 3.182, 2.776, 2.571, 2.447, 2.365, 2.306, 2.262, 2.228, 2.201, 2.179, 2.160,
+    2.145, 2.131, 2.120, 2.110, 2.101, 2.093, 2.086, 2.080, 2.074, 2.069, 2.064, 2.060, 2.056,
+    2.052, 2.048, 2.045, 2.042,
+];
+
+fn t_crit(df: usize) -> f64 {
+    match df {
+        0 => f64::INFINITY,
+        d if d <= 30 => T_975[d - 1],
+        _ => 1.96,
+    }
+}
+
+/// Mean, spread and a 95% confidence half-width for a sample.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Summary {
+    /// Number of observations.
+    pub n: usize,
+    /// Sample mean (0 for an empty sample).
+    pub mean: f64,
+    /// Sample standard deviation (n−1 denominator; 0 if n < 2).
+    pub std_dev: f64,
+    /// Half-width of the 95% confidence interval for the mean
+    /// (infinite if n < 2).
+    pub ci95: f64,
+    /// Smallest observation (0 for an empty sample).
+    pub min: f64,
+    /// Largest observation (0 for an empty sample).
+    pub max: f64,
+}
+
+impl Summary {
+    /// Computes summary statistics for `values`.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use ringmesh_stats::Summary;
+    ///
+    /// let s = Summary::of(&[2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]);
+    /// assert_eq!(s.mean, 5.0);
+    /// assert!((s.std_dev - 2.138).abs() < 1e-3);
+    /// ```
+    pub fn of(values: &[f64]) -> Summary {
+        let n = values.len();
+        if n == 0 {
+            return Summary { n: 0, mean: 0.0, std_dev: 0.0, ci95: f64::INFINITY, min: 0.0, max: 0.0 };
+        }
+        let mean = values.iter().sum::<f64>() / n as f64;
+        let min = values.iter().copied().fold(f64::INFINITY, f64::min);
+        let max = values.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        if n < 2 {
+            return Summary { n, mean, std_dev: 0.0, ci95: f64::INFINITY, min, max };
+        }
+        let var = values.iter().map(|v| (v - mean).powi(2)).sum::<f64>() / (n - 1) as f64;
+        let std_dev = var.sqrt();
+        let ci95 = t_crit(n - 1) * std_dev / (n as f64).sqrt();
+        Summary { n, mean, std_dev, ci95, min, max }
+    }
+
+    /// Relative CI half-width (`ci95 / mean`); infinite when the mean is
+    /// zero or the sample too small. Useful for run-length control.
+    pub fn relative_ci(&self) -> f64 {
+        if self.mean.abs() < f64::EPSILON {
+            f64::INFINITY
+        } else {
+            self.ci95 / self.mean.abs()
+        }
+    }
+}
+
+impl fmt::Display for Summary {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.2} ± {:.2} (n={})", self.mean, self.ci95, self.n)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_sample() {
+        let s = Summary::of(&[]);
+        assert_eq!(s.n, 0);
+        assert_eq!(s.mean, 0.0);
+        assert!(s.ci95.is_infinite());
+    }
+
+    #[test]
+    fn single_observation() {
+        let s = Summary::of(&[42.0]);
+        assert_eq!(s.mean, 42.0);
+        assert_eq!(s.std_dev, 0.0);
+        assert!(s.ci95.is_infinite());
+        assert_eq!((s.min, s.max), (42.0, 42.0));
+    }
+
+    #[test]
+    fn constant_sample_has_zero_ci() {
+        let s = Summary::of(&[5.0; 10]);
+        assert_eq!(s.mean, 5.0);
+        assert_eq!(s.std_dev, 0.0);
+        assert_eq!(s.ci95, 0.0);
+    }
+
+    #[test]
+    fn known_values() {
+        // Two observations: mean 3, sd sqrt(2), CI = 12.706*sqrt(2)/sqrt(2).
+        let s = Summary::of(&[2.0, 4.0]);
+        assert_eq!(s.mean, 3.0);
+        assert!((s.std_dev - std::f64::consts::SQRT_2).abs() < 1e-12);
+        assert!((s.ci95 - 12.706).abs() < 1e-9);
+    }
+
+    #[test]
+    fn min_max_tracked() {
+        let s = Summary::of(&[3.0, -1.0, 7.0]);
+        assert_eq!((s.min, s.max), (-1.0, 7.0));
+    }
+
+    #[test]
+    fn large_sample_uses_normal_approx() {
+        let vals: Vec<f64> = (0..100).map(|i| i as f64).collect();
+        let s = Summary::of(&vals);
+        let expected = 1.96 * s.std_dev / 10.0;
+        assert!((s.ci95 - expected).abs() < 1e-9);
+    }
+
+    #[test]
+    fn relative_ci() {
+        let s = Summary::of(&[10.0, 10.0, 10.0, 10.0]);
+        assert_eq!(s.relative_ci(), 0.0);
+        let z = Summary::of(&[0.0, 0.0]);
+        assert!(z.relative_ci().is_infinite());
+    }
+}

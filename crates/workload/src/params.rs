@@ -1,0 +1,197 @@
+//! Workload and memory-timing parameters.
+
+use ringmesh_net::{CacheLineSize, PacketFormat, PacketKind};
+
+/// Distribution of the interval between generated cache misses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum MissProcess {
+    /// One miss exactly every `1/C` cycles (the paper's "25 cycles
+    /// between cache misses").
+    #[default]
+    Deterministic,
+    /// Geometric inter-miss times with mean `1/C` — a Bernoulli miss
+    /// per cycle, the memoryless variant used for ablation.
+    Geometric,
+}
+
+/// A hot-spot overlay on the M-MRP pattern: a classic interconnect
+/// stressor in which some fraction of every processor's misses target
+/// one designated PM (e.g. a lock or a shared work queue), regardless
+/// of its access region.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct HotSpot {
+    /// The PM all processors converge on.
+    pub node: u32,
+    /// Fraction of misses redirected to it, in `(0, 1]`.
+    pub fraction: f64,
+}
+
+/// The three M-MRP attributes of §2.4 plus the fixed protocol constants.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct WorkloadParams {
+    /// `R` — fraction of the machine each processor's access region
+    /// covers (1.0 = uniform access to all PMs).
+    pub region: f64,
+    /// `C` — cache miss rate per processor cycle (0.04 in all the
+    /// paper's experiments: one miss every 25 cycles).
+    pub miss_rate: f64,
+    /// `T` — outstanding transactions allowed before the processor
+    /// blocks (1, 2 or 4 in the paper).
+    pub outstanding: u32,
+    /// Probability a miss is a read (0.7 throughout the paper).
+    pub read_fraction: f64,
+    /// Inter-miss interval distribution (deterministic in the paper).
+    pub miss_process: MissProcess,
+    /// Optional hot-spot overlay (not part of the paper's workloads;
+    /// used by the extension studies).
+    pub hot_spot: Option<HotSpot>,
+}
+
+impl WorkloadParams {
+    /// The paper's baseline: no locality, C = 0.04, T = 4, 70% reads.
+    pub fn paper_baseline() -> Self {
+        WorkloadParams {
+            region: 1.0,
+            miss_rate: 0.04,
+            outstanding: 4,
+            read_fraction: 0.7,
+            miss_process: MissProcess::Deterministic,
+            hot_spot: None,
+        }
+    }
+
+    /// Returns the parameters with a hot-spot overlay: `fraction` of
+    /// every processor's misses target PM `node`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `fraction` is outside `(0, 1]`.
+    pub fn with_hot_spot(mut self, node: u32, fraction: f64) -> Self {
+        assert!(
+            fraction > 0.0 && fraction <= 1.0,
+            "hot-spot fraction {fraction} outside (0, 1]"
+        );
+        self.hot_spot = Some(HotSpot { node, fraction });
+        self
+    }
+
+    /// Returns the parameters with a different miss-interval process.
+    pub fn with_miss_process(mut self, miss_process: MissProcess) -> Self {
+        self.miss_process = miss_process;
+        self
+    }
+
+    /// Returns the parameters with a different locality `R`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `r` is outside `(0, 1]`.
+    pub fn with_region(mut self, r: f64) -> Self {
+        assert!(r > 0.0 && r <= 1.0, "R = {r} outside (0, 1]");
+        self.region = r;
+        self
+    }
+
+    /// Returns the parameters with a different outstanding limit `T`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `t` is zero.
+    pub fn with_outstanding(mut self, t: u32) -> Self {
+        assert!(t > 0, "T must be positive");
+        self.outstanding = t;
+        self
+    }
+
+    /// Cycles between generated misses: `round(1/C)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the miss rate is not in `(0, 1]`.
+    pub fn miss_interval(&self) -> u32 {
+        assert!(
+            self.miss_rate > 0.0 && self.miss_rate <= 1.0,
+            "C = {} outside (0, 1]",
+            self.miss_rate
+        );
+        (1.0 / self.miss_rate).round().max(1.0) as u32
+    }
+}
+
+impl Default for WorkloadParams {
+    fn default() -> Self {
+        WorkloadParams::paper_baseline()
+    }
+}
+
+/// Memory-system timing (the paper does not publish its constants; see
+/// DESIGN.md "Substitutions").
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MemoryParams {
+    /// Access latency in cycles from request arrival to response
+    /// injection (applies to local accesses too).
+    pub latency: u32,
+    /// Minimum cycles between successive service *starts* at one memory
+    /// module (1 = fully pipelined).
+    pub occupancy: u32,
+}
+
+impl Default for MemoryParams {
+    fn default() -> Self {
+        MemoryParams {
+            latency: 10,
+            occupancy: 1,
+        }
+    }
+}
+
+/// Sizes packets for whichever network is in use.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PacketSizer {
+    /// Flit format of the target network.
+    pub format: PacketFormat,
+    /// Cache line size.
+    pub cache_line: CacheLineSize,
+}
+
+impl PacketSizer {
+    /// Total flits of a packet of `kind`.
+    pub fn flits(&self, kind: PacketKind) -> u32 {
+        self.format.flits(kind, self.cache_line)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn baseline_matches_paper() {
+        let p = WorkloadParams::paper_baseline();
+        assert_eq!(p.miss_interval(), 25);
+        assert_eq!(p.outstanding, 4);
+        assert_eq!(p.read_fraction, 0.7);
+        assert_eq!(p.region, 1.0);
+    }
+
+    #[test]
+    fn builders_validate() {
+        let p = WorkloadParams::paper_baseline().with_region(0.3).with_outstanding(2);
+        assert_eq!(p.region, 0.3);
+        assert_eq!(p.outstanding, 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "T must be positive")]
+    fn zero_t_rejected() {
+        WorkloadParams::paper_baseline().with_outstanding(0);
+    }
+
+    #[test]
+    fn sizer_uses_network_format() {
+        let ring = PacketSizer { format: PacketFormat::RING, cache_line: CacheLineSize::B64 };
+        let mesh = PacketSizer { format: PacketFormat::MESH, cache_line: CacheLineSize::B64 };
+        assert_eq!(ring.flits(PacketKind::ReadResp), 5);
+        assert_eq!(mesh.flits(PacketKind::ReadResp), 20);
+    }
+}

@@ -1,0 +1,178 @@
+//! Memory access regions for the M-MRP workload (§2.4 of the paper).
+//!
+//! Parameter `R ∈ (0, 1]` controls locality: each processor accesses its
+//! own PM plus the `⌈R·(P−1)⌉` "closest" PMs. *Closest* is interpreted
+//! per network: for rings the PMs are projected onto a line (their DFS
+//! ring order) and the region is the `⌈R(P−1)/2⌉` PMs on either side
+//! (wrapping); for meshes it is the nearest PMs by hop count. Within a
+//! region, references are uniformly distributed and independent.
+
+use ringmesh_net::NodeId;
+
+/// How PM "closeness" is measured when building access regions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Placement {
+    /// PMs in a linear (ring DFS) order of `pms` nodes, wrapping.
+    Linear {
+        /// Total number of PMs.
+        pms: u32,
+    },
+    /// PMs on a `side × side` grid, closeness by Manhattan distance.
+    Grid {
+        /// Mesh side length.
+        side: u32,
+    },
+}
+
+impl Placement {
+    /// Total number of PMs under this placement.
+    pub fn num_pms(&self) -> u32 {
+        match *self {
+            Placement::Linear { pms } => pms,
+            Placement::Grid { side } => side * side,
+        }
+    }
+}
+
+/// Builds the access region (including the local PM, always first) for
+/// processor `pm` with locality parameter `r`.
+///
+/// # Panics
+///
+/// Panics if `r` is outside `(0, 1]` or `pm` is out of range.
+pub fn access_region(placement: Placement, pm: NodeId, r: f64) -> Vec<NodeId> {
+    assert!(r > 0.0 && r <= 1.0, "R = {r} outside (0, 1]");
+    let p = placement.num_pms();
+    assert!(pm.raw() < p, "{pm} out of range");
+    match placement {
+        Placement::Linear { pms } => linear_region(pm, pms, r),
+        Placement::Grid { side } => grid_region(pm, side, r),
+    }
+}
+
+fn linear_region(pm: NodeId, p: u32, r: f64) -> Vec<NodeId> {
+    // ⌈R(P−1)/2⌉ PMs on either side of the accessing PM, wrapping.
+    let k = (r * f64::from(p - 1) / 2.0).ceil() as u32;
+    let mut region = vec![pm];
+    for i in 1..=k.min(p - 1) {
+        let right = (pm.raw() + i) % p;
+        let left = (pm.raw() + p - i) % p;
+        push_unique(&mut region, NodeId::new(right));
+        push_unique(&mut region, NodeId::new(left));
+    }
+    region
+}
+
+fn grid_region(pm: NodeId, side: u32, r: f64) -> Vec<NodeId> {
+    let p = side * side;
+    // The ⌈R(P−1)⌉ nearest PMs by hop count, ties broken by node index
+    // for determinism, plus the local PM.
+    let m = (r * f64::from(p - 1)).ceil() as u32;
+    let (pr, pc) = (pm.raw() / side, pm.raw() % side);
+    let mut others: Vec<(u32, u32)> = (0..p)
+        .filter(|&n| n != pm.raw())
+        .map(|n| {
+            let (nr, nc) = (n / side, n % side);
+            (nr.abs_diff(pr) + nc.abs_diff(pc), n)
+        })
+        .collect();
+    others.sort_unstable();
+    let mut region = vec![pm];
+    region.extend(others.iter().take(m as usize).map(|&(_, n)| NodeId::new(n)));
+    region
+}
+
+fn push_unique(region: &mut Vec<NodeId>, n: NodeId) {
+    if !region.contains(&n) {
+        region.push(n);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn full_region_covers_all_pms() {
+        for placement in [Placement::Linear { pms: 9 }, Placement::Grid { side: 3 }] {
+            let region = access_region(placement, NodeId::new(4), 1.0);
+            let mut ids: Vec<u32> = region.iter().map(|n| n.raw()).collect();
+            ids.sort_unstable();
+            assert_eq!(ids, (0..9).collect::<Vec<_>>());
+        }
+    }
+
+    #[test]
+    fn local_pm_always_first() {
+        let region = access_region(Placement::Linear { pms: 12 }, NodeId::new(7), 0.2);
+        assert_eq!(region[0], NodeId::new(7));
+    }
+
+    #[test]
+    fn linear_region_is_symmetric_and_wraps() {
+        // P=10, R=0.2: k = ceil(0.2*9/2) = 1 on either side.
+        let region = access_region(Placement::Linear { pms: 10 }, NodeId::new(0), 0.2);
+        let mut ids: Vec<u32> = region.iter().map(|n| n.raw()).collect();
+        ids.sort_unstable();
+        assert_eq!(ids, vec![0, 1, 9]);
+    }
+
+    #[test]
+    fn linear_region_cardinality_matches_formula() {
+        for p in [6u32, 13, 24, 54] {
+            for r in [0.1, 0.2, 0.3, 0.5] {
+                let region = access_region(Placement::Linear { pms: p }, NodeId::new(2), r);
+                let k = (r * f64::from(p - 1) / 2.0).ceil() as u32;
+                assert_eq!(region.len() as u32, (2 * k + 1).min(p), "p={p} r={r}");
+            }
+        }
+    }
+
+    #[test]
+    fn grid_region_cardinality_matches_formula() {
+        for side in [3u32, 5, 7] {
+            let p = side * side;
+            for r in [0.1, 0.3, 0.5] {
+                let region = access_region(Placement::Grid { side }, NodeId::new(0), r);
+                let m = (r * f64::from(p - 1)).ceil() as u32;
+                assert_eq!(region.len() as u32, m + 1, "side={side} r={r}");
+            }
+        }
+    }
+
+    #[test]
+    fn grid_region_prefers_nearby_pms() {
+        // 5x5, centre node 12, small R: direct neighbours first.
+        let region = access_region(Placement::Grid { side: 5 }, NodeId::new(12), 0.2);
+        // m = ceil(0.2*24) = 5 remote PMs; all at distance <= 2.
+        let side = 5u32;
+        for n in &region[1..] {
+            let (r0, c0) = (12 / side, 12 % side);
+            let (r1, c1) = (n.raw() / side, n.raw() % side);
+            let d = r0.abs_diff(r1) + c0.abs_diff(c1);
+            assert!(d <= 2, "{n} at distance {d}");
+        }
+    }
+
+    #[test]
+    fn regions_have_no_duplicates() {
+        for placement in [Placement::Linear { pms: 8 }, Placement::Grid { side: 4 }] {
+            for pm in 0..placement.num_pms() {
+                for r in [0.1, 0.5, 1.0] {
+                    let region = access_region(placement, NodeId::new(pm), r);
+                    let mut ids: Vec<u32> = region.iter().map(|n| n.raw()).collect();
+                    ids.sort_unstable();
+                    let before = ids.len();
+                    ids.dedup();
+                    assert_eq!(ids.len(), before);
+                }
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "outside (0, 1]")]
+    fn zero_r_rejected() {
+        access_region(Placement::Linear { pms: 4 }, NodeId::new(0), 0.0);
+    }
+}

@@ -1,0 +1,54 @@
+//! Cross-over hunt: locate the system size at which meshes overtake
+//! hierarchical rings for each cache line size (the paper's Fig. 14
+//! reports 16/25/27/36 nodes for 16/32/64/128-byte lines with 4-flit
+//! mesh buffers).
+//!
+//! ```text
+//! cargo run --release --example crossover_hunt
+//! ```
+
+use ringmesh::topologies::{mesh_size_ladder, ring_size_ladder};
+use ringmesh::{run_series, NetworkSpec, SimParams, SystemConfig};
+use ringmesh_net::{BufferRegime, CacheLineSize};
+use ringmesh_workload::WorkloadParams;
+
+fn main() {
+    let sim = SimParams::full();
+    let workload = WorkloadParams::paper_baseline(); // R=1.0, T=4
+    println!("hunting ring/mesh cross-overs (R=1.0, C=0.04, T=4, 4-flit mesh buffers)\n");
+    for cl in CacheLineSize::ALL {
+        let ring_points = ring_size_ladder(cl, 121)
+            .into_iter()
+            .map(|(p, spec)| {
+                (
+                    f64::from(p),
+                    SystemConfig::new(NetworkSpec::ring(spec), cl)
+                        .with_workload(workload)
+                        .with_sim(sim),
+                )
+            })
+            .collect();
+        let mesh_points = mesh_size_ladder(121)
+            .into_iter()
+            .map(|p| {
+                let side = (p as f64).sqrt() as u32;
+                (
+                    f64::from(p),
+                    SystemConfig::new(
+                        NetworkSpec::Mesh { side, buffers: BufferRegime::FourFlit },
+                        cl,
+                    )
+                    .with_workload(workload)
+                    .with_sim(sim),
+                )
+            })
+            .collect();
+        let ring = run_series("ring", ring_points, |r| r.mean_latency());
+        let mesh = run_series("mesh", mesh_points, |r| r.mean_latency());
+        match ring.crossover_with(&mesh) {
+            Some(x) => println!("{cl:>4} lines: mesh overtakes the ring at ~{x:.0} nodes"),
+            None => println!("{cl:>4} lines: no cross-over up to 121 nodes (ring wins throughout or never)"),
+        }
+    }
+    println!("\npaper (Fig. 14): 16, 25, 27 and 36 nodes respectively");
+}

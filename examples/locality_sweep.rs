@@ -1,0 +1,47 @@
+//! Locality sweep: how the M-MRP region parameter `R` moves the
+//! ring/mesh balance at a fixed system size.
+//!
+//! The paper's headline result (Fig. 17) is that with even moderate
+//! locality (R ≤ 0.3) hierarchical rings beat meshes up to ~121
+//! processors. This example sweeps R continuously on 54-processor
+//! systems and prints the ring:mesh latency ratio.
+//!
+//! ```text
+//! cargo run --release --example locality_sweep
+//! ```
+
+use ringmesh::{run_config, NetworkSpec, RunError, SimParams, SystemConfig};
+use ringmesh_net::CacheLineSize;
+use ringmesh_workload::WorkloadParams;
+
+fn main() -> Result<(), RunError> {
+    let cl = CacheLineSize::B64;
+    // 54 processors: ring 3:3:6 (Table 2); nearest square mesh: 7x7=49.
+    let ring_spec = "3:3:6".parse().map_err(RunError::InvalidConfig)?;
+    println!("54-PM ring (3:3:6) vs 49-PM mesh (7x7), 64B lines, C=0.04, T=4\n");
+    println!("{:>5}  {:>10}  {:>10}  {:>12}", "R", "ring (cyc)", "mesh (cyc)", "ring:mesh");
+    for r in [0.05, 0.1, 0.2, 0.3, 0.5, 0.7, 1.0] {
+        let workload = WorkloadParams::paper_baseline().with_region(r);
+        let ring = run_config(
+            SystemConfig::new(
+                NetworkSpec::ring(std::clone::Clone::clone(&ring_spec)),
+                cl,
+            )
+            .with_workload(workload)
+            .with_sim(SimParams::full()),
+        )?;
+        let mesh = run_config(
+            SystemConfig::new(NetworkSpec::mesh(7), cl)
+                .with_workload(workload)
+                .with_sim(SimParams::full()),
+        )?;
+        println!(
+            "{r:>5.2}  {:>10.1}  {:>10.1}  {:>11.2}x",
+            ring.latency.mean,
+            mesh.latency.mean,
+            ring.latency.mean / mesh.latency.mean
+        );
+    }
+    println!("\nRatios below 1.0 mean the hierarchical ring is faster.");
+    Ok(())
+}

@@ -1,0 +1,50 @@
+//! A NUMAchine-flavoured case study: a 64-processor, 3-level
+//! hierarchical ring machine (the architecture whose parameters — a
+//! 128-bit ring data path, single-cycle NIC/IRI routing — anchor the
+//! paper's ring model), swept over the outstanding-transaction limit
+//! `T` to show how latency tolerance interacts with ring saturation.
+//!
+//! ```text
+//! cargo run --release --example numachine
+//! ```
+
+use ringmesh::{run_config, NetworkSpec, RunError, SimParams, SystemConfig};
+use ringmesh_net::CacheLineSize;
+use ringmesh_workload::WorkloadParams;
+
+fn main() -> Result<(), RunError> {
+    // 64 PMs as 4 stations x 4 rings x 4 processors, like NUMAchine's
+    // planned 64-processor configuration.
+    let spec = "4:4:4".parse().map_err(RunError::InvalidConfig)?;
+    println!("NUMAchine-like hierarchical ring: 4:4:4 (64 processors), 64B lines\n");
+    println!("{:>3}  {:>6}  {:>9}  {:>11}  {:>11}  {:>11}", "T", "R", "latency", "throughput", "local util", "global util");
+    for r in [1.0, 0.2] {
+        for t in [1, 2, 4, 8] {
+            let cfg = SystemConfig::new(
+                NetworkSpec::Ring { spec: std::clone::Clone::clone(&spec), speedup: 1 },
+                CacheLineSize::B64,
+            )
+            .with_workload(
+                WorkloadParams::paper_baseline()
+                    .with_region(r)
+                    .with_outstanding(t),
+            )
+            .with_sim(SimParams::full());
+            let out = run_config(cfg)?;
+            println!(
+                "{t:>3}  {r:>6.1}  {:>9.1}  {:>11.4}  {:>10.1}%  {:>10.1}%",
+                out.latency.mean,
+                out.throughput,
+                100.0 * out.utilization.level("local rings").unwrap_or(0.0),
+                100.0 * out.utilization.level("global ring").unwrap_or(0.0),
+            );
+        }
+        println!();
+    }
+    println!(
+        "With no locality (R=1.0) the global ring saturates and extra\n\
+         outstanding transactions only queue; with locality (R=0.2) most\n\
+         traffic stays on local rings and higher T hides latency."
+    );
+    Ok(())
+}

@@ -1,0 +1,24 @@
+//! Workspace façade for the `ringmesh` simulator suite.
+//!
+//! This crate exists to host the repository-level `examples/` and
+//! `tests/` directories; it simply re-exports the member crates so
+//! examples and integration tests can reach every layer through one
+//! dependency.
+//!
+//! * [`ringmesh`] — the top-level simulation framework (start here).
+//! * [`ringmesh_engine`] — event calendar, clocked kernel, RNG, watchdog.
+//! * [`ringmesh_net`] — flits, packets, buffers, wormhole primitives.
+//! * [`ringmesh_ring`] — hierarchical uni-directional ring networks.
+//! * [`ringmesh_mesh`] — 2-D bi-directional wormhole meshes.
+//! * [`ringmesh_workload`] — the M-MRP synthetic workload.
+//! * [`ringmesh_stats`] — batch-means output analysis.
+
+#![forbid(unsafe_code)]
+
+pub use ringmesh;
+pub use ringmesh_engine;
+pub use ringmesh_mesh;
+pub use ringmesh_net;
+pub use ringmesh_ring;
+pub use ringmesh_stats;
+pub use ringmesh_workload;

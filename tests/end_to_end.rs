@@ -1,0 +1,168 @@
+//! End-to-end integration tests across all crates: the public API,
+//! conservation, determinism, and the watchdog.
+
+use ringmesh::{run_config, NetworkSpec, RunError, SimParams, System, SystemConfig};
+use ringmesh_net::{BufferRegime, CacheLineSize};
+use ringmesh_workload::WorkloadParams;
+
+fn quick_sim() -> SimParams {
+    SimParams {
+        warmup: 1_000,
+        batch_cycles: 1_000,
+        batches: 4,
+    }
+}
+
+fn all_networks() -> Vec<NetworkSpec> {
+    vec![
+        NetworkSpec::ring("6".parse().unwrap()),
+        NetworkSpec::ring("2:4".parse().unwrap()),
+        NetworkSpec::ring("2:2:3".parse().unwrap()),
+        NetworkSpec::Ring {
+            spec: "2:2:3".parse().unwrap(),
+            speedup: 2,
+        },
+        NetworkSpec::mesh(3),
+        NetworkSpec::Mesh {
+            side: 4,
+            buffers: BufferRegime::OneFlit,
+        },
+        NetworkSpec::Mesh {
+            side: 4,
+            buffers: BufferRegime::CacheLine,
+        },
+    ]
+}
+
+#[test]
+fn every_network_kind_runs_and_measures() {
+    for network in all_networks() {
+        let label = network.label();
+        for cl in [CacheLineSize::B16, CacheLineSize::B128] {
+            let cfg = SystemConfig::new(network.clone(), cl).with_sim(quick_sim());
+            let r = run_config(cfg).unwrap_or_else(|e| panic!("{label} {cl}: {e}"));
+            assert!(r.latency.n >= 3, "{label} {cl}: too few batches {:?}", r.latency);
+            assert!(r.mean_latency() > 5.0, "{label} {cl}: implausibly low latency");
+            assert!(r.throughput > 0.0, "{label} {cl}: no throughput");
+            assert!(r.workload.retired > 100, "{label} {cl}: {} retired", r.workload.retired);
+        }
+    }
+}
+
+#[test]
+fn conservation_issued_minus_retired_bounded_by_t() {
+    for network in all_networks() {
+        let pms = network.num_pms() as u64;
+        let cfg = SystemConfig::new(network.clone(), CacheLineSize::B64)
+            .with_workload(WorkloadParams::paper_baseline().with_outstanding(4))
+            .with_sim(quick_sim());
+        let r = run_config(cfg).unwrap();
+        let in_flight = r.workload.issued - r.workload.retired;
+        assert!(
+            in_flight <= 4 * pms,
+            "{}: {in_flight} in flight > T*P",
+            network.label()
+        );
+    }
+}
+
+#[test]
+fn determinism_across_reruns() {
+    for network in [
+        NetworkSpec::ring("2:3".parse().unwrap()),
+        NetworkSpec::mesh(3),
+    ] {
+        let cfg = SystemConfig::new(network, CacheLineSize::B32).with_sim(quick_sim());
+        let a = run_config(cfg.clone()).unwrap();
+        let b = run_config(cfg).unwrap();
+        assert_eq!(a.latency, b.latency);
+        assert_eq!(a.workload, b.workload);
+        assert_eq!(a.throughput, b.throughput);
+    }
+}
+
+#[test]
+fn saturation_does_not_deadlock() {
+    // Heavy load on bisection-limited rings and a packed mesh: the
+    // watchdog must stay quiet and work must keep retiring.
+    let heavy = WorkloadParams::paper_baseline().with_outstanding(8);
+    for network in [
+        NetworkSpec::ring("3:3:6".parse().unwrap()),
+        NetworkSpec::Ring { spec: "4:3:6".parse().unwrap(), speedup: 2 },
+        NetworkSpec::Mesh { side: 6, buffers: BufferRegime::OneFlit },
+    ] {
+        let cfg = SystemConfig::new(network.clone(), CacheLineSize::B64)
+            .with_workload(heavy)
+            .with_sim(quick_sim());
+        let r = run_config(cfg).unwrap_or_else(|e| panic!("{}: {e}", network.label()));
+        assert!(
+            r.workload.retired > 500,
+            "{}: only {} retired under load",
+            network.label(),
+            r.workload.retired
+        );
+    }
+}
+
+#[test]
+fn local_accesses_bypass_network() {
+    // A single-PM "system": every access is local; the network moves
+    // nothing but transactions still complete with pure memory latency.
+    let cfg = SystemConfig::new(NetworkSpec::ring("1".parse().unwrap()), CacheLineSize::B32)
+        .with_sim(quick_sim());
+    let r = run_config(cfg).unwrap();
+    assert_eq!(r.workload.retired, r.workload.local_retired);
+    assert!(r.utilization.overall == 0.0);
+    // Latency = memory latency exactly (default 10 cycles).
+    assert!((r.mean_latency() - 10.0).abs() < 1e-9, "{}", r.mean_latency());
+}
+
+#[test]
+fn system_debug_is_informative() {
+    let cfg = SystemConfig::new(NetworkSpec::mesh(2), CacheLineSize::B16);
+    let system = System::new(cfg).unwrap();
+    let dbg = format!("{system:?}");
+    assert!(dbg.contains("mesh 2x2"));
+}
+
+#[test]
+fn invalid_configs_are_rejected_not_panicking() {
+    let cfg = SystemConfig::new(
+        NetworkSpec::Mesh { side: 0, buffers: BufferRegime::FourFlit },
+        CacheLineSize::B32,
+    );
+    assert!(matches!(System::new(cfg), Err(RunError::InvalidConfig(_))));
+}
+
+#[test]
+fn slotted_ring_outperforms_wormhole_under_saturation() {
+    // Extension check: the Hector/NUMAchine slotted discipline uses the
+    // ring links more efficiently than blocking wormhole (the authors'
+    // companion study, reference [21], reports the same direction).
+    let spec: ringmesh_ring::RingSpec = "3:3:6".parse().unwrap();
+    let worm = run_config(
+        SystemConfig::new(NetworkSpec::ring(spec.clone()), CacheLineSize::B64).with_sim(quick_sim()),
+    )
+    .unwrap();
+    let slotted = run_config(
+        SystemConfig::new(NetworkSpec::SlottedRing { spec }, CacheLineSize::B64)
+            .with_sim(quick_sim()),
+    )
+    .unwrap();
+    assert!(
+        slotted.throughput > worm.throughput,
+        "slotted {:.3} !> wormhole {:.3} txn/cycle",
+        slotted.throughput,
+        worm.throughput
+    );
+}
+
+#[test]
+fn percentiles_are_ordered_and_bracket_the_mean() {
+    let cfg = SystemConfig::new(NetworkSpec::mesh(4), CacheLineSize::B32).with_sim(quick_sim());
+    let r = run_config(cfg).unwrap();
+    let (p50, p95, p99) = r.percentiles.expect("transactions completed");
+    assert!(p50 <= p95 && p95 <= p99);
+    assert!(p50 <= r.latency.mean * 1.5);
+    assert!(p99 >= r.latency.mean * 0.5);
+}

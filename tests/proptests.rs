@@ -1,0 +1,182 @@
+//! Cross-crate property-based tests: routing correctness, delivery and
+//! conservation on randomized topologies, workloads and traffic.
+
+use proptest::prelude::*;
+
+use ringmesh_mesh::{MeshConfig, MeshNetwork, MeshTopology};
+use ringmesh_net::{
+    CacheLineSize, Interconnect, NodeId, Packet, PacketKind, QueueClass, TxnId,
+};
+use ringmesh_ring::{RingConfig, RingNetwork, RingSpec, RingTopology};
+use ringmesh_workload::{access_region, Placement};
+
+fn arb_spec() -> impl Strategy<Value = RingSpec> {
+    // 1–3 levels, arities 2..=6: up to 216 PMs.
+    prop::collection::vec(2u32..=6, 1..=3).prop_map(|a| RingSpec::new(a).unwrap())
+}
+
+fn arb_cl() -> impl Strategy<Value = CacheLineSize> {
+    prop::sample::select(CacheLineSize::ALL.to_vec())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Ring routing walks terminate and respect the uni-directional
+    /// round-trip identity on the same ring.
+    #[test]
+    fn ring_hops_terminate_and_bound(spec in arb_spec(), a in 0u32..216, b in 0u32..216) {
+        let topo = RingTopology::new(&spec);
+        let p = topo.num_pms();
+        let (a, b) = (a % p, b % p);
+        prop_assume!(a != b);
+        let h = topo.hops(NodeId::new(a), NodeId::new(b));
+        // A route never visits a station side twice (no livelock).
+        prop_assert!(h <= 2 * topo.num_stations() as u32);
+        prop_assert!(h >= 1);
+    }
+
+    /// Every packet injected into a ring network is delivered exactly
+    /// once, to the right PM.
+    #[test]
+    fn ring_delivers_random_traffic(
+        spec in arb_spec(),
+        cl in arb_cl(),
+        pairs in prop::collection::vec((0u32..216, 0u32..216, prop::bool::ANY), 1..12),
+    ) {
+        let cfg = RingConfig::new(cl);
+        let mut net = RingNetwork::new(&spec, cfg.clone());
+        let p = spec.num_pms();
+        let mut expected = Vec::new();
+        for (i, (src, dst, write)) in pairs.into_iter().enumerate() {
+            let (src, dst) = (src % p, dst % p);
+            if src == dst {
+                continue;
+            }
+            let kind = if write { PacketKind::WriteReq } else { PacketKind::ReadReq };
+            if net.can_inject(NodeId::new(src), QueueClass::of(kind)) {
+                net.inject(NodeId::new(src), Packet {
+                    txn: TxnId::new(i as u64),
+                    kind,
+                    src: NodeId::new(src),
+                    dst: NodeId::new(dst),
+                    flits: cfg.format.flits(kind, cl),
+                    injected_at: 0,
+                });
+                expected.push((i as u64, dst));
+            }
+        }
+        let mut out = Vec::new();
+        for _ in 0..20_000 {
+            net.step(&mut out).unwrap();
+            if out.len() == expected.len() {
+                break;
+            }
+        }
+        let mut got: Vec<(u64, u32)> = out.iter().map(|(n, p)| (p.txn.raw(), n.raw())).collect();
+        got.sort_unstable();
+        let mut expected_sorted = expected;
+        expected_sorted.sort_unstable();
+        prop_assert_eq!(got, expected_sorted);
+        prop_assert_eq!(net.in_flight(), 0);
+    }
+
+    /// Same for meshes, across buffer regimes.
+    #[test]
+    fn mesh_delivers_random_traffic(
+        side in 2u32..=5,
+        cl in arb_cl(),
+        buffers in prop::sample::select(ringmesh_net::BufferRegime::ALL.to_vec()),
+        pairs in prop::collection::vec((0u32..25, 0u32..25, prop::bool::ANY), 1..12),
+    ) {
+        let cfg = MeshConfig::new(cl).with_buffers(buffers);
+        let mut net = MeshNetwork::new(MeshTopology::new(side), cfg.clone());
+        let p = side * side;
+        let mut expected = Vec::new();
+        for (i, (src, dst, write)) in pairs.into_iter().enumerate() {
+            let (src, dst) = (src % p, dst % p);
+            if src == dst {
+                continue;
+            }
+            let kind = if write { PacketKind::WriteReq } else { PacketKind::ReadReq };
+            if net.can_inject(NodeId::new(src), QueueClass::of(kind)) {
+                net.inject(NodeId::new(src), Packet {
+                    txn: TxnId::new(i as u64),
+                    kind,
+                    src: NodeId::new(src),
+                    dst: NodeId::new(dst),
+                    flits: cfg.format.flits(kind, cl),
+                    injected_at: 0,
+                });
+                expected.push((i as u64, dst));
+            }
+        }
+        let mut out = Vec::new();
+        for _ in 0..20_000 {
+            net.step(&mut out).unwrap();
+            if out.len() == expected.len() {
+                break;
+            }
+        }
+        let mut got: Vec<(u64, u32)> = out.iter().map(|(n, p)| (p.txn.raw(), n.raw())).collect();
+        got.sort_unstable();
+        let mut expected_sorted = expected;
+        expected_sorted.sort_unstable();
+        prop_assert_eq!(got, expected_sorted);
+        prop_assert_eq!(net.in_flight(), 0);
+    }
+
+    /// Access regions are consistent across placements: they contain
+    /// the local PM first, have no duplicates, stay in range, and their
+    /// cardinality never exceeds the machine.
+    #[test]
+    fn regions_well_formed(
+        linear in prop::bool::ANY,
+        size in 2u32..=12,
+        pm in 0u32..144,
+        r in 0.01f64..=1.0,
+    ) {
+        let placement = if linear {
+            Placement::Linear { pms: size * size }
+        } else {
+            Placement::Grid { side: size }
+        };
+        let p = placement.num_pms();
+        let pm = NodeId::new(pm % p);
+        let region = access_region(placement, pm, r);
+        prop_assert_eq!(region[0], pm);
+        prop_assert!(region.len() as u32 <= p);
+        let mut ids: Vec<u32> = region.iter().map(|n| n.raw()).collect();
+        prop_assert!(ids.iter().all(|&i| i < p));
+        ids.sort_unstable();
+        let n = ids.len();
+        ids.dedup();
+        prop_assert_eq!(ids.len(), n, "duplicates in region");
+        // Monotonicity: growing R never shrinks the region.
+        if r < 0.9 {
+            let bigger = access_region(placement, pm, (r + 0.1).min(1.0));
+            prop_assert!(bigger.len() >= region.len());
+        }
+    }
+
+    /// Round-trip identity on single rings: forward + reverse distance
+    /// equals the ring size.
+    #[test]
+    fn single_ring_round_trip_identity(n in 2u32..=32, a in 0u32..32, b in 0u32..32) {
+        let (a, b) = (a % n, b % n);
+        prop_assume!(a != b);
+        let topo = RingTopology::new(&RingSpec::single(n));
+        let fwd = topo.hops(NodeId::new(a), NodeId::new(b));
+        let back = topo.hops(NodeId::new(b), NodeId::new(a));
+        prop_assert_eq!(fwd + back, n);
+    }
+
+    /// e-cube path length equals Manhattan distance for all pairs.
+    #[test]
+    fn ecube_is_minimal(side in 2u32..=8, a in 0u32..64, b in 0u32..64) {
+        let m = MeshTopology::new(side);
+        let p = side * side;
+        let (a, b) = (NodeId::new(a % p), NodeId::new(b % p));
+        prop_assert_eq!(m.path(a, b).len() as u32 - 1, m.manhattan(a, b));
+    }
+}
