@@ -14,7 +14,10 @@ fn main() {
     let cl = CacheLineSize::B64;
     let mut series = Vec::new();
     for (label, network) in [
-        ("ring 2:3:6", NetworkSpec::ring("2:3:6".parse().expect("valid"))),
+        (
+            "ring 2:3:6",
+            NetworkSpec::ring("2:3:6".parse().expect("valid")),
+        ),
         ("mesh 6x6", NetworkSpec::mesh(6)),
     ] {
         let mut s = Series::new(label);

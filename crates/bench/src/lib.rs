@@ -41,20 +41,44 @@ pub fn run(name: &str) {
         "table1" => println!("{}", figures::table1()),
         "table2" => println!("{}", figures::table2_overview()),
         "fig06" => print_figure("Figure 6: single-ring latency", &figures::fig06(scale)),
-        "fig07" => print_figure("Figure 7: 2-level ring latency", &figures::fig07_08(scale).0),
-        "fig08" => print_figure("Figure 8: 2-level ring utilization", &figures::fig07_08(scale).1),
-        "fig09" => print_figure("Figure 9: 3-level ring latency", &figures::fig09_10(scale).0),
+        "fig07" => print_figure(
+            "Figure 7: 2-level ring latency",
+            &figures::fig07_08(scale).0,
+        ),
+        "fig08" => print_figure(
+            "Figure 8: 2-level ring utilization",
+            &figures::fig07_08(scale).1,
+        ),
+        "fig09" => print_figure(
+            "Figure 9: 3-level ring latency",
+            &figures::fig09_10(scale).0,
+        ),
         "fig10" => print_figure(
             "Figure 10: 3-level global ring utilization",
             &figures::fig09_10(scale).1,
         ),
-        "fig11" => print_figure("Figure 11: benefit of hierarchy depth", &figures::fig11(scale)),
+        "fig11" => print_figure(
+            "Figure 11: benefit of hierarchy depth",
+            &figures::fig11(scale),
+        ),
         "fig12" => print_figure("Figure 12: mesh latency", &figures::fig12_13(scale).0),
         "fig13" => print_figure("Figure 13: mesh utilization", &figures::fig12_13(scale).1),
-        "fig14" => print_figure("Figure 14: ring vs mesh, 4-flit buffers", &figures::fig14(scale)),
-        "fig15" => print_figure("Figure 15: ring vs mesh, cl-sized buffers", &figures::fig15(scale)),
-        "fig16" => print_figure("Figure 16: ring vs mesh, 1-flit buffers", &figures::fig16(scale)),
-        "fig17" => print_figure("Figure 17: ring vs mesh with locality", &figures::fig17(scale)),
+        "fig14" => print_figure(
+            "Figure 14: ring vs mesh, 4-flit buffers",
+            &figures::fig14(scale),
+        ),
+        "fig15" => print_figure(
+            "Figure 15: ring vs mesh, cl-sized buffers",
+            &figures::fig15(scale),
+        ),
+        "fig16" => print_figure(
+            "Figure 16: ring vs mesh, 1-flit buffers",
+            &figures::fig16(scale),
+        ),
+        "fig17" => print_figure(
+            "Figure 17: ring vs mesh with locality",
+            &figures::fig17(scale),
+        ),
         "fig18" => print_figure(
             "Figure 18: locality, cl-sized mesh buffers",
             &figures::fig18(scale),

@@ -10,14 +10,26 @@ use ringmesh::{run_config, NetworkSpec, SimParams, SystemConfig};
 use ringmesh_net::{BufferRegime, CacheLineSize};
 
 fn main() {
-    println!("paper §4: 4->121 processor latency growth: cl-sized 5-7x, 4-flit 6-8x, 1-flit 9-12x\n");
+    println!(
+        "paper §4: 4->121 processor latency growth: cl-sized 5-7x, 4-flit 6-8x, 1-flit 9-12x\n"
+    );
     let mut at121 = Vec::new();
-    for regime in [BufferRegime::CacheLine, BufferRegime::FourFlit, BufferRegime::OneFlit] {
+    for regime in [
+        BufferRegime::CacheLine,
+        BufferRegime::FourFlit,
+        BufferRegime::OneFlit,
+    ] {
         for cl in [CacheLineSize::B16, CacheLineSize::B64, CacheLineSize::B128] {
             let lat = |side: u32| {
                 run_config(
-                    SystemConfig::new(NetworkSpec::Mesh { side, buffers: regime }, cl)
-                        .with_sim(SimParams::full()),
+                    SystemConfig::new(
+                        NetworkSpec::Mesh {
+                            side,
+                            buffers: regime,
+                        },
+                        cl,
+                    )
+                    .with_sim(SimParams::full()),
                 )
                 .expect("mesh runs deadlock-free")
                 .mean_latency()

@@ -6,10 +6,14 @@ use ringmesh_workload::WorkloadParams;
 fn main() {
     let mut stalls = 0;
     for (spec, cl) in [
-        ("3:3:12", CacheLineSize::B16), ("3:3:8", CacheLineSize::B32),
-        ("3:3:6", CacheLineSize::B64), ("3:3:4", CacheLineSize::B128),
-        ("2:3:3:6", CacheLineSize::B32), ("4:3:8", CacheLineSize::B32),
-        ("2:3:4", CacheLineSize::B128), ("3:12", CacheLineSize::B16),
+        ("3:3:12", CacheLineSize::B16),
+        ("3:3:8", CacheLineSize::B32),
+        ("3:3:6", CacheLineSize::B64),
+        ("3:3:4", CacheLineSize::B128),
+        ("2:3:3:6", CacheLineSize::B32),
+        ("4:3:8", CacheLineSize::B32),
+        ("2:3:4", CacheLineSize::B128),
+        ("3:12", CacheLineSize::B16),
     ] {
         for t in [2u32, 4, 8] {
             for seed in [1u64, 0x1997_0201] {
@@ -22,7 +26,10 @@ fn main() {
                     .with_seed(seed);
                 match System::with_ring_config(cfg, rc).unwrap().run() {
                     Ok(r) => print!("{:.0}/{:.2} ", r.mean_latency(), r.throughput),
-                    Err(e) => { print!("STALL({e}) "); stalls += 1; }
+                    Err(e) => {
+                        print!("STALL({e}) ");
+                        stalls += 1;
+                    }
                 }
             }
         }

@@ -20,7 +20,11 @@ use crate::{NetworkSpec, SystemConfig};
 pub fn ablation_iri_queue(scale: Scale) -> Table {
     let mut t = Table::new(
         "Ablation: IRI up/down queue capacity on a saturated 3-level ring (3:3:6, 64B, R=1.0, T=4)",
-        &["queue capacity (packets/class)", "mean latency (cycles)", "throughput (txn/cycle)"],
+        &[
+            "queue capacity (packets/class)",
+            "mean latency (cycles)",
+            "throughput (txn/cycle)",
+        ],
     );
     let spec: ringmesh_ring::RingSpec = "3:3:6".parse().expect("valid spec");
     for cap in [Some(1), Some(2), Some(4), None] {
@@ -54,7 +58,10 @@ pub fn ablation_memory_latency(scale: Scale) -> Table {
         &["memory latency", "ring 2:3:6", "mesh 6x6", "difference"],
     );
     for lat in [5u32, 10, 20, 40] {
-        let mem = MemoryParams { latency: lat, occupancy: 1 };
+        let mem = MemoryParams {
+            latency: lat,
+            occupancy: 1,
+        };
         let run = |network: NetworkSpec| {
             let mut cfg = SystemConfig::new(network, CacheLineSize::B64).with_sim(scale.sim);
             cfg.memory = mem;
@@ -86,7 +93,10 @@ pub fn ablation_miss_process(scale: Scale) -> Vec<Series> {
         ("geometric", MissProcess::Geometric),
     ] {
         for (label, network) in [
-            ("ring 2:3:6", NetworkSpec::ring("2:3:6".parse().expect("valid"))),
+            (
+                "ring 2:3:6",
+                NetworkSpec::ring("2:3:6".parse().expect("valid")),
+            ),
             ("mesh 6x6", NetworkSpec::mesh(6)),
         ] {
             let mut series = Series::new(format!("{label}, {name}"));

@@ -13,7 +13,7 @@
 
 use std::process::ExitCode;
 
-use ringmesh::{run_config, NetworkSpec, SimParams, SystemConfig};
+use ringmesh::{run_config, NetworkSpec, SimParams, System, SystemConfig, TraceConfig};
 use ringmesh_net::{BufferRegime, CacheLineSize};
 use ringmesh_workload::{MemoryParams, MissProcess, WorkloadParams};
 
@@ -22,6 +22,13 @@ ringmesh — flit-level hierarchical-ring / mesh interconnect simulator
 
 USAGE:
     ringmesh <NETWORK> [OPTIONS]
+    ringmesh trace <NETWORK> [OPTIONS] [TRACE OPTIONS]
+
+The `trace` subcommand runs the same simulation with the observability
+subsystem recording: it prints per-counter and per-gauge batch
+summaries and link-utilization heatmaps, and can export the sampled
+flit-event stream as Chrome trace-event JSON (open in Perfetto or
+chrome://tracing).
 
 NETWORK (exactly one):
     --ring <SPEC>          hierarchical ring, e.g. --ring 2:3:4
@@ -43,6 +50,12 @@ OPTIONS:
     --seed <N>             RNG seed                       [default: 1380011591]
     --format <F>           text | csv                     [default: text]
     -h, --help             print this help
+
+TRACE OPTIONS (with the `trace` subcommand):
+    --trace-out <PATH>     write Chrome trace-event JSON here
+    --heatmap-csv <PATH>   write the link heatmap(s) as CSV here
+    --window <N>           counter sampling window, cycles [default: 1000]
+    --sample-every <N>     record events for 1 in N txns   [default: 16]
 ";
 
 struct Args(Vec<String>);
@@ -100,7 +113,9 @@ fn build_config(args: &mut Args) -> Result<SystemConfig, String> {
             spec: spec.parse()?,
             speedup: if double { 2 } else { 1 },
         },
-        (None, Some(spec), None) => NetworkSpec::SlottedRing { spec: spec.parse()? },
+        (None, Some(spec), None) => NetworkSpec::SlottedRing {
+            spec: spec.parse()?,
+        },
         (None, None, Some(side)) => NetworkSpec::Mesh { side, buffers },
         _ => return Err("specify exactly one of --ring, --slotted-ring, --mesh".into()),
     };
@@ -150,11 +165,118 @@ fn build_config(args: &mut Args) -> Result<SystemConfig, String> {
     Ok(cfg)
 }
 
+/// Options specific to the `trace` subcommand.
+struct TraceOpts {
+    out: Option<String>,
+    heatmap_csv: Option<String>,
+    cfg: TraceConfig,
+}
+
+fn parse_trace_opts(args: &mut Args) -> Result<TraceOpts, String> {
+    let out = args.take_value("--trace-out")?;
+    let heatmap_csv = args.take_value("--heatmap-csv")?;
+    let window = args.take_parsed::<u64>("--window")?.unwrap_or(1_000).max(1);
+    let sample_every = args
+        .take_parsed::<u64>("--sample-every")?
+        .unwrap_or(16)
+        .max(1);
+    Ok(TraceOpts {
+        out,
+        heatmap_csv,
+        cfg: TraceConfig {
+            window_cycles: window,
+            sample_every,
+            ..TraceConfig::default()
+        },
+    })
+}
+
+fn print_result(format: &str, label: &str, pms: u32, r: &ringmesh::RunResult) {
+    match format {
+        "csv" => {
+            println!("network,pms,latency,ci95,throughput,utilization");
+            println!(
+                "{label},{pms},{:.3},{:.3},{:.5},{:.4}",
+                r.latency.mean, r.latency.ci95, r.throughput, r.utilization.overall
+            );
+        }
+        _ => {
+            println!("network     : {label} ({pms} PMs)");
+            println!(
+                "latency     : {:.1} ± {:.1} cycles (95% CI over {} batches)",
+                r.latency.mean, r.latency.ci95, r.latency.n
+            );
+            if let Some((p50, p95, p99)) = r.percentiles {
+                println!("percentiles : p50 {p50:.0}, p95 {p95:.0}, p99 {p99:.0} cycles");
+            }
+            println!("throughput  : {:.4} transactions/cycle", r.throughput);
+            println!("utilization : {:.1}%", 100.0 * r.utilization.overall);
+            for level in &r.utilization.levels {
+                println!("  {:18}: {:.1}%", level.label, 100.0 * level.utilization);
+            }
+            println!(
+                "workload    : {} issued, {} retired ({} local)",
+                r.workload.issued, r.workload.retired, r.workload.local_retired
+            );
+        }
+    }
+}
+
+fn run_trace(cfg: SystemConfig, opts: TraceOpts, format: &str) -> ExitCode {
+    let label = cfg.network.label();
+    let pms = cfg.network.num_pms();
+    let sys = match System::new(cfg) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let (r, report) = match sys.run_traced(opts.cfg) {
+        Ok(x) => x,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    print_result(format, &label, pms, &r);
+    println!();
+    print!("{}", report.to_text());
+    if let Some(path) = opts.heatmap_csv {
+        let mut csv = String::new();
+        for map in &report.heatmaps {
+            csv.push_str(&map.to_csv());
+            csv.push('\n');
+        }
+        if let Err(e) = std::fs::write(&path, csv) {
+            eprintln!("error: writing {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+        eprintln!("heatmap CSV written to {path}");
+    }
+    if let Some(path) = opts.out {
+        if let Err(e) = std::fs::write(&path, report.chrome_trace_json()) {
+            eprintln!("error: writing {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+        eprintln!(
+            "Chrome trace written to {path} ({} events, {} dropped)",
+            report.events.len(),
+            report.events_dropped
+        );
+    }
+    ExitCode::SUCCESS
+}
+
 fn main() -> ExitCode {
     let mut args = Args(std::env::args().skip(1).collect());
     if args.take_flag("--help") || args.take_flag("-h") || args.0.is_empty() {
         print!("{HELP}");
         return ExitCode::SUCCESS;
+    }
+    let tracing = args.0.first().is_some_and(|a| a == "trace");
+    if tracing {
+        args.0.remove(0);
     }
     let format = match args.take_value("--format") {
         Ok(f) => f.unwrap_or_else(|| "text".into()),
@@ -162,6 +284,17 @@ fn main() -> ExitCode {
             eprintln!("error: {e}");
             return ExitCode::FAILURE;
         }
+    };
+    let trace_opts = if tracing {
+        match parse_trace_opts(&mut args) {
+            Ok(o) => Some(o),
+            Err(e) => {
+                eprintln!("error: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    } else {
+        None
     };
     let cfg = match build_config(&mut args) {
         Ok(cfg) => cfg,
@@ -174,38 +307,14 @@ fn main() -> ExitCode {
         eprintln!("error: unrecognized arguments: {:?}", args.0);
         return ExitCode::FAILURE;
     }
+    if let Some(opts) = trace_opts {
+        return run_trace(cfg, opts, &format);
+    }
     let label = cfg.network.label();
     let pms = cfg.network.num_pms();
     match run_config(cfg) {
         Ok(r) => {
-            match format.as_str() {
-                "csv" => {
-                    println!("network,pms,latency,ci95,throughput,utilization");
-                    println!(
-                        "{label},{pms},{:.3},{:.3},{:.5},{:.4}",
-                        r.latency.mean, r.latency.ci95, r.throughput, r.utilization.overall
-                    );
-                }
-                _ => {
-                    println!("network     : {label} ({pms} PMs)");
-                    println!(
-                        "latency     : {:.1} ± {:.1} cycles (95% CI over {} batches)",
-                        r.latency.mean, r.latency.ci95, r.latency.n
-                    );
-                    if let Some((p50, p95, p99)) = r.percentiles {
-                        println!("percentiles : p50 {p50:.0}, p95 {p95:.0}, p99 {p99:.0} cycles");
-                    }
-                    println!("throughput  : {:.4} transactions/cycle", r.throughput);
-                    println!("utilization : {:.1}%", 100.0 * r.utilization.overall);
-                    for level in &r.utilization.levels {
-                        println!("  {:18}: {:.1}%", level.label, 100.0 * level.utilization);
-                    }
-                    println!(
-                        "workload    : {} issued, {} retired ({} local)",
-                        r.workload.issued, r.workload.retired, r.workload.local_retired
-                    );
-                }
-            }
+            print_result(&format, &label, pms, &r);
             ExitCode::SUCCESS
         }
         Err(e) => {

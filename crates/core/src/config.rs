@@ -58,7 +58,9 @@ impl NetworkSpec {
         match self {
             NetworkSpec::Ring { spec, speedup: 1 } => format!("ring {spec}"),
             NetworkSpec::Ring { spec, speedup } => format!("ring {spec} ({speedup}x global)"),
-            NetworkSpec::Mesh { side, buffers } => format!("mesh {side}x{side} ({buffers} buffers)"),
+            NetworkSpec::Mesh { side, buffers } => {
+                format!("mesh {side}x{side} ({buffers} buffers)")
+            }
             NetworkSpec::SlottedRing { spec } => format!("slotted ring {spec}"),
         }
     }
@@ -168,7 +170,10 @@ mod tests {
         let m = NetworkSpec::mesh(6);
         assert_eq!(m.label(), "mesh 6x6 (4-flit buffers)");
         assert_eq!(m.num_pms(), 36);
-        let f = NetworkSpec::Ring { spec: "3:3:4".parse().unwrap(), speedup: 2 };
+        let f = NetworkSpec::Ring {
+            spec: "3:3:4".parse().unwrap(),
+            speedup: 2,
+        };
         assert_eq!(f.label(), "ring 3:3:4 (2x global)");
     }
 

@@ -21,9 +21,7 @@
 //! | [`fig19_20`] | Figs. 19–20 | double-speed global ring latency + utilization |
 //! | [`fig21`] | Fig. 21 | mesh vs double-speed-global rings |
 
-use ringmesh_net::{
-    mesh_nic_buffer_bytes, ring_nic_buffer_bytes, BufferRegime, CacheLineSize,
-};
+use ringmesh_net::{mesh_nic_buffer_bytes, ring_nic_buffer_bytes, BufferRegime, CacheLineSize};
 use ringmesh_ring::RingSpec;
 use ringmesh_stats::{Series, Table};
 use ringmesh_workload::WorkloadParams;
@@ -41,17 +39,31 @@ pub type FigureData = Vec<Group>;
 const SEED: u64 = 0x1997_0201; // HPCA, February 1997
 
 fn wl(r: f64, t: u32) -> WorkloadParams {
-    WorkloadParams::paper_baseline().with_region(r).with_outstanding(t)
+    WorkloadParams::paper_baseline()
+        .with_region(r)
+        .with_outstanding(t)
 }
 
-fn ring_cfg(scale: Scale, spec: RingSpec, speedup: u32, cl: CacheLineSize, w: WorkloadParams) -> SystemConfig {
+fn ring_cfg(
+    scale: Scale,
+    spec: RingSpec,
+    speedup: u32,
+    cl: CacheLineSize,
+    w: WorkloadParams,
+) -> SystemConfig {
     SystemConfig::new(NetworkSpec::Ring { spec, speedup }, cl)
         .with_workload(w)
         .with_sim(scale.sim)
         .with_seed(SEED)
 }
 
-fn mesh_cfg(scale: Scale, side: u32, buffers: BufferRegime, cl: CacheLineSize, w: WorkloadParams) -> SystemConfig {
+fn mesh_cfg(
+    scale: Scale,
+    side: u32,
+    buffers: BufferRegime,
+    cl: CacheLineSize,
+    w: WorkloadParams,
+) -> SystemConfig {
     SystemConfig::new(NetworkSpec::Mesh { side, buffers }, cl)
         .with_workload(w)
         .with_sim(scale.sim)
@@ -79,7 +91,13 @@ fn latency(r: &RunResult) -> f64 {
 }
 
 /// Ring latency series over the ring-natural size ladder.
-fn ring_latency_series(scale: Scale, label: String, speedup: u32, cl: CacheLineSize, w: WorkloadParams) -> Series {
+fn ring_latency_series(
+    scale: Scale,
+    label: String,
+    speedup: u32,
+    cl: CacheLineSize,
+    w: WorkloadParams,
+) -> Series {
     let ladder = if speedup == 2 {
         double_speed_ladder(scale, cl)
     } else {
@@ -93,7 +111,13 @@ fn ring_latency_series(scale: Scale, label: String, speedup: u32, cl: CacheLineS
 }
 
 /// Mesh latency series over perfect-square sizes.
-fn mesh_latency_series(scale: Scale, label: String, buffers: BufferRegime, cl: CacheLineSize, w: WorkloadParams) -> Series {
+fn mesh_latency_series(
+    scale: Scale,
+    label: String,
+    buffers: BufferRegime,
+    cl: CacheLineSize,
+    w: WorkloadParams,
+) -> Series {
     let points = mesh_size_ladder(scale.max_pms)
         .into_iter()
         .map(|p| {
@@ -156,9 +180,7 @@ pub fn table2_overview() -> Table {
         &["processors", "16B", "32B", "64B", "128B"],
     );
     for &p in &[4u32, 6, 8, 12, 18, 24, 36, 54, 72, 108] {
-        let cell = |cl| {
-            table2(p, cl).map_or_else(|| "-".to_string(), |s| s.to_string())
-        };
+        let cell = |cl| table2(p, cl).map_or_else(|| "-".to_string(), |s| s.to_string());
         t.push_row(vec![
             p.to_string(),
             cell(CacheLineSize::B16),
@@ -186,7 +208,12 @@ pub fn fig06(scale: Scale) -> FigureData {
             let points = sizes
                 .iter()
                 .filter(|&&n| n <= scale.max_pms)
-                .map(|&n| (f64::from(n), ring_cfg(scale, RingSpec::single(n), 1, cl, wl(1.0, t))))
+                .map(|&n| {
+                    (
+                        f64::from(n),
+                        ring_cfg(scale, RingSpec::single(n), 1, cl, wl(1.0, t)),
+                    )
+                })
                 .collect();
             group.push(run_series(format!("T={t}"), points, latency));
         }
@@ -205,7 +232,10 @@ pub fn fig07_08(scale: Scale) -> (FigureData, FigureData) {
     let mut global_util = Vec::new();
     for cl in cls(scale) {
         let m = single_ring_max(cl);
-        let mut points = vec![(f64::from(m), ring_cfg(scale, RingSpec::single(m), 1, cl, wl(1.0, 4)))];
+        let mut points = vec![(
+            f64::from(m),
+            ring_cfg(scale, RingSpec::single(m), 1, cl, wl(1.0, 4)),
+        )];
         for k in 2..=5u32 {
             let p = k * m;
             if p <= scale.max_pms.max(60) {
@@ -216,17 +246,30 @@ pub fn fig07_08(scale: Scale) -> (FigureData, FigureData) {
         let results = run_points(points);
         latency_groups.push(series_of(format!("{cl} cache line"), &results, latency));
         local_util.push(series_of(format!("{cl} cache line"), &results, |r| {
-            100.0 * r.utilization.level("local rings").or(r.utilization.level("ring")).unwrap_or(0.0)
+            100.0
+                * r.utilization
+                    .level("local rings")
+                    .or(r.utilization.level("ring"))
+                    .unwrap_or(0.0)
         }));
         global_util.push(series_of(format!("{cl} cache line"), &results, |r| {
             100.0 * r.utilization.level("global ring").unwrap_or(0.0)
         }));
     }
     (
-        vec![("2-level ring latency (R=1.0, C=0.04, T=4)".into(), latency_groups)],
+        vec![(
+            "2-level ring latency (R=1.0, C=0.04, T=4)".into(),
+            latency_groups,
+        )],
         vec![
-            ("local ring utilization % (R=1.0, C=0.04, T=4)".into(), local_util),
-            ("global ring utilization % (R=1.0, C=0.04, T=4)".into(), global_util),
+            (
+                "local ring utilization % (R=1.0, C=0.04, T=4)".into(),
+                local_util,
+            ),
+            (
+                "global ring utilization % (R=1.0, C=0.04, T=4)".into(),
+                global_util,
+            ),
         ],
     )
 }
@@ -243,7 +286,13 @@ pub fn fig09_10(scale: Scale) -> (FigureData, FigureData) {
         let m = single_ring_max(cl);
         let mut points = vec![(
             f64::from(3 * m),
-            ring_cfg(scale, RingSpec::new(vec![3, m]).expect("valid"), 1, cl, wl(1.0, 4)),
+            ring_cfg(
+                scale,
+                RingSpec::new(vec![3, m]).expect("valid"),
+                1,
+                cl,
+                wl(1.0, 4),
+            ),
         )];
         for j in 2..=4u32 {
             let p = j * 3 * m;
@@ -259,8 +308,14 @@ pub fn fig09_10(scale: Scale) -> (FigureData, FigureData) {
         }));
     }
     (
-        vec![("3-level ring latency (R=1.0, C=0.04, T=4)".into(), latency_groups)],
-        vec![("global ring utilization % (R=1.0, C=0.04, T=4)".into(), global_util)],
+        vec![(
+            "3-level ring latency (R=1.0, C=0.04, T=4)".into(),
+            latency_groups,
+        )],
+        vec![(
+            "global ring utilization % (R=1.0, C=0.04, T=4)".into(),
+            global_util,
+        )],
     )
 }
 
@@ -306,7 +361,11 @@ pub fn fig11(scale: Scale) -> FigureData {
 pub fn fig12_13(scale: Scale) -> (FigureData, FigureData) {
     let mut latency_groups = FigureData::new();
     let mut util_series = Vec::new();
-    for regime in [BufferRegime::CacheLine, BufferRegime::FourFlit, BufferRegime::OneFlit] {
+    for regime in [
+        BufferRegime::CacheLine,
+        BufferRegime::FourFlit,
+        BufferRegime::OneFlit,
+    ] {
         let mut group = Vec::new();
         for cl in cls(scale) {
             let points: Vec<(f64, SystemConfig)> = mesh_size_ladder(scale.max_pms.max(36))
@@ -326,11 +385,17 @@ pub fn fig12_13(scale: Scale) -> (FigureData, FigureData) {
                 group.push(run_series(format!("{cl} cache line"), points, latency));
             }
         }
-        latency_groups.push((format!("mesh latency, {regime} buffers (R=1.0, C=0.04, T=4)"), group));
+        latency_groups.push((
+            format!("mesh latency, {regime} buffers (R=1.0, C=0.04, T=4)"),
+            group,
+        ));
     }
     (
         latency_groups,
-        vec![("mesh network utilization %, 4-flit buffers (R=1.0, C=0.04, T=4)".into(), util_series)],
+        vec![(
+            "mesh network utilization %, 4-flit buffers (R=1.0, C=0.04, T=4)".into(),
+            util_series,
+        )],
     )
 }
 
@@ -342,10 +407,25 @@ pub fn fig14(scale: Scale) -> FigureData {
     for cl in cls(scale) {
         let mut group = Vec::new();
         for t in ts(scale) {
-            group.push(mesh_latency_series(scale, format!("Mesh, T={t}"), BufferRegime::FourFlit, cl, wl(1.0, t)));
-            group.push(ring_latency_series(scale, format!("Ring, T={t}"), 1, cl, wl(1.0, t)));
+            group.push(mesh_latency_series(
+                scale,
+                format!("Mesh, T={t}"),
+                BufferRegime::FourFlit,
+                cl,
+                wl(1.0, t),
+            ));
+            group.push(ring_latency_series(
+                scale,
+                format!("Ring, T={t}"),
+                1,
+                cl,
+                wl(1.0, t),
+            ));
         }
-        out.push((format!("{cl} cache line (R=1.0, C=0.04), mesh 4-flit buffers"), group));
+        out.push((
+            format!("{cl} cache line (R=1.0, C=0.04), mesh 4-flit buffers"),
+            group,
+        ));
     }
     out
 }
@@ -367,10 +447,25 @@ fn compare_at_regime(scale: Scale, regime: BufferRegime, name: &str) -> FigureDa
     let cl = CacheLineSize::B128;
     let mut group = Vec::new();
     for t in ts(scale) {
-        group.push(mesh_latency_series(scale, format!("Mesh, T={t}"), regime, cl, wl(1.0, t)));
-        group.push(ring_latency_series(scale, format!("Ring, T={t}"), 1, cl, wl(1.0, t)));
+        group.push(mesh_latency_series(
+            scale,
+            format!("Mesh, T={t}"),
+            regime,
+            cl,
+            wl(1.0, t),
+        ));
+        group.push(ring_latency_series(
+            scale,
+            format!("Ring, T={t}"),
+            1,
+            cl,
+            wl(1.0, t),
+        ));
     }
-    vec![(format!("128B cache line (R=1.0, C=0.04), mesh {name} buffers"), group)]
+    vec![(
+        format!("128B cache line (R=1.0, C=0.04), mesh {name} buffers"),
+        group,
+    )]
 }
 
 /// Figure 17: ring vs mesh under locality R ∈ {0.1, 0.2, 0.3}, 4-flit
@@ -378,15 +473,34 @@ fn compare_at_regime(scale: Scale, regime: BufferRegime, name: &str) -> FigureDa
 /// 121 processors (except 16-byte lines, where they tie), and the gap
 /// is wider at R = 0.2 than at R = 0.1.
 pub fn fig17(scale: Scale) -> FigureData {
-    let rs: &[f64] = if scale.quick { &[0.1, 0.3] } else { &[0.1, 0.2, 0.3] };
+    let rs: &[f64] = if scale.quick {
+        &[0.1, 0.3]
+    } else {
+        &[0.1, 0.2, 0.3]
+    };
     let mut out = FigureData::new();
     for cl in cls(scale) {
         let mut group = Vec::new();
         for &r in rs {
-            group.push(mesh_latency_series(scale, format!("Mesh, R={r}"), BufferRegime::FourFlit, cl, wl(r, 4)));
-            group.push(ring_latency_series(scale, format!("Ring, R={r}"), 1, cl, wl(r, 4)));
+            group.push(mesh_latency_series(
+                scale,
+                format!("Mesh, R={r}"),
+                BufferRegime::FourFlit,
+                cl,
+                wl(r, 4),
+            ));
+            group.push(ring_latency_series(
+                scale,
+                format!("Ring, R={r}"),
+                1,
+                cl,
+                wl(r, 4),
+            ));
         }
-        out.push((format!("{cl} cache line (C=0.04, T=4), mesh 4-flit buffers"), group));
+        out.push((
+            format!("{cl} cache line (C=0.04, T=4), mesh 4-flit buffers"),
+            group,
+        ));
     }
     out
 }
@@ -395,14 +509,33 @@ pub fn fig17(scale: Scale) -> FigureData {
 /// Paper expectation: cross-overs move out to 45+ processors for
 /// R ≤ 0.3.
 pub fn fig18(scale: Scale) -> FigureData {
-    let rs: &[f64] = if scale.quick { &[0.1, 0.3] } else { &[0.1, 0.2, 0.3] };
+    let rs: &[f64] = if scale.quick {
+        &[0.1, 0.3]
+    } else {
+        &[0.1, 0.2, 0.3]
+    };
     let cl = CacheLineSize::B128;
     let mut group = Vec::new();
     for &r in rs {
-        group.push(mesh_latency_series(scale, format!("Mesh, R={r}"), BufferRegime::CacheLine, cl, wl(r, 4)));
-        group.push(ring_latency_series(scale, format!("Ring, R={r}"), 1, cl, wl(r, 4)));
+        group.push(mesh_latency_series(
+            scale,
+            format!("Mesh, R={r}"),
+            BufferRegime::CacheLine,
+            cl,
+            wl(r, 4),
+        ));
+        group.push(ring_latency_series(
+            scale,
+            format!("Ring, R={r}"),
+            1,
+            cl,
+            wl(r, 4),
+        ));
     }
-    vec![("128B cache line (C=0.04, T=4), mesh cl-sized buffers".into(), group)]
+    vec![(
+        "128B cache line (C=0.04, T=4), mesh cl-sized buffers".into(),
+        group,
+    )]
 }
 
 /// Figures 19 and 20: 3-level hierarchies with normal vs double-speed
@@ -433,15 +566,27 @@ pub fn fig19_20(scale: Scale) -> (FigureData, FigureData) {
                 continue;
             }
             let results = run_points(points);
-            latency_group.push(series_of(format!("{cl} cache line, {name}"), &results, latency));
-            util_group.push(series_of(format!("{cl} cache line, {name}"), &results, |r| {
-                100.0 * r.utilization.level("global ring").unwrap_or(0.0)
-            }));
+            latency_group.push(series_of(
+                format!("{cl} cache line, {name}"),
+                &results,
+                latency,
+            ));
+            util_group.push(series_of(
+                format!("{cl} cache line, {name}"),
+                &results,
+                |r| 100.0 * r.utilization.level("global ring").unwrap_or(0.0),
+            ));
         }
     }
     (
-        vec![("3-level rings, normal vs double-speed global ring (R=1.0, C=0.04, T=4)".into(), latency_group)],
-        vec![("global ring utilization %, normal vs double speed (R=1.0, C=0.04, T=4)".into(), util_group)],
+        vec![(
+            "3-level rings, normal vs double-speed global ring (R=1.0, C=0.04, T=4)".into(),
+            latency_group,
+        )],
+        vec![(
+            "global ring utilization %, normal vs double speed (R=1.0, C=0.04, T=4)".into(),
+            util_group,
+        )],
     )
 }
 
@@ -457,10 +602,25 @@ pub fn fig21(scale: Scale) -> FigureData {
     };
     let mut group = Vec::new();
     for cl in line_sizes {
-        group.push(mesh_latency_series(scale, format!("Mesh, cl={cl}"), BufferRegime::FourFlit, cl, wl(1.0, 4)));
-        group.push(ring_latency_series(scale, format!("Ring, cl={cl}"), 2, cl, wl(1.0, 4)));
+        group.push(mesh_latency_series(
+            scale,
+            format!("Mesh, cl={cl}"),
+            BufferRegime::FourFlit,
+            cl,
+            wl(1.0, 4),
+        ));
+        group.push(ring_latency_series(
+            scale,
+            format!("Ring, cl={cl}"),
+            2,
+            cl,
+            wl(1.0, 4),
+        ));
     }
-    vec![("mesh vs double-speed-global rings (R=1.0, C=0.04, T=4)".into(), group)]
+    vec![(
+        "mesh vs double-speed-global rings (R=1.0, C=0.04, T=4)".into(),
+        group,
+    )]
 }
 
 /// Prints a figure's groups as aligned tables, with cross-over points
@@ -477,11 +637,17 @@ pub fn print_figure(name: &str, data: &FigureData) {
                 .next()
                 .unwrap_or(name)
                 .chars()
-                .map(|c| if c.is_alphanumeric() { c.to_ascii_lowercase() } else { '_' })
+                .map(|c| {
+                    if c.is_alphanumeric() {
+                        c.to_ascii_lowercase()
+                    } else {
+                        '_'
+                    }
+                })
                 .collect();
             let path = std::path::Path::new(&dir).join(format!("{slug}_{i}.csv"));
-            if let Err(e) = std::fs::create_dir_all(&dir)
-                .and_then(|()| std::fs::write(&path, table.to_csv()))
+            if let Err(e) =
+                std::fs::create_dir_all(&dir).and_then(|()| std::fs::write(&path, table.to_csv()))
             {
                 eprintln!("warning: could not write {}: {e}", path.display());
             }
@@ -493,8 +659,15 @@ pub fn print_figure(name: &str, data: &FigureData) {
                 let ring_label = format!("Ring{rest}");
                 if let Some(ring) = series.iter().find(|r| r.label == ring_label) {
                     match ring.crossover_with(s) {
-                        Some(x) => println!("  cross-over ({}): {:.0} nodes", rest.trim_start_matches(", "), x),
-                        None => println!("  cross-over ({}): none in range", rest.trim_start_matches(", ")),
+                        Some(x) => println!(
+                            "  cross-over ({}): {:.0} nodes",
+                            rest.trim_start_matches(", "),
+                            x
+                        ),
+                        None => println!(
+                            "  cross-over ({}): none in range",
+                            rest.trim_start_matches(", ")
+                        ),
                     }
                 }
             }
@@ -514,7 +687,10 @@ mod tests {
         let ring128 = &t.rows[3];
         assert_eq!(ring128[2], "144");
         let mesh128 = &t.rows[7];
-        assert_eq!(&mesh128[2..], &["576".to_string(), "64".into(), "16".into()]);
+        assert_eq!(
+            &mesh128[2..],
+            &["576".to_string(), "64".into(), "16".into()]
+        );
     }
 
     #[test]

@@ -57,5 +57,6 @@ mod system;
 pub mod topologies;
 
 pub use config::{NetworkSpec, SimParams, SystemConfig};
+pub use ringmesh_trace::{TraceConfig, TraceReport};
 pub use sweep::{run_points, run_series, series_of, Scale};
 pub use system::{run_config, RunError, RunResult, System};

@@ -77,7 +77,9 @@ fn run_point(cfg: SystemConfig, x: f64) -> Option<RunResult> {
     let desc = cfg.network.label();
     let seed = cfg.seed;
     for attempt in 0..3u64 {
-        let c = cfg.clone().with_seed(seed.wrapping_add(attempt * 0x9e37_79b9));
+        let c = cfg
+            .clone()
+            .with_seed(seed.wrapping_add(attempt * 0x9e37_79b9));
         match run_config(c) {
             Ok(result) => {
                 if result.latency.n == 0 {
@@ -140,14 +142,19 @@ mod tests {
     #[test]
     fn run_series_collects_points() {
         let mk = |n: u32| {
-            SystemConfig::new(NetworkSpec::ring(ringmesh_ring::RingSpec::single(n)), CacheLineSize::B32)
-                .with_sim(crate::SimParams { warmup: 200, batch_cycles: 200, batches: 3 })
+            SystemConfig::new(
+                NetworkSpec::ring(ringmesh_ring::RingSpec::single(n)),
+                CacheLineSize::B32,
+            )
+            .with_sim(crate::SimParams {
+                warmup: 200,
+                batch_cycles: 200,
+                batches: 3,
+            })
         };
-        let s = run_series(
-            "demo",
-            vec![(2.0, mk(2)), (4.0, mk(4))],
-            |r| r.mean_latency(),
-        );
+        let s = run_series("demo", vec![(2.0, mk(2)), (4.0, mk(4))], |r| {
+            r.mean_latency()
+        });
         assert_eq!(s.points.len(), 2);
         assert!(s.points.iter().all(|&(_, y)| y > 0.0));
     }

@@ -8,6 +8,7 @@ use ringmesh_mesh::{MeshConfig, MeshNetwork, MeshTopology};
 use ringmesh_net::{Interconnect, NodeId, Packet, PacketFormat, UtilizationReport};
 use ringmesh_ring::{RingConfig, RingNetwork, SlottedRingNetwork};
 use ringmesh_stats::{BatchMeans, Histogram, Summary};
+use ringmesh_trace::{TraceConfig, TraceReport, Tracer};
 use ringmesh_workload::{Mmrp, MmrpStats, PacketSizer, Placement};
 
 use crate::config::{NetworkSpec, SystemConfig};
@@ -109,7 +110,9 @@ impl System {
                     let net = RingNetwork::new(spec, rc);
                     (
                         Box::new(net),
-                        Placement::Linear { pms: spec.num_pms() },
+                        Placement::Linear {
+                            pms: spec.num_pms(),
+                        },
                         PacketFormat::RING,
                     )
                 }
@@ -119,14 +122,20 @@ impl System {
                     }
                     let mc = MeshConfig::new(cfg.cache_line).with_buffers(*buffers);
                     let net = MeshNetwork::new(MeshTopology::new(*side), mc);
-                    (Box::new(net), Placement::Grid { side: *side }, PacketFormat::MESH)
+                    (
+                        Box::new(net),
+                        Placement::Grid { side: *side },
+                        PacketFormat::MESH,
+                    )
                 }
                 NetworkSpec::SlottedRing { spec } => {
                     let rc = RingConfig::new(cfg.cache_line);
                     let net = SlottedRingNetwork::new(spec, rc);
                     (
                         Box::new(net),
-                        Placement::Linear { pms: spec.num_pms() },
+                        Placement::Linear {
+                            pms: spec.num_pms(),
+                        },
                         PacketFormat::RING,
                     )
                 }
@@ -160,7 +169,9 @@ impl System {
             cache_line: ring_cfg.cache_line,
         };
         let workload = Mmrp::new(
-            Placement::Linear { pms: spec.num_pms() },
+            Placement::Linear {
+                pms: spec.num_pms(),
+            },
             cfg.workload,
             cfg.memory,
             sizer,
@@ -179,6 +190,28 @@ impl System {
     ///
     /// Returns [`RunError::Stall`] if the network deadlocks.
     pub fn run(mut self) -> Result<RunResult, RunError> {
+        self.run_mut()
+    }
+
+    /// Runs like [`run`](System::run) with a recording tracer installed
+    /// in the network, and returns the finalized trace alongside the
+    /// results.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RunError::Stall`] if the network deadlocks.
+    pub fn run_traced(mut self, tcfg: TraceConfig) -> Result<(RunResult, TraceReport), RunError> {
+        self.net.set_tracer(Tracer::recording(tcfg));
+        let result = self.run_mut()?;
+        let report = self
+            .net
+            .take_tracer()
+            .and_then(Tracer::finish)
+            .expect("recording tracer was installed");
+        Ok((result, report))
+    }
+
+    fn run_mut(&mut self) -> Result<RunResult, RunError> {
         let sim = self.cfg.sim;
         let mut latency = BatchMeans::new(sim.warmup, sim.batch_cycles, sim.batches);
         let mut histogram = Histogram::new();
@@ -195,7 +228,7 @@ impl System {
             delivered.clear();
             net.step(&mut delivered)?;
             // Deliveries happen during cycle `now`; timestamp them so.
-            self.workload.post_cycle(&delivered, now, &mut samples);
+            self.workload.post_cycle(net, &delivered, now, &mut samples);
             for &(t, v) in &samples {
                 latency.record(t, v);
                 if t >= sim.warmup {
@@ -234,7 +267,9 @@ pub(crate) fn run_prebuilt(
 ) -> Result<RunResult, RunError> {
     let (placement, format) = match &cfg.network {
         NetworkSpec::Ring { spec, .. } | NetworkSpec::SlottedRing { spec } => (
-            Placement::Linear { pms: spec.num_pms() },
+            Placement::Linear {
+                pms: spec.num_pms(),
+            },
             PacketFormat::RING,
         ),
         NetworkSpec::Mesh { side, .. } => (Placement::Grid { side: *side }, PacketFormat::MESH),
@@ -269,7 +304,11 @@ mod tests {
         let r = run_config(cfg).unwrap();
         assert!(r.latency.n >= 4, "batches populated: {:?}", r.latency);
         // Zero-load-ish latency on a 4-ring: a couple of hops + memory.
-        assert!(r.mean_latency() > 10.0 && r.mean_latency() < 100.0, "{}", r.mean_latency());
+        assert!(
+            r.mean_latency() > 10.0 && r.mean_latency() < 100.0,
+            "{}",
+            r.mean_latency()
+        );
         assert!(r.throughput > 0.0);
         assert!(r.workload.retired > 0);
     }
@@ -278,13 +317,20 @@ mod tests {
     fn small_mesh_runs_and_measures() {
         let cfg = quick(NetworkSpec::mesh(2), CacheLineSize::B32);
         let r = run_config(cfg).unwrap();
-        assert!(r.mean_latency() > 10.0 && r.mean_latency() < 200.0, "{}", r.mean_latency());
+        assert!(
+            r.mean_latency() > 10.0 && r.mean_latency() < 200.0,
+            "{}",
+            r.mean_latency()
+        );
         assert!(r.utilization.overall > 0.0);
     }
 
     #[test]
     fn equal_seeds_replay_exactly() {
-        let cfg = quick(NetworkSpec::ring("2:3".parse().unwrap()), CacheLineSize::B64);
+        let cfg = quick(
+            NetworkSpec::ring("2:3".parse().unwrap()),
+            CacheLineSize::B64,
+        );
         let a = run_config(cfg.clone()).unwrap();
         let b = run_config(cfg).unwrap();
         assert_eq!(a.latency, b.latency);
@@ -293,7 +339,10 @@ mod tests {
 
     #[test]
     fn different_seeds_differ() {
-        let base = quick(NetworkSpec::ring("2:3".parse().unwrap()), CacheLineSize::B64);
+        let base = quick(
+            NetworkSpec::ring("2:3".parse().unwrap()),
+            CacheLineSize::B64,
+        );
         let a = run_config(base.clone().with_seed(1)).unwrap();
         let b = run_config(base.with_seed(2)).unwrap();
         assert_ne!(a.latency.mean, b.latency.mean);
@@ -333,7 +382,10 @@ mod tests {
     #[test]
     fn invalid_mesh_rejected() {
         let cfg = quick(
-            NetworkSpec::Mesh { side: 0, buffers: ringmesh_net::BufferRegime::FourFlit },
+            NetworkSpec::Mesh {
+                side: 0,
+                buffers: ringmesh_net::BufferRegime::FourFlit,
+            },
             CacheLineSize::B32,
         );
         assert!(matches!(System::new(cfg), Err(RunError::InvalidConfig(_))));

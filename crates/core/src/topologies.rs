@@ -171,10 +171,7 @@ pub fn ring_size_ladder(cl: CacheLineSize, max_pms: u32) -> Vec<(u32, RingSpec)>
 
 /// Mesh-natural sizes: perfect squares `4..=max_pms`.
 pub fn mesh_size_ladder(max_pms: u32) -> Vec<u32> {
-    (2..)
-        .map(|s| s * s)
-        .take_while(|&p| p <= max_pms)
-        .collect()
+    (2..).map(|s| s * s).take_while(|&p| p <= max_pms).collect()
 }
 
 #[cfg(test)]
@@ -254,7 +251,11 @@ mod tests {
         ] {
             let ours = best_spec(p, cl, None).unwrap();
             let table = table2(p, cl).unwrap();
-            assert_eq!(ours.levels(), table.levels(), "p={p} cl={cl}: {ours} vs {table}");
+            assert_eq!(
+                ours.levels(),
+                table.levels(),
+                "p={p} cl={cl}: {ours} vs {table}"
+            );
         }
     }
 
@@ -291,7 +292,13 @@ mod tests {
     fn max_size_tables_match_paper() {
         use CacheLineSize::*;
         assert_eq!([B16, B32, B64, B128].map(single_ring_max), [12, 8, 6, 4]);
-        assert_eq!([B16, B32, B64, B128].map(three_level_max), [108, 72, 54, 36]);
-        assert_eq!([B16, B32, B64, B128].map(double_speed_max), [180, 120, 90, 60]);
+        assert_eq!(
+            [B16, B32, B64, B128].map(three_level_max),
+            [108, 72, 54, 36]
+        );
+        assert_eq!(
+            [B16, B32, B64, B128].map(double_speed_max),
+            [180, 120, 90, 60]
+        );
     }
 }

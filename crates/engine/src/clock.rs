@@ -40,9 +40,31 @@ pub trait ClockedSystem {
 /// let next = run_cycles(&mut c, 0, 100);
 /// assert_eq!((c.0, next), (100, 100));
 /// ```
-pub fn run_cycles<S: ClockedSystem>(system: &mut S, first_cycle: SimTime, cycles: SimTime) -> SimTime {
+pub fn run_cycles<S: ClockedSystem>(
+    system: &mut S,
+    first_cycle: SimTime,
+    cycles: SimTime,
+) -> SimTime {
     let end = first_cycle + cycles;
     for c in first_cycle..end {
+        system.step_cycle(c);
+    }
+    end
+}
+
+/// Like [`run_cycles`], but announces each cycle to `tracer` before the
+/// system steps it, so batch windows in an attached recorder line up
+/// with clock-phase boundaries. With a disabled tracer this costs one
+/// predictable branch per cycle.
+pub fn run_cycles_traced<S: ClockedSystem>(
+    system: &mut S,
+    first_cycle: SimTime,
+    cycles: SimTime,
+    tracer: &mut ringmesh_trace::Tracer,
+) -> SimTime {
+    let end = first_cycle + cycles;
+    for c in first_cycle..end {
+        tracer.cycle(c);
         system.step_cycle(c);
     }
     end
@@ -123,6 +145,16 @@ mod tests {
         let next = run_cycles(&mut r, 5, 4);
         assert_eq!(r.0, vec![5, 6, 7, 8]);
         assert_eq!(next, 9);
+    }
+
+    #[test]
+    fn traced_run_announces_every_cycle() {
+        let mut r = Recorder(Vec::new());
+        let mut t = ringmesh_trace::Tracer::recording(Default::default());
+        let next = run_cycles_traced(&mut r, 0, 3, &mut t);
+        assert_eq!((r.0.clone(), next), (vec![0, 1, 2], 3));
+        let rep = t.finish().unwrap();
+        assert_eq!(rep.cycles, 3);
     }
 
     #[test]

@@ -48,7 +48,7 @@ mod rng;
 mod watchdog;
 
 pub use calendar::EventCalendar;
-pub use clock::{run_cycles, ClockDivider, ClockedSystem};
+pub use clock::{run_cycles, run_cycles_traced, ClockDivider, ClockedSystem};
 pub use facility::{Facility, FacilityStats, RequestOutcome};
 pub use rng::SimRng;
 pub use watchdog::{StallError, Watchdog};

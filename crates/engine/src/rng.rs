@@ -3,12 +3,14 @@
 //! Every stochastic element of the simulation (per-processor reference
 //! streams, read/write coin flips) draws from a [`SimRng`] derived from
 //! a single experiment seed, so whole experiments replay bit-for-bit.
-
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
+//!
+//! The generator is a self-contained xoshiro256++ (Blackman & Vigna),
+//! seeded through splitmix64 — the standard seeding recipe — so the
+//! simulator carries no external RNG dependency.
 
 /// Mixes a 64-bit value through the `splitmix64` finalizer; used to
-/// derive well-separated child seeds from `(seed, stream-id)` pairs.
+/// derive well-separated child seeds from `(seed, stream-id)` pairs and
+/// to expand a 64-bit seed into the generator's 256-bit state.
 fn splitmix64(mut z: u64) -> u64 {
     z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
     z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
@@ -19,9 +21,9 @@ fn splitmix64(mut z: u64) -> u64 {
 /// A seedable random-number generator with the variates the M-MRP
 /// workload model needs.
 ///
-/// Wraps a non-cryptographic PRNG (`rand::rngs::SmallRng`); use
-/// [`SimRng::stream`] to derive independent per-component generators
-/// from one experiment seed.
+/// Wraps a non-cryptographic xoshiro256++ core; use [`SimRng::stream`]
+/// to derive independent per-component generators from one experiment
+/// seed.
 ///
 /// # Example
 ///
@@ -35,16 +37,21 @@ fn splitmix64(mut z: u64) -> u64 {
 #[derive(Debug, Clone)]
 pub struct SimRng {
     seed: u64,
-    rng: SmallRng,
+    state: [u64; 4],
 }
 
 impl SimRng {
     /// Creates a generator from a 64-bit seed.
     pub fn from_seed(seed: u64) -> Self {
-        SimRng {
-            seed,
-            rng: SmallRng::seed_from_u64(splitmix64(seed)),
-        }
+        // Expand the seed through a splitmix64 chain; the all-zero
+        // state (unreachable from splitmix64 output in practice) would
+        // be the only invalid one.
+        let mut s = splitmix64(seed);
+        let state = std::array::from_fn(|_| {
+            s = splitmix64(s);
+            s
+        });
+        SimRng { seed, state }
     }
 
     /// Derives an independent generator for stream `id`.
@@ -54,12 +61,28 @@ impl SimRng {
     /// depends only on the root seed, not on how many values have been
     /// drawn from `self`.
     pub fn stream(&self, id: u64) -> SimRng {
-        SimRng::from_seed(splitmix64(self.seed ^ splitmix64(id.wrapping_add(0xA5A5_5A5A))))
+        SimRng::from_seed(splitmix64(
+            self.seed ^ splitmix64(id.wrapping_add(0xA5A5_5A5A)),
+        ))
     }
 
     /// The root seed this generator was created from.
     pub fn seed(&self) -> u64 {
         self.seed
+    }
+
+    /// The xoshiro256++ step: full-period 64-bit output.
+    fn next_u64(&mut self) -> u64 {
+        let s = &mut self.state;
+        let result = s[0].wrapping_add(s[3]).rotate_left(23).wrapping_add(s[0]);
+        let t = s[1] << 17;
+        s[2] ^= s[0];
+        s[3] ^= s[1];
+        s[1] ^= s[2];
+        s[0] ^= s[3];
+        s[2] ^= t;
+        s[3] = s[3].rotate_left(45);
+        result
     }
 
     /// Uniform integer in `[0, bound)`.
@@ -69,12 +92,20 @@ impl SimRng {
     /// Panics if `bound` is zero.
     pub fn uniform_usize(&mut self, bound: usize) -> usize {
         assert!(bound > 0, "uniform_usize bound must be positive");
-        self.rng.gen_range(0..bound)
+        // Lemire's multiply-shift reduction: bias is at most
+        // bound / 2^64, far below anything a simulation could observe.
+        ((u128::from(self.next_u64()) * bound as u128) >> 64) as usize
     }
 
     /// Uniform float in `[0, 1)`.
     pub fn uniform_f64(&mut self) -> f64 {
-        self.rng.gen::<f64>()
+        // 53 top bits — the standard uniform-double recipe.
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Uniform float in `(0, 1]` — safe to feed to `ln()`.
+    fn uniform_open0(&mut self) -> f64 {
+        1.0 - self.uniform_f64()
     }
 
     /// Bernoulli trial: true with probability `p`.
@@ -84,14 +115,13 @@ impl SimRng {
     /// Panics if `p` is outside `[0, 1]`.
     pub fn bernoulli(&mut self, p: f64) -> bool {
         assert!((0.0..=1.0).contains(&p), "probability {p} outside [0,1]");
-        self.rng.gen::<f64>() < p
+        self.uniform_f64() < p
     }
 
     /// Exponentially distributed value with the given `mean`.
     pub fn exponential(&mut self, mean: f64) -> f64 {
         assert!(mean > 0.0, "exponential mean must be positive");
-        let u: f64 = self.rng.gen_range(f64::MIN_POSITIVE..1.0);
-        -mean * u.ln()
+        -mean * self.uniform_open0().ln()
     }
 
     /// Geometrically distributed trial count (>= 1) with success
@@ -102,7 +132,7 @@ impl SimRng {
         if p >= 1.0 {
             return 1;
         }
-        let u: f64 = self.rng.gen_range(f64::MIN_POSITIVE..1.0);
+        let u = self.uniform_open0();
         (u.ln() / (1.0 - p).ln()).ceil().max(1.0) as u64
     }
 }
@@ -124,7 +154,9 @@ mod tests {
     fn different_seeds_diverge() {
         let mut a = SimRng::from_seed(1);
         let mut b = SimRng::from_seed(2);
-        let same = (0..64).filter(|_| a.uniform_usize(1 << 30) == b.uniform_usize(1 << 30)).count();
+        let same = (0..64)
+            .filter(|_| a.uniform_usize(1 << 30) == b.uniform_usize(1 << 30))
+            .count();
         assert!(same < 4, "sequences should be essentially disjoint");
     }
 
@@ -179,5 +211,13 @@ mod tests {
     fn geometric_with_p_one_is_one() {
         let mut r = SimRng::from_seed(17);
         assert_eq!(r.geometric(1.0), 1);
+    }
+
+    #[test]
+    fn uniform_f64_in_unit_interval() {
+        let mut r = SimRng::from_seed(21);
+        assert!((0..10_000)
+            .map(|_| r.uniform_f64())
+            .all(|v| (0.0..1.0).contains(&v)));
     }
 }

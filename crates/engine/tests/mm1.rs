@@ -22,14 +22,22 @@ fn simulate_mm1(lambda: f64, mu: f64, customers: u64, seed: u64) -> (f64, f64) {
     let mut completed = 0u64;
     let mut next_id = 0u64;
 
-    cal.schedule(rng.exponential(1.0 / lambda).ceil() as u64, Event::Arrival(0));
+    cal.schedule(
+        rng.exponential(1.0 / lambda).ceil() as u64,
+        Event::Arrival(0),
+    );
     while completed < customers {
-        let Some((now, event)) = cal.next() else { break };
+        let Some((now, event)) = cal.next() else {
+            break;
+        };
         match event {
             Event::Arrival(id) => {
                 arrivals.insert(id, now);
                 if server.request(now, id, 0) == RequestOutcome::Granted {
-                    cal.schedule(rng.exponential(1.0 / mu).ceil().max(1.0) as u64, Event::Departure(id));
+                    cal.schedule(
+                        rng.exponential(1.0 / mu).ceil().max(1.0) as u64,
+                        Event::Departure(id),
+                    );
                 }
                 next_id += 1;
                 cal.schedule(
@@ -42,7 +50,10 @@ fn simulate_mm1(lambda: f64, mu: f64, customers: u64, seed: u64) -> (f64, f64) {
                 total_time += (now - arrived) as f64;
                 completed += 1;
                 if let Some(next) = server.release(now) {
-                    cal.schedule(rng.exponential(1.0 / mu).ceil().max(1.0) as u64, Event::Departure(next));
+                    cal.schedule(
+                        rng.exponential(1.0 / mu).ceil().max(1.0) as u64,
+                        Event::Departure(next),
+                    );
                 }
             }
         }
@@ -73,5 +84,8 @@ fn mm1_latency_explodes_near_saturation() {
     let (w_moderate, _) = simulate_mm1(0.02, 0.05, 30_000, 3);
     let (w_near_sat, _) = simulate_mm1(0.045, 0.05, 30_000, 3);
     // Theory: 33.3 vs 200 cycles; demand a clear blow-up.
-    assert!(w_near_sat > 3.0 * w_moderate, "{w_moderate} -> {w_near_sat}");
+    assert!(
+        w_near_sat > 3.0 * w_moderate,
+        "{w_moderate} -> {w_near_sat}"
+    );
 }

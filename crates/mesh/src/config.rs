@@ -68,7 +68,17 @@ mod tests {
     #[test]
     fn buffer_regimes() {
         let cl = CacheLineSize::B128;
-        assert_eq!(MeshConfig::new(cl).with_buffers(BufferRegime::OneFlit).buffer_flits(), 1);
-        assert_eq!(MeshConfig::new(cl).with_buffers(BufferRegime::CacheLine).buffer_flits(), 36);
+        assert_eq!(
+            MeshConfig::new(cl)
+                .with_buffers(BufferRegime::OneFlit)
+                .buffer_flits(),
+            1
+        );
+        assert_eq!(
+            MeshConfig::new(cl)
+                .with_buffers(BufferRegime::CacheLine)
+                .buffer_flits(),
+            36
+        );
     }
 }

@@ -4,6 +4,7 @@ use ringmesh_engine::{StallError, Watchdog};
 use ringmesh_net::{
     Interconnect, LevelUtil, NodeId, Packet, PacketStore, QueueClass, UtilizationReport,
 };
+use ringmesh_trace::{Counter, EventKind, Gauge, Heatmap, HeatmapId, Probe, TraceLoc, Tracer};
 
 use crate::router::{Router, Send};
 use crate::topology::MeshTopology;
@@ -49,6 +50,13 @@ pub struct MeshNetwork {
     link_flits: u64,
     reset_cycle: u64,
     watchdog: Watchdog,
+    /// Observability sink; disabled (free) unless installed via
+    /// [`Interconnect::set_tracer`].
+    tracer: Tracer,
+    /// Link-utilization heatmap handle (rows × cols = the mesh grid;
+    /// each cell counts flits arriving at that router), registered when
+    /// a recording tracer is installed.
+    link_heat: Option<HeatmapId>,
 }
 
 impl MeshNetwork {
@@ -70,6 +78,8 @@ impl MeshNetwork {
             link_flits: 0,
             reset_cycle: 0,
             watchdog: Watchdog::new(horizon),
+            tracer: Tracer::off(),
+            link_heat: None,
         }
     }
 
@@ -81,6 +91,56 @@ impl MeshNetwork {
     /// The configuration the network was built with.
     pub fn config(&self) -> &MeshConfig {
         &self.cfg
+    }
+
+    /// Tracing for one stepped cycle: link-transfer counts and heatmap
+    /// bumps, Hop events for sampled head flits, delivery counts and
+    /// Eject events, blocked-cycle counts, and the occupancy gauges.
+    /// Only called while the tracer is enabled.
+    fn trace_cycle(&mut self, now: u64, blocked: u64, newly: &[(NodeId, Packet)]) {
+        self.tracer
+            .count(Counter::FlitsForwarded, self.sends.len() as u64);
+        self.tracer.count(Counter::BlockedCycles, blocked);
+        for i in 0..self.sends.len() {
+            let s = self.sends[i];
+            let (row, col) = self.topo.coords(NodeId::new(s.to_node));
+            if let Some(id) = self.link_heat {
+                self.tracer.heatmap(id, row as usize, col as usize, 1);
+            }
+            if s.flit.is_head() {
+                let txn = self.store.get(s.flit.packet).txn.raw();
+                self.tracer
+                    .event(txn, now, TraceLoc::MeshNode { row, col }, EventKind::Hop);
+            }
+        }
+        if !newly.is_empty() {
+            self.tracer
+                .count(Counter::PacketsDelivered, newly.len() as u64);
+            for (pm, pkt) in newly {
+                let (row, col) = self.topo.coords(*pm);
+                self.tracer.event(
+                    pkt.txn.raw(),
+                    now,
+                    TraceLoc::MeshNode { row, col },
+                    EventKind::Eject,
+                );
+            }
+        }
+        // Split-borrow dance: probe reads &self while writing the
+        // tracer, so temporarily take the tracer out.
+        let mut t = std::mem::take(&mut self.tracer);
+        self.probe(&mut t);
+        self.tracer = t;
+    }
+}
+
+impl Probe for MeshNetwork {
+    /// Publishes occupancy gauges: flits in router input buffers and
+    /// live packets.
+    fn probe(&self, t: &mut Tracer) {
+        let inputs: usize = self.routers.iter().map(Router::occupancy).sum();
+        t.gauge(Gauge::MeshInputOccupancy, inputs as f64);
+        t.gauge(Gauge::InFlightPackets, self.store.live() as f64);
     }
 }
 
@@ -106,13 +166,33 @@ impl Interconnect for MeshNetwork {
             packet.dst
         );
         let class = QueueClass::of(packet.kind);
+        if self.tracer.is_enabled() {
+            let (row, col) = self.topo.coords(pm);
+            self.tracer.count(Counter::PacketsInjected, 1);
+            self.tracer.event(
+                packet.txn.raw(),
+                self.cycle,
+                TraceLoc::MeshNode { row, col },
+                EventKind::Inject {
+                    src: packet.src.index() as u32,
+                    dst: packet.dst.index() as u32,
+                    flits: packet.flits,
+                },
+            );
+        }
         let r = self.store.insert(packet);
         self.routers[pm.index()].enqueue(class, r);
     }
 
     fn step(&mut self, delivered: &mut Vec<(NodeId, Packet)>) -> Result<(), StallError> {
         let now = self.cycle;
+        let enabled = self.tracer.is_enabled();
+        let mark = delivered.len();
+        if enabled {
+            self.tracer.cycle(now);
+        }
         let mut moved = 0u64;
+        let mut blocked = 0u64;
         self.sends.clear();
         for i in 0..self.routers.len() {
             self.routers[i].step(
@@ -123,6 +203,7 @@ impl Interconnect for MeshNetwork {
                 &mut self.sends,
                 delivered,
                 &mut moved,
+                &mut blocked,
             );
         }
         for i in 0..self.sends.len() {
@@ -133,6 +214,9 @@ impl Interconnect for MeshNetwork {
         }
         moved += self.sends.len() as u64;
         self.link_flits += self.sends.len() as u64;
+        if enabled {
+            self.trace_cycle(now, blocked, &delivered[mark..]);
+        }
         for i in 0..self.routers.len() {
             self.routers[i].latch(&mut self.go);
         }
@@ -163,6 +247,36 @@ impl Interconnect for MeshNetwork {
     fn reset_counters(&mut self) {
         self.link_flits = 0;
         self.reset_cycle = self.cycle;
+    }
+
+    fn set_tracer(&mut self, tracer: Tracer) {
+        self.tracer = tracer;
+        if self.tracer.is_enabled() {
+            let side = self.topo.side() as usize;
+            self.link_heat = self.tracer.add_heatmap(Heatmap::new(
+                "flits arriving per mesh router",
+                "row",
+                "col",
+                side,
+                side,
+            ));
+        }
+    }
+
+    fn tracer_mut(&mut self) -> Option<&mut Tracer> {
+        if self.tracer.is_enabled() {
+            Some(&mut self.tracer)
+        } else {
+            None
+        }
+    }
+
+    fn take_tracer(&mut self) -> Option<Tracer> {
+        if self.tracer.is_enabled() {
+            Some(std::mem::take(&mut self.tracer))
+        } else {
+            None
+        }
     }
 }
 
@@ -287,8 +401,14 @@ mod tests {
         let cfg = MeshConfig::new(CacheLineSize::B64);
         let mut net = MeshNetwork::new(MeshTopology::new(3), cfg.clone());
         let dst = 5; // (1,2)
-        net.inject(NodeId::new(0), packet(&cfg, 1, PacketKind::ReadResp, 0, dst));
-        net.inject(NodeId::new(6), packet(&cfg, 2, PacketKind::ReadResp, 6, dst));
+        net.inject(
+            NodeId::new(0),
+            packet(&cfg, 1, PacketKind::ReadResp, 0, dst),
+        );
+        net.inject(
+            NodeId::new(6),
+            packet(&cfg, 2, PacketKind::ReadResp, 6, dst),
+        );
         let mut out = Vec::new();
         for _ in 0..500 {
             net.step(&mut out).unwrap();
@@ -330,7 +450,10 @@ mod tests {
                 let d = (s + 1 + round % (p - 1)) % p;
                 if d != s && net.can_inject(NodeId::new(s), QueueClass::Request) {
                     txn += 1;
-                    net.inject(NodeId::new(s), packet(&cfg, txn, PacketKind::WriteReq, s, d));
+                    net.inject(
+                        NodeId::new(s),
+                        packet(&cfg, txn, PacketKind::WriteReq, s, d),
+                    );
                 }
             }
             net.step(&mut out).unwrap();
@@ -369,14 +492,17 @@ mod arbitration_tests {
             for (i, src) in [0u32, 6].into_iter().enumerate() {
                 if net.can_inject(NodeId::new(src), QueueClass::Request) {
                     txn += 1;
-                    net.inject(NodeId::new(src), Packet {
-                        txn: TxnId::new(txn * 2 + i as u64),
-                        kind: PacketKind::WriteReq,
-                        src: NodeId::new(src),
-                        dst: NodeId::new(5),
-                        flits: cfg.format.flits(PacketKind::WriteReq, cfg.cache_line),
-                        injected_at: 0,
-                    });
+                    net.inject(
+                        NodeId::new(src),
+                        Packet {
+                            txn: TxnId::new(txn * 2 + i as u64),
+                            kind: PacketKind::WriteReq,
+                            src: NodeId::new(src),
+                            dst: NodeId::new(5),
+                            flits: cfg.format.flits(PacketKind::WriteReq, cfg.cache_line),
+                            injected_at: 0,
+                        },
+                    );
                 }
             }
             delivered.clear();
@@ -396,8 +522,7 @@ mod arbitration_tests {
     #[test]
     fn interconnect_is_object_safe() {
         let cfg = MeshConfig::new(CacheLineSize::B32);
-        let boxed: Box<dyn Interconnect> =
-            Box::new(MeshNetwork::new(MeshTopology::new(2), cfg));
+        let boxed: Box<dyn Interconnect> = Box::new(MeshNetwork::new(MeshTopology::new(2), cfg));
         assert_eq!(boxed.num_pms(), 4);
         assert_eq!(boxed.cycle(), 0);
     }

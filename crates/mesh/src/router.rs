@@ -59,6 +59,11 @@ impl Router {
         &mut self.inputs[port]
     }
 
+    /// Total flits across the five input buffers (occupancy gauge probe).
+    pub(crate) fn occupancy(&self) -> usize {
+        self.inputs.iter().map(FlitFifo::len).sum()
+    }
+
     pub(crate) fn can_accept(&self, class: QueueClass) -> bool {
         match class {
             QueueClass::Request => self.out_req.can_accept(),
@@ -85,6 +90,7 @@ impl Router {
         sends: &mut Vec<Send>,
         delivered: &mut Vec<(NodeId, Packet)>,
         moved: &mut u64,
+        blocked: &mut u64,
     ) {
         // 1. PM injection: serialize queued packets (responses first)
         //    into the local input buffer at one flit per cycle.
@@ -170,6 +176,8 @@ impl Router {
                             flit,
                         });
                     }
+                } else if self.inputs[i].front_ready(now).is_some() {
+                    *blocked += 1;
                 }
             }
         }

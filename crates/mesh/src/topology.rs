@@ -124,7 +124,10 @@ impl MeshTopology {
     ///
     /// Panics if out of range.
     pub fn node_at(&self, row: u32, col: u32) -> NodeId {
-        assert!(row < self.side && col < self.side, "({row},{col}) outside mesh");
+        assert!(
+            row < self.side && col < self.side,
+            "({row},{col}) outside mesh"
+        );
         NodeId::new(row * self.side + col)
     }
 
@@ -175,7 +178,9 @@ impl MeshTopology {
         let mut path = vec![src];
         let mut cur = src;
         while let Some(dir) = self.ecube(cur, dst) {
-            cur = self.neighbor(cur, dir).expect("e-cube never leaves the mesh");
+            cur = self
+                .neighbor(cur, dir)
+                .expect("e-cube never leaves the mesh");
             path.push(cur);
         }
         path
@@ -210,8 +215,14 @@ mod tests {
         // Corner 0 has no N/W neighbours.
         assert_eq!(m.neighbor(NodeId::new(0), Direction::North), None);
         assert_eq!(m.neighbor(NodeId::new(0), Direction::West), None);
-        assert_eq!(m.neighbor(NodeId::new(0), Direction::East), Some(NodeId::new(1)));
-        assert_eq!(m.neighbor(NodeId::new(0), Direction::South), Some(NodeId::new(3)));
+        assert_eq!(
+            m.neighbor(NodeId::new(0), Direction::East),
+            Some(NodeId::new(1))
+        );
+        assert_eq!(
+            m.neighbor(NodeId::new(0), Direction::South),
+            Some(NodeId::new(3))
+        );
         // Centre has all four.
         for d in Direction::ALL {
             assert!(m.neighbor(NodeId::new(4), d).is_some());
@@ -243,11 +254,7 @@ mod tests {
         for a in 0..25u32 {
             for b in 0..25u32 {
                 let (a, b) = (NodeId::new(a), NodeId::new(b));
-                assert_eq!(
-                    m.path(a, b).len() as u32 - 1,
-                    m.manhattan(a, b),
-                    "{a}->{b}"
-                );
+                assert_eq!(m.path(a, b).len() as u32 - 1, m.manhattan(a, b), "{a}->{b}");
             }
         }
     }

@@ -265,7 +265,11 @@ impl DrainState {
     pub fn emit(&mut self) -> Flit {
         let (r, seq, total) = self.current.expect("emit on idle drain");
         let is_tail = seq + 1 == total;
-        self.current = if is_tail { None } else { Some((r, seq + 1, total)) };
+        self.current = if is_tail {
+            None
+        } else {
+            Some((r, seq + 1, total))
+        };
         Flit {
             packet: r,
             seq,
@@ -353,7 +357,11 @@ mod tests {
                 injected_at: 0,
             });
         }
-        Flit { packet: r, seq, is_tail: tail }
+        Flit {
+            packet: r,
+            seq,
+            is_tail: tail,
+        }
     }
 
     #[test]
@@ -454,7 +462,11 @@ mod tests {
         assert_eq!(a.push(head), None);
         assert!(a.is_mid_packet());
         assert_eq!(a.push(Flit { seq: 1, ..head }), None);
-        let done = a.push(Flit { seq: 2, is_tail: true, ..head });
+        let done = a.push(Flit {
+            seq: 2,
+            is_tail: true,
+            ..head
+        });
         assert_eq!(done, Some(head.packet));
         assert!(!a.is_mid_packet());
     }
@@ -499,10 +511,31 @@ mod complete_packet_tests {
         let r = mk_ref(&mut store);
         let mut f = FlitFifo::new(8);
         assert!(!f.has_complete_packet());
-        f.push(Flit { packet: r, seq: 0, is_tail: false }, 0);
-        f.push(Flit { packet: r, seq: 1, is_tail: false }, 1);
+        f.push(
+            Flit {
+                packet: r,
+                seq: 0,
+                is_tail: false,
+            },
+            0,
+        );
+        f.push(
+            Flit {
+                packet: r,
+                seq: 1,
+                is_tail: false,
+            },
+            1,
+        );
         assert!(!f.has_complete_packet(), "tail not yet arrived");
-        f.push(Flit { packet: r, seq: 2, is_tail: true }, 2);
+        f.push(
+            Flit {
+                packet: r,
+                seq: 2,
+                is_tail: true,
+            },
+            2,
+        );
         assert!(f.has_complete_packet());
         f.pop_ready(3).unwrap();
         f.pop_ready(3).unwrap();
@@ -517,8 +550,22 @@ mod complete_packet_tests {
         let a = mk_ref(&mut store);
         let b = mk_ref(&mut store);
         let mut f = FlitFifo::new(8);
-        f.push(Flit { packet: a, seq: 0, is_tail: true }, 0);
-        f.push(Flit { packet: b, seq: 0, is_tail: true }, 0);
+        f.push(
+            Flit {
+                packet: a,
+                seq: 0,
+                is_tail: true,
+            },
+            0,
+        );
+        f.push(
+            Flit {
+                packet: b,
+                seq: 0,
+                is_tail: true,
+            },
+            0,
+        );
         assert!(f.has_complete_packet());
         f.pop_ready(1).unwrap();
         assert!(f.has_complete_packet(), "second packet still complete");

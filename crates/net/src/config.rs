@@ -232,7 +232,10 @@ mod tests {
     fn table1_ring_column() {
         // Table 1 "Rings / cl" column: 32, 48, 80, 144 bytes (the paper's
         // printed 144B for 128-byte lines anchors the formula).
-        let got: Vec<u32> = CacheLineSize::ALL.iter().map(|&c| ring_nic_buffer_bytes(c)).collect();
+        let got: Vec<u32> = CacheLineSize::ALL
+            .iter()
+            .map(|&c| ring_nic_buffer_bytes(c))
+            .collect();
         assert_eq!(got, [32, 48, 80, 144]);
     }
 

@@ -3,6 +3,7 @@
 //! mesh simulators so experiments can swap networks freely.
 
 use ringmesh_engine::StallError;
+use ringmesh_trace::Tracer;
 
 use crate::packet::{NodeId, Packet};
 use crate::PacketKind;
@@ -114,6 +115,29 @@ pub trait Interconnect {
     /// Clears utilization counters (called at the end of the warm-up
     /// phase so statistics exclude initialization bias).
     fn reset_counters(&mut self);
+
+    /// Installs `tracer` as the network's observability sink; the
+    /// network announces each cycle to it and emits counters, gauges,
+    /// heatmap bumps and flit-lifecycle events (see `ringmesh-trace`).
+    /// The default implementation drops the tracer: networks that do
+    /// not support tracing simply record nothing.
+    fn set_tracer(&mut self, tracer: Tracer) {
+        drop(tracer);
+    }
+
+    /// The installed tracer, if tracing is supported and one was set.
+    /// Lets co-operating components (e.g. the workload driver) emit
+    /// their own counters into the same trace.
+    fn tracer_mut(&mut self) -> Option<&mut Tracer> {
+        None
+    }
+
+    /// Removes and returns the installed tracer so its recording can be
+    /// finalized into a report. `None` when tracing is unsupported or
+    /// no tracer was set.
+    fn take_tracer(&mut self) -> Option<Tracer> {
+        None
+    }
 }
 
 #[cfg(test)]
@@ -133,8 +157,14 @@ mod tests {
         let report = UtilizationReport {
             overall: 0.4,
             levels: vec![
-                LevelUtil { label: "local rings".into(), utilization: 0.3 },
-                LevelUtil { label: "global ring".into(), utilization: 0.9 },
+                LevelUtil {
+                    label: "local rings".into(),
+                    utilization: 0.3,
+                },
+                LevelUtil {
+                    label: "global ring".into(),
+                    utilization: 0.9,
+                },
             ],
         };
         assert_eq!(report.level("global ring"), Some(0.9));

@@ -312,9 +312,17 @@ mod tests {
 
     #[test]
     fn head_and_tail_flags() {
-        let f = Flit { packet: PacketRef(0), seq: 0, is_tail: false };
+        let f = Flit {
+            packet: PacketRef(0),
+            seq: 0,
+            is_tail: false,
+        };
         assert!(f.is_head());
-        let single = Flit { packet: PacketRef(0), seq: 0, is_tail: true };
+        let single = Flit {
+            packet: PacketRef(0),
+            seq: 0,
+            is_tail: true,
+        };
         assert!(single.is_head() && single.is_tail);
     }
 

@@ -19,28 +19,44 @@ pub struct RingConfig {
     pub format: PacketFormat,
     /// NIC output queue capacity per class, in packets (paper: 1).
     pub out_queue_packets: usize,
-    /// IRI up/down queue capacity per class, in cache-line packets.
-    /// `Some(2)` (the default) keeps the paper's finite, back-pressured
-    /// design — whose pacing realises nearly the full bisection
-    /// bandwidth — with one packet of slack beyond the paper's
-    /// single-packet buffers, which deadlock under wormhole switching
-    /// even inside the paper's parameter space. Finite queues can still
-    /// deadlock under extreme load (observed beyond the paper's space,
-    /// e.g. T = 8 on 4-level hierarchies — the watchdog reports it);
-    /// set `None` for elastic queues, which cannot deadlock but hold
-    /// saturated throughput ~30% lower. See DESIGN.md "Model fidelity
-    /// notes" and the `ablations` bench.
+    /// IRI *up* (child→parent) queue capacity per class, in cache-line
+    /// packets. `Some(2)` (the default) keeps the paper's finite,
+    /// back-pressured design — whose pacing realises nearly the full
+    /// bisection bandwidth — with one packet of slack beyond the
+    /// paper's single-packet buffers, which deadlock under wormhole
+    /// switching even inside the paper's parameter space. Set `None`
+    /// for elastic up queues (~30% lower saturated throughput; see the
+    /// `ablations` bench).
+    ///
+    /// The *down* (parent→child) queues are always elastic: descending
+    /// traffic only moves toward the leaves, where NIC ejection is
+    /// unconditional, so elastic down queues cannot grow without bound
+    /// — and they are what makes the hierarchy deadlock-free. With
+    /// finite down queues a descending worm can stall in its parent
+    /// ring's transit buffer while the queue's drain waits on ring
+    /// credits held by ascending traffic, closing a cross-level cycle
+    /// (observed at e.g. T = 8 on 4:3:6 with a double-speed global
+    /// ring). See DESIGN.md "Model fidelity notes".
     pub iri_queue_packets: Option<usize>,
     /// Transit (ring) buffer depth, in maximum-size packets (see
     /// [`ring_buffer_flits`](RingConfig::ring_buffer_flits)).
     pub ring_buffer_packets: usize,
-    /// Convoy-control threshold: when an IRI crossing queue holds more
-    /// than this many maximum-size packets, its drain takes priority
-    /// over continuing transit. Effectively disabled by default
-    /// (`usize::MAX / 2`): it does not change saturated throughput,
-    /// only moves queueing from the (uncounted) processor side to the
-    /// (counted) network side; kept as a knob for flow-control
-    /// experiments (see DESIGN.md and the `ablations` bench).
+    /// Convoy-control threshold: when an IRI's crossing queues for one
+    /// output link hold more than this many maximum-size packets, their
+    /// drain takes priority over continuing transit. With the down
+    /// queues elastic (see [`iri_queue_packets`]) this is what supplies
+    /// the pacing the paper's finite buffers provided: without it, a
+    /// double-speed global ring can flood the descent queues faster
+    /// than the transit-priority drain empties them, and the backlog —
+    /// and the tail latency of descending packets — grows without
+    /// bound. Defaults to 4 packets: low enough to keep every descent
+    /// queue stable at a 2× global ring (8 packets already lets one
+    /// queue diverge on 4:3:8), high enough that at 1× the saturated
+    /// throughput matches the unthrottled network. Set `usize::MAX / 2`
+    /// to disable for flow-control experiments (see DESIGN.md and the
+    /// `ablations` bench).
+    ///
+    /// [`iri_queue_packets`]: RingConfig::iri_queue_packets
     pub convoy_threshold_packets: usize,
     /// Clock multiplier for the global (root) ring: 1 = normal, 2 =
     /// the §6 double-speed global ring.
@@ -58,7 +74,7 @@ impl RingConfig {
             format: PacketFormat::RING,
             out_queue_packets: 1,
             ring_buffer_packets: 2,
-            convoy_threshold_packets: usize::MAX / 2,
+            convoy_threshold_packets: 4,
             iri_queue_packets: Some(2),
             global_ring_speedup: 1,
             watchdog_horizon: 10_000,
@@ -90,13 +106,20 @@ impl RingConfig {
         self.ring_buffer_packets * self.format.cl_packet_flits(self.cache_line) as usize
     }
 
-    /// IRI up/down queue depth in flits per class (a huge sentinel
-    /// capacity when elastic).
+    /// IRI up-queue depth in flits per class (a huge sentinel capacity
+    /// when elastic).
     pub fn iri_queue_flits(&self) -> usize {
         match self.iri_queue_packets {
             Some(n) => self.format.cl_packet_flits(self.cache_line) as usize * n,
             None => usize::MAX / 2,
         }
+    }
+
+    /// IRI down-queue depth in flits per class: always the elastic
+    /// sentinel (see [`iri_queue_packets`](RingConfig::iri_queue_packets)
+    /// for why descending queues must never refuse flits).
+    pub fn iri_down_queue_flits(&self) -> usize {
+        usize::MAX / 2
     }
 }
 
@@ -115,7 +138,11 @@ mod tests {
         let cfg = RingConfig::new(CacheLineSize::B64);
         // Two cl packets: 10 flits for 64B lines.
         assert_eq!(cfg.ring_buffer_flits(), 10);
-        assert_eq!(cfg.iri_queue_packets, Some(2), "two-packet IRI queues by default");
+        assert_eq!(
+            cfg.iri_queue_packets,
+            Some(2),
+            "two-packet IRI queues by default"
+        );
         assert_eq!(cfg.out_queue_packets, 1);
         assert_eq!(cfg.global_ring_speedup, 1);
     }

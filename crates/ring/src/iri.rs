@@ -9,7 +9,7 @@
 
 use ringmesh_net::{FlitFifo, PacketStore, QueueClass};
 
-use crate::station::{ClassQueues, LinkOwner, Send, SideRef, TransitRoute};
+use crate::station::{ClassQueues, LinkOwner, Send, SideRef, StepPulse, TransitRoute};
 
 /// Side index of the child (lower) ring.
 pub(crate) const LOWER: usize = 0;
@@ -38,7 +38,8 @@ impl Iri {
         rings: [u32; 2],
         downstream: [SideRef; 2],
         ring_buf_flits: usize,
-        queue_flits: usize,
+        up_queue_flits: usize,
+        down_queue_flits: usize,
         convoy_threshold: usize,
     ) -> Self {
         Iri {
@@ -47,8 +48,11 @@ impl Iri {
             rings,
             downstream,
             bufs: [FlitFifo::new(ring_buf_flits), FlitFifo::new(ring_buf_flits)],
-            up: ClassQueues::new(FlitFifo::new(queue_flits), FlitFifo::new(queue_flits)),
-            down: ClassQueues::new(FlitFifo::new(queue_flits), FlitFifo::new(queue_flits)),
+            up: ClassQueues::new(FlitFifo::new(up_queue_flits), FlitFifo::new(up_queue_flits)),
+            down: ClassQueues::new(
+                FlitFifo::new(down_queue_flits),
+                FlitFifo::new(down_queue_flits),
+            ),
             owner: [LinkOwner::Idle, LinkOwner::Idle],
             transit: [TransitRoute::default(), TransitRoute::default()],
         }
@@ -63,6 +67,18 @@ impl Iri {
         &self.bufs[side]
     }
 
+    /// Total flits in the two transit buffers (occupancy gauge probe).
+    pub(crate) fn occupancy(&self) -> usize {
+        self.bufs[LOWER].len() + self.bufs[UPPER].len()
+    }
+
+    /// Total flits in the four crossing queues (occupancy gauge probe).
+    pub(crate) fn queue_flits(&self) -> usize {
+        self.up.get(QueueClass::Request).len()
+            + self.up.get(QueueClass::Response).len()
+            + self.down.get(QueueClass::Request).len()
+            + self.down.get(QueueClass::Response).len()
+    }
 
     fn inside(&self, dst: u32) -> bool {
         (self.subtree.0..self.subtree.1).contains(&dst)
@@ -77,9 +93,12 @@ impl Iri {
     /// `credits` tracks each ring's total free transit slots: a flit
     /// may *enter* this side's ring from a crossing queue only while at
     /// least two such slots remain (the credit rule, as at the NICs).
-    /// Crossing queues are elastic, so a worm never stalls straddling
-    /// two rings; together these keep the hierarchy deadlock-free
-    /// (DESIGN.md, "Model fidelity notes").
+    /// Down (parent→child) queues are elastic, so a descending worm
+    /// never stalls in its parent ring's transit buffer waiting on a
+    /// full queue; together with the credit rule this keeps the
+    /// hierarchy deadlock-free by induction from the root ring
+    /// (DESIGN.md, "Model fidelity notes"). Up queues are finite and
+    /// back-pressure ascending traffic without risking a cycle.
     #[allow(clippy::too_many_arguments)]
     pub(crate) fn step_side(
         &mut self,
@@ -89,7 +108,7 @@ impl Iri {
         credits: &mut [i64],
         store: &PacketStore,
         sends: &mut Vec<Send>,
-        moved: &mut u64,
+        pulse: &mut StepPulse,
     ) {
         let this_ring = self.rings[side] as usize;
         let go_transit = free_out >= 1;
@@ -121,11 +140,16 @@ impl Iri {
                 if q.space_latched() {
                     let flit = self.bufs[side].pop_ready(now).expect("front was ready");
                     credits[this_ring] += 1; // the flit left this ring
+                    if flit.is_head() {
+                        pulse.crossed += 1;
+                    }
                     if flit.is_tail {
                         self.transit[side].clear();
                     }
                     q.push(flit, now);
-                    *moved += 1;
+                    pulse.moved += 1;
+                } else {
+                    pulse.blocked += 1;
                 }
             }
         }
@@ -145,6 +169,8 @@ impl Iri {
                         }
                         sends.push(Send { to, flit, ring });
                     }
+                } else if self.bufs[side].front_ready(now).is_some() {
+                    pulse.blocked += 1;
                 }
             }
             LinkOwner::Cross(class) => {
@@ -209,6 +235,8 @@ impl Iri {
                         self.owner[side] = LinkOwner::Transit;
                     }
                     sends.push(Send { to, flit, ring });
+                } else if transit_ready {
+                    pulse.blocked += 1;
                 }
             }
         }

@@ -4,10 +4,11 @@ use ringmesh_engine::{StallError, Watchdog};
 use ringmesh_net::{
     Interconnect, LevelUtil, NodeId, Packet, PacketStore, QueueClass, UtilizationReport,
 };
+use ringmesh_trace::{Counter, EventKind, Gauge, Heatmap, HeatmapId, Probe, TraceLoc, Tracer};
 
 use crate::iri::{Iri, LOWER, UPPER};
 use crate::nic::Nic;
-use crate::station::Send;
+use crate::station::{Send, StepPulse};
 use crate::topology::{RingSpec, RingTopology, StationKind};
 use crate::RingConfig;
 
@@ -70,6 +71,16 @@ pub struct RingNetwork {
     ring_credits: Vec<i64>,
     reset_tick: u64,
     watchdog: Watchdog,
+    /// Observability sink; disabled (free) unless installed via
+    /// [`Interconnect::set_tracer`].
+    tracer: Tracer,
+    /// Link-utilization heatmap handle (rows = rings, cols = member
+    /// position on the ring), registered when a recording tracer is
+    /// installed.
+    link_heat: Option<HeatmapId>,
+    /// Member position of each station side within its ring
+    /// (`[station][side]`), for heatmap columns.
+    member_idx: Vec<[usize; 2]>,
 }
 
 impl RingNetwork {
@@ -82,7 +93,8 @@ impl RingNetwork {
         let mut iris = Vec::new();
         let mut nic_of_pm = vec![0u32; topo.num_pms() as usize];
         let buf_flits = cfg.ring_buffer_flits();
-        let q_flits = cfg.iri_queue_flits();
+        let up_q_flits = cfg.iri_queue_flits();
+        let down_q_flits = cfg.iri_down_queue_flits();
         for st in 0..n_st as u32 {
             match topo.station(st) {
                 StationKind::Nic { pm } => {
@@ -103,7 +115,8 @@ impl RingNetwork {
                         [topo.ring_of(st, 0), topo.ring_of(st, 1)],
                         [topo.next_of(st, 0), topo.next_of(st, 1)],
                         buf_flits,
-                        q_flits,
+                        up_q_flits,
+                        down_q_flits,
                         cfg.convoy_threshold_packets
                             .saturating_mul(cfg.format.cl_packet_flits(cfg.cache_line) as usize),
                     ));
@@ -129,6 +142,12 @@ impl RingNetwork {
         let ring_credits: Vec<i64> = (0..num_rings as u32)
             .map(|r| (topo.ring(r).members.len() * buf_flits) as i64)
             .collect();
+        let mut member_idx = vec![[0usize; 2]; n_st];
+        for (_rid, ring) in topo.rings() {
+            for (m, &(st, side)) in ring.members.iter().enumerate() {
+                member_idx[st as usize][side as usize] = m;
+            }
+        }
         let horizon = cfg.watchdog_horizon;
         RingNetwork {
             topo,
@@ -148,6 +167,9 @@ impl RingNetwork {
             ring_credits,
             reset_tick: 0,
             watchdog: Watchdog::new(horizon),
+            tracer: Tracer::off(),
+            link_heat: None,
+            member_idx,
         }
     }
 
@@ -169,7 +191,14 @@ impl RingNetwork {
         let mut s = String::new();
         for (i, nic) in self.nics.iter().enumerate() {
             if !nic.ring_buf().is_empty() || !nic.debug_idle() {
-                writeln!(s, "nic{i} pm={} buf={} {}", nic.pm(), nic.ring_buf().len(), nic.debug_state()).ok();
+                writeln!(
+                    s,
+                    "nic{i} pm={} buf={} {}",
+                    nic.pm(),
+                    nic.ring_buf().len(),
+                    nic.debug_state()
+                )
+                .ok();
             }
         }
         for (i, iri) in self.iris.iter().enumerate() {
@@ -188,7 +217,7 @@ impl RingNetwork {
         }
     }
 
-    fn run_tick(&mut self, delivered: &mut Vec<(NodeId, Packet)>, moved: &mut u64) {
+    fn run_tick(&mut self, delivered: &mut Vec<(NodeId, Packet)>, pulse: &mut StepPulse) {
         let now = self.tick;
         // With a double-speed global ring the kernel ticks twice per
         // cycle: every station runs on even ticks; only the fast
@@ -209,7 +238,7 @@ impl RingNetwork {
                     &mut self.store,
                     &mut self.sends,
                     delivered,
-                    moved,
+                    pulse,
                 ),
                 Slot::Iri(x) => self.iris[x as usize].step_side(
                     side as usize,
@@ -218,7 +247,7 @@ impl RingNetwork {
                     &mut self.ring_credits,
                     &self.store,
                     &mut self.sends,
-                    moved,
+                    pulse,
                 ),
             }
         }
@@ -228,11 +257,16 @@ impl RingNetwork {
             let (st, side) = s.to;
             match self.slots[st as usize] {
                 Slot::Nic(n) => self.nics[n as usize].ring_buf_mut().push(s.flit, now),
-                Slot::Iri(x) => self.iris[x as usize].buf_mut(side as usize).push(s.flit, now),
+                Slot::Iri(x) => self.iris[x as usize]
+                    .buf_mut(side as usize)
+                    .push(s.flit, now),
             }
             self.ring_flits[s.ring as usize] += 1;
         }
-        *moved += self.sends.len() as u64;
+        pulse.moved += self.sends.len() as u64;
+        if self.tracer.is_enabled() {
+            self.trace_sends(now);
+        }
         // Latch registered flow-control state for the next tick.
         for st in 0..self.slots.len() {
             match self.slots[st] {
@@ -249,6 +283,35 @@ impl RingNetwork {
         self.tick += 1;
         #[cfg(debug_assertions)]
         self.check_credit_invariant();
+    }
+
+    /// Tracing for the wire transfers committed this tick: one heatmap
+    /// bump per link transfer, one Hop event per sampled head flit.
+    /// Only called while the tracer is enabled.
+    fn trace_sends(&mut self, now: u64) {
+        let cycle = now / self.ticks_per_cycle;
+        self.tracer
+            .count(Counter::FlitsForwarded, self.sends.len() as u64);
+        for i in 0..self.sends.len() {
+            let s = self.sends[i];
+            let (st, side) = s.to;
+            if let Some(id) = self.link_heat {
+                let col = self.member_idx[st as usize][side as usize];
+                self.tracer.heatmap(id, s.ring as usize, col, 1);
+            }
+            if s.flit.is_head() {
+                let txn = self.store.get(s.flit.packet).txn.raw();
+                self.tracer.event(
+                    txn,
+                    cycle,
+                    TraceLoc::RingStation {
+                        ring: s.ring,
+                        station: st,
+                    },
+                    EventKind::Hop,
+                );
+            }
+        }
     }
 
     /// Debug-only: the credit counters must equal each ring's actual
@@ -300,17 +363,62 @@ impl Interconnect for RingNetwork {
             packet.dst
         );
         let class = QueueClass::of(packet.kind);
+        if self.tracer.is_enabled() {
+            self.tracer.count(Counter::PacketsInjected, 1);
+            self.tracer.event(
+                packet.txn.raw(),
+                self.cycle(),
+                TraceLoc::Pm {
+                    pm: pm.index() as u32,
+                },
+                EventKind::Inject {
+                    src: packet.src.index() as u32,
+                    dst: packet.dst.index() as u32,
+                    flits: packet.flits,
+                },
+            );
+        }
         let r = self.store.insert(packet);
         self.nics[self.nic_of_pm[pm.index()] as usize].enqueue(class, r);
     }
 
     fn step(&mut self, delivered: &mut Vec<(NodeId, Packet)>) -> Result<(), StallError> {
-        let mut moved = 0u64;
+        let enabled = self.tracer.is_enabled();
+        let mark = delivered.len();
+        let cycle0 = self.cycle();
+        if enabled {
+            self.tracer.cycle(cycle0);
+        }
+        let mut pulse = StepPulse::default();
         for _ in 0..self.ticks_per_cycle {
-            self.run_tick(delivered, &mut moved);
+            self.run_tick(delivered, &mut pulse);
+        }
+        if enabled {
+            self.tracer.count(Counter::BlockedCycles, pulse.blocked);
+            self.tracer.count(Counter::IriCrossings, pulse.crossed);
+            let newly = &delivered[mark..];
+            if !newly.is_empty() {
+                self.tracer
+                    .count(Counter::PacketsDelivered, newly.len() as u64);
+                for (pm, pkt) in newly {
+                    self.tracer.event(
+                        pkt.txn.raw(),
+                        cycle0,
+                        TraceLoc::Pm {
+                            pm: pm.index() as u32,
+                        },
+                        EventKind::Eject,
+                    );
+                }
+            }
+            // Split-borrow dance: probe reads &self while writing the
+            // tracer, so temporarily take the tracer out.
+            let mut t = std::mem::take(&mut self.tracer);
+            self.probe(&mut t);
+            self.tracer = t;
         }
         let cycle = self.cycle();
-        self.watchdog.observe(cycle, moved, self.store.live());
+        self.watchdog.observe(cycle, pulse.moved, self.store.live());
         self.watchdog.check(cycle)
     }
 
@@ -348,6 +456,55 @@ impl Interconnect for RingNetwork {
     fn reset_counters(&mut self) {
         self.ring_flits.iter_mut().for_each(|c| *c = 0);
         self.reset_tick = self.tick;
+    }
+
+    fn set_tracer(&mut self, tracer: Tracer) {
+        self.tracer = tracer;
+        if self.tracer.is_enabled() {
+            let rows = self.topo.num_rings();
+            let cols = self
+                .topo
+                .rings()
+                .map(|(_, r)| r.members.len())
+                .max()
+                .unwrap_or(0);
+            self.link_heat = self.tracer.add_heatmap(Heatmap::new(
+                "flits forwarded per ring link",
+                "ring",
+                "member",
+                rows,
+                cols,
+            ));
+        }
+    }
+
+    fn tracer_mut(&mut self) -> Option<&mut Tracer> {
+        if self.tracer.is_enabled() {
+            Some(&mut self.tracer)
+        } else {
+            None
+        }
+    }
+
+    fn take_tracer(&mut self) -> Option<Tracer> {
+        if self.tracer.is_enabled() {
+            Some(std::mem::take(&mut self.tracer))
+        } else {
+            None
+        }
+    }
+}
+
+impl Probe for RingNetwork {
+    /// Publishes occupancy gauges: flits sitting in station transit
+    /// buffers, flits queued at IRIs, and live packets.
+    fn probe(&self, t: &mut Tracer) {
+        let nic_flits: usize = self.nics.iter().map(|n| n.ring_buf().len()).sum();
+        let iri_flits: usize = self.iris.iter().map(|i| i.occupancy()).sum();
+        let queued: usize = self.iris.iter().map(|i| i.queue_flits()).sum();
+        t.gauge(Gauge::RingBufferOccupancy, (nic_flits + iri_flits) as f64);
+        t.gauge(Gauge::IriQueueOccupancy, queued as f64);
+        t.gauge(Gauge::InFlightPackets, self.store.live() as f64);
     }
 }
 
@@ -458,7 +615,10 @@ mod tests {
         let spec: RingSpec = "2:3:4".parse().unwrap();
         for (src, dst) in [(0u32, 1u32), (0, 11), (0, 12), (5, 20), (23, 0)] {
             let mut net = RingNetwork::new(&spec, cfg.clone());
-            net.inject(NodeId::new(src), packet(&cfg, 1, PacketKind::ReadReq, src, dst));
+            net.inject(
+                NodeId::new(src),
+                packet(&cfg, 1, PacketKind::ReadReq, src, dst),
+            );
             let mut delivered = Vec::new();
             let mut cycles = 0u64;
             while delivered.is_empty() {
@@ -467,7 +627,9 @@ mod tests {
                 assert!(cycles < 1000);
             }
             let hops = net.topology().hops(NodeId::new(src), NodeId::new(dst)) as u64;
-            let crossings = net.topology().iri_crossings(NodeId::new(src), NodeId::new(dst)) as u64;
+            let crossings =
+                net.topology()
+                    .iri_crossings(NodeId::new(src), NodeId::new(dst)) as u64;
             assert_eq!(cycles, hops + crossings + 1, "src={src} dst={dst}");
         }
     }

@@ -12,7 +12,7 @@ use ringmesh_net::{
     QueueClass,
 };
 
-use crate::station::{ClassQueues, LinkOwner, Send, SideRef, TransitRoute};
+use crate::station::{ClassQueues, LinkOwner, Send, SideRef, StepPulse, TransitRoute};
 
 /// Per-NIC simulation state.
 #[derive(Debug)]
@@ -93,7 +93,7 @@ impl Nic {
         store: &mut PacketStore,
         sends: &mut Vec<Send>,
         delivered: &mut Vec<(NodeId, Packet)>,
-        moved: &mut u64,
+        pulse: &mut StepPulse,
     ) {
         let ring = self.ring as usize;
         let go_transit = free_out >= 1;
@@ -113,7 +113,7 @@ impl Nic {
         if self.transit.crossing() {
             if let Some(flit) = self.ring_buf.pop_ready(now) {
                 credits[ring] += 1; // the flit left the ring
-                *moved += 1;
+                pulse.moved += 1;
                 if flit.is_tail {
                     self.transit.clear();
                 }
@@ -135,8 +135,14 @@ impl Nic {
                             self.owner = LinkOwner::Idle;
                             self.transit.clear();
                         }
-                        sends.push(Send { to: self.downstream, flit, ring: self.ring });
+                        sends.push(Send {
+                            to: self.downstream,
+                            flit,
+                            ring: self.ring,
+                        });
                     }
+                } else if self.ring_buf.front_ready(now).is_some() {
+                    pulse.blocked += 1;
                 }
             }
             LinkOwner::Cross(_) => {
@@ -148,7 +154,11 @@ impl Nic {
                 if flit.is_tail {
                     self.owner = LinkOwner::Idle;
                 }
-                sends.push(Send { to: self.downstream, flit, ring: self.ring });
+                sends.push(Send {
+                    to: self.downstream,
+                    flit,
+                    ring: self.ring,
+                });
             }
             LinkOwner::Idle => {
                 if self.transit.forwarding() && self.ring_buf.front_ready(now).is_some() {
@@ -160,7 +170,13 @@ impl Nic {
                         } else {
                             self.owner = LinkOwner::Transit;
                         }
-                        sends.push(Send { to: self.downstream, flit, ring: self.ring });
+                        sends.push(Send {
+                            to: self.downstream,
+                            flit,
+                            ring: self.ring,
+                        });
+                    } else {
+                        pulse.blocked += 1;
                     }
                 } else if let Some(class) = self.next_injection(free_out, credits[ring], store) {
                     let r = self.out.get_mut(class).pop().expect("front checked");
@@ -171,7 +187,11 @@ impl Nic {
                     if !flit.is_tail {
                         self.owner = LinkOwner::Cross(class);
                     }
-                    sends.push(Send { to: self.downstream, flit, ring: self.ring });
+                    sends.push(Send {
+                        to: self.downstream,
+                        flit,
+                        ring: self.ring,
+                    });
                 }
             }
         }
@@ -182,7 +202,12 @@ impl Nic {
     /// transit buffer has latched room for all of it (it then never
     /// stalls mid-entry) and the ring's free-slot credits cover it with
     /// one to spare (a free slot always keeps circulating).
-    fn next_injection(&self, free_out: usize, credits: i64, store: &PacketStore) -> Option<QueueClass> {
+    fn next_injection(
+        &self,
+        free_out: usize,
+        credits: i64,
+        store: &PacketStore,
+    ) -> Option<QueueClass> {
         for class in [QueueClass::Response, QueueClass::Request] {
             if let Some(r) = self.out.get(class).front() {
                 let flits = store.get(r).flits;

@@ -19,8 +19,8 @@ use std::collections::VecDeque;
 
 use ringmesh_engine::{StallError, Watchdog};
 use ringmesh_net::{
-    DrainState, Flit, Interconnect, LevelUtil, NodeId, Packet, PacketRef, PacketStore,
-    QueueClass, UtilizationReport,
+    DrainState, Flit, Interconnect, LevelUtil, NodeId, Packet, PacketRef, PacketStore, QueueClass,
+    UtilizationReport,
 };
 
 use crate::topology::{RingAction, RingSpec, RingTopology, StationKind};
@@ -377,7 +377,10 @@ mod tests {
                         net.step(&mut out).unwrap();
                     }
                     txn += 1;
-                    net.inject(NodeId::new(s), packet(&cfg, txn, PacketKind::WriteReq, s, d));
+                    net.inject(
+                        NodeId::new(s),
+                        packet(&cfg, txn, PacketKind::WriteReq, s, d),
+                    );
                     expected += 1;
                 }
             }
@@ -411,7 +414,10 @@ mod tests {
                 let d = (s + 1 + round % 11) % 12;
                 if d != s && net.can_inject(NodeId::new(s), QueueClass::Request) {
                     txn += 1;
-                    net.inject(NodeId::new(s), packet(&cfg, txn, PacketKind::WriteReq, s, d));
+                    net.inject(
+                        NodeId::new(s),
+                        packet(&cfg, txn, PacketKind::WriteReq, s, d),
+                    );
                 }
             }
             net.step(&mut out).unwrap();

@@ -18,6 +18,23 @@ pub(crate) struct Send {
     pub ring: u32,
 }
 
+/// Flit-movement counts accumulated while stations step one tick: the
+/// watchdog consumes `moved`; the tracer (when enabled) consumes all
+/// three.
+#[derive(Debug, Clone, Copy, Default)]
+pub(crate) struct StepPulse {
+    /// Flits that advanced off a transit buffer or crossing queue
+    /// (ejections and queue entries; link transfers are counted by the
+    /// send-commit loop).
+    pub moved: u64,
+    /// Station sides whose ready front flit could not advance this
+    /// tick (downstream buffer full, or a full up queue).
+    pub blocked: u64,
+    /// Packets (counted at their head flit) that entered an IRI
+    /// crossing queue, i.e. began changing rings.
+    pub crossed: u64,
+}
+
 /// Who currently owns an output link. Wormhole switching holds the link
 /// from a packet's head flit to its tail.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]

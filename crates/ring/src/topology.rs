@@ -96,7 +96,11 @@ impl FromStr for RingSpec {
     type Err = String;
 
     fn from_str(s: &str) -> Result<Self, Self::Err> {
-        let arities: Result<Vec<u32>, _> = s.trim().split(':').map(|p| p.trim().parse::<u32>()).collect();
+        let arities: Result<Vec<u32>, _> = s
+            .trim()
+            .split(':')
+            .map(|p| p.trim().parse::<u32>())
+            .collect();
         RingSpec::new(arities.map_err(|e| format!("invalid ring spec {s:?}: {e}"))?)
     }
 }
@@ -172,7 +176,12 @@ impl RingTopology {
 
     /// Recursively builds the ring at `depth`, returning `(ring id,
     /// subtree PM interval)`.
-    fn build_ring(&mut self, spec: &RingSpec, depth: usize, next_pm: &mut u32) -> (u32, (u32, u32)) {
+    fn build_ring(
+        &mut self,
+        spec: &RingSpec,
+        depth: usize,
+        next_pm: &mut u32,
+    ) -> (u32, (u32, u32)) {
         let ring_id = self.rings.len() as u32;
         self.rings.push(RingInfo {
             depth: depth as u32,
@@ -432,7 +441,7 @@ mod tests {
         assert_eq!(t.num_pms(), 6);
         assert_eq!(t.num_rings(), 1);
         assert_eq!(t.num_stations(), 6); // NICs only, no IRIs
-        // The ring closes on itself.
+                                         // The ring closes on itself.
         let mut pos = (t.nic_of(NodeId::new(0)), 0u8);
         for _ in 0..6 {
             pos = t.next_of(pos.0, pos.1);

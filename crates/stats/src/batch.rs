@@ -120,6 +120,35 @@ mod tests {
     }
 
     #[test]
+    fn boundary_observations_land_in_the_right_batch() {
+        // With a non-zero warm-up, the fencepost cycles: the last
+        // warm-up cycle drops, the first measured cycle opens batch 0,
+        // each batch is closed-open, and the horizon cycle drops.
+        let mut bm = BatchMeans::new(100, 50, 2);
+        bm.record(99, 1.0); // last warm-up cycle: dropped
+        bm.record(100, 2.0); // first measured cycle: batch 0
+        bm.record(149, 4.0); // last cycle of batch 0
+        bm.record(150, 8.0); // first cycle of batch 1
+        bm.record(199, 16.0); // last measured cycle
+        bm.record(200, 32.0); // horizon: dropped
+        assert_eq!(bm.batch_means(), vec![3.0, 12.0]);
+        assert_eq!(bm.observations(), 4);
+        assert!(!bm.is_complete(199));
+        assert!(bm.is_complete(200));
+    }
+
+    #[test]
+    fn empty_batches_are_skipped_in_summary() {
+        let mut bm = BatchMeans::new(0, 10, 3);
+        bm.record(5, 4.0);
+        bm.record(25, 8.0); // batch 1 gets nothing
+        assert_eq!(bm.batch_means(), vec![4.0, 8.0]);
+        let s = bm.summary();
+        assert_eq!(s.n, 2);
+        assert!((s.mean - 6.0).abs() < 1e-12);
+    }
+
+    #[test]
     fn empty_batches_skipped() {
         let mut bm = BatchMeans::new(0, 10, 3);
         bm.record(25, 4.0); // only batch 2

@@ -25,14 +25,22 @@ impl Histogram {
         }
     }
 
-    fn bucket(value: f64) -> usize {
+    /// Bucket index for `value`, or `None` for anything below 1 (sub-
+    /// unit, zero, negative, NaN) — those belong in the underflow
+    /// count. Without the guard a value in (0, 1) has a negative
+    /// octave whose `as usize` cast saturates to 0, silently landing
+    /// it in a genuine low bucket instead.
+    fn bucket(value: f64) -> Option<usize> {
+        if value.is_nan() || value < 1.0 {
+            return None;
+        }
         // value in [2^o, 2^(o+1)) maps to octave o, sub-bucket by the
         // fractional part of log2.
         let log = value.log2();
         let octave = log.floor();
         let sub = ((log - octave) * SUB as f64) as usize;
         let idx = octave as usize * SUB + sub.min(SUB - 1);
-        idx.min(SUB * OCTAVES - 1)
+        Some(idx.min(SUB * OCTAVES - 1))
     }
 
     /// Representative (geometric-mean) value of bucket `idx`.
@@ -45,11 +53,10 @@ impl Histogram {
     /// Records one observation. Values below 1 count as 1.
     pub fn record(&mut self, value: f64) {
         self.total += 1;
-        if value < 1.0 {
-            self.underflow += 1;
-            return;
+        match Self::bucket(value) {
+            Some(idx) => self.counts[idx] += 1,
+            None => self.underflow += 1,
         }
-        self.counts[Self::bucket(value)] += 1;
     }
 
     /// Number of recorded observations.
@@ -149,6 +156,34 @@ mod tests {
         let mut h = Histogram::new();
         h.record(0.25);
         assert_eq!(h.quantile(0.5), Some(1.0));
+    }
+
+    #[test]
+    fn subunit_values_never_reach_a_real_bucket() {
+        // (0,1) has a negative log2 octave; an unguarded `as usize`
+        // cast would saturate it to octave 0 and count the value as if
+        // it were in [1, 2).
+        assert_eq!(Histogram::bucket(0.5), None);
+        assert_eq!(Histogram::bucket(0.999), None);
+        assert_eq!(Histogram::bucket(0.0), None);
+        assert_eq!(Histogram::bucket(-3.0), None);
+        assert_eq!(Histogram::bucket(f64::NAN), None);
+        assert_eq!(Histogram::bucket(1.0), Some(0));
+    }
+
+    #[test]
+    fn subunit_observations_count_as_underflow() {
+        let mut h = Histogram::new();
+        for _ in 0..9 {
+            h.record(0.6);
+        }
+        h.record(64.0);
+        // Nine of ten observations are underflow: the median must be
+        // the underflow representative (1.0), not a (0,1)-misbucketed
+        // value, and the tail must still see the real observation.
+        assert_eq!(h.quantile(0.5), Some(1.0));
+        let p99 = h.quantile(0.99).unwrap();
+        assert!((p99 / 64.0 - 1.0).abs() < 0.05, "p99={p99}");
     }
 
     #[test]

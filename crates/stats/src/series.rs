@@ -34,6 +34,11 @@ impl Series {
         if pts.is_empty() || x < pts[0].0 || x > pts[pts.len() - 1].0 {
             return None;
         }
+        if pts.len() == 1 {
+            // The range check above admitted x only if it equals the
+            // lone point's x; windows(2) below would yield nothing.
+            return Some(pts[0].1);
+        }
         for w in pts.windows(2) {
             let ((x0, y0), (x1, y1)) = (w[0], w[1]);
             if x >= x0 && x <= x1 {
@@ -74,7 +79,11 @@ impl Series {
             if let Some((px, pd)) = prev {
                 if pd <= 0.0 && d > 0.0 {
                     // Linear root between px and x.
-                    let t = if (d - pd).abs() < f64::EPSILON { 0.0 } else { -pd / (d - pd) };
+                    let t = if (d - pd).abs() < f64::EPSILON {
+                        0.0
+                    } else {
+                        -pd / (d - pd)
+                    };
                     return Some(px + t * (x - px));
                 }
             }
@@ -158,7 +167,14 @@ impl Table {
             }
         }
         let mut out = String::new();
-        out.push_str(&self.columns.iter().map(|c| cell(c)).collect::<Vec<_>>().join(","));
+        out.push_str(
+            &self
+                .columns
+                .iter()
+                .map(|c| cell(c))
+                .collect::<Vec<_>>()
+                .join(","),
+        );
         out.push('\n');
         for row in &self.rows {
             out.push_str(&row.iter().map(|c| cell(c)).collect::<Vec<_>>().join(","));
@@ -171,7 +187,10 @@ impl Table {
     /// series, rows on the union of x-grids (blank where a series has no
     /// point at that x).
     pub fn from_series(title: impl Into<String>, x_label: &str, series: &[Series]) -> Table {
-        let mut xs: Vec<f64> = series.iter().flat_map(|s| s.points.iter().map(|&(x, _)| x)).collect();
+        let mut xs: Vec<f64> = series
+            .iter()
+            .flat_map(|s| s.points.iter().map(|&(x, _)| x))
+            .collect();
         xs.sort_by(|a, b| a.partial_cmp(b).unwrap());
         xs.dedup_by(|a, b| (*a - *b).abs() < 1e-9);
         let mut cols = vec![x_label.to_string()];
@@ -217,7 +236,14 @@ impl fmt::Display for Table {
             .map(|(i, c)| format!("{:>width$}", c, width = w[i]))
             .collect();
         writeln!(f, "  {}", header.join("  "))?;
-        writeln!(f, "  {}", w.iter().map(|&x| "-".repeat(x)).collect::<Vec<_>>().join("  "))?;
+        writeln!(
+            f,
+            "  {}",
+            w.iter()
+                .map(|&x| "-".repeat(x))
+                .collect::<Vec<_>>()
+                .join("  ")
+        )?;
         for row in &self.rows {
             let cells: Vec<String> = row
                 .iter()
@@ -250,6 +276,37 @@ mod tests {
     fn empty_series_interpolates_none() {
         let s = Series::new("empty");
         assert_eq!(s.interpolate(1.0), None);
+    }
+
+    #[test]
+    fn single_point_series_interpolates_only_at_its_x() {
+        let mut s = Series::new("pt");
+        s.push(5.0, 42.0);
+        assert_eq!(s.interpolate(5.0), Some(42.0));
+        assert_eq!(s.interpolate(4.999), None);
+        assert_eq!(s.interpolate(5.001), None);
+    }
+
+    #[test]
+    fn duplicate_x_step_returns_the_earlier_y() {
+        // A vertical step (two points sharing x) must not divide by
+        // zero; the convention is the first point's y.
+        let mut s = Series::new("step");
+        s.push(0.0, 0.0);
+        s.push(2.0, 1.0);
+        s.push(2.0, 9.0);
+        s.push(4.0, 9.0);
+        assert_eq!(s.interpolate(2.0), Some(1.0));
+        assert_eq!(s.interpolate(1.0), Some(0.5));
+        assert_eq!(s.interpolate(3.0), Some(9.0));
+    }
+
+    #[test]
+    fn nan_x_interpolates_none() {
+        let mut s = Series::new("a");
+        s.push(0.0, 0.0);
+        s.push(1.0, 1.0);
+        assert_eq!(s.interpolate(f64::NAN), None);
     }
 
     #[test]

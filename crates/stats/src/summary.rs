@@ -52,18 +52,39 @@ impl Summary {
     pub fn of(values: &[f64]) -> Summary {
         let n = values.len();
         if n == 0 {
-            return Summary { n: 0, mean: 0.0, std_dev: 0.0, ci95: f64::INFINITY, min: 0.0, max: 0.0 };
+            return Summary {
+                n: 0,
+                mean: 0.0,
+                std_dev: 0.0,
+                ci95: f64::INFINITY,
+                min: 0.0,
+                max: 0.0,
+            };
         }
         let mean = values.iter().sum::<f64>() / n as f64;
         let min = values.iter().copied().fold(f64::INFINITY, f64::min);
         let max = values.iter().copied().fold(f64::NEG_INFINITY, f64::max);
         if n < 2 {
-            return Summary { n, mean, std_dev: 0.0, ci95: f64::INFINITY, min, max };
+            return Summary {
+                n,
+                mean,
+                std_dev: 0.0,
+                ci95: f64::INFINITY,
+                min,
+                max,
+            };
         }
         let var = values.iter().map(|v| (v - mean).powi(2)).sum::<f64>() / (n - 1) as f64;
         let std_dev = var.sqrt();
         let ci95 = t_crit(n - 1) * std_dev / (n as f64).sqrt();
-        Summary { n, mean, std_dev, ci95, min, max }
+        Summary {
+            n,
+            mean,
+            std_dev,
+            ci95,
+            min,
+            max,
+        }
     }
 
     /// Relative CI half-width (`ci95 / mean`); infinite when the mean is

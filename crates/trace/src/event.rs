@@ -1,0 +1,106 @@
+//! Flit-lifecycle events and the spatial locations they refer to.
+
+use std::fmt;
+
+/// A spatial location in the simulated machine, compact enough to copy
+/// into every event. Rendered labels (for heatmap axes and Chrome-trace
+/// track names) are produced lazily at export time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum TraceLoc {
+    /// A processing module (NIC attach point on rings, local port on
+    /// meshes).
+    Pm {
+        /// Processing-module index.
+        pm: u32,
+    },
+    /// A ring station, identified by the ring it sits on and its global
+    /// station index.
+    RingStation {
+        /// Ring index within the topology.
+        ring: u32,
+        /// Global station index.
+        station: u32,
+    },
+    /// A mesh router at grid position (row, col).
+    MeshNode {
+        /// Grid row.
+        row: u32,
+        /// Grid column.
+        col: u32,
+    },
+}
+
+impl fmt::Display for TraceLoc {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            TraceLoc::Pm { pm } => write!(f, "pm{pm}"),
+            TraceLoc::RingStation { ring, station } => write!(f, "ring{ring}/st{station}"),
+            TraceLoc::MeshNode { row, col } => write!(f, "mesh({row},{col})"),
+        }
+    }
+}
+
+/// What happened to the packet at [`FlitEvent::at`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EventKind {
+    /// The packet entered the network. Carries enough metadata to give
+    /// the Chrome-trace span a readable name.
+    Inject {
+        /// Source processing module.
+        src: u32,
+        /// Destination processing module.
+        dst: u32,
+        /// Packet length in flits.
+        flits: u32,
+    },
+    /// The packet's head flit traversed a link into `at`.
+    Hop,
+    /// The packet was fully reassembled and ejected at `at`.
+    Eject,
+}
+
+/// One record in the flit-lifecycle stream.
+///
+/// Events are recorded only for *sampled* transactions (see
+/// `TraceConfig::sample_every`) and held in a bounded ring buffer, so
+/// memory stays O(capacity) no matter how long the run is.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FlitEvent {
+    /// Transaction id of the packet (raw u64 form).
+    pub txn: u64,
+    /// Simulation cycle at which the event occurred.
+    pub cycle: u64,
+    /// Where it occurred.
+    pub at: TraceLoc,
+    /// What occurred.
+    pub kind: EventKind,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn locations_render_compactly() {
+        assert_eq!(TraceLoc::Pm { pm: 3 }.to_string(), "pm3");
+        assert_eq!(
+            TraceLoc::RingStation {
+                ring: 2,
+                station: 17
+            }
+            .to_string(),
+            "ring2/st17"
+        );
+        assert_eq!(
+            TraceLoc::MeshNode { row: 1, col: 4 }.to_string(),
+            "mesh(1,4)"
+        );
+    }
+
+    #[test]
+    fn events_are_small_enough_to_copy_freely() {
+        // The event stream copies these per hop; keep them word-sized,
+        // not heap-backed.
+        assert!(std::mem::size_of::<FlitEvent>() <= 48);
+    }
+}

@@ -1,0 +1,202 @@
+//! Per-link / per-station utilization accumulators.
+//!
+//! A [`Heatmap`] is a dense 2-D grid of event counts with labelled
+//! axes. Networks register one at tracer-attach time, sized off their
+//! topology (ring level × station-side for hierarchical rings, row ×
+//! column for meshes), and bump cells on every link transfer. The grid
+//! renders either as an ASCII shade plot for terminals or as CSV for
+//! spreadsheets.
+
+/// Handle returned by `Tracer::add_heatmap`, used to address the map on
+/// subsequent bumps.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HeatmapId(pub(crate) usize);
+
+/// Shade ramp from cold to hot, used by the ASCII renderer.
+const SHADES: &[u8] = b" .:-=+*#%@";
+
+/// A labelled 2-D grid of u64 accumulators.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Heatmap {
+    title: String,
+    row_axis: String,
+    col_axis: String,
+    rows: usize,
+    cols: usize,
+    cells: Vec<u64>,
+}
+
+impl Heatmap {
+    /// Creates an all-zero grid. Axis names label what the row/column
+    /// indices mean (e.g. "level", "station-side").
+    ///
+    /// # Panics
+    ///
+    /// Panics if either dimension is zero.
+    pub fn new(title: &str, row_axis: &str, col_axis: &str, rows: usize, cols: usize) -> Self {
+        assert!(rows > 0 && cols > 0, "heatmap dimensions must be positive");
+        Heatmap {
+            title: title.to_string(),
+            row_axis: row_axis.to_string(),
+            col_axis: col_axis.to_string(),
+            rows,
+            cols,
+            cells: vec![0; rows * cols],
+        }
+    }
+
+    /// Grid title.
+    pub fn title(&self) -> &str {
+        &self.title
+    }
+
+    /// (rows, cols) dimensions.
+    pub fn dims(&self) -> (usize, usize) {
+        (self.rows, self.cols)
+    }
+
+    /// Adds `n` to cell (row, col).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the cell is out of bounds.
+    pub fn bump(&mut self, row: usize, col: usize, n: u64) {
+        assert!(
+            row < self.rows && col < self.cols,
+            "heatmap cell ({row},{col}) out of bounds"
+        );
+        self.cells[row * self.cols + col] += n;
+    }
+
+    /// Reads cell (row, col).
+    pub fn get(&self, row: usize, col: usize) -> u64 {
+        assert!(
+            row < self.rows && col < self.cols,
+            "heatmap cell ({row},{col}) out of bounds"
+        );
+        self.cells[row * self.cols + col]
+    }
+
+    /// Sum over all cells.
+    pub fn total(&self) -> u64 {
+        self.cells.iter().sum()
+    }
+
+    /// Largest single cell.
+    pub fn max(&self) -> u64 {
+        self.cells.iter().copied().max().unwrap_or(0)
+    }
+
+    /// Renders the grid as an ASCII shade plot: one character per cell,
+    /// linearly scaled against the hottest cell, with a legend.
+    ///
+    /// ```text
+    /// ring link flits (rows: level, cols: station-side)
+    ///   0 | ::::----
+    ///   1 | ==@@
+    ///   scale: ' '=0 .. '@'=412 flits/cell
+    /// ```
+    pub fn to_ascii(&self) -> String {
+        let max = self.max();
+        let mut out = format!(
+            "{} (rows: {}, cols: {})\n",
+            self.title, self.row_axis, self.col_axis
+        );
+        for r in 0..self.rows {
+            out.push_str(&format!("{r:>4} | "));
+            for c in 0..self.cols {
+                let v = self.cells[r * self.cols + c];
+                let shade = if max == 0 {
+                    SHADES[0]
+                } else {
+                    // Nonzero cells never render as blank: floor the
+                    // shade index at 1 so light traffic stays visible.
+                    let idx = (v * (SHADES.len() as u64 - 1)).div_ceil(max) as usize;
+                    SHADES[idx.min(SHADES.len() - 1)]
+                };
+                out.push(shade as char);
+            }
+            out.push('\n');
+        }
+        out.push_str(&format!(
+            "     scale: ' '=0 .. '{}'={} per cell\n",
+            SHADES[SHADES.len() - 1] as char,
+            max
+        ));
+        out
+    }
+
+    /// Renders the grid as CSV: a header of column indices, then one
+    /// line per row, the row index first.
+    pub fn to_csv(&self) -> String {
+        let mut out = String::from(&self.row_axis);
+        for c in 0..self.cols {
+            out.push_str(&format!(",{c}"));
+        }
+        out.push('\n');
+        for r in 0..self.rows {
+            out.push_str(&r.to_string());
+            for c in 0..self.cols {
+                out.push_str(&format!(",{}", self.cells[r * self.cols + c]));
+            }
+            out.push('\n');
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bump_and_get_round_trip() {
+        let mut h = Heatmap::new("t", "r", "c", 2, 3);
+        h.bump(1, 2, 5);
+        h.bump(1, 2, 2);
+        h.bump(0, 0, 1);
+        assert_eq!(h.get(1, 2), 7);
+        assert_eq!(h.get(0, 0), 1);
+        assert_eq!(h.get(0, 1), 0);
+        assert_eq!(h.total(), 8);
+        assert_eq!(h.max(), 7);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn bump_out_of_bounds_panics() {
+        let mut h = Heatmap::new("t", "r", "c", 2, 2);
+        h.bump(2, 0, 1);
+    }
+
+    #[test]
+    fn ascii_render_scales_to_hottest_cell() {
+        let mut h = Heatmap::new("links", "level", "side", 2, 4);
+        h.bump(0, 0, 100);
+        h.bump(1, 3, 1);
+        let art = h.to_ascii();
+        assert!(art.starts_with("links (rows: level, cols: side)"));
+        // Hottest cell renders with the top shade; the light one must
+        // not disappear into a blank.
+        assert!(art.contains('@'), "{art}");
+        let row1 = art.lines().nth(2).unwrap();
+        assert_eq!(row1.chars().last().unwrap(), '.', "{art}");
+        assert!(art.contains("'@'=100"), "{art}");
+    }
+
+    #[test]
+    fn ascii_render_of_empty_map_is_all_blank() {
+        let h = Heatmap::new("links", "level", "side", 1, 3);
+        let art = h.to_ascii();
+        assert!(art.lines().nth(1).unwrap().ends_with("|    "), "{art:?}");
+    }
+
+    #[test]
+    fn csv_has_header_and_row_indices() {
+        let mut h = Heatmap::new("links", "level", "side", 2, 2);
+        h.bump(0, 1, 3);
+        let csv = h.to_csv();
+        let lines: Vec<_> = csv.lines().collect();
+        assert_eq!(lines, vec!["level,0,1", "0,0,3", "1,0,0"]);
+    }
+}

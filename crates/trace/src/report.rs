@@ -1,0 +1,444 @@
+//! The finalized trace: per-counter summaries, heatmaps, events, and
+//! exporters (text, CSV via [`ringmesh_stats::Table`], Chrome-trace
+//! JSON).
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+use ringmesh_stats::{Summary, Table};
+
+use crate::event::{EventKind, FlitEvent, TraceLoc};
+use crate::heatmap::Heatmap;
+use crate::metric::{Counter, Gauge};
+
+/// One counter's final numbers.
+#[derive(Debug, Clone)]
+pub struct CounterReport {
+    /// Which counter.
+    pub counter: Counter,
+    /// Run total.
+    pub total: u64,
+    /// Per-window totals (mean ± CI across sampling windows).
+    pub per_window: Summary,
+}
+
+/// One gauge's final numbers.
+#[derive(Debug, Clone)]
+pub struct GaugeReport {
+    /// Which gauge.
+    pub gauge: Gauge,
+    /// Number of readings taken over the whole run.
+    pub samples: u64,
+    /// Mean over every reading taken.
+    pub mean: f64,
+    /// Per-window means (mean ± CI across sampling windows).
+    pub per_window: Summary,
+}
+
+/// Everything a recording tracer collected, ready to render.
+#[derive(Debug, Clone)]
+pub struct TraceReport {
+    /// Cycles observed (first to last `cycle()` call, inclusive).
+    pub cycles: u64,
+    /// Sampling window length the run used.
+    pub window_cycles: u64,
+    /// Transaction sampling interval the run used.
+    pub sample_every: u64,
+    /// Counter summaries, indexed by `Counter as usize`.
+    pub counters: Vec<CounterReport>,
+    /// Gauge summaries, indexed by `Gauge as usize`.
+    pub gauges: Vec<GaugeReport>,
+    /// Registered heatmaps, in registration order.
+    pub heatmaps: Vec<Heatmap>,
+    /// Sampled lifecycle events, oldest first.
+    pub events: Vec<FlitEvent>,
+    /// Events discarded because the ring buffer was full.
+    pub events_dropped: u64,
+}
+
+impl TraceReport {
+    /// Counter summaries as a [`Table`] (render with `to_markdown` or
+    /// `to_csv`). Counters that never fired are omitted.
+    pub fn counter_table(&self) -> Table {
+        let mut t = Table::new(
+            format!(
+                "trace counters ({} cycles, window {})",
+                self.cycles, self.window_cycles
+            ),
+            &["counter", "total", "per-window mean", "ci95"],
+        );
+        for c in &self.counters {
+            if c.total == 0 {
+                continue;
+            }
+            t.push_row(vec![
+                c.counter.name().to_string(),
+                c.total.to_string(),
+                format!("{:.2}", c.per_window.mean),
+                format!("{:.2}", c.per_window.ci95),
+            ]);
+        }
+        t
+    }
+
+    /// Gauge summaries as a [`Table`]. Gauges never sampled are omitted.
+    pub fn gauge_table(&self) -> Table {
+        let mut t = Table::new(
+            format!(
+                "trace gauges ({} cycles, window {})",
+                self.cycles, self.window_cycles
+            ),
+            &["gauge", "mean", "per-window mean", "ci95"],
+        );
+        for g in &self.gauges {
+            if g.samples == 0 {
+                continue;
+            }
+            t.push_row(vec![
+                g.gauge.name().to_string(),
+                format!("{:.3}", g.mean),
+                format!("{:.3}", g.per_window.mean),
+                format!("{:.3}", g.per_window.ci95),
+            ]);
+        }
+        t
+    }
+
+    /// Full human-readable rendering: counter and gauge tables, ASCII
+    /// heatmaps, and an event-stream footer.
+    pub fn to_text(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&self.counter_table().to_markdown());
+        out.push('\n');
+        out.push_str(&self.gauge_table().to_markdown());
+        for map in &self.heatmaps {
+            out.push('\n');
+            out.push_str(&map.to_ascii());
+        }
+        let _ = writeln!(
+            out,
+            "\nevents: {} recorded ({} dropped), sampling 1 in {} transactions",
+            self.events.len(),
+            self.events_dropped,
+            self.sample_every
+        );
+        out
+    }
+
+    /// Exports the sampled event stream in the Chrome trace-event JSON
+    /// format (load in Perfetto / `chrome://tracing`).
+    ///
+    /// Layout: process "packets" holds one async span per sampled
+    /// transaction (inject → eject); process "locations" holds one
+    /// track per network location with a 1-cycle slice for every hop or
+    /// ejection there. Timestamps are in microseconds with one
+    /// simulated cycle mapped to 1 µs.
+    pub fn chrome_trace_json(&self) -> String {
+        const PID_PACKETS: u32 = 1;
+        const PID_LOCS: u32 = 2;
+
+        // Stable small thread ids per location, discovery order.
+        let mut tids: BTreeMap<TraceLoc, u32> = BTreeMap::new();
+        for ev in &self.events {
+            let next = tids.len() as u32 + 1;
+            tids.entry(ev.at).or_insert(next);
+        }
+
+        let mut parts: Vec<String> = Vec::with_capacity(self.events.len() + tids.len() + 2);
+        parts.push(format!(
+            r#"{{"ph":"M","pid":{PID_PACKETS},"name":"process_name","args":{{"name":"packets"}}}}"#
+        ));
+        parts.push(format!(
+            r#"{{"ph":"M","pid":{PID_LOCS},"name":"process_name","args":{{"name":"locations"}}}}"#
+        ));
+        for (loc, tid) in &tids {
+            parts.push(format!(
+                r#"{{"ph":"M","pid":{PID_LOCS},"tid":{tid},"name":"thread_name","args":{{"name":"{}"}}}}"#,
+                json_escape(&loc.to_string())
+            ));
+        }
+
+        for ev in &self.events {
+            let tid = tids[&ev.at];
+            match ev.kind {
+                EventKind::Inject { src, dst, flits } => {
+                    // Async span start on the packets process; the pair
+                    // is keyed by (cat, id, name) — use the txn for all.
+                    let name = format!("txn{} pm{src}->pm{dst} ({flits} flits)", ev.txn);
+                    parts.push(format!(
+                        r#"{{"ph":"b","cat":"packet","id":{},"pid":{PID_PACKETS},"tid":1,"ts":{},"name":"{}"}}"#,
+                        ev.txn,
+                        ev.cycle,
+                        json_escape(&name)
+                    ));
+                    parts.push(slice(
+                        PID_LOCS,
+                        tid,
+                        ev.cycle,
+                        &format!("inject txn{}", ev.txn),
+                    ));
+                }
+                EventKind::Hop => {
+                    parts.push(slice(PID_LOCS, tid, ev.cycle, &format!("txn{}", ev.txn)));
+                }
+                EventKind::Eject => {
+                    parts.push(format!(
+                        r#"{{"ph":"e","cat":"packet","id":{},"pid":{PID_PACKETS},"tid":1,"ts":{},"name":"txn{}"}}"#,
+                        ev.txn, ev.cycle, ev.txn
+                    ));
+                    parts.push(slice(
+                        PID_LOCS,
+                        tid,
+                        ev.cycle,
+                        &format!("eject txn{}", ev.txn),
+                    ));
+                }
+            }
+        }
+
+        format!(
+            "{{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\n{}\n]}}\n",
+            parts.join(",\n")
+        )
+    }
+}
+
+/// A 1-cycle complete ("X") slice on a location track.
+fn slice(pid: u32, tid: u32, ts: u64, name: &str) -> String {
+    format!(
+        r#"{{"ph":"X","pid":{pid},"tid":{tid},"ts":{ts},"dur":1,"name":"{}"}}"#,
+        json_escape(name)
+    )
+}
+
+/// Escapes a string for embedding in a JSON string literal.
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for ch in s.chars() {
+        match ch {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::recorder::{Recorder, TraceConfig};
+    use crate::sink::TraceSink;
+
+    fn sample_report() -> TraceReport {
+        let mut r = Recorder::new(TraceConfig {
+            window_cycles: 5,
+            ..Default::default()
+        });
+        let mut map = Heatmap::new("links", "level", "side", 1, 2);
+        map.bump(0, 0, 0); // registered pre-populated maps keep their counts
+        let id = r.add_heatmap(map);
+        for cycle in 0..10u64 {
+            r.on_cycle(cycle);
+            r.on_count(Counter::FlitsForwarded, 2);
+            r.on_gauge(Gauge::InFlightPackets, 1.5);
+            r.on_heatmap(id, 0, (cycle % 2) as usize, 1);
+        }
+        r.on_event(FlitEvent {
+            txn: 4,
+            cycle: 0,
+            at: TraceLoc::Pm { pm: 0 },
+            kind: EventKind::Inject {
+                src: 0,
+                dst: 3,
+                flits: 6,
+            },
+        });
+        r.on_event(FlitEvent {
+            txn: 4,
+            cycle: 2,
+            at: TraceLoc::RingStation {
+                ring: 1,
+                station: 2,
+            },
+            kind: EventKind::Hop,
+        });
+        r.on_event(FlitEvent {
+            txn: 4,
+            cycle: 5,
+            at: TraceLoc::Pm { pm: 3 },
+            kind: EventKind::Eject,
+        });
+        r.finish()
+    }
+
+    #[test]
+    fn text_report_includes_tables_heatmap_and_event_footer() {
+        let text = sample_report().to_text();
+        assert!(text.contains("flits_forwarded"), "{text}");
+        assert!(text.contains("in_flight_packets"), "{text}");
+        assert!(text.contains("links (rows: level, cols: side)"), "{text}");
+        assert!(text.contains("events: 3 recorded (0 dropped)"), "{text}");
+    }
+
+    #[test]
+    fn counter_table_omits_silent_counters() {
+        let table = sample_report().counter_table();
+        let md = table.to_markdown();
+        assert!(md.contains("flits_forwarded"));
+        assert!(!md.contains("iri_crossings"), "{md}");
+    }
+
+    #[test]
+    fn chrome_trace_pairs_async_span_and_places_hops_on_location_tracks() {
+        let json = sample_report().chrome_trace_json();
+        assert!(json.contains(r#""ph":"b","cat":"packet","id":4"#), "{json}");
+        assert!(json.contains(r#""ph":"e","cat":"packet","id":4"#), "{json}");
+        assert!(json.contains(r#""name":"ring1/st2""#), "{json}");
+        assert!(
+            json.contains(r#""name":"txn4 pm0->pm3 (6 flits)""#),
+            "{json}"
+        );
+    }
+
+    #[test]
+    fn chrome_trace_is_valid_json() {
+        let json = sample_report().chrome_trace_json();
+        minijson::parse(&json).expect("export must be syntactically valid JSON");
+    }
+
+    #[test]
+    fn json_escape_handles_specials() {
+        assert_eq!(json_escape("a\"b\\c\nd"), "a\\\"b\\\\c\\u000ad");
+    }
+
+    /// A tiny recursive-descent JSON syntax checker, test-only: the
+    /// exporter hand-writes JSON (no serde available offline), so we
+    /// verify well-formedness the hard way.
+    mod minijson {
+        pub fn parse(s: &str) -> Result<(), String> {
+            let b = s.as_bytes();
+            let mut i = 0;
+            value(b, &mut i)?;
+            skip_ws(b, &mut i);
+            if i != b.len() {
+                return Err(format!("trailing bytes at {i}"));
+            }
+            Ok(())
+        }
+
+        fn skip_ws(b: &[u8], i: &mut usize) {
+            while *i < b.len() && matches!(b[*i], b' ' | b'\t' | b'\n' | b'\r') {
+                *i += 1;
+            }
+        }
+
+        fn value(b: &[u8], i: &mut usize) -> Result<(), String> {
+            skip_ws(b, i);
+            match b.get(*i) {
+                Some(b'{') => object(b, i),
+                Some(b'[') => array(b, i),
+                Some(b'"') => string(b, i),
+                Some(b't') => lit(b, i, b"true"),
+                Some(b'f') => lit(b, i, b"false"),
+                Some(b'n') => lit(b, i, b"null"),
+                Some(c) if c.is_ascii_digit() || *c == b'-' => number(b, i),
+                other => Err(format!("unexpected {other:?} at {i}")),
+            }
+        }
+
+        fn lit(b: &[u8], i: &mut usize, word: &[u8]) -> Result<(), String> {
+            if b[*i..].starts_with(word) {
+                *i += word.len();
+                Ok(())
+            } else {
+                Err(format!("bad literal at {i}"))
+            }
+        }
+
+        fn number(b: &[u8], i: &mut usize) -> Result<(), String> {
+            let start = *i;
+            if b.get(*i) == Some(&b'-') {
+                *i += 1;
+            }
+            while *i < b.len()
+                && (b[*i].is_ascii_digit() || matches!(b[*i], b'.' | b'e' | b'E' | b'+' | b'-'))
+            {
+                *i += 1;
+            }
+            if *i == start {
+                Err(format!("empty number at {start}"))
+            } else {
+                Ok(())
+            }
+        }
+
+        fn string(b: &[u8], i: &mut usize) -> Result<(), String> {
+            *i += 1; // opening quote
+            while *i < b.len() {
+                match b[*i] {
+                    b'"' => {
+                        *i += 1;
+                        return Ok(());
+                    }
+                    b'\\' => *i += 2,
+                    0x00..=0x1f => return Err(format!("raw control byte in string at {i}")),
+                    _ => *i += 1,
+                }
+            }
+            Err("unterminated string".into())
+        }
+
+        fn object(b: &[u8], i: &mut usize) -> Result<(), String> {
+            *i += 1;
+            skip_ws(b, i);
+            if b.get(*i) == Some(&b'}') {
+                *i += 1;
+                return Ok(());
+            }
+            loop {
+                skip_ws(b, i);
+                string(b, i)?;
+                skip_ws(b, i);
+                if b.get(*i) != Some(&b':') {
+                    return Err(format!("expected ':' at {i}"));
+                }
+                *i += 1;
+                value(b, i)?;
+                skip_ws(b, i);
+                match b.get(*i) {
+                    Some(b',') => *i += 1,
+                    Some(b'}') => {
+                        *i += 1;
+                        return Ok(());
+                    }
+                    other => return Err(format!("expected ',' or '}}', got {other:?} at {i}")),
+                }
+            }
+        }
+
+        fn array(b: &[u8], i: &mut usize) -> Result<(), String> {
+            *i += 1;
+            skip_ws(b, i);
+            if b.get(*i) == Some(&b']') {
+                *i += 1;
+                return Ok(());
+            }
+            loop {
+                value(b, i)?;
+                skip_ws(b, i);
+                match b.get(*i) {
+                    Some(b',') => *i += 1,
+                    Some(b']') => {
+                        *i += 1;
+                        return Ok(());
+                    }
+                    other => return Err(format!("expected ',' or ']', got {other:?} at {i}")),
+                }
+            }
+        }
+    }
+}

@@ -3,6 +3,7 @@
 
 use ringmesh_engine::SimRng;
 use ringmesh_net::{Interconnect, NodeId, Packet, QueueClass, TxnId};
+use ringmesh_trace::{Counter, Gauge};
 
 use crate::memory::MemoryModule;
 use crate::processor::Processor;
@@ -98,6 +99,8 @@ impl Mmrp {
         now: u64,
         samples: &mut Vec<(u64, f64)>,
     ) {
+        let before = self.stats;
+        let mut blocked = 0u64;
         for i in 0..self.procs.len() {
             // Local completions retire first — they free T slots.
             self.local_scratch.clear();
@@ -112,7 +115,9 @@ impl Mmrp {
             self.mems[i].inject_ready(net, now);
         }
         for i in 0..self.procs.len() {
-            let Some(want) = self.procs[i].tick(now) else { continue };
+            let Some(want) = self.procs[i].tick(now) else {
+                continue;
+            };
             let pm = self.procs[i].pm();
             if want.dst == pm {
                 // Local access: memory timing, no network.
@@ -137,26 +142,46 @@ impl Mmrp {
                 self.stats.issued += 1;
             } else {
                 self.procs[i].issue_blocked();
+                blocked += 1;
             }
+        }
+        if let Some(t) = net.tracer_mut() {
+            t.count(Counter::TxnsIssued, self.stats.issued - before.issued);
+            t.count(Counter::IssueBlocked, blocked);
+            t.count(Counter::TxnsRetired, self.stats.retired - before.retired);
+            t.count(
+                Counter::TxnsLocalRetired,
+                self.stats.local_retired - before.local_retired,
+            );
         }
     }
 
     /// Delivery phase, run after `net.step`: requests go to the home
     /// memory, responses retire transactions and record latency.
+    /// `net` is only consulted for its tracer (retirement counters and
+    /// the outstanding-transactions gauge).
     pub fn post_cycle(
         &mut self,
+        net: &mut dyn Interconnect,
         delivered: &[(NodeId, Packet)],
         now: u64,
         samples: &mut Vec<(u64, f64)>,
     ) {
+        let mut retired = 0u64;
         for (dst, pkt) in delivered {
             if pkt.kind.is_request() {
                 self.mems[dst.index()].accept(pkt, now);
             } else {
                 self.procs[dst.index()].retire();
                 self.stats.retired += 1;
+                retired += 1;
                 samples.push((now, (now - pkt.injected_at) as f64));
             }
+        }
+        if let Some(t) = net.tracer_mut() {
+            t.count(Counter::TxnsRetired, retired);
+            let outstanding: u64 = self.procs.iter().map(|p| u64::from(p.outstanding())).sum();
+            t.gauge(Gauge::OutstandingTxns, outstanding as f64);
         }
     }
 }
@@ -206,9 +231,17 @@ mod tests {
     fn mmrp(pms: u32, t: u32, r: f64) -> Mmrp {
         Mmrp::new(
             Placement::Linear { pms },
-            WorkloadParams::paper_baseline().with_outstanding(t).with_region(r),
-            MemoryParams { latency: 5, occupancy: 1 },
-            PacketSizer { format: PacketFormat::RING, cache_line: CacheLineSize::B32 },
+            WorkloadParams::paper_baseline()
+                .with_outstanding(t)
+                .with_region(r),
+            MemoryParams {
+                latency: 5,
+                occupancy: 1,
+            },
+            PacketSizer {
+                format: PacketFormat::RING,
+                cache_line: CacheLineSize::B32,
+            },
             7,
         )
     }
@@ -221,14 +254,19 @@ mod tests {
             wl.pre_cycle(net, now, &mut samples);
             delivered.clear();
             net.step(&mut delivered).unwrap();
-            wl.post_cycle(&delivered, net.cycle(), &mut samples);
+            let after = net.cycle();
+            wl.post_cycle(net, &delivered, after, &mut samples);
         }
         samples
     }
 
     #[test]
     fn transactions_complete_with_expected_latency() {
-        let mut net = Loopback { pms: 4, queue: Vec::new(), cycle: 0 };
+        let mut net = Loopback {
+            pms: 4,
+            queue: Vec::new(),
+            cycle: 0,
+        };
         let mut wl = mmrp(4, 4, 1.0);
         let samples = run(&mut wl, &mut net, 500);
         assert!(!samples.is_empty());
@@ -242,7 +280,11 @@ mod tests {
 
     #[test]
     fn issue_rate_matches_miss_rate() {
-        let mut net = Loopback { pms: 8, queue: Vec::new(), cycle: 0 };
+        let mut net = Loopback {
+            pms: 8,
+            queue: Vec::new(),
+            cycle: 0,
+        };
         let mut wl = mmrp(8, 4, 1.0);
         run(&mut wl, &mut net, 2_500);
         // 8 processors * 2500 cycles * C=0.04 = 800 expected issues;
@@ -253,12 +295,19 @@ mod tests {
 
     #[test]
     fn conservation_on_loopback() {
-        let mut net = Loopback { pms: 6, queue: Vec::new(), cycle: 0 };
+        let mut net = Loopback {
+            pms: 6,
+            queue: Vec::new(),
+            cycle: 0,
+        };
         let mut wl = mmrp(6, 2, 0.5);
         run(&mut wl, &mut net, 1_000);
         let s = wl.stats();
         assert!(s.retired <= s.issued);
-        assert!(s.issued - s.retired <= 6 * 2, "at most T per processor in flight");
+        assert!(
+            s.issued - s.retired <= 6 * 2,
+            "at most T per processor in flight"
+        );
         assert_eq!(wl.outstanding(), s.issued - s.retired);
     }
 
@@ -266,7 +315,11 @@ mod tests {
     fn local_accesses_counted_separately() {
         // R small on a big machine still includes the local PM, so some
         // local traffic must appear.
-        let mut net = Loopback { pms: 16, queue: Vec::new(), cycle: 0 };
+        let mut net = Loopback {
+            pms: 16,
+            queue: Vec::new(),
+            cycle: 0,
+        };
         let mut wl = mmrp(16, 4, 0.2);
         run(&mut wl, &mut net, 2_000);
         let s = wl.stats();
@@ -276,10 +329,17 @@ mod tests {
 
     #[test]
     fn samples_carry_completion_timestamps() {
-        let mut net = Loopback { pms: 4, queue: Vec::new(), cycle: 0 };
+        let mut net = Loopback {
+            pms: 4,
+            queue: Vec::new(),
+            cycle: 0,
+        };
         let mut wl = mmrp(4, 4, 1.0);
         let samples = run(&mut wl, &mut net, 300);
-        assert!(samples.windows(2).all(|w| w[0].0 <= w[1].0), "timestamps non-decreasing");
+        assert!(
+            samples.windows(2).all(|w| w[0].0 <= w[1].0),
+            "timestamps non-decreasing"
+        );
         assert!(samples.last().unwrap().0 <= 300);
     }
 }

@@ -38,7 +38,8 @@
 //!     wl.pre_cycle(&mut net, now, &mut samples);
 //!     delivered.clear();
 //!     net.step(&mut delivered).unwrap();
-//!     wl.post_cycle(&delivered, net.cycle(), &mut samples);
+//!     let after = net.cycle();
+//!     wl.post_cycle(&mut net, &delivered, after, &mut samples);
 //! }
 //! assert!(!samples.is_empty(), "transactions completed");
 //! ```

@@ -142,7 +142,10 @@ mod tests {
     fn read_produces_data_response_after_latency() {
         let mut m = MemoryModule::new(
             NodeId::new(1),
-            MemoryParams { latency: 10, occupancy: 1 },
+            MemoryParams {
+                latency: 10,
+                occupancy: 1,
+            },
             sizer(),
         );
         m.accept(&req(7, 0, 1, PacketKind::ReadReq), 100);
@@ -168,7 +171,10 @@ mod tests {
     fn occupancy_serializes_service_starts() {
         let mut m = MemoryModule::new(
             NodeId::new(0),
-            MemoryParams { latency: 10, occupancy: 4 },
+            MemoryParams {
+                latency: 10,
+                occupancy: 4,
+            },
             sizer(),
         );
         m.accept(&req(1, 1, 0, PacketKind::ReadReq), 0);
@@ -180,7 +186,14 @@ mod tests {
 
     #[test]
     fn local_accesses_complete_after_latency() {
-        let mut m = MemoryModule::new(NodeId::new(0), MemoryParams { latency: 8, occupancy: 1 }, sizer());
+        let mut m = MemoryModule::new(
+            NodeId::new(0),
+            MemoryParams {
+                latency: 8,
+                occupancy: 1,
+            },
+            sizer(),
+        );
         m.accept_local(50, 50);
         let mut out = Vec::new();
         m.pop_local_ready(57, &mut out);

@@ -176,7 +176,9 @@ mod tests {
 
     #[test]
     fn builders_validate() {
-        let p = WorkloadParams::paper_baseline().with_region(0.3).with_outstanding(2);
+        let p = WorkloadParams::paper_baseline()
+            .with_region(0.3)
+            .with_outstanding(2);
         assert_eq!(p.region, 0.3);
         assert_eq!(p.outstanding, 2);
     }
@@ -189,8 +191,14 @@ mod tests {
 
     #[test]
     fn sizer_uses_network_format() {
-        let ring = PacketSizer { format: PacketFormat::RING, cache_line: CacheLineSize::B64 };
-        let mesh = PacketSizer { format: PacketFormat::MESH, cache_line: CacheLineSize::B64 };
+        let ring = PacketSizer {
+            format: PacketFormat::RING,
+            cache_line: CacheLineSize::B64,
+        };
+        let mesh = PacketSizer {
+            format: PacketFormat::MESH,
+            cache_line: CacheLineSize::B64,
+        };
         assert_eq!(ring.flits(PacketKind::ReadResp), 5);
         assert_eq!(mesh.flits(PacketKind::ReadResp), 20);
     }

@@ -57,7 +57,12 @@ pub struct Processor {
 impl Processor {
     /// Creates the processor for `pm` with access `region` (local PM
     /// first) and an independent RNG stream.
-    pub(crate) fn new(pm: NodeId, params: &WorkloadParams, region: Vec<NodeId>, mut rng: SimRng) -> Self {
+    pub(crate) fn new(
+        pm: NodeId,
+        params: &WorkloadParams,
+        region: Vec<NodeId>,
+        mut rng: SimRng,
+    ) -> Self {
         debug_assert_eq!(region.first(), Some(&pm));
         // Stagger the first miss uniformly over one interval so the
         // deterministic generators do not fire in lock-step (which
@@ -150,7 +155,11 @@ impl Processor {
     ///
     /// Panics if nothing is outstanding — a response delivered twice.
     pub(crate) fn retire(&mut self) {
-        assert!(self.outstanding > 0, "retire with nothing outstanding at {}", self.pm);
+        assert!(
+            self.outstanding > 0,
+            "retire with nothing outstanding at {}",
+            self.pm
+        );
         self.outstanding -= 1;
         self.stats.retired += 1;
     }
@@ -167,8 +176,16 @@ impl Processor {
         } else {
             PacketKind::WriteReq
         };
-        let issued_at = if self.outstanding < self.t_limit { now } else { u64::MAX };
-        PendingRef { dst, kind, issued_at }
+        let issued_at = if self.outstanding < self.t_limit {
+            now
+        } else {
+            u64::MAX
+        };
+        PendingRef {
+            dst,
+            kind,
+            issued_at,
+        }
     }
 }
 

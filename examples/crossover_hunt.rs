@@ -35,7 +35,10 @@ fn main() {
                 (
                     f64::from(p),
                     SystemConfig::new(
-                        NetworkSpec::Mesh { side, buffers: BufferRegime::FourFlit },
+                        NetworkSpec::Mesh {
+                            side,
+                            buffers: BufferRegime::FourFlit,
+                        },
                         cl,
                     )
                     .with_workload(workload)
@@ -47,7 +50,9 @@ fn main() {
         let mesh = run_series("mesh", mesh_points, |r| r.mean_latency());
         match ring.crossover_with(&mesh) {
             Some(x) => println!("{cl:>4} lines: mesh overtakes the ring at ~{x:.0} nodes"),
-            None => println!("{cl:>4} lines: no cross-over up to 121 nodes (ring wins throughout or never)"),
+            None => println!(
+                "{cl:>4} lines: no cross-over up to 121 nodes (ring wins throughout or never)"
+            ),
         }
     }
     println!("\npaper (Fig. 14): 16, 25, 27 and 36 nodes respectively");

@@ -19,16 +19,16 @@ fn main() -> Result<(), RunError> {
     // 54 processors: ring 3:3:6 (Table 2); nearest square mesh: 7x7=49.
     let ring_spec = "3:3:6".parse().map_err(RunError::InvalidConfig)?;
     println!("54-PM ring (3:3:6) vs 49-PM mesh (7x7), 64B lines, C=0.04, T=4\n");
-    println!("{:>5}  {:>10}  {:>10}  {:>12}", "R", "ring (cyc)", "mesh (cyc)", "ring:mesh");
+    println!(
+        "{:>5}  {:>10}  {:>10}  {:>12}",
+        "R", "ring (cyc)", "mesh (cyc)", "ring:mesh"
+    );
     for r in [0.05, 0.1, 0.2, 0.3, 0.5, 0.7, 1.0] {
         let workload = WorkloadParams::paper_baseline().with_region(r);
         let ring = run_config(
-            SystemConfig::new(
-                NetworkSpec::ring(std::clone::Clone::clone(&ring_spec)),
-                cl,
-            )
-            .with_workload(workload)
-            .with_sim(SimParams::full()),
+            SystemConfig::new(NetworkSpec::ring(std::clone::Clone::clone(&ring_spec)), cl)
+                .with_workload(workload)
+                .with_sim(SimParams::full()),
         )?;
         let mesh = run_config(
             SystemConfig::new(NetworkSpec::mesh(7), cl)

@@ -17,11 +17,17 @@ fn main() -> Result<(), RunError> {
     // planned 64-processor configuration.
     let spec = "4:4:4".parse().map_err(RunError::InvalidConfig)?;
     println!("NUMAchine-like hierarchical ring: 4:4:4 (64 processors), 64B lines\n");
-    println!("{:>3}  {:>6}  {:>9}  {:>11}  {:>11}  {:>11}", "T", "R", "latency", "throughput", "local util", "global util");
+    println!(
+        "{:>3}  {:>6}  {:>9}  {:>11}  {:>11}  {:>11}",
+        "T", "R", "latency", "throughput", "local util", "global util"
+    );
     for r in [1.0, 0.2] {
         for t in [1, 2, 4, 8] {
             let cfg = SystemConfig::new(
-                NetworkSpec::Ring { spec: std::clone::Clone::clone(&spec), speedup: 1 },
+                NetworkSpec::Ring {
+                    spec: std::clone::Clone::clone(&spec),
+                    speedup: 1,
+                },
                 CacheLineSize::B64,
             )
             .with_workload(

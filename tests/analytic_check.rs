@@ -52,7 +52,11 @@ fn ring_simulator_matches_zero_load_model() {
 
 #[test]
 fn mesh_simulator_matches_zero_load_model() {
-    for (side, cl) in [(2u32, CacheLineSize::B32), (3, CacheLineSize::B64), (4, CacheLineSize::B128)] {
+    for (side, cl) in [
+        (2u32, CacheLineSize::B32),
+        (3, CacheLineSize::B64),
+        (4, CacheLineSize::B128),
+    ] {
         let predicted = mesh_zero_load_latency(side, cl, &light(), 10);
         let cfg = SystemConfig::new(NetworkSpec::mesh(side), cl)
             .with_workload(light())
@@ -107,10 +111,19 @@ fn double_speed_bound_doubles_and_simulator_follows() {
     let b2 = ring_bisection_bound(&spec, cl, &wl, 2);
     assert!((b2 / b1 - 2.0).abs() < 1e-9);
     let thr = |speedup| {
-        let cfg = SystemConfig::new(NetworkSpec::Ring { spec: spec.clone(), speedup }, cl)
-            .with_sim(SimParams::quick());
+        let cfg = SystemConfig::new(
+            NetworkSpec::Ring {
+                spec: spec.clone(),
+                speedup,
+            },
+            cl,
+        )
+        .with_sim(SimParams::quick());
         run_config(cfg).unwrap().throughput
     };
     let (t1, t2) = (thr(1), thr(2));
-    assert!(t2 > 1.2 * t1, "double speed throughput {t2:.3} !> 1.2x {t1:.3}");
+    assert!(
+        t2 > 1.2 * t1,
+        "double speed throughput {t2:.3} !> 1.2x {t1:.3}"
+    );
 }

@@ -41,10 +41,21 @@ fn every_network_kind_runs_and_measures() {
         for cl in [CacheLineSize::B16, CacheLineSize::B128] {
             let cfg = SystemConfig::new(network.clone(), cl).with_sim(quick_sim());
             let r = run_config(cfg).unwrap_or_else(|e| panic!("{label} {cl}: {e}"));
-            assert!(r.latency.n >= 3, "{label} {cl}: too few batches {:?}", r.latency);
-            assert!(r.mean_latency() > 5.0, "{label} {cl}: implausibly low latency");
+            assert!(
+                r.latency.n >= 3,
+                "{label} {cl}: too few batches {:?}",
+                r.latency
+            );
+            assert!(
+                r.mean_latency() > 5.0,
+                "{label} {cl}: implausibly low latency"
+            );
             assert!(r.throughput > 0.0, "{label} {cl}: no throughput");
-            assert!(r.workload.retired > 100, "{label} {cl}: {} retired", r.workload.retired);
+            assert!(
+                r.workload.retired > 100,
+                "{label} {cl}: {} retired",
+                r.workload.retired
+            );
         }
     }
 }
@@ -88,8 +99,14 @@ fn saturation_does_not_deadlock() {
     let heavy = WorkloadParams::paper_baseline().with_outstanding(8);
     for network in [
         NetworkSpec::ring("3:3:6".parse().unwrap()),
-        NetworkSpec::Ring { spec: "4:3:6".parse().unwrap(), speedup: 2 },
-        NetworkSpec::Mesh { side: 6, buffers: BufferRegime::OneFlit },
+        NetworkSpec::Ring {
+            spec: "4:3:6".parse().unwrap(),
+            speedup: 2,
+        },
+        NetworkSpec::Mesh {
+            side: 6,
+            buffers: BufferRegime::OneFlit,
+        },
     ] {
         let cfg = SystemConfig::new(network.clone(), CacheLineSize::B64)
             .with_workload(heavy)
@@ -114,7 +131,11 @@ fn local_accesses_bypass_network() {
     assert_eq!(r.workload.retired, r.workload.local_retired);
     assert!(r.utilization.overall == 0.0);
     // Latency = memory latency exactly (default 10 cycles).
-    assert!((r.mean_latency() - 10.0).abs() < 1e-9, "{}", r.mean_latency());
+    assert!(
+        (r.mean_latency() - 10.0).abs() < 1e-9,
+        "{}",
+        r.mean_latency()
+    );
 }
 
 #[test]
@@ -128,7 +149,10 @@ fn system_debug_is_informative() {
 #[test]
 fn invalid_configs_are_rejected_not_panicking() {
     let cfg = SystemConfig::new(
-        NetworkSpec::Mesh { side: 0, buffers: BufferRegime::FourFlit },
+        NetworkSpec::Mesh {
+            side: 0,
+            buffers: BufferRegime::FourFlit,
+        },
         CacheLineSize::B32,
     );
     assert!(matches!(System::new(cfg), Err(RunError::InvalidConfig(_))));
@@ -141,7 +165,8 @@ fn slotted_ring_outperforms_wormhole_under_saturation() {
     // companion study, reference [21], reports the same direction).
     let spec: ringmesh_ring::RingSpec = "3:3:6".parse().unwrap();
     let worm = run_config(
-        SystemConfig::new(NetworkSpec::ring(spec.clone()), CacheLineSize::B64).with_sim(quick_sim()),
+        SystemConfig::new(NetworkSpec::ring(spec.clone()), CacheLineSize::B64)
+            .with_sim(quick_sim()),
     )
     .unwrap();
     let slotted = run_config(

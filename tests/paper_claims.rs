@@ -16,17 +16,28 @@ fn sim() -> SimParams {
 
 fn ring_latency(spec: &str, speedup: u32, cl: CacheLineSize, r: f64, t: u32) -> f64 {
     let cfg = SystemConfig::new(
-        NetworkSpec::Ring { spec: spec.parse().unwrap(), speedup },
+        NetworkSpec::Ring {
+            spec: spec.parse().unwrap(),
+            speedup,
+        },
         cl,
     )
-    .with_workload(WorkloadParams::paper_baseline().with_region(r).with_outstanding(t))
+    .with_workload(
+        WorkloadParams::paper_baseline()
+            .with_region(r)
+            .with_outstanding(t),
+    )
     .with_sim(sim());
     run_config(cfg).unwrap().mean_latency()
 }
 
 fn mesh_latency(side: u32, buffers: BufferRegime, cl: CacheLineSize, r: f64, t: u32) -> f64 {
     let cfg = SystemConfig::new(NetworkSpec::Mesh { side, buffers }, cl)
-        .with_workload(WorkloadParams::paper_baseline().with_region(r).with_outstanding(t))
+        .with_workload(
+            WorkloadParams::paper_baseline()
+                .with_region(r)
+                .with_outstanding(t),
+        )
         .with_sim(sim());
     run_config(cfg).unwrap().mean_latency()
 }
@@ -58,7 +69,10 @@ fn mesh_buffer_regime_ordering() {
     let one = mesh_latency(8, BufferRegime::OneFlit, cl, 1.0, 4);
     let four = mesh_latency(8, BufferRegime::FourFlit, cl, 1.0, 4);
     let full = mesh_latency(8, BufferRegime::CacheLine, cl, 1.0, 4);
-    assert!(one > four && four > full, "1-flit {one:.0} / 4-flit {four:.0} / cl {full:.0}");
+    assert!(
+        one > four && four > full,
+        "1-flit {one:.0} / 4-flit {four:.0} / cl {full:.0}"
+    );
 }
 
 /// §5.1 / Fig. 14: small systems favour rings; large 16B-line systems
@@ -76,7 +90,10 @@ fn crossover_direction() {
     // Well above it with small lines: mesh wins.
     let big_ring = ring_latency("3:3:12", 1, CacheLineSize::B16, 1.0, 4); // 108 PMs
     let big_mesh = mesh_latency(10, BufferRegime::FourFlit, CacheLineSize::B16, 1.0, 4); // 100 PMs
-    assert!(big_mesh < big_ring, "large: mesh {big_mesh:.0} !< ring {big_ring:.0}");
+    assert!(
+        big_mesh < big_ring,
+        "large: mesh {big_mesh:.0} !< ring {big_ring:.0}"
+    );
 }
 
 /// §5.1 / Fig. 16: with 1-flit mesh buffers, rings win even at the
@@ -99,10 +116,7 @@ fn locality_flips_the_comparison() {
     let cl = CacheLineSize::B64;
     let ring = ring_latency("3:3:6", 1, cl, 0.1, 4); // 54 PMs
     let mesh = mesh_latency(7, BufferRegime::FourFlit, cl, 0.1, 4); // 49 PMs
-    assert!(
-        ring < mesh,
-        "R=0.1: ring {ring:.0} !< mesh {mesh:.0}"
-    );
+    assert!(ring < mesh, "R=0.1: ring {ring:.0} !< mesh {mesh:.0}");
     // Control: locality must help the ring *relative to* the mesh —
     // the ring:mesh latency ratio at R=0.1 is clearly below the ratio
     // without locality.
@@ -131,10 +145,17 @@ fn double_speed_global_ring_helps() {
     let cl = CacheLineSize::B32;
     let run = |speedup| {
         let cfg = SystemConfig::new(
-            NetworkSpec::Ring { spec: "4:3:8".parse().unwrap(), speedup },
+            NetworkSpec::Ring {
+                spec: "4:3:8".parse().unwrap(),
+                speedup,
+            },
             cl,
         )
-        .with_sim(SimParams { warmup: 4_000, batch_cycles: 4_000, batches: 6 });
+        .with_sim(SimParams {
+            warmup: 4_000,
+            batch_cycles: 4_000,
+            batches: 6,
+        });
         run_config(cfg).unwrap().mean_latency()
     };
     let (normal, fast) = (run(1), run(2));
