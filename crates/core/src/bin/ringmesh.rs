@@ -13,7 +13,10 @@
 
 use std::process::ExitCode;
 
-use ringmesh::{run_config, NetworkSpec, SimParams, System, SystemConfig, TraceConfig};
+use ringmesh::{
+    run_config, FaultConfig, FaultPlan, FaultRunReport, NetworkSpec, RetryPolicy, RunError,
+    SimParams, System, SystemConfig, TraceConfig,
+};
 use ringmesh_net::{BufferRegime, CacheLineSize};
 use ringmesh_workload::{MemoryParams, MissProcess, WorkloadParams};
 
@@ -23,12 +26,20 @@ ringmesh — flit-level hierarchical-ring / mesh interconnect simulator
 USAGE:
     ringmesh <NETWORK> [OPTIONS]
     ringmesh trace <NETWORK> [OPTIONS] [TRACE OPTIONS]
+    ringmesh faults <NETWORK> [OPTIONS] [FAULT OPTIONS]
 
 The `trace` subcommand runs the same simulation with the observability
 subsystem recording: it prints per-counter and per-gauge batch
 summaries and link-utilization heatmaps, and can export the sampled
 flit-event stream as Chrome trace-event JSON (open in Perfetto or
 chrome://tracing).
+
+The `faults` subcommand runs the simulation under a deterministic,
+seeded fault schedule (packet corruption, transient link-down
+intervals, permanent router/IRI deaths) with an end-to-end retry layer
+at the processors, and reports delivered throughput, drop accounting
+and the packet-conservation audit. Same seeds replay bit-for-bit.
+Exit status: 1 usage/config error, 2 stall, 3 conservation violation.
 
 NETWORK (exactly one):
     --ring <SPEC>          hierarchical ring, e.g. --ring 2:3:4
@@ -56,6 +67,18 @@ TRACE OPTIONS (with the `trace` subcommand):
     --heatmap-csv <PATH>   write the link heatmap(s) as CSV here
     --window <N>           counter sampling window, cycles [default: 1000]
     --sample-every <N>     record events for 1 in N txns   [default: 16]
+
+FAULT OPTIONS (with the `faults` subcommand):
+    --corrupt <P>          per-packet corruption probability  [default: 0]
+    --link-down <N>        transient link-down events         [default: 0]
+    --link-down-cycles <N> cycles each link stays down        [default: 500]
+    --kill-nodes <N>       routers/IRIs to fail-stop          [default: 0]
+    --fault-seed <N>       fault-schedule seed                [default: 7]
+    --timeout <N>          retry timeout, cycles              [default: 1000]
+    --attempts <N>         max attempts (first issue incl.)   [default: 4]
+    --backoff <N>          base retry backoff, cycles         [default: 64]
+    --no-retry             disable the end-to-end retry layer
+    --check                conservation tracking in release builds
 ";
 
 struct Args(Vec<String>);
@@ -191,6 +214,134 @@ fn parse_trace_opts(args: &mut Args) -> Result<TraceOpts, String> {
     })
 }
 
+/// Options specific to the `faults` subcommand (the schedule horizon
+/// comes from the simulation length, known only after `build_config`).
+struct FaultOpts {
+    corrupt: f64,
+    link_down: u32,
+    link_down_cycles: u64,
+    kill_nodes: u32,
+    seed: u64,
+    retry: Option<RetryPolicy>,
+    check: bool,
+}
+
+fn parse_fault_opts(args: &mut Args) -> Result<FaultOpts, String> {
+    let corrupt = args.take_parsed::<f64>("--corrupt")?.unwrap_or(0.0);
+    if !(0.0..=1.0).contains(&corrupt) {
+        return Err(format!("--corrupt must be in [0, 1], got {corrupt}"));
+    }
+    let retry = if args.take_flag("--no-retry") {
+        None
+    } else {
+        let default = RetryPolicy::default();
+        Some(RetryPolicy {
+            timeout: args
+                .take_parsed::<u64>("--timeout")?
+                .unwrap_or(default.timeout)
+                .max(1),
+            max_attempts: args
+                .take_parsed::<u32>("--attempts")?
+                .unwrap_or(default.max_attempts)
+                .max(1),
+            backoff: args
+                .take_parsed::<u64>("--backoff")?
+                .unwrap_or(default.backoff),
+        })
+    };
+    Ok(FaultOpts {
+        corrupt,
+        link_down: args.take_parsed::<u32>("--link-down")?.unwrap_or(0),
+        link_down_cycles: args
+            .take_parsed::<u64>("--link-down-cycles")?
+            .unwrap_or(500),
+        kill_nodes: args.take_parsed::<u32>("--kill-nodes")?.unwrap_or(0),
+        seed: args.take_parsed::<u64>("--fault-seed")?.unwrap_or(7),
+        retry,
+        check: args.take_flag("--check"),
+    })
+}
+
+fn print_fault_report(report: &FaultRunReport, retry_enabled: bool) {
+    let f = &report.faults;
+    println!(
+        "faults      : {} nodes killed, {} link-down events, {} packets corrupt-marked",
+        f.nodes_killed, f.link_down_applied, f.corrupt_marked
+    );
+    println!(
+        "drops       : {} total ({} corrupted, {} unreachable, {} dead-interface)",
+        f.drops.total(),
+        f.drops.corrupted,
+        f.drops.unreachable,
+        f.drops.dead_interface
+    );
+    if retry_enabled {
+        let r = &report.retry;
+        println!(
+            "retry       : {} timeouts, {} retries, {} given up ({} dead-endpoint, {} stale responses)",
+            r.timeouts, r.retries, r.gave_up, r.dead_drops, r.stale_responses
+        );
+    } else {
+        println!("retry       : disabled");
+    }
+    match report.conservation {
+        Some((injected, delivered, dropped)) => {
+            let in_flight = injected - delivered - dropped;
+            let verdict = if report.violation.is_none() {
+                "ok"
+            } else {
+                "VIOLATED"
+            };
+            println!(
+                "conservation: {injected} injected = {delivered} delivered + {dropped} dropped + {in_flight} in flight — {verdict}"
+            );
+        }
+        None => println!("conservation: no ledger (network without fault support)"),
+    }
+}
+
+fn run_faults(cfg: SystemConfig, opts: FaultOpts, format: &str) -> ExitCode {
+    let label = cfg.network.label();
+    let pms = cfg.network.num_pms();
+    let plan = FaultPlan {
+        faults: FaultConfig {
+            seed: opts.seed,
+            corrupt_prob: opts.corrupt,
+            link_down_events: opts.link_down,
+            link_down_cycles: opts.link_down_cycles,
+            dead_nodes: opts.kill_nodes,
+            horizon: cfg.sim.horizon(),
+        },
+        retry: opts.retry,
+        check: opts.check,
+    };
+    let sys = match System::new(cfg) {
+        Ok(s) => s,
+        Err(e) => return fail(&e),
+    };
+    let report = match sys.run_faulty(&plan) {
+        Ok(r) => r,
+        Err(e) => return fail(&e),
+    };
+    print_result(format, &label, pms, &report.result);
+    print_fault_report(&report, plan.retry.is_some());
+    if let Some(v) = &report.violation {
+        eprintln!("error: packet conservation violated: {v}");
+        return ExitCode::from(3);
+    }
+    ExitCode::SUCCESS
+}
+
+/// Prints `e` and picks the exit status: stalls get a distinct code so
+/// scripts can tell "the simulation deadlocked" from "bad arguments".
+fn fail(e: &RunError) -> ExitCode {
+    eprintln!("error: {e}");
+    match e {
+        RunError::Stall(_) => ExitCode::from(2),
+        _ => ExitCode::FAILURE,
+    }
+}
+
 fn print_result(format: &str, label: &str, pms: u32, r: &ringmesh::RunResult) {
     match format {
         "csv" => {
@@ -227,17 +378,11 @@ fn run_trace(cfg: SystemConfig, opts: TraceOpts, format: &str) -> ExitCode {
     let pms = cfg.network.num_pms();
     let sys = match System::new(cfg) {
         Ok(s) => s,
-        Err(e) => {
-            eprintln!("error: {e}");
-            return ExitCode::FAILURE;
-        }
+        Err(e) => return fail(&e),
     };
     let (r, report) = match sys.run_traced(opts.cfg) {
         Ok(x) => x,
-        Err(e) => {
-            eprintln!("error: {e}");
-            return ExitCode::FAILURE;
-        }
+        Err(e) => return fail(&e),
     };
     print_result(format, &label, pms, &r);
     println!();
@@ -275,7 +420,8 @@ fn main() -> ExitCode {
         return ExitCode::SUCCESS;
     }
     let tracing = args.0.first().is_some_and(|a| a == "trace");
-    if tracing {
+    let faulting = args.0.first().is_some_and(|a| a == "faults");
+    if tracing || faulting {
         args.0.remove(0);
     }
     let format = match args.take_value("--format") {
@@ -287,6 +433,17 @@ fn main() -> ExitCode {
     };
     let trace_opts = if tracing {
         match parse_trace_opts(&mut args) {
+            Ok(o) => Some(o),
+            Err(e) => {
+                eprintln!("error: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    } else {
+        None
+    };
+    let fault_opts = if faulting {
+        match parse_fault_opts(&mut args) {
             Ok(o) => Some(o),
             Err(e) => {
                 eprintln!("error: {e}");
@@ -310,6 +467,9 @@ fn main() -> ExitCode {
     if let Some(opts) = trace_opts {
         return run_trace(cfg, opts, &format);
     }
+    if let Some(opts) = fault_opts {
+        return run_faults(cfg, opts, &format);
+    }
     let label = cfg.network.label();
     let pms = cfg.network.num_pms();
     match run_config(cfg) {
@@ -317,9 +477,6 @@ fn main() -> ExitCode {
             print_result(&format, &label, pms, &r);
             ExitCode::SUCCESS
         }
-        Err(e) => {
-            eprintln!("error: {e}");
-            ExitCode::FAILURE
-        }
+        Err(e) => fail(&e),
     }
 }

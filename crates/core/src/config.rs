@@ -1,6 +1,6 @@
 //! Top-level system configuration.
 
-use ringmesh_net::{BufferRegime, CacheLineSize};
+use ringmesh_net::{BufferRegime, CacheLineSize, ConfigError};
 use ringmesh_ring::RingSpec;
 use ringmesh_workload::{MemoryParams, WorkloadParams};
 
@@ -155,6 +155,71 @@ impl SystemConfig {
     pub fn with_seed(mut self, seed: u64) -> Self {
         self.seed = seed;
         self
+    }
+
+    /// Checks the cross-field invariants the type system cannot:
+    /// network shape, workload parameter ranges, memory timing and
+    /// measurement lengths. Construction-time validators ([`RingSpec`]
+    /// parsing, `MeshTopology::try_new`) catch shape errors earlier;
+    /// this is the single choke point every run path goes through.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first [`ConfigError`] found.
+    pub fn validate(&self) -> Result<(), ConfigError> {
+        if let NetworkSpec::Mesh { side: 0, .. } = self.network {
+            return Err(ConfigError::ZeroMeshSide);
+        }
+        let w = &self.workload;
+        if !(w.region > 0.0 && w.region <= 1.0) {
+            return Err(ConfigError::Invalid(format!(
+                "access region R = {} must be in (0, 1]",
+                w.region
+            )));
+        }
+        if !(w.miss_rate > 0.0 && w.miss_rate <= 1.0) {
+            return Err(ConfigError::Invalid(format!(
+                "miss rate C = {} must be in (0, 1]",
+                w.miss_rate
+            )));
+        }
+        if w.outstanding == 0 {
+            return Err(ConfigError::Invalid(
+                "outstanding limit T must be positive".into(),
+            ));
+        }
+        if !(0.0..=1.0).contains(&w.read_fraction) {
+            return Err(ConfigError::Invalid(format!(
+                "read fraction {} must be in [0, 1]",
+                w.read_fraction
+            )));
+        }
+        if let Some(h) = &w.hot_spot {
+            if h.node >= self.network.num_pms() {
+                return Err(ConfigError::Invalid(format!(
+                    "hot-spot node {} out of range for {} PMs",
+                    h.node,
+                    self.network.num_pms()
+                )));
+            }
+            if !(0.0..=1.0).contains(&h.fraction) {
+                return Err(ConfigError::Invalid(format!(
+                    "hot-spot fraction {} must be in [0, 1]",
+                    h.fraction
+                )));
+            }
+        }
+        if self.memory.latency == 0 || self.memory.occupancy == 0 {
+            return Err(ConfigError::Invalid(
+                "memory latency and occupancy must be positive".into(),
+            ));
+        }
+        if self.sim.batch_cycles == 0 || self.sim.batches == 0 {
+            return Err(ConfigError::Invalid(
+                "measurement plan needs at least one non-empty batch".into(),
+            ));
+        }
+        Ok(())
     }
 }
 

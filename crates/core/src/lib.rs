@@ -57,6 +57,8 @@ mod system;
 pub mod topologies;
 
 pub use config::{NetworkSpec, SimParams, SystemConfig};
+pub use ringmesh_faults::{ConservationError, DropCounts, FaultConfig, FaultReport};
 pub use ringmesh_trace::{TraceConfig, TraceReport};
+pub use ringmesh_workload::{RetryPolicy, RetryStats};
 pub use sweep::{run_points, run_series, series_of, Scale};
-pub use system::{run_config, RunError, RunResult, System};
+pub use system::{run_config, FaultPlan, FaultRunReport, RunError, RunResult, System};

@@ -3,13 +3,14 @@
 use std::error::Error;
 use std::fmt;
 
-use ringmesh_engine::StallError;
+use ringmesh_engine::{StallError, Watchdog};
+use ringmesh_faults::{ConservationError, FaultConfig, FaultInjector, FaultReport, FaultSchedule};
 use ringmesh_mesh::{MeshConfig, MeshNetwork, MeshTopology};
-use ringmesh_net::{Interconnect, NodeId, Packet, PacketFormat, UtilizationReport};
+use ringmesh_net::{ConfigError, Interconnect, NodeId, Packet, PacketFormat, UtilizationReport};
 use ringmesh_ring::{RingConfig, RingNetwork, SlottedRingNetwork};
 use ringmesh_stats::{BatchMeans, Histogram, Summary};
 use ringmesh_trace::{TraceConfig, TraceReport, Tracer};
-use ringmesh_workload::{Mmrp, MmrpStats, PacketSizer, Placement};
+use ringmesh_workload::{Mmrp, MmrpStats, PacketSizer, Placement, RetryPolicy, RetryStats};
 
 use crate::config::{NetworkSpec, SystemConfig};
 
@@ -19,7 +20,7 @@ pub enum RunError {
     /// The network watchdog detected a deadlock-like stall.
     Stall(StallError),
     /// The configuration is invalid (e.g. a non-square mesh size).
-    InvalidConfig(String),
+    InvalidConfig(ConfigError),
 }
 
 impl fmt::Display for RunError {
@@ -36,6 +37,12 @@ impl Error for RunError {}
 impl From<StallError> for RunError {
     fn from(e: StallError) -> Self {
         RunError::Stall(e)
+    }
+}
+
+impl From<ConfigError> for RunError {
+    fn from(e: ConfigError) -> Self {
+        RunError::InvalidConfig(e)
     }
 }
 
@@ -64,6 +71,77 @@ impl RunResult {
     pub fn mean_latency(&self) -> f64 {
         self.latency.mean
     }
+}
+
+/// What to break during a [`System::run_faulty`] run and how the
+/// endpoints should defend themselves.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FaultPlan {
+    /// Fault classes, rates and seed (see [`FaultConfig`]).
+    pub faults: FaultConfig,
+    /// End-to-end timeout/retry policy at the processors; `None` leaves
+    /// dropped transactions unrecovered (their slots leak until the
+    /// stall watchdog trips — useful to demonstrate why the layer
+    /// exists).
+    pub retry: Option<RetryPolicy>,
+    /// Force exact per-packet conservation tracking even in release
+    /// builds (always on in debug builds).
+    pub check: bool,
+}
+
+impl FaultPlan {
+    /// A plan running `faults` with the default retry policy and no
+    /// release-mode conservation tracking.
+    pub fn new(faults: FaultConfig) -> Self {
+        FaultPlan {
+            faults,
+            retry: Some(RetryPolicy::default()),
+            check: false,
+        }
+    }
+
+    /// Returns the plan with a specific retry policy.
+    #[must_use]
+    pub fn with_retry(mut self, policy: RetryPolicy) -> Self {
+        self.retry = Some(policy);
+        self
+    }
+
+    /// Returns the plan with the retry layer disabled.
+    #[must_use]
+    pub fn without_retry(mut self) -> Self {
+        self.retry = None;
+        self
+    }
+
+    /// Returns the plan with conservation tracking forced on.
+    #[must_use]
+    pub fn with_check(mut self) -> Self {
+        self.check = true;
+        self
+    }
+}
+
+/// Results of a faulty run: the usual measurements plus fault, retry
+/// and conservation accounting.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FaultRunReport {
+    /// The ordinary measurement results (latency only samples
+    /// transactions that completed; throughput is *delivered*
+    /// throughput).
+    pub result: RunResult,
+    /// What the injector did: drops by reason, corruption marks,
+    /// link-down events applied, nodes killed.
+    pub faults: FaultReport,
+    /// End-to-end layer counters (zero when retry was disabled).
+    pub retry: RetryStats,
+    /// `(injected, delivered, dropped)` ledger totals, when the network
+    /// keeps a conservation ledger.
+    pub conservation: Option<(u64, u64, u64)>,
+    /// A detected conservation violation — always `None` unless the
+    /// simulator itself is buggy; surfaced so harnesses can fail loudly
+    /// instead of publishing corrupt numbers.
+    pub violation: Option<ConservationError>,
 }
 
 /// A ready-to-run simulation: network + workload + measurement plan.
@@ -103,6 +181,7 @@ impl System {
     /// Returns [`RunError::InvalidConfig`] for inconsistent
     /// configurations.
     pub fn new(cfg: SystemConfig) -> Result<System, RunError> {
+        cfg.validate()?;
         let (net, placement, format): (Box<dyn Interconnect>, Placement, PacketFormat) =
             match &cfg.network {
                 NetworkSpec::Ring { spec, speedup } => {
@@ -117,11 +196,8 @@ impl System {
                     )
                 }
                 NetworkSpec::Mesh { side, buffers } => {
-                    if *side == 0 {
-                        return Err(RunError::InvalidConfig("mesh side must be positive".into()));
-                    }
                     let mc = MeshConfig::new(cfg.cache_line).with_buffers(*buffers);
-                    let net = MeshNetwork::new(MeshTopology::new(*side), mc);
+                    let net = MeshNetwork::new(MeshTopology::try_new(*side)?, mc);
                     (
                         Box::new(net),
                         Placement::Grid { side: *side },
@@ -211,12 +287,60 @@ impl System {
         Ok((result, report))
     }
 
+    /// Runs like [`run`](System::run) with a fault schedule installed
+    /// in the network and (optionally) the end-to-end retry layer
+    /// protecting transactions, then audits packet conservation.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RunError::InvalidConfig`] if `plan` asks for faults on
+    /// a network that exposes no fault domain (e.g. the slotted ring),
+    /// and [`RunError::Stall`] if the network — or the system as a
+    /// whole — stops making progress.
+    pub fn run_faulty(mut self, plan: &FaultPlan) -> Result<FaultRunReport, RunError> {
+        let domain = self.net.fault_domain();
+        if plan.faults.is_active() && domain.is_empty() {
+            return Err(RunError::InvalidConfig(ConfigError::Invalid(format!(
+                "network '{}' does not support fault injection",
+                self.cfg.network.label()
+            ))));
+        }
+        let schedule = FaultSchedule::generate(&plan.faults, domain);
+        self.net
+            .set_faults(FaultInjector::new(&schedule, domain), plan.check);
+        if let Some(policy) = plan.retry {
+            self.workload.set_retry(policy);
+        }
+        let result = self.run_mut()?;
+        let violation = self.net.verify_conservation().err();
+        Ok(FaultRunReport {
+            result,
+            faults: self
+                .net
+                .take_faults()
+                .map(|f| f.report())
+                .unwrap_or_default(),
+            retry: self.workload.retry_stats(),
+            conservation: self.net.conservation_counts(),
+            violation,
+        })
+    }
+
     fn run_mut(&mut self) -> Result<RunResult, RunError> {
         let sim = self.cfg.sim;
         let mut latency = BatchMeans::new(sim.warmup, sim.batch_cycles, sim.batches);
         let mut histogram = Histogram::new();
         let mut delivered: Vec<(NodeId, Packet)> = Vec::new();
         let mut samples: Vec<(u64, f64)> = Vec::new();
+        // System-level watchdog: the networks watch their own flits,
+        // but a wedged memory module or a workload whose transactions
+        // all vanish (faults without retry) stalls with an idle
+        // network. Completions count as end-to-end progress, and so
+        // does retry-layer activity — attempt counters are bounded per
+        // transaction, so sustained retries/give-ups mean the protocol
+        // is live even when nothing is getting through.
+        let mut dog = Watchdog::new((sim.horizon() / 4).max(2_000));
+        let mut prev_activity = 0u64;
         let net = self.net.as_mut();
         while !latency.is_complete(net.cycle()) {
             let now = net.cycle();
@@ -235,6 +359,12 @@ impl System {
                     histogram.record(v);
                 }
             }
+            let r = self.workload.retry_stats();
+            let activity = r.timeouts + r.retries + r.gave_up;
+            let progress = samples.len() as u64 + (activity - prev_activity);
+            prev_activity = activity;
+            dog.observe(now, progress, self.workload.outstanding());
+            dog.check(now)?;
         }
         Ok(RunResult {
             latency: latency.summary(),
@@ -389,5 +519,97 @@ mod tests {
             CacheLineSize::B32,
         );
         assert!(matches!(System::new(cfg), Err(RunError::InvalidConfig(_))));
+    }
+
+    #[test]
+    fn invalid_workload_rejected() {
+        // The builder asserts on this itself; a hand-rolled struct can
+        // still smuggle the value in, and validate() must catch it.
+        let cfg = quick(NetworkSpec::mesh(2), CacheLineSize::B32).with_workload(WorkloadParams {
+            region: 0.0,
+            ..WorkloadParams::paper_baseline()
+        });
+        assert!(matches!(System::new(cfg), Err(RunError::InvalidConfig(_))));
+    }
+
+    fn fault_plan(horizon: u64) -> FaultPlan {
+        FaultPlan::new(FaultConfig {
+            seed: 9,
+            corrupt_prob: 0.02,
+            link_down_events: 4,
+            link_down_cycles: 300,
+            dead_nodes: 1,
+            horizon,
+        })
+        .with_check()
+    }
+
+    #[test]
+    fn faulty_ring_run_conserves_and_reports() {
+        let cfg = quick(
+            NetworkSpec::ring("2:4".parse().unwrap()),
+            CacheLineSize::B32,
+        );
+        let plan = fault_plan(cfg.sim.horizon());
+        let r = System::new(cfg).unwrap().run_faulty(&plan).unwrap();
+        assert!(r.violation.is_none(), "{:?}", r.violation);
+        assert!(r.faults.nodes_killed == 1);
+        assert!(r.result.workload.retired > 0, "traffic still flows");
+        let (injected, delivered, dropped) = r.conservation.unwrap();
+        assert!(injected >= delivered + dropped);
+        assert_eq!(r.faults.drops.total(), dropped);
+    }
+
+    #[test]
+    fn faulty_mesh_run_conserves_and_reports() {
+        let cfg = quick(NetworkSpec::mesh(3), CacheLineSize::B32);
+        let plan = fault_plan(cfg.sim.horizon());
+        let r = System::new(cfg).unwrap().run_faulty(&plan).unwrap();
+        assert!(r.violation.is_none(), "{:?}", r.violation);
+        assert!(r.result.workload.retired > 0, "traffic still flows");
+        let (injected, delivered, dropped) = r.conservation.unwrap();
+        assert!(injected >= delivered + dropped);
+    }
+
+    #[test]
+    fn faulty_runs_replay_bit_for_bit() {
+        let cfg = quick(
+            NetworkSpec::ring("2:4".parse().unwrap()),
+            CacheLineSize::B32,
+        );
+        let plan = fault_plan(cfg.sim.horizon());
+        let a = System::new(cfg.clone()).unwrap().run_faulty(&plan).unwrap();
+        let b = System::new(cfg).unwrap().run_faulty(&plan).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn faults_on_slotted_ring_rejected() {
+        let cfg = quick(
+            NetworkSpec::SlottedRing {
+                spec: "4".parse().unwrap(),
+            },
+            CacheLineSize::B32,
+        );
+        let plan = fault_plan(1_000);
+        let r = System::new(cfg).unwrap().run_faulty(&plan);
+        assert!(matches!(r, Err(RunError::InvalidConfig(_))));
+    }
+
+    #[test]
+    fn inactive_fault_plan_matches_clean_run() {
+        let cfg = quick(
+            NetworkSpec::ring("2:3".parse().unwrap()),
+            CacheLineSize::B64,
+        );
+        let clean = System::new(cfg.clone()).unwrap().run().unwrap();
+        // An installed-but-empty schedule (plus the retry layer idling
+        // above it) must not perturb the simulation in any way.
+        let plan = FaultPlan::new(FaultConfig::none(5)).with_check();
+        let faulty = System::new(cfg).unwrap().run_faulty(&plan).unwrap();
+        assert_eq!(clean, faulty.result);
+        assert_eq!(faulty.faults.drops.total(), 0);
+        assert_eq!(faulty.retry, ringmesh_workload::RetryStats::default());
+        assert!(faulty.violation.is_none());
     }
 }

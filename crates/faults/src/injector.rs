@@ -1,0 +1,262 @@
+//! Run-time fault state and drop accounting.
+
+use ringmesh_engine::SimRng;
+
+use crate::schedule::{FaultDomain, FaultKind, FaultSchedule};
+
+/// Why a packet was dropped.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DropReason {
+    /// Marked corrupt at injection; detected and discarded at ejection.
+    Corrupted,
+    /// Refused at injection: the source or destination is dead, or no
+    /// live path exists.
+    Unreachable,
+    /// Sunk mid-flight at a dead component (a dead IRI's crossing path,
+    /// or a mesh router with no usable output direction).
+    DeadInterface,
+}
+
+impl DropReason {
+    /// Short human-readable label.
+    pub fn name(self) -> &'static str {
+        match self {
+            DropReason::Corrupted => "corrupted",
+            DropReason::Unreachable => "unreachable",
+            DropReason::DeadInterface => "dead-interface",
+        }
+    }
+}
+
+/// Packet drops broken down by [`DropReason`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct DropCounts {
+    /// Packets discarded at ejection as corrupt.
+    pub corrupted: u64,
+    /// Packets refused at injection.
+    pub unreachable: u64,
+    /// Packets sunk mid-flight at a dead component.
+    pub dead_interface: u64,
+}
+
+impl DropCounts {
+    /// Total packets dropped.
+    pub fn total(&self) -> u64 {
+        self.corrupted + self.unreachable + self.dead_interface
+    }
+}
+
+/// Summary of what the injector actually did during a run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FaultReport {
+    /// Drops by reason.
+    pub drops: DropCounts,
+    /// Packets marked corrupt at injection (each later becomes a
+    /// `corrupted` drop unless it was still in flight at run end).
+    pub corrupt_marked: u64,
+    /// Link-down events that took effect.
+    pub link_down_applied: u64,
+    /// Nodes that fail-stopped.
+    pub nodes_killed: u64,
+}
+
+/// Live fault state for one run.
+///
+/// Owns the expanded schedule cursor, the per-link down-until clocks,
+/// the per-node death flags, the corruption coin-flip stream, and the
+/// drop counters. Networks call [`advance`](Self::advance) once per
+/// cycle, then query [`link_up`](Self::link_up) /
+/// [`node_dead`](Self::node_dead) during the cycle.
+#[derive(Debug, Clone)]
+pub struct FaultInjector {
+    events: Vec<crate::FaultEvent>,
+    cursor: usize,
+    corrupt_prob: f64,
+    corrupt_rng: SimRng,
+    link_down_until: Vec<u64>,
+    node_dead: Vec<bool>,
+    dead_count: u32,
+    drops: DropCounts,
+    corrupt_marked: u64,
+    link_down_applied: u64,
+}
+
+impl FaultInjector {
+    /// Builds the run-time state for `schedule` over `domain`.
+    pub fn new(schedule: &FaultSchedule, domain: FaultDomain) -> Self {
+        FaultInjector {
+            events: schedule.events().to_vec(),
+            cursor: 0,
+            corrupt_prob: schedule.corrupt_prob(),
+            corrupt_rng: SimRng::from_seed(schedule.corrupt_seed()),
+            link_down_until: vec![0; domain.links as usize],
+            node_dead: vec![false; domain.nodes as usize],
+            dead_count: 0,
+            drops: DropCounts::default(),
+            corrupt_marked: 0,
+            link_down_applied: 0,
+        }
+    }
+
+    /// Applies every scheduled event with `at <= now`. Call once per
+    /// cycle before stepping the network.
+    pub fn advance(&mut self, now: u64) {
+        while let Some(ev) = self.events.get(self.cursor) {
+            if ev.at > now {
+                break;
+            }
+            match ev.kind {
+                FaultKind::LinkDown { link, until } => {
+                    if let Some(slot) = self.link_down_until.get_mut(link as usize) {
+                        *slot = (*slot).max(until);
+                        self.link_down_applied += 1;
+                    }
+                }
+                FaultKind::NodeDead { node } => {
+                    if let Some(flag) = self.node_dead.get_mut(node as usize) {
+                        if !*flag {
+                            *flag = true;
+                            self.dead_count += 1;
+                        }
+                    }
+                }
+            }
+            self.cursor += 1;
+        }
+    }
+
+    /// True when `link` can move a flit at `now`.
+    pub fn link_up(&self, link: u32, now: u64) -> bool {
+        self.link_down_until
+            .get(link as usize)
+            .is_none_or(|&until| now >= until)
+    }
+
+    /// True when `node` has fail-stopped.
+    pub fn node_dead(&self, node: u32) -> bool {
+        self.node_dead.get(node as usize).copied().unwrap_or(false)
+    }
+
+    /// True when at least one node is dead (fast path for reachability
+    /// scans at injection).
+    pub fn any_nodes_dead(&self) -> bool {
+        self.dead_count > 0
+    }
+
+    /// Rolls the corruption coin for a freshly injected packet.
+    pub fn roll_corrupt(&mut self) -> bool {
+        if self.corrupt_prob <= 0.0 {
+            return false;
+        }
+        let bad = self.corrupt_rng.bernoulli(self.corrupt_prob);
+        if bad {
+            self.corrupt_marked += 1;
+        }
+        bad
+    }
+
+    /// Records a packet drop.
+    pub fn record_drop(&mut self, reason: DropReason) {
+        match reason {
+            DropReason::Corrupted => self.drops.corrupted += 1,
+            DropReason::Unreachable => self.drops.unreachable += 1,
+            DropReason::DeadInterface => self.drops.dead_interface += 1,
+        }
+    }
+
+    /// The accumulated report.
+    pub fn report(&self) -> FaultReport {
+        FaultReport {
+            drops: self.drops,
+            corrupt_marked: self.corrupt_marked,
+            link_down_applied: self.link_down_applied,
+            nodes_killed: u64::from(self.dead_count),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::FaultConfig;
+
+    fn injector(cfg: &FaultConfig, domain: FaultDomain) -> FaultInjector {
+        FaultInjector::new(&FaultSchedule::generate(cfg, domain), domain)
+    }
+
+    #[test]
+    fn links_go_down_and_come_back() {
+        let cfg = FaultConfig {
+            seed: 1,
+            corrupt_prob: 0.0,
+            link_down_events: 1,
+            link_down_cycles: 100,
+            dead_nodes: 0,
+            horizon: 1000,
+        };
+        let domain = FaultDomain { links: 8, nodes: 0 };
+        let schedule = FaultSchedule::generate(&cfg, domain);
+        let ev = schedule.events()[0];
+        let crate::FaultKind::LinkDown { link, until } = ev.kind else {
+            panic!("expected a link event");
+        };
+        let mut inj = FaultInjector::new(&schedule, domain);
+        inj.advance(ev.at);
+        assert!(!inj.link_up(link, ev.at));
+        assert!(!inj.link_up(link, until - 1));
+        assert!(inj.link_up(link, until));
+        assert_eq!(inj.report().link_down_applied, 1);
+    }
+
+    #[test]
+    fn node_death_is_permanent() {
+        let cfg = FaultConfig {
+            seed: 2,
+            corrupt_prob: 0.0,
+            link_down_events: 0,
+            link_down_cycles: 0,
+            dead_nodes: 1,
+            horizon: 500,
+        };
+        let domain = FaultDomain { links: 0, nodes: 4 };
+        let mut inj = injector(&cfg, domain);
+        assert!(!inj.any_nodes_dead());
+        inj.advance(500);
+        assert!(inj.any_nodes_dead());
+        let dead: Vec<u32> = (0..4).filter(|&n| inj.node_dead(n)).collect();
+        assert_eq!(dead.len(), 1);
+        assert_eq!(inj.report().nodes_killed, 1);
+    }
+
+    #[test]
+    fn corruption_rolls_are_deterministic_and_counted() {
+        let cfg = FaultConfig {
+            seed: 3,
+            corrupt_prob: 0.5,
+            link_down_events: 0,
+            link_down_cycles: 0,
+            dead_nodes: 0,
+            horizon: 1,
+        };
+        let mut a = injector(&cfg, FaultDomain::default());
+        let mut b = injector(&cfg, FaultDomain::default());
+        let rolls_a: Vec<bool> = (0..64).map(|_| a.roll_corrupt()).collect();
+        let rolls_b: Vec<bool> = (0..64).map(|_| b.roll_corrupt()).collect();
+        assert_eq!(rolls_a, rolls_b);
+        let marked = rolls_a.iter().filter(|&&r| r).count() as u64;
+        assert_eq!(a.report().corrupt_marked, marked);
+        assert!(marked > 10 && marked < 54, "p=0.5 over 64 rolls: {marked}");
+    }
+
+    #[test]
+    fn drop_accounting_by_reason() {
+        let mut inj = injector(&FaultConfig::none(0), FaultDomain::default());
+        inj.record_drop(DropReason::Corrupted);
+        inj.record_drop(DropReason::Unreachable);
+        inj.record_drop(DropReason::Unreachable);
+        inj.record_drop(DropReason::DeadInterface);
+        let d = inj.report().drops;
+        assert_eq!((d.corrupted, d.unreachable, d.dead_interface), (1, 2, 1));
+        assert_eq!(d.total(), 4);
+    }
+}

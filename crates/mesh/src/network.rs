@@ -1,12 +1,15 @@
 //! The 2-D mesh network simulator.
 
 use ringmesh_engine::{StallError, Watchdog};
+use ringmesh_faults::{
+    ConservationError, ConservationLedger, DropReason, FaultDomain, FaultInjector,
+};
 use ringmesh_net::{
     Interconnect, LevelUtil, NodeId, Packet, PacketStore, QueueClass, UtilizationReport,
 };
 use ringmesh_trace::{Counter, EventKind, Gauge, Heatmap, HeatmapId, Probe, TraceLoc, Tracer};
 
-use crate::router::{Router, Send};
+use crate::router::{FaultCtx, Router, Send};
 use crate::topology::MeshTopology;
 use crate::MeshConfig;
 
@@ -57,6 +60,16 @@ pub struct MeshNetwork {
     /// each cell counts flits arriving at that router), registered when
     /// a recording tracer is installed.
     link_heat: Option<HeatmapId>,
+    /// Fault source; absent in fault-free runs, in which case every
+    /// fault query answers "healthy" and behaviour is unchanged.
+    faults: Option<FaultInjector>,
+    /// Packet-conservation ledger (per-slot tracking on under
+    /// `debug_assertions` or the release `--check` pass).
+    ledger: ConservationLedger,
+    /// Corruption marks by packet-store slot, rolled at injection.
+    corrupt: Vec<bool>,
+    /// Per-cycle scratch list of dropped packets.
+    dropped: Vec<(Packet, DropReason)>,
 }
 
 impl MeshNetwork {
@@ -80,6 +93,10 @@ impl MeshNetwork {
             watchdog: Watchdog::new(horizon),
             tracer: Tracer::off(),
             link_heat: None,
+            faults: None,
+            ledger: ConservationLedger::new(cfg!(debug_assertions)),
+            corrupt: Vec::new(),
+            dropped: Vec::new(),
         }
     }
 
@@ -166,6 +183,18 @@ impl Interconnect for MeshNetwork {
             packet.dst
         );
         let class = QueueClass::of(packet.kind);
+        if let Some(f) = &mut self.faults {
+            // Fail fast at injection when the source or destination
+            // router is dead: the packet could never be delivered.
+            if f.node_dead(pm.raw()) || f.node_dead(packet.dst.raw()) {
+                f.record_drop(DropReason::Unreachable);
+                self.ledger.refuse();
+                if self.tracer.is_enabled() {
+                    self.tracer.count(Counter::PacketsDropped, 1);
+                }
+                return;
+            }
+        }
         if self.tracer.is_enabled() {
             let (row, col) = self.topo.coords(pm);
             self.tracer.count(Counter::PacketsInjected, 1);
@@ -181,6 +210,16 @@ impl Interconnect for MeshNetwork {
             );
         }
         let r = self.store.insert(packet);
+        self.ledger.inject(r.slot());
+        if let Some(f) = &mut self.faults {
+            // Roll the corruption coin now; slots are reused, so the
+            // mark must be (re)written on every insert.
+            let bad = f.roll_corrupt();
+            if self.corrupt.len() <= r.slot() {
+                self.corrupt.resize(r.slot() + 1, false);
+            }
+            self.corrupt[r.slot()] = bad;
+        }
         self.routers[pm.index()].enqueue(class, r);
     }
 
@@ -194,14 +233,25 @@ impl Interconnect for MeshNetwork {
         let mut moved = 0u64;
         let mut blocked = 0u64;
         self.sends.clear();
+        if let Some(f) = &mut self.faults {
+            f.advance(now);
+        }
+        let fc = FaultCtx {
+            inj: self.faults.as_ref(),
+            corrupt: &self.corrupt,
+            now,
+        };
         for i in 0..self.routers.len() {
             self.routers[i].step(
                 now,
                 &self.topo,
                 &self.go,
+                &fc,
                 &mut self.store,
+                &mut self.ledger,
                 &mut self.sends,
                 delivered,
+                &mut self.dropped,
                 &mut moved,
                 &mut blocked,
             );
@@ -214,11 +264,28 @@ impl Interconnect for MeshNetwork {
         }
         moved += self.sends.len() as u64;
         self.link_flits += self.sends.len() as u64;
+        if !self.dropped.is_empty() {
+            if enabled {
+                self.tracer
+                    .count(Counter::PacketsDropped, self.dropped.len() as u64);
+            }
+            if let Some(f) = &mut self.faults {
+                for &(_, reason) in &self.dropped {
+                    f.record_drop(reason);
+                }
+            }
+            self.dropped.clear();
+        }
         if enabled {
             self.trace_cycle(now, blocked, &delivered[mark..]);
         }
         for i in 0..self.routers.len() {
             self.routers[i].latch(&mut self.go);
+        }
+        #[cfg(debug_assertions)]
+        {
+            let (inj, del, drp) = self.ledger.counts();
+            assert_eq!(inj, del + drp + self.store.live(), "conservation identity");
         }
         self.cycle += 1;
         self.watchdog.observe(self.cycle, moved, self.store.live());
@@ -277,6 +344,42 @@ impl Interconnect for MeshNetwork {
         } else {
             None
         }
+    }
+
+    fn fault_domain(&self) -> FaultDomain {
+        FaultDomain {
+            // Directed link `node*4 + port`; edge ports that lead off
+            // the mesh are addressable but their events are no-ops.
+            links: self.topo.num_pms() * 4,
+            nodes: self.topo.num_pms(),
+        }
+    }
+
+    fn set_faults(&mut self, injector: FaultInjector, check: bool) {
+        self.faults = Some(injector);
+        if check && !self.ledger.tracking() {
+            self.ledger.set_tracking(true);
+        }
+    }
+
+    fn faults(&self) -> Option<&FaultInjector> {
+        self.faults.as_ref()
+    }
+
+    fn take_faults(&mut self) -> Option<FaultInjector> {
+        self.faults.take()
+    }
+
+    fn pm_alive(&self, pm: NodeId) -> bool {
+        self.faults.as_ref().is_none_or(|f| !f.node_dead(pm.raw()))
+    }
+
+    fn verify_conservation(&self) -> Result<(), ConservationError> {
+        self.ledger.verify(self.store.live())
+    }
+
+    fn conservation_counts(&self) -> Option<(u64, u64, u64)> {
+        Some(self.ledger.counts())
     }
 }
 
@@ -466,6 +569,152 @@ mod tests {
         }
         assert_eq!(net.in_flight(), 0, "mesh must drain");
         assert_eq!(out.len() as u64, txn);
+    }
+
+    use ringmesh_faults::{FaultEvent, FaultKind, FaultSchedule};
+
+    fn install(net: &mut MeshNetwork, events: Vec<FaultEvent>, corrupt: f64) {
+        let schedule = FaultSchedule::from_events(7, corrupt, events);
+        let domain = net.fault_domain();
+        net.set_faults(FaultInjector::new(&schedule, domain), true);
+    }
+
+    #[test]
+    fn dead_router_is_routed_around() {
+        // 3x3 mesh, kill node 1 (0,1). Plain e-cube 0 -> 5 goes
+        // 0,1,2,5 straight through the dead router; the YX fallback at
+        // node 0 takes South instead and detours 0,3,4,5. Routing stays
+        // minimal, so the detour must not cost extra hops.
+        let cfg = MeshConfig::new(CacheLineSize::B32);
+        let mut net = MeshNetwork::new(MeshTopology::new(3), cfg.clone());
+        install(
+            &mut net,
+            vec![FaultEvent {
+                at: 0,
+                kind: FaultKind::NodeDead { node: 1 },
+            }],
+            0.0,
+        );
+        let mut out = Vec::new();
+        net.step(&mut out).unwrap();
+        net.inject(NodeId::new(0), packet(&cfg, 1, PacketKind::ReadReq, 0, 5));
+        for _ in 0..300 {
+            net.step(&mut out).unwrap();
+            if !out.is_empty() {
+                break;
+            }
+        }
+        assert_eq!(out.len(), 1, "detour must deliver around the dead router");
+        assert_eq!(out[0].0, NodeId::new(5));
+        net.verify_conservation().unwrap();
+        assert_eq!(net.faults().unwrap().report().drops.total(), 0);
+    }
+
+    #[test]
+    fn packet_to_dead_router_is_refused() {
+        let cfg = MeshConfig::new(CacheLineSize::B32);
+        let mut net = MeshNetwork::new(MeshTopology::new(3), cfg.clone());
+        install(
+            &mut net,
+            vec![FaultEvent {
+                at: 0,
+                kind: FaultKind::NodeDead { node: 4 },
+            }],
+            0.0,
+        );
+        let mut out = Vec::new();
+        net.step(&mut out).unwrap();
+        net.inject(NodeId::new(0), packet(&cfg, 1, PacketKind::ReadReq, 0, 4));
+        for _ in 0..100 {
+            net.step(&mut out).unwrap();
+        }
+        assert!(out.is_empty());
+        assert_eq!(net.in_flight(), 0);
+        net.verify_conservation().unwrap();
+        assert_eq!(net.faults().unwrap().report().drops.unreachable, 1);
+    }
+
+    #[test]
+    fn corner_cut_off_by_dead_neighbors_drops_in_flight() {
+        // Kill both neighbours of corner 8 — (1,2)=5 and (2,1)=7 — a
+        // few cycles after a packet to 8 is already in flight: every
+        // candidate direction at some router leads to a dead router, so
+        // the packet is sunk mid-flight and accounted.
+        let cfg = MeshConfig::new(CacheLineSize::B32);
+        let mut net = MeshNetwork::new(MeshTopology::new(3), cfg.clone());
+        install(
+            &mut net,
+            vec![
+                FaultEvent {
+                    at: 2,
+                    kind: FaultKind::NodeDead { node: 5 },
+                },
+                FaultEvent {
+                    at: 2,
+                    kind: FaultKind::NodeDead { node: 7 },
+                },
+            ],
+            0.0,
+        );
+        net.inject(NodeId::new(0), packet(&cfg, 1, PacketKind::ReadReq, 0, 8));
+        let mut out = Vec::new();
+        for _ in 0..300 {
+            net.step(&mut out).unwrap();
+            if net.in_flight() == 0 {
+                break;
+            }
+        }
+        assert_eq!(net.in_flight(), 0, "sunk worm must fully drain");
+        net.verify_conservation().unwrap();
+        let report = net.faults().unwrap().report();
+        assert_eq!(report.drops.total() as usize + out.len(), 1);
+    }
+
+    #[test]
+    fn transient_link_down_delays_but_loses_nothing() {
+        let cfg = MeshConfig::new(CacheLineSize::B32);
+        let fly_with = |events: Vec<FaultEvent>| -> u64 {
+            let mut net = MeshNetwork::new(MeshTopology::new(2), cfg.clone());
+            install(&mut net, events, 0.0);
+            net.inject(NodeId::new(0), packet(&cfg, 1, PacketKind::ReadReq, 0, 1));
+            let mut out = Vec::new();
+            let mut cycles = 0u64;
+            while out.is_empty() {
+                net.step(&mut out).unwrap();
+                cycles += 1;
+                assert!(cycles < 300, "packet lost behind a downed link");
+            }
+            net.verify_conservation().unwrap();
+            cycles
+        };
+        let base = fly_with(Vec::new());
+        // Node 0's East link is `0*4 + port(East)=1`. 0 -> 1 has no
+        // alternative direction, so the packet waits out the outage.
+        let slow = fly_with(vec![FaultEvent {
+            at: 0,
+            kind: FaultKind::LinkDown { link: 1, until: 40 },
+        }]);
+        assert!(slow >= 40, "delivery must wait out the outage: {slow}");
+        assert!(base < slow);
+    }
+
+    #[test]
+    fn corruption_drops_at_ejection() {
+        let cfg = MeshConfig::new(CacheLineSize::B32);
+        let mut net = MeshNetwork::new(MeshTopology::new(2), cfg.clone());
+        install(&mut net, Vec::new(), 1.0);
+        net.inject(NodeId::new(0), packet(&cfg, 1, PacketKind::ReadReq, 0, 3));
+        let mut out = Vec::new();
+        for _ in 0..100 {
+            net.step(&mut out).unwrap();
+            if net.in_flight() == 0 {
+                break;
+            }
+        }
+        assert!(out.is_empty(), "corrupted packet must be dropped");
+        assert_eq!(net.in_flight(), 0);
+        net.verify_conservation().unwrap();
+        assert_eq!(net.faults().unwrap().report().drops.corrupted, 1);
     }
 }
 

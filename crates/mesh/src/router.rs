@@ -2,6 +2,7 @@
 //! 5×5 crossbar wormhole router with input buffering, e-cube routing
 //! and round-robin output arbitration.
 
+use ringmesh_faults::{ConservationLedger, DropReason, FaultInjector};
 use ringmesh_net::{
     Assembler, DrainState, FlitFifo, NodeId, Packet, PacketQueue, PacketRef, PacketStore,
     QueueClass,
@@ -12,6 +13,40 @@ use crate::topology::{Direction, MeshTopology};
 /// Port index of the local PM; ports 0..4 are N/E/S/W per
 /// [`Direction::port`].
 pub(crate) const LOCAL: usize = 4;
+
+/// Sentinel "port" for packets with no usable route (every required
+/// direction leads to a dead router): the input sinks their flits and
+/// the packet is accounted as dropped.
+pub(crate) const DROP: usize = 5;
+
+/// Per-cycle fault view handed to every router step. With no injector
+/// installed every query answers "healthy" and routing is byte-for-byte
+/// the plain e-cube path.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct FaultCtx<'a> {
+    pub inj: Option<&'a FaultInjector>,
+    /// Corruption marks by packet-store slot.
+    pub corrupt: &'a [bool],
+    pub now: u64,
+}
+
+impl FaultCtx<'_> {
+    fn router_dead(&self, node: NodeId) -> bool {
+        self.inj.is_some_and(|f| f.node_dead(node.raw()))
+    }
+
+    /// Directed link out of `from` toward `dir` (`node*4 + port`).
+    fn link_up(&self, from: NodeId, dir: Direction) -> bool {
+        match self.inj {
+            None => true,
+            Some(f) => f.link_up(from.raw() * 4 + dir.port() as u32, self.now),
+        }
+    }
+
+    fn is_corrupt(&self, slot: usize) -> bool {
+        self.corrupt.get(slot).copied().unwrap_or(false)
+    }
+}
 
 /// A flit transfer onto an inter-router link, applied after all routers
 /// have stepped.
@@ -78,6 +113,66 @@ impl Router {
         }
     }
 
+    /// The routing decision at this router for a packet to `dst`.
+    ///
+    /// Fault-free this is plain e-cube. With faults installed the
+    /// dimension order degrades gracefully: prefer the X direction,
+    /// fall back to the Y direction (a YX variant) when the X-side
+    /// link or neighbour is unusable, and only when every required
+    /// direction leads to a *dead* router give up with [`DROP`]. A
+    /// direction whose neighbour is alive but whose link is merely
+    /// down transiently is kept as a last resort — the packet stalls
+    /// until the link returns rather than being dropped.
+    fn route(&self, topo: &MeshTopology, fc: &FaultCtx, dst: NodeId) -> usize {
+        if fc.inj.is_none() {
+            return match topo.ecube(self.node, dst) {
+                Some(dir) => dir.port(),
+                None => LOCAL,
+            };
+        }
+        let (cr, cc) = topo.coords(self.node);
+        let (dr, dc) = topo.coords(dst);
+        if cr == dr && cc == dc {
+            return LOCAL;
+        }
+        let x = if cc < dc {
+            Some(Direction::East)
+        } else if cc > dc {
+            Some(Direction::West)
+        } else {
+            None
+        };
+        let y = if cr < dr {
+            Some(Direction::South)
+        } else if cr > dr {
+            Some(Direction::North)
+        } else {
+            None
+        };
+        let candidates = [x, y];
+        let healthy = candidates.iter().flatten().find(|&&dir| {
+            let nb = topo
+                .neighbor(self.node, dir)
+                .expect("candidate stays on-mesh");
+            !fc.router_dead(nb) && fc.link_up(self.node, dir)
+        });
+        if let Some(&dir) = healthy {
+            return dir.port();
+        }
+        // No fully healthy direction: wait on a transiently-down link
+        // toward a live neighbour if one exists.
+        let waitable = candidates.iter().flatten().find(|&&dir| {
+            let nb = topo
+                .neighbor(self.node, dir)
+                .expect("candidate stays on-mesh");
+            !fc.router_dead(nb)
+        });
+        match waitable {
+            Some(&dir) => dir.port(),
+            None => DROP,
+        }
+    }
+
     /// One clock of the router. `go` holds the registered stop/go of
     /// each *neighbouring* input buffer, indexed `node*5 + port`.
     #[allow(clippy::too_many_arguments)]
@@ -86,9 +181,12 @@ impl Router {
         now: u64,
         topo: &MeshTopology,
         go: &[bool],
+        fc: &FaultCtx,
         store: &mut PacketStore,
+        ledger: &mut ConservationLedger,
         sends: &mut Vec<Send>,
         delivered: &mut Vec<(NodeId, Packet)>,
+        dropped: &mut Vec<(Packet, DropReason)>,
         moved: &mut u64,
         blocked: &mut u64,
     ) {
@@ -117,10 +215,7 @@ impl Router {
                 if stale {
                     debug_assert!(flit.is_head(), "mid-packet flit without a route");
                     let dst = store.get(flit.packet).dst;
-                    let port = match topo.ecube(self.node, dst) {
-                        Some(dir) => dir.port(),
-                        None => LOCAL,
-                    };
+                    let port = self.route(topo, fc, dst);
                     self.route_of[i] = Some((flit.packet, port));
                 }
             }
@@ -154,8 +249,15 @@ impl Router {
                         self.route_of[i] = None;
                     }
                     if let Some(done) = self.assembler.push(flit) {
+                        let slot = done.slot();
                         let pkt = store.remove(done);
-                        delivered.push((self.node, pkt));
+                        if fc.is_corrupt(slot) {
+                            ledger.complete(slot, true);
+                            dropped.push((pkt, DropReason::Corrupted));
+                        } else {
+                            ledger.complete(slot, false);
+                            delivered.push((self.node, pkt));
+                        }
                     }
                 }
             } else {
@@ -164,7 +266,7 @@ impl Router {
                     .neighbor(self.node, dir)
                     .expect("e-cube never routes off the mesh edge");
                 let to_port = dir.opposite().port();
-                if go[neighbor.index() * 5 + to_port] {
+                if go[neighbor.index() * 5 + to_port] && fc.link_up(self.node, dir) {
                     if let Some(flit) = self.inputs[i].pop_ready(now) {
                         if flit.is_tail {
                             self.conn[o] = None;
@@ -178,6 +280,25 @@ impl Router {
                     }
                 } else if self.inputs[i].front_ready(now).is_some() {
                     *blocked += 1;
+                }
+            }
+        }
+
+        // 5. Sink packets routed to the drop port: no usable direction
+        //    remained, so their flits are consumed in place and the
+        //    packet is accounted as an explicit drop at the tail.
+        for i in 0..5 {
+            if !matches!(self.route_of[i], Some((_, DROP))) {
+                continue;
+            }
+            if let Some(flit) = self.inputs[i].pop_ready(now) {
+                *moved += 1;
+                if flit.is_tail {
+                    self.route_of[i] = None;
+                    let slot = flit.packet.slot();
+                    let pkt = store.remove(flit.packet);
+                    ledger.complete(slot, true);
+                    dropped.push((pkt, DropReason::DeadInterface));
                 }
             }
         }

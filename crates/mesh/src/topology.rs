@@ -8,7 +8,7 @@
 
 use std::fmt;
 
-use ringmesh_net::NodeId;
+use ringmesh_net::{ConfigError, NodeId};
 
 /// A link direction out of a router.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -77,10 +77,22 @@ impl MeshTopology {
     ///
     /// # Panics
     ///
-    /// Panics if `side` is zero.
+    /// Panics if `side` is zero; use [`try_new`](Self::try_new) for
+    /// fallible construction from external input.
     pub fn new(side: u32) -> Self {
-        assert!(side > 0, "mesh side must be positive");
-        MeshTopology { side }
+        Self::try_new(side).expect("mesh side must be positive")
+    }
+
+    /// Creates a `side × side` mesh, rejecting a zero side.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ConfigError::ZeroMeshSide`] if `side` is zero.
+    pub fn try_new(side: u32) -> Result<Self, ConfigError> {
+        if side == 0 {
+            return Err(ConfigError::ZeroMeshSide);
+        }
+        Ok(MeshTopology { side })
     }
 
     /// Creates the square mesh with `pms` processing modules.
@@ -88,10 +100,10 @@ impl MeshTopology {
     /// # Errors
     ///
     /// Returns an error if `pms` is not a perfect square.
-    pub fn from_pms(pms: u32) -> Result<Self, String> {
+    pub fn from_pms(pms: u32) -> Result<Self, ConfigError> {
         let side = (pms as f64).sqrt().round() as u32;
         if side * side != pms || pms == 0 {
-            return Err(format!("{pms} PMs do not form a square mesh"));
+            return Err(ConfigError::NonSquareMesh { pms });
         }
         Ok(MeshTopology { side })
     }

@@ -3,6 +3,7 @@
 //! mesh simulators so experiments can swap networks freely.
 
 use ringmesh_engine::StallError;
+use ringmesh_faults::{ConservationError, FaultDomain, FaultInjector};
 use ringmesh_trace::Tracer;
 
 use crate::packet::{NodeId, Packet};
@@ -136,6 +137,53 @@ pub trait Interconnect {
     /// finalized into a report. `None` when tracing is unsupported or
     /// no tracer was set.
     fn take_tracer(&mut self) -> Option<Tracer> {
+        None
+    }
+
+    /// The fault domain this network exposes: how many links and nodes
+    /// a [`FaultInjector`] may target. The default (empty) domain marks
+    /// the network as not supporting fault injection.
+    fn fault_domain(&self) -> FaultDomain {
+        FaultDomain::default()
+    }
+
+    /// Installs `injector` as the network's fault source; `check`
+    /// additionally enables exact per-packet conservation tracking even
+    /// in release builds. The default implementation drops the
+    /// injector: networks without fault support run fault-free.
+    fn set_faults(&mut self, injector: FaultInjector, check: bool) {
+        let _ = (injector, check);
+    }
+
+    /// The installed fault injector, if fault injection is supported
+    /// and one was set.
+    fn faults(&self) -> Option<&FaultInjector> {
+        None
+    }
+
+    /// Removes and returns the installed fault injector so its drop
+    /// accounting can be reported.
+    fn take_faults(&mut self) -> Option<FaultInjector> {
+        None
+    }
+
+    /// Whether PM `pm` is still alive. Workloads stop issuing from (and
+    /// retrying toward) dead PMs. Always true without fault injection.
+    fn pm_alive(&self, pm: NodeId) -> bool {
+        let _ = pm;
+        true
+    }
+
+    /// Audits packet conservation: every packet injected must be
+    /// delivered, explicitly dropped, or still in flight. Networks
+    /// without a ledger trivially pass.
+    fn verify_conservation(&self) -> Result<(), ConservationError> {
+        Ok(())
+    }
+
+    /// `(injected, delivered, dropped)` ledger counters, when a
+    /// conservation ledger is present.
+    fn conservation_counts(&self) -> Option<(u64, u64, u64)> {
         None
     }
 }

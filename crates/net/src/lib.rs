@@ -38,6 +38,7 @@
 
 mod buffer;
 mod config;
+mod error;
 mod interconnect;
 mod packet;
 
@@ -45,5 +46,6 @@ pub use buffer::{Assembler, DrainState, FlitFifo, PacketQueue};
 pub use config::{
     mesh_nic_buffer_bytes, ring_nic_buffer_bytes, BufferRegime, CacheLineSize, PacketFormat,
 };
+pub use error::ConfigError;
 pub use interconnect::{Interconnect, LevelUtil, QueueClass, UtilizationReport};
 pub use packet::{Flit, NodeId, Packet, PacketKind, PacketRef, PacketStore, TxnId};

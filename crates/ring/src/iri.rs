@@ -7,9 +7,9 @@
 //! queues. Switching on the two sides is independent, and continuing
 //! ring traffic has priority over ring-changing traffic.
 
-use ringmesh_net::{FlitFifo, PacketStore, QueueClass};
+use ringmesh_net::{FlitFifo, PacketRef, PacketStore, QueueClass};
 
-use crate::station::{ClassQueues, LinkOwner, Send, SideRef, StepPulse, TransitRoute};
+use crate::station::{ClassQueues, Disposition, LinkOwner, Send, SideRef, StepPulse, TransitRoute};
 
 /// Side index of the child (lower) ring.
 pub(crate) const LOWER: usize = 0;
@@ -99,18 +99,31 @@ impl Iri {
     /// hierarchy deadlock-free by induction from the root ring
     /// (DESIGN.md, "Model fidelity notes"). Up queues are finite and
     /// back-pressure ascending traffic without risking a cycle.
+    ///
+    /// `link_up` gates this side's output link only. `dead` marks a
+    /// fail-stop IRI: packets already forwarding, queued or draining
+    /// keep moving (lazy fail-stop), but a packet newly classified as
+    /// *crossing* here has nowhere to go — its flits are sunk in place
+    /// and its [`PacketRef`] reported through `sunk` for the network to
+    /// retire as an explicit drop.
     #[allow(clippy::too_many_arguments)]
     pub(crate) fn step_side(
         &mut self,
         side: usize,
         now: u64,
+        link_up: bool,
+        dead: bool,
         free_out: usize,
         credits: &mut [i64],
         store: &PacketStore,
         sends: &mut Vec<Send>,
+        sunk: &mut Vec<PacketRef>,
         pulse: &mut StepPulse,
     ) {
         let this_ring = self.rings[side] as usize;
+        // A downed output link advertises no room: forwarding and cross
+        // injection onto the ring stall in place, losing nothing.
+        let free_out = if link_up { free_out } else { 0 };
         let go_transit = free_out >= 1;
         // Classify the packet at the front of this side's transit buffer.
         if let Some(flit) = self.bufs[side].front_ready(now) {
@@ -122,7 +135,29 @@ impl Iri {
                 } else {
                     self.inside(dst) // descend into the subtree
                 };
-                self.transit[side].set(flit.packet, crossing);
+                let disposition = if !crossing {
+                    Disposition::Forward
+                } else if dead {
+                    Disposition::Sink
+                } else {
+                    Disposition::Cross
+                };
+                self.transit[side].set(flit.packet, disposition);
+            }
+        }
+
+        // Sink path: a crossing-bound worm met a dead IRI. Its flits
+        // are consumed in place (restoring ring credits so the loss
+        // does not leak capacity) and the packet is reported at its
+        // tail for the network to drop-account.
+        if self.transit[side].sinking() {
+            if let Some(flit) = self.bufs[side].pop_ready(now) {
+                credits[this_ring] += 1; // the flit left this ring
+                pulse.moved += 1;
+                if flit.is_tail {
+                    self.transit[side].clear();
+                    sunk.push(flit.packet);
+                }
             }
         }
 
@@ -176,17 +211,24 @@ impl Iri {
             LinkOwner::Cross(class) => {
                 // Buffer space and credits for the whole worm were
                 // reserved at start and the worm is entirely in the
-                // queue, so continuation is unconditional.
-                let q = if side == LOWER {
-                    self.down.get_mut(class)
-                } else {
-                    self.up.get_mut(class)
-                };
-                if let Some(flit) = q.pop_ready(now) {
-                    if flit.is_tail {
-                        self.owner[side] = LinkOwner::Idle;
+                // queue, so continuation is unconditional while the
+                // link is up. A downed link pauses the worm mid-entry;
+                // the reserved downstream space keeps the pause
+                // loss-free.
+                if link_up {
+                    let q = if side == LOWER {
+                        self.down.get_mut(class)
+                    } else {
+                        self.up.get_mut(class)
+                    };
+                    if let Some(flit) = q.pop_ready(now) {
+                        if flit.is_tail {
+                            self.owner[side] = LinkOwner::Idle;
+                        }
+                        sends.push(Send { to, flit, ring });
                     }
-                    sends.push(Send { to, flit, ring });
+                } else {
+                    pulse.blocked += 1;
                 }
             }
             LinkOwner::Idle => {

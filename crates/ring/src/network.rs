@@ -1,15 +1,18 @@
 //! The hierarchical ring network simulator.
 
 use ringmesh_engine::{StallError, Watchdog};
+use ringmesh_faults::{
+    ConservationError, ConservationLedger, DropReason, FaultDomain, FaultInjector,
+};
 use ringmesh_net::{
-    Interconnect, LevelUtil, NodeId, Packet, PacketStore, QueueClass, UtilizationReport,
+    Interconnect, LevelUtil, NodeId, Packet, PacketRef, PacketStore, QueueClass, UtilizationReport,
 };
 use ringmesh_trace::{Counter, EventKind, Gauge, Heatmap, HeatmapId, Probe, TraceLoc, Tracer};
 
 use crate::iri::{Iri, LOWER, UPPER};
 use crate::nic::Nic;
 use crate::station::{Send, StepPulse};
-use crate::topology::{RingSpec, RingTopology, StationKind};
+use crate::topology::{RingAction, RingSpec, RingTopology, StationKind};
 use crate::RingConfig;
 
 /// Which concrete component a station id maps to.
@@ -81,6 +84,18 @@ pub struct RingNetwork {
     /// Member position of each station side within its ring
     /// (`[station][side]`), for heatmap columns.
     member_idx: Vec<[usize; 2]>,
+    /// Fault source; absent in fault-free runs, in which case every
+    /// fault query answers "healthy" and behaviour is unchanged.
+    faults: Option<FaultInjector>,
+    /// Packet-conservation ledger (per-slot tracking on under
+    /// `debug_assertions` or the release `--check` pass).
+    ledger: ConservationLedger,
+    /// Corruption marks by packet-store slot, rolled at injection.
+    corrupt: Vec<bool>,
+    /// Per-cycle scratch list of dropped packets.
+    dropped: Vec<(Packet, DropReason)>,
+    /// Per-tick scratch: packets sunk at dead IRIs, pending removal.
+    sunk: Vec<PacketRef>,
 }
 
 impl RingNetwork {
@@ -170,6 +185,11 @@ impl RingNetwork {
             tracer: Tracer::off(),
             link_heat: None,
             member_idx,
+            faults: None,
+            ledger: ConservationLedger::new(cfg!(debug_assertions)),
+            corrupt: Vec::new(),
+            dropped: Vec::new(),
+            sunk: Vec::new(),
         }
     }
 
@@ -217,8 +237,54 @@ impl RingNetwork {
         }
     }
 
+    /// Whether station `st` is a dead IRI.
+    fn iri_dead(&self, f: &FaultInjector, st: u32) -> bool {
+        match self.slots[st as usize] {
+            Slot::Iri(x) => f.node_dead(x),
+            Slot::Nic(_) => false,
+        }
+    }
+
+    /// Whether a live route exists from `src`'s NIC to `dst`. Ring
+    /// routing is deterministic, so this walks the unique route and
+    /// fails at the first dead IRI the packet would have to cross;
+    /// forwarding *through* a dead IRI is still allowed (lazy
+    /// fail-stop: the crossbar keeps switching, only the crossing
+    /// queues are gone).
+    fn path_alive(&self, src: NodeId, dst: NodeId) -> bool {
+        let Some(f) = self.faults.as_ref() else {
+            return true;
+        };
+        if !f.any_nodes_dead() {
+            return true;
+        }
+        let mut pos = self.topo.next_of(self.topo.nic_of(src), 0);
+        let bound = self.topo.num_stations() * 2 + 4;
+        for _ in 0..bound {
+            let (st, side) = pos;
+            match self.topo.action(st, side, dst) {
+                RingAction::Eject => return true,
+                RingAction::Forward => pos = self.topo.next_of(st, side),
+                RingAction::Up => {
+                    if self.iri_dead(f, st) {
+                        return false;
+                    }
+                    pos = self.topo.next_of(st, 1);
+                }
+                RingAction::Down => {
+                    if self.iri_dead(f, st) {
+                        return false;
+                    }
+                    pos = self.topo.next_of(st, 0);
+                }
+            }
+        }
+        unreachable!("routing walk did not terminate");
+    }
+
     fn run_tick(&mut self, delivered: &mut Vec<(NodeId, Packet)>, pulse: &mut StepPulse) {
         let now = self.tick;
+        let cycle_now = now / self.ticks_per_cycle;
         // With a double-speed global ring the kernel ticks twice per
         // cycle: every station runs on even ticks; only the fast
         // (global-ring) sides also run on odd ticks.
@@ -230,26 +296,54 @@ impl RingNetwork {
                 continue;
             }
             let free_out = self.free[self.free_idx[st as usize][side as usize]];
+            // Fault view for this side: the output link `station*2 +
+            // side`, and (for IRIs) whether the interface is dead.
+            let link_up = self
+                .faults
+                .as_ref()
+                .is_none_or(|f| f.link_up(st * 2 + side as u32, cycle_now));
             match self.slots[st as usize] {
                 Slot::Nic(n) => self.nics[n as usize].step(
                     now,
+                    link_up,
                     free_out,
                     &mut self.ring_credits,
+                    &self.corrupt,
+                    &mut self.ledger,
                     &mut self.store,
                     &mut self.sends,
                     delivered,
+                    &mut self.dropped,
                     pulse,
                 ),
-                Slot::Iri(x) => self.iris[x as usize].step_side(
-                    side as usize,
-                    now,
-                    free_out,
-                    &mut self.ring_credits,
-                    &self.store,
-                    &mut self.sends,
-                    pulse,
-                ),
+                Slot::Iri(x) => {
+                    let dead = self.faults.as_ref().is_some_and(|f| f.node_dead(x));
+                    self.iris[x as usize].step_side(
+                        side as usize,
+                        now,
+                        link_up,
+                        dead,
+                        free_out,
+                        &mut self.ring_credits,
+                        &self.store,
+                        &mut self.sends,
+                        &mut self.sunk,
+                        pulse,
+                    )
+                }
             }
+        }
+        // Retire packets sunk at dead IRIs this tick: their flits were
+        // consumed in place, so only the bookkeeping remains.
+        if !self.sunk.is_empty() {
+            for i in 0..self.sunk.len() {
+                let r = self.sunk[i];
+                let slot = r.slot();
+                let pkt = self.store.remove(r);
+                self.ledger.complete(slot, true);
+                self.dropped.push((pkt, DropReason::DeadInterface));
+            }
+            self.sunk.clear();
         }
         // Commit the wire transfers decided this tick.
         for i in 0..self.sends.len() {
@@ -363,6 +457,18 @@ impl Interconnect for RingNetwork {
             packet.dst
         );
         let class = QueueClass::of(packet.kind);
+        if !self.path_alive(pm, packet.dst) {
+            // Fail fast at injection when a dead IRI cuts the only
+            // route: the packet could never be delivered.
+            if let Some(f) = &mut self.faults {
+                f.record_drop(DropReason::Unreachable);
+            }
+            self.ledger.refuse();
+            if self.tracer.is_enabled() {
+                self.tracer.count(Counter::PacketsDropped, 1);
+            }
+            return;
+        }
         if self.tracer.is_enabled() {
             self.tracer.count(Counter::PacketsInjected, 1);
             self.tracer.event(
@@ -379,6 +485,16 @@ impl Interconnect for RingNetwork {
             );
         }
         let r = self.store.insert(packet);
+        self.ledger.inject(r.slot());
+        if let Some(f) = &mut self.faults {
+            // Roll the corruption coin now; slots are reused, so the
+            // mark must be (re)written on every insert.
+            let bad = f.roll_corrupt();
+            if self.corrupt.len() <= r.slot() {
+                self.corrupt.resize(r.slot() + 1, false);
+            }
+            self.corrupt[r.slot()] = bad;
+        }
         self.nics[self.nic_of_pm[pm.index()] as usize].enqueue(class, r);
     }
 
@@ -390,8 +506,23 @@ impl Interconnect for RingNetwork {
             self.tracer.cycle(cycle0);
         }
         let mut pulse = StepPulse::default();
+        if let Some(f) = &mut self.faults {
+            f.advance(cycle0);
+        }
         for _ in 0..self.ticks_per_cycle {
             self.run_tick(delivered, &mut pulse);
+        }
+        if !self.dropped.is_empty() {
+            if enabled {
+                self.tracer
+                    .count(Counter::PacketsDropped, self.dropped.len() as u64);
+            }
+            if let Some(f) = &mut self.faults {
+                for &(_, reason) in &self.dropped {
+                    f.record_drop(reason);
+                }
+            }
+            self.dropped.clear();
         }
         if enabled {
             self.tracer.count(Counter::BlockedCycles, pulse.blocked);
@@ -416,6 +547,11 @@ impl Interconnect for RingNetwork {
             let mut t = std::mem::take(&mut self.tracer);
             self.probe(&mut t);
             self.tracer = t;
+        }
+        #[cfg(debug_assertions)]
+        {
+            let (inj, del, drp) = self.ledger.counts();
+            assert_eq!(inj, del + drp + self.store.live(), "conservation identity");
         }
         let cycle = self.cycle();
         self.watchdog.observe(cycle, pulse.moved, self.store.live());
@@ -492,6 +628,39 @@ impl Interconnect for RingNetwork {
         } else {
             None
         }
+    }
+
+    fn fault_domain(&self) -> FaultDomain {
+        FaultDomain {
+            // Directed ring link out of `station*2 + side`; NIC
+            // stations use side 0 only, so side-1 events at a NIC are
+            // addressable no-ops.
+            links: self.topo.num_stations() as u32 * 2,
+            nodes: self.iris.len() as u32,
+        }
+    }
+
+    fn set_faults(&mut self, injector: FaultInjector, check: bool) {
+        self.faults = Some(injector);
+        if check && !self.ledger.tracking() {
+            self.ledger.set_tracking(true);
+        }
+    }
+
+    fn faults(&self) -> Option<&FaultInjector> {
+        self.faults.as_ref()
+    }
+
+    fn take_faults(&mut self) -> Option<FaultInjector> {
+        self.faults.take()
+    }
+
+    fn verify_conservation(&self) -> Result<(), ConservationError> {
+        self.ledger.verify(self.store.live())
+    }
+
+    fn conservation_counts(&self) -> Option<(u64, u64, u64)> {
+        Some(self.ledger.counts())
     }
 }
 
@@ -732,5 +901,144 @@ mod tests {
         let before = seen.len();
         seen.dedup();
         assert_eq!(seen.len(), before, "duplicate deliveries");
+    }
+
+    use ringmesh_faults::{FaultEvent, FaultKind, FaultSchedule};
+
+    fn install(net: &mut RingNetwork, events: Vec<FaultEvent>, corrupt: f64) {
+        let schedule = FaultSchedule::from_events(7, corrupt, events);
+        let domain = net.fault_domain();
+        net.set_faults(FaultInjector::new(&schedule, domain), true);
+    }
+
+    #[test]
+    fn dead_iri_sinks_cross_traffic_in_flight() {
+        let cfg = RingConfig::new(CacheLineSize::B32);
+        let spec: RingSpec = "2:3".parse().unwrap();
+        let mut net = RingNetwork::new(&spec, cfg.clone());
+        // IRI 0 joins subtree [0,3) to the global ring; kill it after
+        // the packet below is already on its way.
+        install(
+            &mut net,
+            vec![FaultEvent {
+                at: 1,
+                kind: FaultKind::NodeDead { node: 0 },
+            }],
+            0.0,
+        );
+        net.inject(NodeId::new(0), packet(&cfg, 1, PacketKind::ReadReq, 0, 5));
+        let mut out = Vec::new();
+        for _ in 0..200 {
+            net.step(&mut out).unwrap();
+            if net.in_flight() == 0 {
+                break;
+            }
+        }
+        assert!(out.is_empty(), "cross-ring packet must not be delivered");
+        assert_eq!(net.in_flight(), 0, "sunk worm must fully drain");
+        net.verify_conservation().unwrap();
+        assert_eq!(net.faults().unwrap().report().drops.dead_interface, 1);
+    }
+
+    #[test]
+    fn dead_iri_refuses_new_cross_traffic_but_local_flows() {
+        let cfg = RingConfig::new(CacheLineSize::B32);
+        let spec: RingSpec = "2:3".parse().unwrap();
+        let mut net = RingNetwork::new(&spec, cfg.clone());
+        install(
+            &mut net,
+            vec![FaultEvent {
+                at: 0,
+                kind: FaultKind::NodeDead { node: 0 },
+            }],
+            0.0,
+        );
+        // One step applies the cycle-0 death before any injection.
+        let mut out = Vec::new();
+        net.step(&mut out).unwrap();
+        net.inject(NodeId::new(0), packet(&cfg, 1, PacketKind::ReadReq, 0, 5));
+        net.inject(NodeId::new(0), packet(&cfg, 2, PacketKind::ReadReq, 0, 1));
+        for _ in 0..100 {
+            net.step(&mut out).unwrap();
+            if net.in_flight() == 0 && out.len() == 1 {
+                break;
+            }
+        }
+        assert_eq!(out.len(), 1, "only the intra-ring packet arrives");
+        assert_eq!(out[0].1.txn, TxnId::new(2));
+        net.verify_conservation().unwrap();
+        assert_eq!(net.faults().unwrap().report().drops.unreachable, 1);
+    }
+
+    #[test]
+    fn transient_link_down_delays_but_loses_nothing() {
+        let cfg = RingConfig::new(CacheLineSize::B32);
+        let spec = RingSpec::single(4);
+        let fly = |events: Vec<FaultEvent>| -> u64 {
+            let mut net = RingNetwork::new(&spec, cfg.clone());
+            install(&mut net, events, 0.0);
+            net.inject(NodeId::new(0), packet(&cfg, 1, PacketKind::ReadReq, 0, 2));
+            let mut out = Vec::new();
+            let mut cycles = 0u64;
+            while out.is_empty() {
+                net.step(&mut out).unwrap();
+                cycles += 1;
+                assert!(cycles < 300, "packet lost behind a downed link");
+            }
+            net.verify_conservation().unwrap();
+            cycles
+        };
+        let base = fly(Vec::new());
+        // Down PM0's NIC output link (station 0, side 0 => link 0).
+        let slow = fly(vec![FaultEvent {
+            at: 0,
+            kind: FaultKind::LinkDown { link: 0, until: 50 },
+        }]);
+        assert!(slow >= 50, "delivery must wait out the outage: {slow}");
+        assert!(base < slow);
+    }
+
+    #[test]
+    fn corruption_drops_at_ejection() {
+        let cfg = RingConfig::new(CacheLineSize::B32);
+        let spec = RingSpec::single(4);
+        let mut net = RingNetwork::new(&spec, cfg.clone());
+        install(&mut net, Vec::new(), 1.0);
+        net.inject(NodeId::new(0), packet(&cfg, 1, PacketKind::ReadReq, 0, 2));
+        let mut out = Vec::new();
+        for _ in 0..100 {
+            net.step(&mut out).unwrap();
+            if net.in_flight() == 0 {
+                break;
+            }
+        }
+        assert!(out.is_empty(), "corrupted packet must be dropped");
+        assert_eq!(net.in_flight(), 0);
+        net.verify_conservation().unwrap();
+        let report = net.faults().unwrap().report();
+        assert_eq!(report.drops.corrupted, 1);
+        assert_eq!(report.corrupt_marked, 1);
+    }
+
+    #[test]
+    fn installed_but_empty_schedule_changes_nothing() {
+        let cfg = RingConfig::new(CacheLineSize::B32);
+        let spec: RingSpec = "2:3".parse().unwrap();
+        let fly = |faulty: bool| -> u64 {
+            let mut net = RingNetwork::new(&spec, cfg.clone());
+            if faulty {
+                install(&mut net, Vec::new(), 0.0);
+            }
+            net.inject(NodeId::new(0), packet(&cfg, 1, PacketKind::ReadReq, 0, 5));
+            let mut out = Vec::new();
+            let mut cycles = 0u64;
+            while out.is_empty() {
+                net.step(&mut out).unwrap();
+                cycles += 1;
+                assert!(cycles < 300);
+            }
+            cycles
+        };
+        assert_eq!(fly(false), fly(true));
     }
 }

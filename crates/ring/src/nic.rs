@@ -7,12 +7,13 @@
 //! output link gives priority to transit traffic; among local packets
 //! responses beat requests.
 
+use ringmesh_faults::{ConservationLedger, DropReason};
 use ringmesh_net::{
     Assembler, DrainState, FlitFifo, NodeId, Packet, PacketQueue, PacketRef, PacketStore,
     QueueClass,
 };
 
-use crate::station::{ClassQueues, LinkOwner, Send, SideRef, StepPulse, TransitRoute};
+use crate::station::{ClassQueues, Disposition, LinkOwner, Send, SideRef, StepPulse, TransitRoute};
 
 /// Per-NIC simulation state.
 #[derive(Debug)]
@@ -84,18 +85,32 @@ impl Nic {
     /// uni-directional rings deadlock-free (DESIGN.md, "Model fidelity
     /// notes"). Emits at most one flit on the output link (into
     /// `sends`) and at most one flit onto the ejection path.
+    ///
+    /// `link_up` gates the output link only: while the downstream link
+    /// is transiently down no flit leaves the station, but the ejection
+    /// path keeps draining (it is a separate wire in Figure 3).
+    /// `corrupt` marks packet-store slots whose payload was corrupted
+    /// in flight; such packets are dropped at reassembly instead of
+    /// delivered.
     #[allow(clippy::too_many_arguments)]
     pub(crate) fn step(
         &mut self,
         now: u64,
+        link_up: bool,
         free_out: usize,
         credits: &mut [i64],
+        corrupt: &[bool],
+        ledger: &mut ConservationLedger,
         store: &mut PacketStore,
         sends: &mut Vec<Send>,
         delivered: &mut Vec<(NodeId, Packet)>,
+        dropped: &mut Vec<(Packet, DropReason)>,
         pulse: &mut StepPulse,
     ) {
         let ring = self.ring as usize;
+        // A downed output link advertises no room: transit forwarding
+        // and new injections stall in place, losing nothing.
+        let free_out = if link_up { free_out } else { 0 };
         let go_transit = free_out >= 1;
         // Classify the packet at the front of the ring buffer (decided
         // once, at its head flit).
@@ -103,7 +118,12 @@ impl Nic {
             if self.transit.packet() != Some(flit.packet) {
                 debug_assert!(flit.is_head(), "mid-packet flit without a route");
                 let eject = store.get(flit.packet).dst == self.pm;
-                self.transit.set(flit.packet, eject);
+                let disposition = if eject {
+                    Disposition::Cross
+                } else {
+                    Disposition::Forward
+                };
+                self.transit.set(flit.packet, disposition);
             }
         }
 
@@ -118,8 +138,15 @@ impl Nic {
                     self.transit.clear();
                 }
                 if let Some(done) = self.assembler.push(flit) {
+                    let slot = done.slot();
                     let pkt = store.remove(done);
-                    delivered.push((self.pm, pkt));
+                    if corrupt.get(slot).copied().unwrap_or(false) {
+                        ledger.complete(slot, true);
+                        dropped.push((pkt, DropReason::Corrupted));
+                    } else {
+                        ledger.complete(slot, false);
+                        delivered.push((self.pm, pkt));
+                    }
                 }
             }
         }
@@ -148,17 +175,24 @@ impl Nic {
             LinkOwner::Cross(_) => {
                 // The injection drain: buffer space and credits for the
                 // whole worm were reserved at start, and the packet is
-                // held locally, so continuation is unconditional — an
-                // entering worm never stalls holding the link.
-                let flit = self.drain.emit();
-                if flit.is_tail {
-                    self.owner = LinkOwner::Idle;
+                // held locally, so continuation is unconditional while
+                // the link is up — an entering worm never stalls
+                // holding the link. A downed link pauses the worm
+                // mid-entry; the reserved downstream space keeps the
+                // pause loss-free.
+                if link_up {
+                    let flit = self.drain.emit();
+                    if flit.is_tail {
+                        self.owner = LinkOwner::Idle;
+                    }
+                    sends.push(Send {
+                        to: self.downstream,
+                        flit,
+                        ring: self.ring,
+                    });
+                } else {
+                    pulse.blocked += 1;
                 }
-                sends.push(Send {
-                    to: self.downstream,
-                    flit,
-                    ring: self.ring,
-                });
             }
             LinkOwner::Idle => {
                 if self.transit.forwarding() && self.ring_buf.front_ready(now).is_some() {

@@ -48,11 +48,26 @@ pub(crate) enum LinkOwner {
     Cross(QueueClass),
 }
 
+/// What the packet at the front of a transit buffer does at this
+/// station.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum Disposition {
+    /// Continues around the current ring.
+    Forward,
+    /// Leaves the ring here: ejects to the PM, or enters an IRI
+    /// crossing queue.
+    Cross,
+    /// Consumed in place: the packet needs to change rings here but the
+    /// IRI is dead, so its flits are sunk and the packet is accounted
+    /// as an explicit drop.
+    Sink,
+}
+
 /// Routing disposition of the packet currently at the front of a
 /// transit buffer: decided once at its head flit, held until the tail.
 #[derive(Debug, Clone, Copy, Default)]
 pub(crate) struct TransitRoute {
-    current: Option<(PacketRef, bool)>, // (packet, leaves this ring here)
+    current: Option<(PacketRef, Disposition)>,
 }
 
 impl TransitRoute {
@@ -63,16 +78,21 @@ impl TransitRoute {
     /// Whether the current front packet leaves the ring at this station
     /// (ejects to the PM, or crosses up/down at an IRI).
     pub(crate) fn crossing(&self) -> bool {
-        matches!(self.current, Some((_, true)))
+        matches!(self.current, Some((_, Disposition::Cross)))
     }
 
     /// Whether the current front packet continues around the ring.
     pub(crate) fn forwarding(&self) -> bool {
-        matches!(self.current, Some((_, false)))
+        matches!(self.current, Some((_, Disposition::Forward)))
     }
 
-    pub(crate) fn set(&mut self, packet: PacketRef, crossing: bool) {
-        self.current = Some((packet, crossing));
+    /// Whether the current front packet is being sunk at a dead IRI.
+    pub(crate) fn sinking(&self) -> bool {
+        matches!(self.current, Some((_, Disposition::Sink)))
+    }
+
+    pub(crate) fn set(&mut self, packet: PacketRef, disposition: Disposition) {
+        self.current = Some((packet, disposition));
     }
 
     pub(crate) fn clear(&mut self) {
@@ -133,13 +153,15 @@ mod tests {
     #[test]
     fn transit_route_lifecycle() {
         let mut tr = TransitRoute::default();
-        assert!(!tr.forwarding() && !tr.crossing());
+        assert!(!tr.forwarding() && !tr.crossing() && !tr.sinking());
         let r = some_ref();
-        tr.set(r, false);
+        tr.set(r, Disposition::Forward);
         assert!(tr.forwarding());
         assert_eq!(tr.packet(), Some(r));
-        tr.set(r, true);
+        tr.set(r, Disposition::Cross);
         assert!(tr.crossing());
+        tr.set(r, Disposition::Sink);
+        assert!(tr.sinking() && !tr.crossing() && !tr.forwarding());
         tr.clear();
         assert_eq!(tr.packet(), None);
     }

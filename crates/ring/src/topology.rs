@@ -11,7 +11,7 @@
 use std::fmt;
 use std::str::FromStr;
 
-use ringmesh_net::NodeId;
+use ringmesh_net::{ConfigError, NodeId};
 
 /// Which way a packet leaves a station on a given ring side.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -47,15 +47,18 @@ impl RingSpec {
     /// in the paper's tables only at the leaf level... in fact `2:9`
     /// style specs need non-leaf arity >= 2; we also accept 1 to permit
     /// degenerate test topologies).
-    pub fn new(arities: Vec<u32>) -> Result<Self, String> {
+    pub fn new(arities: Vec<u32>) -> Result<Self, ConfigError> {
         if arities.is_empty() {
-            return Err("ring spec must have at least one level".into());
+            return Err(ConfigError::EmptyRingSpec);
         }
         if arities.len() > 8 {
-            return Err(format!("ring spec has {} levels; max is 8", arities.len()));
+            return Err(ConfigError::TooManyRingLevels {
+                levels: arities.len(),
+                max: 8,
+            });
         }
-        if arities.contains(&0) {
-            return Err("ring arities must be positive".into());
+        if let Some(level) = arities.iter().position(|&a| a == 0) {
+            return Err(ConfigError::ZeroRingArity { level });
         }
         Ok(RingSpec { arities })
     }
@@ -93,7 +96,7 @@ impl fmt::Display for RingSpec {
 }
 
 impl FromStr for RingSpec {
-    type Err = String;
+    type Err = ConfigError;
 
     fn from_str(s: &str) -> Result<Self, Self::Err> {
         let arities: Result<Vec<u32>, _> = s
@@ -101,7 +104,10 @@ impl FromStr for RingSpec {
             .split(':')
             .map(|p| p.trim().parse::<u32>())
             .collect();
-        RingSpec::new(arities.map_err(|e| format!("invalid ring spec {s:?}: {e}"))?)
+        RingSpec::new(arities.map_err(|e| ConfigError::BadRingSpec {
+            spec: s.to_string(),
+            reason: e.to_string(),
+        })?)
     }
 }
 

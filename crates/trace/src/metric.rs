@@ -35,11 +35,18 @@ pub enum Counter {
     /// Cycles a processor sat ready to issue but the network refused
     /// the injection (send-queue backpressure).
     IssueBlocked,
+    /// Packets dropped by fault injection (corrupted, unreachable, or
+    /// sunk at a dead component).
+    PacketsDropped,
+    /// Transaction retry attempts injected after a timeout.
+    TxnsRetried,
+    /// Transactions abandoned after exhausting their retry budget.
+    TxnsFailed,
 }
 
 impl Counter {
     /// Every counter, in display order.
-    pub const ALL: [Counter; 9] = [
+    pub const ALL: [Counter; 12] = [
         Counter::FlitsForwarded,
         Counter::PacketsInjected,
         Counter::PacketsDelivered,
@@ -49,6 +56,9 @@ impl Counter {
         Counter::TxnsRetired,
         Counter::TxnsLocalRetired,
         Counter::IssueBlocked,
+        Counter::PacketsDropped,
+        Counter::TxnsRetried,
+        Counter::TxnsFailed,
     ];
 
     /// Stable snake_case name used in reports and CSV headers.
@@ -63,6 +73,9 @@ impl Counter {
             Counter::TxnsRetired => "txns_retired",
             Counter::TxnsLocalRetired => "txns_local_retired",
             Counter::IssueBlocked => "issue_blocked",
+            Counter::PacketsDropped => "packets_dropped",
+            Counter::TxnsRetried => "txns_retried",
+            Counter::TxnsFailed => "txns_failed",
         }
     }
 }

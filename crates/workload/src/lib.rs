@@ -52,9 +52,11 @@ mod memory;
 mod params;
 mod processor;
 mod region;
+mod retry;
 
 pub use driver::{Mmrp, MmrpStats};
 pub use memory::MemoryModule;
 pub use params::{HotSpot, MemoryParams, MissProcess, PacketSizer, WorkloadParams};
 pub use processor::{Processor, ProcessorStats};
 pub use region::{access_region, Placement};
+pub use retry::{RetryPolicy, RetryStats};
