@@ -5,14 +5,19 @@ use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
 use ringmesh::{NetworkSpec, SimParams, System, SystemConfig};
 use ringmesh_net::{BufferRegime, CacheLineSize};
 
-fn bench_point(c: &mut Criterion, name: &str, network: NetworkSpec) {
-    // One short closed-loop measurement per iteration: building the
-    // system is cheap relative to the 1500 simulated cycles.
-    let cfg = SystemConfig::new(network, CacheLineSize::B64).with_sim(SimParams {
+use ringmesh_workload::WorkloadParams;
+
+fn bench_cfg(network: NetworkSpec) -> SystemConfig {
+    SystemConfig::new(network, CacheLineSize::B64).with_sim(SimParams {
         warmup: 500,
         batch_cycles: 500,
         batches: 2,
-    });
+    })
+}
+
+fn bench_system(c: &mut Criterion, name: &str, cfg: SystemConfig) {
+    // One short closed-loop measurement per iteration: building the
+    // system is cheap relative to the 1500 simulated cycles.
     c.bench_function(name, |b| {
         b.iter_batched(
             || System::new(cfg.clone()).expect("valid config"),
@@ -20,6 +25,10 @@ fn bench_point(c: &mut Criterion, name: &str, network: NetworkSpec) {
             BatchSize::SmallInput,
         )
     });
+}
+
+fn bench_point(c: &mut Criterion, name: &str, network: NetworkSpec) {
+    bench_system(c, name, bench_cfg(network));
 }
 
 fn benches(c: &mut Criterion) {
@@ -43,6 +52,36 @@ fn benches(c: &mut Criterion) {
             side: 7,
             buffers: BufferRegime::FourFlit,
         },
+    );
+    // The slotted-ring extension: multi-flit reassembly through the
+    // pooled flit-train buffers, the precomputed service order and the
+    // flat route table all sit on this step path.
+    bench_point(
+        c,
+        "slotted_ring_3x3x6_1500_cycles",
+        NetworkSpec::SlottedRing {
+            spec: "3:3:6".parse().expect("valid spec"),
+        },
+    );
+    // Light load (strong locality, one outstanding transaction): most
+    // routers idle most cycles, so this case isolates the active-node
+    // worklists that skip quiescent routers and ring stations.
+    let light = WorkloadParams::paper_baseline()
+        .with_region(0.1)
+        .with_outstanding(1);
+    bench_system(
+        c,
+        "mesh_7x7_light_load_1500_cycles",
+        bench_cfg(NetworkSpec::Mesh {
+            side: 7,
+            buffers: BufferRegime::FourFlit,
+        })
+        .with_workload(light),
+    );
+    bench_system(
+        c,
+        "ring_3x3x6_light_load_1500_cycles",
+        bench_cfg(NetworkSpec::ring("3:3:6".parse().expect("valid spec"))).with_workload(light),
     );
 }
 

@@ -2,13 +2,18 @@
 //! the deadlock-avoidance flow control, the memory-latency substitution
 //! and the deterministic miss process. Each shows the headline results
 //! are insensitive to (or explains the need for) the choice.
+//!
+//! Every ablation's runs are independent simulations, so they fan out
+//! across the same worker pool as the figure sweeps (honouring
+//! `RINGMESH_THREADS` and [`crate::set_sweep_threads`]), with results
+//! collected in input order — output is identical at any thread count.
 
 use ringmesh_net::CacheLineSize;
 use ringmesh_ring::RingConfig;
 use ringmesh_stats::{Series, Table};
 use ringmesh_workload::{MemoryParams, MissProcess, WorkloadParams};
 
-use crate::sweep::Scale;
+use crate::sweep::{default_pool, Scale};
 use crate::system::System;
 use crate::{NetworkSpec, SystemConfig};
 
@@ -27,7 +32,8 @@ pub fn ablation_iri_queue(scale: Scale) -> Table {
         ],
     );
     let spec: ringmesh_ring::RingSpec = "3:3:6".parse().expect("valid spec");
-    for cap in [Some(1), Some(2), Some(4), None] {
+    let caps = vec![Some(1), Some(2), Some(4), None];
+    let runs = default_pool().map(caps, |_, cap| {
         let mut rc = RingConfig::new(CacheLineSize::B64);
         rc.iri_queue_packets = cap;
         // Trip the watchdog quickly so deadlocked configurations report
@@ -35,8 +41,11 @@ pub fn ablation_iri_queue(scale: Scale) -> Table {
         rc.watchdog_horizon = 2_000;
         let cfg = SystemConfig::new(NetworkSpec::ring(spec.clone()), CacheLineSize::B64)
             .with_sim(scale.sim);
+        (cap, System::with_ring_config(cfg, rc).and_then(System::run))
+    });
+    for (cap, run) in runs {
         let label = cap.map_or("elastic".to_string(), |c| c.to_string());
-        match System::with_ring_config(cfg, rc).and_then(System::run) {
+        match run {
             Ok(r) => t.push_row(vec![
                 label,
                 format!("{:.1}", r.mean_latency()),
@@ -57,7 +66,7 @@ pub fn ablation_memory_latency(scale: Scale) -> Table {
         "Ablation: memory latency at the 36-processor, 64B cross-over point (R=1.0, T=4)",
         &["memory latency", "ring 2:3:6", "mesh 6x6", "difference"],
     );
-    for lat in [5u32, 10, 20, 40] {
+    let rows = default_pool().map(vec![5u32, 10, 20, 40], |_, lat| {
         let mem = MemoryParams {
             latency: lat,
             occupancy: 1,
@@ -72,6 +81,9 @@ pub fn ablation_memory_latency(scale: Scale) -> Table {
         };
         let ring = run(NetworkSpec::ring("2:3:6".parse().expect("valid")));
         let mesh = run(NetworkSpec::mesh(6));
+        (lat, ring, mesh)
+    });
+    for (lat, ring, mesh) in rows {
         t.push_row(vec![
             format!("{lat}"),
             format!("{ring:.1}"),
@@ -87,7 +99,7 @@ pub fn ablation_memory_latency(scale: Scale) -> Table {
 /// of the same mean add burstiness; latencies rise slightly but the
 /// ring/mesh ordering is unchanged.
 pub fn ablation_miss_process(scale: Scale) -> Vec<Series> {
-    let mut out = Vec::new();
+    let mut items = Vec::new();
     for (name, process) in [
         ("deterministic", MissProcess::Deterministic),
         ("geometric", MissProcess::Geometric),
@@ -99,20 +111,40 @@ pub fn ablation_miss_process(scale: Scale) -> Vec<Series> {
             ),
             ("mesh 6x6", NetworkSpec::mesh(6)),
         ] {
-            let mut series = Series::new(format!("{label}, {name}"));
             for t_limit in [1u32, 2, 4] {
-                let cfg = SystemConfig::new(network.clone(), CacheLineSize::B64)
-                    .with_workload(
-                        WorkloadParams::paper_baseline()
-                            .with_outstanding(t_limit)
-                            .with_miss_process(process),
-                    )
-                    .with_sim(scale.sim);
-                if let Ok(r) = System::new(cfg).and_then(System::run) {
-                    series.push(f64::from(t_limit), r.mean_latency());
-                }
+                items.push((
+                    format!("{label}, {name}"),
+                    process,
+                    network.clone(),
+                    t_limit,
+                ));
             }
-            out.push(series);
+        }
+    }
+    let results = default_pool().map(items, |_, (series_label, process, network, t_limit)| {
+        let cfg = SystemConfig::new(network, CacheLineSize::B64)
+            .with_workload(
+                WorkloadParams::paper_baseline()
+                    .with_outstanding(t_limit)
+                    .with_miss_process(process),
+            )
+            .with_sim(scale.sim);
+        let latency = System::new(cfg)
+            .and_then(System::run)
+            .ok()
+            .map(|r| r.mean_latency());
+        (series_label, t_limit, latency)
+    });
+    // Order-preserving collection keeps each series' points contiguous.
+    let mut out: Vec<Series> = Vec::new();
+    for (series_label, t_limit, latency) in results {
+        if out.last().is_none_or(|s| s.label != series_label) {
+            out.push(Series::new(series_label));
+        }
+        if let Some(y) = latency {
+            out.last_mut()
+                .expect("just pushed")
+                .push(f64::from(t_limit), y);
         }
     }
     out
@@ -126,13 +158,15 @@ pub fn ablation_mesh_out_queue(scale: Scale) -> Table {
         "Ablation: mesh PM injection queue depth (6x6, 64B, R=1.0, T=4)",
         &["queue depth (packets/class)", "mean latency", "throughput"],
     );
-    for depth in [1usize, 2, 4] {
+    let runs = default_pool().map(vec![1usize, 2, 4], |_, depth| {
         let cfg = SystemConfig::new(NetworkSpec::mesh(6), CacheLineSize::B64).with_sim(scale.sim);
         // Route through the public mesh config by rebuilding manually.
         let mut mc = ringmesh_mesh::MeshConfig::new(CacheLineSize::B64);
         mc.out_queue_packets = depth;
         let net = ringmesh_mesh::MeshNetwork::new(ringmesh_mesh::MeshTopology::new(6), mc);
-        let r = crate::system::run_prebuilt(Box::new(net), cfg);
+        (depth, crate::system::run_prebuilt(Box::new(net), cfg))
+    });
+    for (depth, r) in runs {
         match r {
             Ok(r) => t.push_row(vec![
                 depth.to_string(),

@@ -1,0 +1,341 @@
+//! The tracked benchmark baseline behind `ringmesh bench`.
+//!
+//! Two measurement families, both cheap enough to run on every CI
+//! push as an informational artifact:
+//!
+//! * **Kernel throughput** — one simulation per network model
+//!   (wormhole ring, double-speed ring, slotted ring, mesh), timed
+//!   wall-clock and reported as simulated cycles per second. These
+//!   isolate the cycle kernel itself: routing tables, the flit pool,
+//!   and the active-station/router worklists all sit on this path.
+//! * **Sweep scaling** — a figure sweep timed twice through the
+//!   public [`crate::run_series`] machinery, once pinned to one
+//!   worker thread and once at the requested thread count, with a
+//!   bit-exact comparison of the two outputs. The speedup column is
+//!   the parallel-executor headline number; `identical: true` is the
+//!   determinism guarantee.
+//!
+//! Reports render as text (for humans) and as hand-rolled JSON
+//! (`BENCH_RUN.json`, for machines); the JSON schema is versioned so
+//! downstream tooling can detect shape changes.
+
+use std::fmt::Write as _;
+use std::time::Instant;
+
+use ringmesh_net::CacheLineSize;
+
+use crate::figures::{self, FigureData};
+use crate::sweep::{set_sweep_threads, Scale};
+use crate::system::run_config;
+use crate::{NetworkSpec, SystemConfig, WorkerPool};
+
+/// JSON schema tag written into every report.
+pub const SCHEMA: &str = "ringmesh-bench/1";
+
+/// What to measure and where to write it.
+#[derive(Debug, Clone)]
+pub struct BenchOptions {
+    /// Simulation scale for every measurement.
+    pub scale: Scale,
+    /// Worker threads for the parallel leg of the sweep measurements.
+    pub threads: usize,
+}
+
+impl Default for BenchOptions {
+    fn default() -> Self {
+        BenchOptions {
+            scale: Scale::from_env(),
+            threads: WorkerPool::from_env().threads(),
+        }
+    }
+}
+
+/// One kernel-throughput measurement.
+#[derive(Debug, Clone)]
+pub struct KernelBench {
+    /// Network label, e.g. `ring 3:3:6`.
+    pub name: String,
+    /// Simulated cycles executed (the configured horizon).
+    pub cycles: u64,
+    /// Wall-clock seconds for the run.
+    pub wall_s: f64,
+    /// `cycles / wall_s`.
+    pub cycles_per_sec: f64,
+}
+
+/// One serial-vs-parallel sweep measurement.
+#[derive(Debug, Clone)]
+pub struct FigureBench {
+    /// Figure name, e.g. `fig06`.
+    pub name: String,
+    /// Wall-clock seconds pinned to one worker thread.
+    pub serial_s: f64,
+    /// Wall-clock seconds at [`BenchReport::threads`] workers.
+    pub parallel_s: f64,
+    /// `serial_s / parallel_s`.
+    pub speedup: f64,
+    /// Whether the two runs produced bit-identical figure data.
+    pub identical: bool,
+}
+
+/// A complete benchmark baseline.
+#[derive(Debug, Clone)]
+pub struct BenchReport {
+    /// `"quick"` or `"full"`.
+    pub scale: &'static str,
+    /// Worker threads used for the parallel sweep legs.
+    pub threads: usize,
+    /// `std::thread::available_parallelism()` on the measuring host —
+    /// read speedups relative to this, not to `threads`.
+    pub host_parallelism: usize,
+    /// Kernel-throughput measurements.
+    pub kernels: Vec<KernelBench>,
+    /// Serial-vs-parallel sweep measurements.
+    pub figures: Vec<FigureBench>,
+}
+
+/// Runs the full benchmark suite.
+pub fn run(opts: &BenchOptions) -> BenchReport {
+    let threads = opts.threads.max(1);
+    let mut report = BenchReport {
+        scale: if opts.scale.quick { "quick" } else { "full" },
+        threads,
+        host_parallelism: std::thread::available_parallelism().map_or(1, |n| n.get()),
+        kernels: Vec::new(),
+        figures: Vec::new(),
+    };
+    for (name, cfg) in kernel_cases(opts.scale) {
+        eprintln!("bench: kernel {name} ...");
+        if let Some(k) = kernel_bench(name, cfg) {
+            report.kernels.push(k);
+        }
+    }
+    type FigureFn = fn(Scale) -> FigureData;
+    let figure_cases: [(&str, FigureFn); 2] =
+        [("fig06", figures::fig06), ("fig16", figures::fig16)];
+    for (name, f) in figure_cases {
+        eprintln!("bench: sweep {name} serial vs {threads} threads ...");
+        report
+            .figures
+            .push(figure_bench(name, f, opts.scale, threads));
+    }
+    report
+}
+
+/// The kernel measurement matrix: one configuration per network model,
+/// chosen so every optimized path is on the clock — the wormhole ring
+/// (station worklist + route walk), the double-speed global ring (the
+/// two-tick sub-cycle), the slotted ring (service order, route table
+/// and flit pool), and the mesh (link tables + router worklist).
+fn kernel_cases(scale: Scale) -> Vec<(String, SystemConfig)> {
+    let spec = || "3:3:6".parse().expect("valid ring spec");
+    let sized = |cfg: SystemConfig| cfg.with_sim(scale.sim);
+    vec![
+        (
+            "ring 3:3:6".into(),
+            sized(SystemConfig::new(
+                NetworkSpec::ring(spec()),
+                CacheLineSize::B64,
+            )),
+        ),
+        (
+            "ring 3:3:6 2x-global".into(),
+            sized(SystemConfig::new(
+                NetworkSpec::Ring {
+                    spec: spec(),
+                    speedup: 2,
+                },
+                CacheLineSize::B64,
+            )),
+        ),
+        (
+            "slotted-ring 3:3:6".into(),
+            sized(SystemConfig::new(
+                NetworkSpec::SlottedRing { spec: spec() },
+                CacheLineSize::B64,
+            )),
+        ),
+        (
+            "mesh 7x7".into(),
+            sized(SystemConfig::new(NetworkSpec::mesh(7), CacheLineSize::B64)),
+        ),
+    ]
+}
+
+fn kernel_bench(name: String, cfg: SystemConfig) -> Option<KernelBench> {
+    let cycles = cfg.sim.horizon();
+    let start = Instant::now();
+    if let Err(e) = run_config(cfg) {
+        eprintln!("warning: bench kernel {name} failed: {e}");
+        return None;
+    }
+    let wall_s = start.elapsed().as_secs_f64();
+    Some(KernelBench {
+        name,
+        cycles,
+        cycles_per_sec: cycles as f64 / wall_s.max(1e-9),
+        wall_s,
+    })
+}
+
+/// Times `figure` once pinned to one sweep worker and once at
+/// `threads`, restoring the process-default thread setting afterwards,
+/// and compares the outputs bit-for-bit.
+fn figure_bench(
+    name: &str,
+    figure: fn(Scale) -> FigureData,
+    scale: Scale,
+    threads: usize,
+) -> FigureBench {
+    set_sweep_threads(1);
+    let start = Instant::now();
+    let serial = figure(scale);
+    let serial_s = start.elapsed().as_secs_f64();
+    set_sweep_threads(threads);
+    let start = Instant::now();
+    let parallel = figure(scale);
+    let parallel_s = start.elapsed().as_secs_f64();
+    set_sweep_threads(0);
+    FigureBench {
+        name: name.to_string(),
+        serial_s,
+        parallel_s,
+        speedup: serial_s / parallel_s.max(1e-9),
+        identical: fingerprint(&serial) == fingerprint(&parallel),
+    }
+}
+
+/// A bit-exact textual fingerprint of figure data: every label plus
+/// the raw IEEE-754 bits of every point, so "identical" means what a
+/// byte-for-byte artifact diff would mean.
+fn fingerprint(data: &FigureData) -> String {
+    let mut s = String::new();
+    for (title, group) in data {
+        s.push_str(title);
+        s.push('\n');
+        for series in group {
+            s.push_str(&series.label);
+            for &(x, y) in &series.points {
+                let _ = write!(s, "|{:016x}:{:016x}", x.to_bits(), y.to_bits());
+            }
+            s.push('\n');
+        }
+    }
+    s
+}
+
+impl BenchReport {
+    /// Human-readable summary.
+    pub fn to_text(&self) -> String {
+        let mut s = String::new();
+        let _ = writeln!(
+            s,
+            "benchmark baseline — scale {}, {} threads ({} host cores)",
+            self.scale, self.threads, self.host_parallelism
+        );
+        let _ = writeln!(s, "\nkernel throughput:");
+        for k in &self.kernels {
+            let _ = writeln!(
+                s,
+                "  {:22} {:>9} cycles in {:>7.3}s = {:>11.0} cycles/s",
+                k.name, k.cycles, k.wall_s, k.cycles_per_sec
+            );
+        }
+        let _ = writeln!(s, "\nsweep scaling (serial vs {} threads):", self.threads);
+        for f in &self.figures {
+            let _ = writeln!(
+                s,
+                "  {:8} serial {:>7.3}s  parallel {:>7.3}s  speedup {:>5.2}x  identical: {}",
+                f.name, f.serial_s, f.parallel_s, f.speedup, f.identical
+            );
+        }
+        s
+    }
+
+    /// The versioned `BENCH_RUN.json` document.
+    pub fn to_json(&self) -> String {
+        let mut s = String::new();
+        s.push_str("{\n");
+        let _ = writeln!(s, "  \"schema\": \"{SCHEMA}\",");
+        let _ = writeln!(s, "  \"scale\": \"{}\",", self.scale);
+        let _ = writeln!(s, "  \"threads\": {},", self.threads);
+        let _ = writeln!(s, "  \"host_parallelism\": {},", self.host_parallelism);
+        s.push_str("  \"kernels\": [\n");
+        for (i, k) in self.kernels.iter().enumerate() {
+            let _ = write!(
+                s,
+                "    {{\"name\": \"{}\", \"cycles\": {}, \"wall_s\": {:.6}, \"cycles_per_sec\": {:.1}}}",
+                k.name, k.cycles, k.wall_s, k.cycles_per_sec
+            );
+            s.push_str(if i + 1 < self.kernels.len() {
+                ",\n"
+            } else {
+                "\n"
+            });
+        }
+        s.push_str("  ],\n  \"figures\": [\n");
+        for (i, f) in self.figures.iter().enumerate() {
+            let _ = write!(
+                s,
+                "    {{\"name\": \"{}\", \"serial_s\": {:.6}, \"parallel_s\": {:.6}, \"speedup\": {:.3}, \"identical\": {}}}",
+                f.name, f.serial_s, f.parallel_s, f.speedup, f.identical
+            );
+            s.push_str(if i + 1 < self.figures.len() {
+                ",\n"
+            } else {
+                "\n"
+            });
+        }
+        s.push_str("  ]\n}\n");
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kernel_bench_measures_one_run() {
+        let scale = Scale::quick();
+        let cfg = SystemConfig::new(NetworkSpec::ring("4".parse().unwrap()), CacheLineSize::B32)
+            .with_sim(crate::SimParams {
+                warmup: 200,
+                batch_cycles: 200,
+                batches: 2,
+            });
+        let k = kernel_bench("tiny ring".into(), cfg).expect("tiny run completes");
+        assert_eq!(k.cycles, 600);
+        assert!(k.wall_s > 0.0 && k.cycles_per_sec > 0.0);
+        let _ = scale;
+    }
+
+    #[test]
+    fn json_report_is_well_formed() {
+        let report = BenchReport {
+            scale: "quick",
+            threads: 4,
+            host_parallelism: 8,
+            kernels: vec![KernelBench {
+                name: "ring 3:3:6".into(),
+                cycles: 1000,
+                wall_s: 0.5,
+                cycles_per_sec: 2000.0,
+            }],
+            figures: vec![FigureBench {
+                name: "fig06".into(),
+                serial_s: 1.0,
+                parallel_s: 0.5,
+                speedup: 2.0,
+                identical: true,
+            }],
+        };
+        let json = report.to_json();
+        assert!(json.contains("\"schema\": \"ringmesh-bench/1\""));
+        assert!(json.contains("\"identical\": true"));
+        // Balanced braces/brackets — a cheap well-formedness check.
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+        assert_eq!(json.matches('[').count(), json.matches(']').count());
+        assert!(report.to_text().contains("fig06"));
+    }
+}

@@ -13,6 +13,7 @@
 
 use std::process::ExitCode;
 
+use ringmesh::benchrun::{self, BenchOptions};
 use ringmesh::{
     run_config, FaultConfig, FaultPlan, FaultRunReport, NetworkSpec, RetryPolicy, RunError,
     SimParams, System, SystemConfig, TraceConfig,
@@ -27,6 +28,7 @@ USAGE:
     ringmesh <NETWORK> [OPTIONS]
     ringmesh trace <NETWORK> [OPTIONS] [TRACE OPTIONS]
     ringmesh faults <NETWORK> [OPTIONS] [FAULT OPTIONS]
+    ringmesh bench [BENCH OPTIONS]
 
 The `trace` subcommand runs the same simulation with the observability
 subsystem recording: it prints per-counter and per-gauge batch
@@ -40,6 +42,12 @@ intervals, permanent router/IRI deaths) with an end-to-end retry layer
 at the processors, and reports delivered throughput, drop accounting
 and the packet-conservation audit. Same seeds replay bit-for-bit.
 Exit status: 1 usage/config error, 2 stall, 3 conservation violation.
+
+The `bench` subcommand records the performance baseline: kernel
+throughput (simulated cycles per wall-clock second) for each network
+model, and serial-vs-parallel sweep timings with a bit-exact output
+comparison. It prints a summary and can write the machine-readable
+baseline as JSON.
 
 NETWORK (exactly one):
     --ring <SPEC>          hierarchical ring, e.g. --ring 2:3:4
@@ -79,6 +87,20 @@ FAULT OPTIONS (with the `faults` subcommand):
     --backoff <N>          base retry backoff, cycles         [default: 64]
     --no-retry             disable the end-to-end retry layer
     --check                conservation tracking in release builds
+
+BENCH OPTIONS (with the `bench` subcommand):
+    --quick                quick scale (default unless RINGMESH_FULL set)
+    --full                 publication scale
+    --threads <N>          parallel-leg worker threads
+                           [default: RINGMESH_THREADS or host cores]
+    --out <PATH>           write the baseline as JSON here
+
+ENVIRONMENT:
+    RINGMESH_FULL          any value but 0: figure sweeps and `bench`
+                           default to publication scale (read once per
+                           process)
+    RINGMESH_THREADS       worker threads for parameter sweeps
+                           [default: available host parallelism]
 ";
 
 struct Args(Vec<String>);
@@ -413,11 +435,57 @@ fn run_trace(cfg: SystemConfig, opts: TraceOpts, format: &str) -> ExitCode {
     ExitCode::SUCCESS
 }
 
+fn run_bench(mut args: Args) -> ExitCode {
+    let full = args.take_flag("--full");
+    let quick = args.take_flag("--quick");
+    let threads = match args.take_parsed::<usize>("--threads") {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let out = match args.take_value("--out") {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    if !args.0.is_empty() {
+        eprintln!("error: unrecognized arguments: {:?}", args.0);
+        return ExitCode::FAILURE;
+    }
+    let defaults = BenchOptions::default();
+    let opts = BenchOptions {
+        scale: match (full, quick) {
+            (true, false) => ringmesh::Scale::full(),
+            (false, true) => ringmesh::Scale::quick(),
+            _ => defaults.scale,
+        },
+        threads: threads.unwrap_or(defaults.threads),
+    };
+    let report = benchrun::run(&opts);
+    print!("{}", report.to_text());
+    if let Some(path) = out {
+        if let Err(e) = std::fs::write(&path, report.to_json()) {
+            eprintln!("error: writing {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+        eprintln!("benchmark baseline written to {path}");
+    }
+    ExitCode::SUCCESS
+}
+
 fn main() -> ExitCode {
     let mut args = Args(std::env::args().skip(1).collect());
     if args.take_flag("--help") || args.take_flag("-h") || args.0.is_empty() {
         print!("{HELP}");
         return ExitCode::SUCCESS;
+    }
+    if args.0.first().is_some_and(|a| a == "bench") {
+        args.0.remove(0);
+        return run_bench(args);
     }
     let tracing = args.0.first().is_some_and(|a| a == "trace");
     let faulting = args.0.first().is_some_and(|a| a == "faults");

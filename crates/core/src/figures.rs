@@ -20,6 +20,12 @@
 //! | [`fig18`] | Fig. 18 | locality with cl-sized mesh buffers, 128B |
 //! | [`fig19_20`] | Figs. 19–20 | double-speed global ring latency + utilization |
 //! | [`fig21`] | Fig. 21 | mesh vs double-speed-global rings |
+//!
+//! Every figure's sweep points run through [`run_series`]/[`run_points`]
+//! and therefore fan out across the sweep worker pool (sized by
+//! `RINGMESH_THREADS`, default: available parallelism). Each point owns
+//! its seed and results are collected in input order, so figure output
+//! is byte-identical at any thread count.
 
 use ringmesh_net::{mesh_nic_buffer_bytes, ring_nic_buffer_bytes, BufferRegime, CacheLineSize};
 use ringmesh_ring::RingSpec;

@@ -50,6 +50,7 @@
 
 pub mod ablations;
 pub mod analytic;
+pub mod benchrun;
 mod config;
 pub mod figures;
 mod sweep;
@@ -57,8 +58,11 @@ mod system;
 pub mod topologies;
 
 pub use config::{NetworkSpec, SimParams, SystemConfig};
+pub use ringmesh_engine::WorkerPool;
 pub use ringmesh_faults::{ConservationError, DropCounts, FaultConfig, FaultReport};
 pub use ringmesh_trace::{TraceConfig, TraceReport};
 pub use ringmesh_workload::{RetryPolicy, RetryStats};
-pub use sweep::{run_points, run_series, series_of, Scale};
+pub use sweep::{
+    run_points, run_points_with, run_series, run_series_with, series_of, set_sweep_threads, Scale,
+};
 pub use system::{run_config, FaultPlan, FaultRunReport, RunError, RunResult, System};

@@ -1,6 +1,16 @@
 //! Parameter-sweep helpers: run a list of configurations and collect a
 //! labelled series of `(system size, metric)` points.
+//!
+//! Sweep points are independent simulations — each owns its own seeded
+//! RNG and event calendar — so [`run_series`] and [`run_points`] fan
+//! them across a [`WorkerPool`] (sized by `RINGMESH_THREADS`, default:
+//! available parallelism) while collecting results in input order. The
+//! output is byte-identical to a serial run at any thread count.
 
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::OnceLock;
+
+use ringmesh_engine::WorkerPool;
 use ringmesh_stats::Series;
 
 use crate::system::{run_config, RunError, RunResult};
@@ -42,12 +52,39 @@ impl Scale {
     }
 
     /// `Scale::full()` if the `RINGMESH_FULL` environment variable is
-    /// set (to anything but `0`), else `Scale::quick()`.
+    /// set (to anything but `0`), else `Scale::quick()`. The variable
+    /// is read once per process and the decision cached.
     pub fn from_env() -> Self {
-        match std::env::var("RINGMESH_FULL") {
+        static SCALE: OnceLock<Scale> = OnceLock::new();
+        *SCALE.get_or_init(|| match std::env::var("RINGMESH_FULL") {
             Ok(v) if v != "0" => Scale::full(),
             _ => Scale::quick(),
-        }
+        })
+    }
+}
+
+/// Process-wide worker-count override for the sweep executor; 0 means
+/// "use the environment default". Unlike the `OnceLock`-cached env
+/// parse, this can be changed repeatedly within one process, which the
+/// `ringmesh bench` subcommand uses to time the same figure serially
+/// and in parallel.
+static THREAD_OVERRIDE: AtomicUsize = AtomicUsize::new(0);
+
+/// Overrides the number of sweep worker threads for subsequent
+/// [`run_series`]/[`run_points`] calls; `0` restores the
+/// `RINGMESH_THREADS`/available-parallelism default.
+pub fn set_sweep_threads(threads: usize) {
+    THREAD_OVERRIDE.store(threads, Ordering::Relaxed);
+}
+
+/// The pool [`run_series`]/[`run_points`] execute on: the
+/// [`set_sweep_threads`] override when set, else the environment
+/// default. Shared with the ablation harness so every fan-out in the
+/// crate honours the same thread settings.
+pub(crate) fn default_pool() -> WorkerPool {
+    match THREAD_OVERRIDE.load(Ordering::Relaxed) {
+        0 => WorkerPool::from_env(),
+        n => WorkerPool::new(n),
     }
 }
 
@@ -55,16 +92,34 @@ impl Scale {
 /// into a series. Points whose simulation stalls (a deadlocked
 /// saturated configuration) are skipped with a warning on stderr rather
 /// than aborting the sweep.
+///
+/// Points execute on the default [`WorkerPool`] (see
+/// [`set_sweep_threads`]); use [`run_series_with`] to pin a pool
+/// explicitly.
 pub fn run_series(
     label: impl Into<String>,
     points: Vec<(f64, SystemConfig)>,
     metric: impl Fn(&RunResult) -> f64,
 ) -> Series {
+    run_series_with(&default_pool(), label, points, metric)
+}
+
+/// [`run_series`] on an explicit pool. Results are collected in input
+/// order and are byte-identical for any thread count (every point owns
+/// its own seeded RNG).
+pub fn run_series_with(
+    pool: &WorkerPool,
+    label: impl Into<String>,
+    points: Vec<(f64, SystemConfig)>,
+    metric: impl Fn(&RunResult) -> f64,
+) -> Series {
+    let label = label.into();
+    let results = pool.map(points, |_, (x, cfg)| {
+        run_point(&label, cfg, x).map(|r| (x, r))
+    });
     let mut series = Series::new(label);
-    for (x, cfg) in points {
-        if let Some(result) = run_point(cfg, x) {
-            series.push(x, metric(&result));
-        }
+    for (x, result) in results.into_iter().flatten() {
+        series.push(x, metric(&result));
     }
     series
 }
@@ -72,8 +127,11 @@ pub fn run_series(
 /// Runs one configuration; a deadlocked (finite-buffer) run is retried
 /// twice with perturbed seeds before the point is skipped with a
 /// warning — rare stalls are seed-dependent and a retry recovers the
-/// measurement without biasing it.
-fn run_point(cfg: SystemConfig, x: f64) -> Option<RunResult> {
+/// measurement without biasing it. This is the single stall-retry
+/// helper shared by [`run_series`] and [`run_points`]; `label` names
+/// the sweep in skip warnings so interleaved parallel-run warnings stay
+/// attributable to their series.
+fn run_point(label: &str, cfg: SystemConfig, x: f64) -> Option<RunResult> {
     let desc = cfg.network.label();
     let seed = cfg.seed;
     for attempt in 0..3u64 {
@@ -83,16 +141,16 @@ fn run_point(cfg: SystemConfig, x: f64) -> Option<RunResult> {
         match run_config(c) {
             Ok(result) => {
                 if result.latency.n == 0 {
-                    eprintln!("warning: {desc} at x={x}: no completed transactions");
+                    eprintln!("warning: [{label}] {desc} at x={x}: no completed transactions");
                     return None;
                 }
                 return Some(result);
             }
             Err(RunError::Stall(e)) => {
-                eprintln!("warning: {desc} at x={x} (attempt {attempt}): {e}");
+                eprintln!("warning: [{label}] {desc} at x={x} (attempt {attempt}): {e}");
             }
             Err(e) => {
-                eprintln!("warning: skipping {desc} at x={x}: {e}");
+                eprintln!("warning: [{label}] skipping {desc} at x={x}: {e}");
                 return None;
             }
         }
@@ -102,14 +160,24 @@ fn run_point(cfg: SystemConfig, x: f64) -> Option<RunResult> {
 
 /// Runs every point once and returns full results, for figures that
 /// need several metrics (latency *and* utilization) from one sweep.
+/// Executes on the default [`WorkerPool`] like [`run_series`].
 pub fn run_points(points: Vec<(f64, SystemConfig)>) -> Vec<(f64, RunResult)> {
-    let mut out = Vec::new();
-    for (x, cfg) in points {
-        if let Some(result) = run_point(cfg, x) {
-            out.push((x, result));
-        }
-    }
-    out
+    run_points_with(&default_pool(), "sweep", points)
+}
+
+/// [`run_points`] on an explicit pool, with `label` naming the sweep in
+/// skip warnings.
+pub fn run_points_with(
+    pool: &WorkerPool,
+    label: &str,
+    points: Vec<(f64, SystemConfig)>,
+) -> Vec<(f64, RunResult)> {
+    pool.map(points, |_, (x, cfg)| {
+        run_point(label, cfg, x).map(|r| (x, r))
+    })
+    .into_iter()
+    .flatten()
+    .collect()
 }
 
 /// Extracts a metric series from pre-computed results.
@@ -136,26 +204,43 @@ mod tests {
         // The test environment does not set RINGMESH_FULL.
         if std::env::var("RINGMESH_FULL").is_err() {
             assert!(Scale::from_env().quick);
+            // Cached: a second call returns the same decision.
+            assert_eq!(Scale::from_env(), Scale::from_env());
         }
+    }
+
+    fn mk(n: u32) -> SystemConfig {
+        SystemConfig::new(
+            NetworkSpec::ring(ringmesh_ring::RingSpec::single(n)),
+            CacheLineSize::B32,
+        )
+        .with_sim(crate::SimParams {
+            warmup: 200,
+            batch_cycles: 200,
+            batches: 3,
+        })
     }
 
     #[test]
     fn run_series_collects_points() {
-        let mk = |n: u32| {
-            SystemConfig::new(
-                NetworkSpec::ring(ringmesh_ring::RingSpec::single(n)),
-                CacheLineSize::B32,
-            )
-            .with_sim(crate::SimParams {
-                warmup: 200,
-                batch_cycles: 200,
-                batches: 3,
-            })
-        };
         let s = run_series("demo", vec![(2.0, mk(2)), (4.0, mk(4))], |r| {
             r.mean_latency()
         });
         assert_eq!(s.points.len(), 2);
         assert!(s.points.iter().all(|&(_, y)| y > 0.0));
+    }
+
+    #[test]
+    fn explicit_pools_match_bitwise() {
+        let points = |n: u32| (2..=n).map(|k| (f64::from(k), mk(k))).collect::<Vec<_>>();
+        let serial = run_series_with(&WorkerPool::new(1), "det", points(5), |r| r.mean_latency());
+        let pooled = run_series_with(&WorkerPool::new(4), "det", points(5), |r| r.mean_latency());
+        let bits = |s: &Series| {
+            s.points
+                .iter()
+                .map(|&(x, y)| (x.to_bits(), y.to_bits()))
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(bits(&serial), bits(&pooled));
     }
 }

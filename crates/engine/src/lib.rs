@@ -19,6 +19,9 @@
 //! * [`Watchdog`] — a progress monitor that converts a hung simulation
 //!   (e.g. an undetected wormhole deadlock) into a hard error instead of
 //!   an infinite loop.
+//! * [`WorkerPool`] — an order-preserving fork-join pool on scoped
+//!   threads, used to fan independent sweep points across cores while
+//!   keeping results byte-identical to a serial run.
 //!
 //! The networks themselves (hierarchical rings, 2-D meshes) live in the
 //! `ringmesh-ring` and `ringmesh-mesh` crates; workload generation lives
@@ -44,12 +47,14 @@
 mod calendar;
 mod clock;
 mod facility;
+mod pool;
 mod rng;
 mod watchdog;
 
 pub use calendar::EventCalendar;
 pub use clock::{run_cycles, run_cycles_traced, ClockDivider, ClockedSystem};
 pub use facility::{Facility, FacilityStats, RequestOutcome};
+pub use pool::{configured_threads, WorkerPool};
 pub use rng::SimRng;
 pub use watchdog::{StallError, Watchdog};
 

@@ -1,0 +1,203 @@
+//! A minimal order-preserving worker pool on scoped threads.
+//!
+//! Parameter sweeps simulate dozens of independent `(topology, size,
+//! load)` points; each point owns its own seeded RNG and calendar, so
+//! the points can run on any thread in any order without changing a
+//! single result bit. [`WorkerPool::map`] exploits that: it fans the
+//! items of a `Vec` out across a fixed set of scoped worker threads
+//! (claimed from a shared atomic cursor) and collects the results *in
+//! input order*, so the output is byte-identical to a serial loop.
+//!
+//! The pool is hand-rolled on [`std::thread::scope`] — the workspace
+//! vendors its only external crate (`criterion`) and takes no new
+//! dependencies. A pool of one thread (or a single-item input) runs
+//! inline on the caller's thread with zero synchronization.
+//!
+//! The default worker count comes from the `RINGMESH_THREADS`
+//! environment variable, read once per process (see
+//! [`configured_threads`]); unset, it falls back to
+//! [`std::thread::available_parallelism`].
+//!
+//! # Example
+//!
+//! ```
+//! use ringmesh_engine::WorkerPool;
+//!
+//! let pool = WorkerPool::new(4);
+//! let squares = pool.map(vec![1u64, 2, 3, 4], |_, x| x * x);
+//! assert_eq!(squares, vec![1, 4, 9, 16]);
+//! ```
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Mutex, OnceLock};
+
+/// The number of worker threads to use by default, parsed once per
+/// process: the `RINGMESH_THREADS` environment variable if set to a
+/// positive integer, else [`std::thread::available_parallelism`]
+/// (falling back to 1 when even that is unavailable).
+pub fn configured_threads() -> usize {
+    static THREADS: OnceLock<usize> = OnceLock::new();
+    *THREADS.get_or_init(|| {
+        let from_env = std::env::var("RINGMESH_THREADS")
+            .ok()
+            .and_then(|v| v.trim().parse::<usize>().ok())
+            .filter(|&n| n >= 1);
+        from_env.unwrap_or_else(|| {
+            std::thread::available_parallelism()
+                .map(std::num::NonZeroUsize::get)
+                .unwrap_or(1)
+        })
+    })
+}
+
+/// An order-preserving fork-join pool over a fixed number of threads.
+///
+/// See the [module docs](self) for the design; construct one with an
+/// explicit thread count ([`WorkerPool::new`], e.g. in determinism
+/// tests comparing thread counts within one process) or from the
+/// environment default ([`WorkerPool::from_env`]).
+#[derive(Debug, Clone, Copy)]
+pub struct WorkerPool {
+    threads: usize,
+}
+
+impl WorkerPool {
+    /// A pool of `threads` workers; zero is clamped to one (inline
+    /// serial execution).
+    pub fn new(threads: usize) -> Self {
+        WorkerPool {
+            threads: threads.max(1),
+        }
+    }
+
+    /// A pool sized by [`configured_threads`] (`RINGMESH_THREADS` or
+    /// the machine's available parallelism).
+    pub fn from_env() -> Self {
+        WorkerPool::new(configured_threads())
+    }
+
+    /// The number of worker threads this pool runs.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Applies `f` to every item and returns the results in input
+    /// order. `f` receives the item's index alongside the item.
+    ///
+    /// Items are claimed dynamically (an atomic cursor), so an
+    /// expensive item does not serialize the cheap ones behind it; the
+    /// collected order is the input order regardless of which worker
+    /// finished first. With one thread (or fewer than two items) the
+    /// whole map runs inline on the calling thread.
+    ///
+    /// # Panics
+    ///
+    /// Panics (after all workers have joined) if `f` panicked on any
+    /// item.
+    pub fn map<T, R, F>(&self, items: Vec<T>, f: F) -> Vec<R>
+    where
+        T: Send,
+        R: Send,
+        F: Fn(usize, T) -> R + Sync,
+    {
+        let n = items.len();
+        let workers = self.threads.min(n);
+        if workers <= 1 {
+            return items
+                .into_iter()
+                .enumerate()
+                .map(|(i, item)| f(i, item))
+                .collect();
+        }
+        // Safe shared state only (`forbid(unsafe_code)`): each index is
+        // claimed exactly once via the cursor, so every Mutex below is
+        // uncontended — it exists to satisfy the borrow checker, not to
+        // serialize work.
+        let work: Vec<Mutex<Option<T>>> = items.into_iter().map(|t| Mutex::new(Some(t))).collect();
+        let results: Vec<Mutex<Option<R>>> = (0..n).map(|_| Mutex::new(None)).collect();
+        let cursor = AtomicUsize::new(0);
+        std::thread::scope(|s| {
+            for _ in 0..workers {
+                s.spawn(|| loop {
+                    let i = cursor.fetch_add(1, Ordering::Relaxed);
+                    if i >= n {
+                        break;
+                    }
+                    let item = work[i]
+                        .lock()
+                        .expect("poisoned work slot")
+                        .take()
+                        .expect("work index claimed twice");
+                    let r = f(i, item);
+                    *results[i].lock().expect("poisoned result slot") = Some(r);
+                });
+            }
+        });
+        results
+            .into_iter()
+            .map(|slot| {
+                slot.into_inner()
+                    .expect("poisoned result slot")
+                    .expect("worker left a result slot empty")
+            })
+            .collect()
+    }
+}
+
+impl Default for WorkerPool {
+    fn default() -> Self {
+        WorkerPool::from_env()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn preserves_input_order() {
+        let pool = WorkerPool::new(4);
+        // Make early items slow so completion order differs from input
+        // order; the collected order must still be the input order.
+        let out = pool.map((0..64u64).collect(), |i, x| {
+            if i < 8 {
+                std::thread::sleep(std::time::Duration::from_millis(2));
+            }
+            x * 10
+        });
+        assert_eq!(out, (0..64u64).map(|x| x * 10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn thread_counts_agree_bitwise() {
+        let work = |_, x: u64| (x as f64).sqrt() * 1e9;
+        let serial = WorkerPool::new(1).map((0..100).collect(), work);
+        let parallel = WorkerPool::new(4).map((0..100).collect(), work);
+        let bits = |v: &[f64]| v.iter().map(|y| y.to_bits()).collect::<Vec<_>>();
+        assert_eq!(bits(&serial), bits(&parallel));
+    }
+
+    #[test]
+    fn empty_and_single_inputs() {
+        let pool = WorkerPool::new(8);
+        assert_eq!(pool.map(Vec::<u32>::new(), |_, x| x), Vec::<u32>::new());
+        assert_eq!(pool.map(vec![7u32], |i, x| x + i as u32), vec![7]);
+    }
+
+    #[test]
+    fn zero_threads_clamps_to_one() {
+        let pool = WorkerPool::new(0);
+        assert_eq!(pool.threads(), 1);
+        assert_eq!(pool.map(vec![1, 2, 3], |_, x| x + 1), vec![2, 3, 4]);
+    }
+
+    #[test]
+    fn index_matches_item_position() {
+        let pool = WorkerPool::new(3);
+        let out = pool.map(vec![10usize, 11, 12, 13], |i, x| (i, x));
+        for (i, &(idx, x)) in out.iter().enumerate() {
+            assert_eq!(idx, i);
+            assert_eq!(x, 10 + i);
+        }
+    }
+}

@@ -46,6 +46,11 @@ pub struct MeshNetwork {
     cfg: MeshConfig,
     store: PacketStore,
     routers: Vec<Router>,
+    /// Active-router worklist: `active[i]` is false only while router
+    /// `i` is provably quiescent ([`Router::quiescent`]), letting the
+    /// step loop skip idle routers under light load. Set true again by
+    /// any arriving flit or local injection.
+    active: Vec<bool>,
     /// Registered stop/go per router input buffer (`node*5 + port`).
     go: Vec<bool>,
     sends: Vec<Send>,
@@ -77,7 +82,14 @@ impl MeshNetwork {
     pub fn new(topo: MeshTopology, cfg: MeshConfig) -> Self {
         let n = topo.num_pms() as usize;
         let routers = (0..n as u32)
-            .map(|i| Router::new(NodeId::new(i), cfg.buffer_flits(), cfg.out_queue_packets))
+            .map(|i| {
+                Router::new(
+                    NodeId::new(i),
+                    &topo,
+                    cfg.buffer_flits(),
+                    cfg.out_queue_packets,
+                )
+            })
             .collect();
         let horizon = cfg.watchdog_horizon;
         MeshNetwork {
@@ -85,6 +97,7 @@ impl MeshNetwork {
             cfg,
             store: PacketStore::new(),
             routers,
+            active: vec![true; n],
             go: vec![true; n * 5],
             sends: Vec::new(),
             cycle: 0,
@@ -221,6 +234,7 @@ impl Interconnect for MeshNetwork {
             self.corrupt[r.slot()] = bad;
         }
         self.routers[pm.index()].enqueue(class, r);
+        self.active[pm.index()] = true;
     }
 
     fn step(&mut self, delivered: &mut Vec<(NodeId, Packet)>) -> Result<(), StallError> {
@@ -242,6 +256,12 @@ impl Interconnect for MeshNetwork {
             now,
         };
         for i in 0..self.routers.len() {
+            // Skip provably-idle routers; a skipped step is a no-op by
+            // construction (see `Router::quiescent`), so the cycle
+            // stream is identical to stepping everything.
+            if !self.active[i] {
+                continue;
+            }
             self.routers[i].step(
                 now,
                 &self.topo,
@@ -255,12 +275,16 @@ impl Interconnect for MeshNetwork {
                 &mut moved,
                 &mut blocked,
             );
+            if self.routers[i].quiescent() {
+                self.active[i] = false;
+            }
         }
         for i in 0..self.sends.len() {
             let s = self.sends[i];
             self.routers[s.to_node as usize]
                 .input_mut(s.to_port)
                 .push(s.flit, now);
+            self.active[s.to_node as usize] = true;
         }
         moved += self.sends.len() as u64;
         self.link_flits += self.sends.len() as u64;

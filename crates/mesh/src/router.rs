@@ -37,9 +37,16 @@ impl FaultCtx<'_> {
 
     /// Directed link out of `from` toward `dir` (`node*4 + port`).
     fn link_up(&self, from: NodeId, dir: Direction) -> bool {
+        self.link_up_id(from.raw() * 4 + dir.port() as u32)
+    }
+
+    /// [`Self::link_up`] by precomputed directed-link id — the hot
+    /// transfer path uses ids cached in [`LinkInfo`] so the fault query
+    /// costs no coordinate arithmetic.
+    fn link_up_id(&self, id: u32) -> bool {
         match self.inj {
             None => true,
-            Some(f) => f.link_up(from.raw() * 4 + dir.port() as u32, self.now),
+            Some(f) => f.link_up(id, self.now),
         }
     }
 
@@ -57,10 +64,26 @@ pub(crate) struct Send {
     pub flit: ringmesh_net::Flit,
 }
 
+/// Facts about one outgoing mesh link, precomputed at construction so
+/// the per-cycle transfer loop does no topology arithmetic: the
+/// receiving node and port, the flattened index of that input's
+/// stop/go signal, and the directed-link fault id.
+#[derive(Debug, Clone, Copy)]
+struct LinkInfo {
+    to_node: NodeId,
+    to_port: usize,
+    go_idx: usize,
+    link_id: u32,
+}
+
 /// Per-router simulation state.
 #[derive(Debug)]
 pub(crate) struct Router {
     node: NodeId,
+    /// Outgoing-link table by port (N/E/S/W); `None` off the mesh edge.
+    links: [Option<LinkInfo>; 4],
+    /// Fault-free e-cube output port per destination, indexed by node.
+    route_lut: Vec<u8>,
     inputs: [FlitFifo; 5],
     /// Output port assigned to the packet at the front of each input,
     /// held from head to tail.
@@ -76,9 +99,31 @@ pub(crate) struct Router {
 }
 
 impl Router {
-    pub(crate) fn new(node: NodeId, buffer_flits: usize, out_queue_packets: usize) -> Self {
+    pub(crate) fn new(
+        node: NodeId,
+        topo: &MeshTopology,
+        buffer_flits: usize,
+        out_queue_packets: usize,
+    ) -> Self {
+        let links = std::array::from_fn(|o| {
+            let dir = Direction::ALL[o];
+            topo.neighbor(node, dir).map(|nb| LinkInfo {
+                to_node: nb,
+                to_port: dir.opposite().port(),
+                go_idx: nb.index() * 5 + dir.opposite().port(),
+                link_id: node.raw() * 4 + dir.port() as u32,
+            })
+        });
+        let route_lut = (0..topo.num_pms())
+            .map(|d| match topo.ecube(node, NodeId::new(d)) {
+                Some(dir) => dir.port() as u8,
+                None => LOCAL as u8,
+            })
+            .collect();
         Router {
             node,
+            links,
+            route_lut,
             inputs: std::array::from_fn(|_| FlitFifo::new(buffer_flits)),
             route_of: [None; 5],
             conn: [None; 5],
@@ -97,6 +142,24 @@ impl Router {
     /// Total flits across the five input buffers (occupancy gauge probe).
     pub(crate) fn occupancy(&self) -> usize {
         self.inputs.iter().map(FlitFifo::len).sum()
+    }
+
+    /// True when a step of this router is provably a no-op: no buffered
+    /// flits, no packet mid-serialization, nothing queued at the PM
+    /// boundary, and no arbitration state that could still drive a
+    /// transfer or change on its own. Routers in this state can be
+    /// skipped until a send or injection touches them again.
+    ///
+    /// `route_of`/`conn` must be clear, not just the inputs: stage 3
+    /// connects outputs from `route_of` without consulting buffer
+    /// occupancy, so leftover routes would change arbitration timing.
+    pub(crate) fn quiescent(&self) -> bool {
+        !self.drain.is_active()
+            && self.out_req.is_empty()
+            && self.out_resp.is_empty()
+            && self.inputs.iter().all(FlitFifo::is_empty)
+            && self.route_of.iter().all(Option::is_none)
+            && self.conn.iter().all(Option::is_none)
     }
 
     pub(crate) fn can_accept(&self, class: QueueClass) -> bool {
@@ -125,10 +188,9 @@ impl Router {
     /// until the link returns rather than being dropped.
     fn route(&self, topo: &MeshTopology, fc: &FaultCtx, dst: NodeId) -> usize {
         if fc.inj.is_none() {
-            return match topo.ecube(self.node, dst) {
-                Some(dir) => dir.port(),
-                None => LOCAL,
-            };
+            // Fault-free e-cube is a pure function of (node, dst):
+            // served from the per-router table built at construction.
+            return self.route_lut[dst.index()] as usize;
         }
         let (cr, cc) = topo.coords(self.node);
         let (dr, dc) = topo.coords(dst);
@@ -261,20 +323,16 @@ impl Router {
                     }
                 }
             } else {
-                let dir = Direction::ALL[o];
-                let neighbor = topo
-                    .neighbor(self.node, dir)
-                    .expect("e-cube never routes off the mesh edge");
-                let to_port = dir.opposite().port();
-                if go[neighbor.index() * 5 + to_port] && fc.link_up(self.node, dir) {
+                let link = self.links[o].expect("e-cube never routes off the mesh edge");
+                if go[link.go_idx] && fc.link_up_id(link.link_id) {
                     if let Some(flit) = self.inputs[i].pop_ready(now) {
                         if flit.is_tail {
                             self.conn[o] = None;
                             self.route_of[i] = None;
                         }
                         sends.push(Send {
-                            to_node: neighbor.raw(),
-                            to_port,
+                            to_node: link.to_node.raw(),
+                            to_port: link.to_port,
                             flit,
                         });
                     }

@@ -42,7 +42,7 @@ mod error;
 mod interconnect;
 mod packet;
 
-pub use buffer::{Assembler, DrainState, FlitFifo, PacketQueue};
+pub use buffer::{Assembler, DrainState, FlitFifo, FlitPool, PacketQueue};
 pub use config::{
     mesh_nic_buffer_bytes, ring_nic_buffer_bytes, BufferRegime, CacheLineSize, PacketFormat,
 };

@@ -80,6 +80,18 @@ impl Iri {
             + self.down.get(QueueClass::Response).len()
     }
 
+    /// True when a step of either crossbar side is provably a no-op:
+    /// both transit buffers and all four crossing queues are empty, no
+    /// worm holds an output link, and no route decision is latched.
+    /// Such an IRI can be skipped until a flit arrives on a buffer or
+    /// queue (which always goes through the network's send commit).
+    pub(crate) fn quiescent(&self) -> bool {
+        self.occupancy() == 0
+            && self.queue_flits() == 0
+            && self.owner.iter().all(|o| matches!(o, LinkOwner::Idle))
+            && self.transit.iter().all(|t| t.packet().is_none())
+    }
+
     fn inside(&self, dst: u32) -> bool {
         (self.subtree.0..self.subtree.1).contains(&dst)
     }

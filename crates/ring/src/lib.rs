@@ -43,4 +43,4 @@ pub mod topology;
 pub use config::RingConfig;
 pub use network::RingNetwork;
 pub use slotted::SlottedRingNetwork;
-pub use topology::{RingAction, RingSpec, RingTopology, StationKind};
+pub use topology::{RingAction, RingSpec, RingTopology, RouteTable, StationKind};

@@ -60,6 +60,12 @@ pub struct RingNetwork {
     nic_of_pm: Vec<u32>,
     /// Iteration order: every station side, with its fast-domain flag.
     side_order: Vec<(u32, u8, bool)>,
+    /// Active-station worklist: `station_active[st]` is false only
+    /// while station `st` is provably quiescent (`Nic::quiescent` /
+    /// `Iri::quiescent`), letting the tick loop skip idle stations
+    /// under light load. Set true again by any arriving flit or local
+    /// injection.
+    station_active: Vec<bool>,
     /// Registered downstream free-slot count per station side
     /// (`station*2 + side`).
     free: Vec<usize>,
@@ -173,6 +179,7 @@ impl RingNetwork {
             iris,
             nic_of_pm,
             side_order,
+            station_active: vec![true; n_st],
             free: vec![buf_flits; n_st * 2],
             free_idx,
             sends: Vec::new(),
@@ -295,6 +302,12 @@ impl RingNetwork {
             if !(all_active || fast) {
                 continue;
             }
+            // Skip provably-idle stations; a skipped step is a no-op by
+            // construction (see `Nic::quiescent`/`Iri::quiescent`), so
+            // the tick stream is identical to stepping everything.
+            if !self.station_active[st as usize] {
+                continue;
+            }
             let free_out = self.free[self.free_idx[st as usize][side as usize]];
             // Fault view for this side: the output link `station*2 +
             // side`, and (for IRIs) whether the interface is dead.
@@ -303,19 +316,24 @@ impl RingNetwork {
                 .as_ref()
                 .is_none_or(|f| f.link_up(st * 2 + side as u32, cycle_now));
             match self.slots[st as usize] {
-                Slot::Nic(n) => self.nics[n as usize].step(
-                    now,
-                    link_up,
-                    free_out,
-                    &mut self.ring_credits,
-                    &self.corrupt,
-                    &mut self.ledger,
-                    &mut self.store,
-                    &mut self.sends,
-                    delivered,
-                    &mut self.dropped,
-                    pulse,
-                ),
+                Slot::Nic(n) => {
+                    self.nics[n as usize].step(
+                        now,
+                        link_up,
+                        free_out,
+                        &mut self.ring_credits,
+                        &self.corrupt,
+                        &mut self.ledger,
+                        &mut self.store,
+                        &mut self.sends,
+                        delivered,
+                        &mut self.dropped,
+                        pulse,
+                    );
+                    if self.nics[n as usize].quiescent() {
+                        self.station_active[st as usize] = false;
+                    }
+                }
                 Slot::Iri(x) => {
                     let dead = self.faults.as_ref().is_some_and(|f| f.node_dead(x));
                     self.iris[x as usize].step_side(
@@ -329,7 +347,10 @@ impl RingNetwork {
                         &mut self.sends,
                         &mut self.sunk,
                         pulse,
-                    )
+                    );
+                    if self.iris[x as usize].quiescent() {
+                        self.station_active[st as usize] = false;
+                    }
                 }
             }
         }
@@ -355,6 +376,7 @@ impl RingNetwork {
                     .buf_mut(side as usize)
                     .push(s.flit, now),
             }
+            self.station_active[st as usize] = true;
             self.ring_flits[s.ring as usize] += 1;
         }
         pulse.moved += self.sends.len() as u64;
@@ -496,6 +518,7 @@ impl Interconnect for RingNetwork {
             self.corrupt[r.slot()] = bad;
         }
         self.nics[self.nic_of_pm[pm.index()] as usize].enqueue(class, r);
+        self.station_active[self.topo.nic_of(pm) as usize] = true;
     }
 
     fn step(&mut self, delivered: &mut Vec<(NodeId, Packet)>) -> Result<(), StallError> {

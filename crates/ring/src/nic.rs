@@ -253,6 +253,21 @@ impl Nic {
         None
     }
 
+    /// True when a step of this NIC is provably a no-op: the transit
+    /// buffer is empty, no worm is mid-entry on the output link, and
+    /// nothing is queued at the PM boundary. Non-empty PM queues keep
+    /// the NIC active even when everything else is idle — injection
+    /// eligibility depends on downstream free space and ring credits,
+    /// both of which change without touching this station.
+    pub(crate) fn quiescent(&self) -> bool {
+        self.ring_buf.is_empty()
+            && matches!(self.owner, LinkOwner::Idle)
+            && !self.drain.is_active()
+            && self.transit.packet().is_none()
+            && self.out.get(QueueClass::Request).is_empty()
+            && self.out.get(QueueClass::Response).is_empty()
+    }
+
     pub(crate) fn debug_idle(&self) -> bool {
         matches!(self.owner, LinkOwner::Idle)
             && self.out.get(QueueClass::Request).is_empty()

@@ -19,34 +19,45 @@ use std::collections::VecDeque;
 
 use ringmesh_engine::{StallError, Watchdog};
 use ringmesh_net::{
-    DrainState, Flit, Interconnect, LevelUtil, NodeId, Packet, PacketRef, PacketStore, QueueClass,
-    UtilizationReport,
+    DrainState, Flit, FlitPool, Interconnect, LevelUtil, NodeId, Packet, PacketRef, PacketStore,
+    QueueClass, UtilizationReport,
 };
 
-use crate::topology::{RingAction, RingSpec, RingTopology, StationKind};
+use crate::topology::{RingAction, RingSpec, RingTopology, RouteTable, StationKind};
 use crate::RingConfig;
 
 /// Reassembles per-packet flit streams that may interleave with other
 /// packets (slotted rings do not enforce wormhole contiguity).
+///
+/// Flit trains are staged in buffers checked out of a shared
+/// [`FlitPool`], so steady-state reassembly allocates nothing: each
+/// completed packet returns its buffer for the next one.
 #[derive(Debug, Default)]
 struct SlotAssembler {
-    /// `(packet, flits received)` for packets mid-assembly. Small and
+    /// `(packet, staged flits)` for packets mid-assembly. Small and
     /// scanned linearly: a PM rarely assembles more than a handful of
     /// packets at once.
-    partial: Vec<(PacketRef, u32)>,
+    partial: Vec<(PacketRef, Vec<Flit>)>,
 }
 
 impl SlotAssembler {
     /// Accepts a flit; returns the packet when its tail completes it.
-    fn push(&mut self, flit: Flit) -> Option<PacketRef> {
+    /// Train buffers come from `pool` and are recycled on completion.
+    fn push(&mut self, flit: Flit, pool: &mut FlitPool) -> Option<PacketRef> {
         match self.partial.iter_mut().find(|(r, _)| *r == flit.packet) {
-            Some((_, n)) => {
-                debug_assert_eq!(*n, flit.seq, "out-of-order slotted flit");
-                *n += 1;
+            Some((_, train)) => {
+                debug_assert_eq!(train.len() as u32, flit.seq, "out-of-order slotted flit");
+                train.push(flit);
             }
             None => {
                 debug_assert!(flit.is_head(), "mid-packet flit without assembly state");
-                self.partial.push((flit.packet, 1));
+                if flit.is_tail {
+                    // Single-flit packet: complete without staging.
+                    return Some(flit.packet);
+                }
+                let mut train = pool.checkout();
+                train.push(flit);
+                self.partial.push((flit.packet, train));
             }
         }
         if flit.is_tail {
@@ -55,7 +66,8 @@ impl SlotAssembler {
                 .iter()
                 .position(|(r, _)| *r == flit.packet)
                 .expect("just updated");
-            self.partial.swap_remove(idx);
+            let (_, train) = self.partial.swap_remove(idx);
+            pool.recycle(train);
             Some(flit.packet)
         } else {
             None
@@ -134,6 +146,13 @@ impl Outbox {
 #[derive(Debug)]
 pub struct SlottedRingNetwork {
     topo: RingTopology,
+    /// Flat routing-decision table; replaces per-flit `topo.action`
+    /// recomputation on the slot-service path.
+    routes: RouteTable,
+    /// `(ring, position, station, side)` service schedule, flattened
+    /// once at construction so the per-cycle station loop neither
+    /// clones member lists nor chases the topology.
+    service_order: Vec<(u32, u32, u32, u8)>,
     store: PacketStore,
     /// One slot vector per ring, indexed by member position; `slots[r][i]`
     /// is the slot that station `members[i]` examines this cycle.
@@ -145,6 +164,8 @@ pub struct SlottedRingNetwork {
     iri_up: Vec<Outbox>,
     iri_down: Vec<Outbox>,
     assemblers: Vec<SlotAssembler>,
+    /// Shared reassembly-buffer pool; see [`Self::pool_stats`].
+    pool: FlitPool,
     cycle: u64,
     ring_flits: Vec<u64>,
     reset_cycle: u64,
@@ -158,22 +179,32 @@ impl SlottedRingNetwork {
     /// supported in this extension).
     pub fn new(spec: &RingSpec, cfg: RingConfig) -> Self {
         let topo = RingTopology::new(spec);
-        let slots = topo
+        let slots: Vec<Vec<Option<Flit>>> = topo
             .rings()
             .map(|(_, r)| vec![None; r.members.len()])
             .collect();
+        let mut service_order = Vec::new();
+        for (rid, info) in topo.rings() {
+            for (pos, &(st, side)) in info.members.iter().enumerate() {
+                service_order.push((rid, pos as u32, st, side));
+            }
+        }
+        let routes = topo.route_table();
         let n_st = topo.num_stations();
         let pms = topo.num_pms() as usize;
         let horizon = cfg.watchdog_horizon;
         let num_rings = topo.num_rings();
         SlottedRingNetwork {
             topo,
+            routes,
+            service_order,
             store: PacketStore::new(),
             slots,
             pm_out: (0..pms).map(|_| Outbox::default()).collect(),
             iri_up: (0..n_st).map(|_| Outbox::default()).collect(),
             iri_down: (0..n_st).map(|_| Outbox::default()).collect(),
             assemblers: (0..pms).map(|_| SlotAssembler::default()).collect(),
+            pool: FlitPool::new(),
             cycle: 0,
             ring_flits: vec![0; num_rings],
             reset_cycle: 0,
@@ -184,6 +215,18 @@ impl SlottedRingNetwork {
     /// The expanded topology.
     pub fn topology(&self) -> &RingTopology {
         &self.topo
+    }
+
+    /// `(fresh allocations, recycled checkouts, outstanding buffers)`
+    /// of the reassembly flit pool. After a full drain `outstanding`
+    /// is 0; in steady state `recycled` dominates `allocated`, which is
+    /// the zero-allocation property the pool exists to provide.
+    pub fn pool_stats(&self) -> (u64, u64, usize) {
+        (
+            self.pool.allocated(),
+            self.pool.recycled(),
+            self.pool.outstanding(),
+        )
     }
 
     /// One station's interaction with the slot currently at its
@@ -202,7 +245,7 @@ impl SlottedRingNetwork {
         // Drain: does the occupying flit leave the ring here?
         if let Some(flit) = self.slots[rid as usize][pos] {
             let dst = self.store.get(flit.packet).dst;
-            match self.topo.action(st, side, dst) {
+            match self.routes.action(st, side, dst) {
                 RingAction::Eject => {
                     let pm = match self.topo.station(st) {
                         StationKind::Nic { pm } => pm,
@@ -210,7 +253,7 @@ impl SlottedRingNetwork {
                     };
                     self.slots[rid as usize][pos] = None;
                     *moved += 1;
-                    if let Some(done) = self.assemblers[pm.index()].push(flit) {
+                    if let Some(done) = self.assemblers[pm.index()].push(flit, &mut self.pool) {
                         let pkt = self.store.remove(done);
                         delivered.push((pm, pkt));
                     }
@@ -270,23 +313,20 @@ impl Interconnect for SlottedRingNetwork {
 
     fn step(&mut self, delivered: &mut Vec<(NodeId, Packet)>) -> Result<(), StallError> {
         let mut moved = 0u64;
-        // 1. Rotate every ring by one position (slots advance).
-        for (rid, _) in self.topo.rings() {
-            self.slots[rid as usize].rotate_right(1);
-            moved += self.slots[rid as usize].iter().flatten().count() as u64;
-            self.ring_flits[rid as usize] +=
-                self.slots[rid as usize].iter().flatten().count() as u64;
+        // 1. Rotate every ring by one position (slots advance); one
+        //    occupancy pass feeds both progress and utilization counts.
+        for r in 0..self.slots.len() {
+            self.slots[r].rotate_right(1);
+            let occupied = self.slots[r].iter().flatten().count() as u64;
+            moved += occupied;
+            self.ring_flits[r] += occupied;
         }
-        // 2. Every station services the slot now at its position.
-        for (rid, ring) in self
-            .topo
-            .rings()
-            .map(|(r, info)| (r, info.members.clone()))
-            .collect::<Vec<_>>()
-        {
-            for (pos, (st, side)) in ring.into_iter().enumerate() {
-                self.service_slot(rid, pos, st, side, delivered, &mut moved);
-            }
+        // 2. Every station services the slot now at its position, in
+        //    the service order flattened at construction (no per-cycle
+        //    member-list clones).
+        for i in 0..self.service_order.len() {
+            let (rid, pos, st, side) = self.service_order[i];
+            self.service_slot(rid, pos as usize, st, side, delivered, &mut moved);
         }
         self.cycle += 1;
         self.watchdog.observe(self.cycle, moved, self.store.live());
@@ -398,6 +438,58 @@ mod tests {
         txns.sort_unstable();
         txns.dedup();
         assert_eq!(txns.len() as u32, expected);
+    }
+
+    #[test]
+    fn reassembly_pool_recycles_and_drains() {
+        // Drive the all-pairs flow with a conservation ledger at the
+        // boundary: when the ledger balances, the reassembly pool must
+        // hold zero outstanding buffers, and steady-state traffic must
+        // be served by recycling rather than fresh allocation.
+        use ringmesh_faults::ConservationLedger;
+        let cfg = RingConfig::new(CacheLineSize::B64);
+        let spec: RingSpec = "2:2:3".parse().unwrap();
+        let p = spec.num_pms();
+        let mut net = SlottedRingNetwork::new(&spec, cfg.clone());
+        let mut ledger = ConservationLedger::new(false);
+        let mut out = Vec::new();
+        let mut txn = 0;
+        for s in 0..p {
+            for d in 0..p {
+                if s != d {
+                    while !net.can_inject(NodeId::new(s), QueueClass::Request) {
+                        net.step(&mut out).unwrap();
+                    }
+                    txn += 1;
+                    net.inject(
+                        NodeId::new(s),
+                        packet(&cfg, txn, PacketKind::WriteReq, s, d),
+                    );
+                    ledger.inject(0);
+                }
+            }
+        }
+        for _ in 0..20_000 {
+            net.step(&mut out).unwrap();
+            if net.in_flight() == 0 {
+                break;
+            }
+        }
+        for _ in 0..out.len() {
+            ledger.complete(0, false);
+        }
+        ledger.verify(net.in_flight()).unwrap();
+        let (allocated, recycled, outstanding) = net.pool_stats();
+        assert_eq!(outstanding, 0, "drained network leaked pool buffers");
+        assert!(
+            recycled > allocated,
+            "pool should recycle in steady state (allocated={allocated} recycled={recycled})"
+        );
+        assert_eq!(
+            allocated + recycled,
+            txn,
+            "one checkout per multi-flit packet"
+        );
     }
 
     #[test]
