@@ -29,8 +29,9 @@ use crate::sweep::{set_sweep_threads, Scale};
 use crate::system::run_config;
 use crate::{NetworkSpec, SystemConfig, WorkerPool};
 
-/// JSON schema tag written into every report.
-pub const SCHEMA: &str = "ringmesh-bench/1";
+/// JSON schema tag written into every report. Version 2 added latency
+/// percentiles to each kernel entry.
+pub const SCHEMA: &str = "ringmesh-bench/2";
 
 /// What to measure and where to write it.
 #[derive(Debug, Clone)]
@@ -61,6 +62,10 @@ pub struct KernelBench {
     pub wall_s: f64,
     /// `cycles / wall_s`.
     pub cycles_per_sec: f64,
+    /// Simulated round-trip latency percentiles `(p50, p95, p99)` of
+    /// the measured run, in network cycles — the tail-latency baseline
+    /// tracked alongside throughput.
+    pub percentiles: Option<(f64, f64, f64)>,
 }
 
 /// One serial-vs-parallel sweep measurement.
@@ -165,16 +170,20 @@ fn kernel_cases(scale: Scale) -> Vec<(String, SystemConfig)> {
 fn kernel_bench(name: String, cfg: SystemConfig) -> Option<KernelBench> {
     let cycles = cfg.sim.horizon();
     let start = Instant::now();
-    if let Err(e) = run_config(cfg) {
-        eprintln!("warning: bench kernel {name} failed: {e}");
-        return None;
-    }
+    let result = match run_config(cfg) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("warning: bench kernel {name} failed: {e}");
+            return None;
+        }
+    };
     let wall_s = start.elapsed().as_secs_f64();
     Some(KernelBench {
         name,
         cycles,
         cycles_per_sec: cycles as f64 / wall_s.max(1e-9),
         wall_s,
+        percentiles: result.percentiles,
     })
 }
 
@@ -235,9 +244,15 @@ impl BenchReport {
         );
         let _ = writeln!(s, "\nkernel throughput:");
         for k in &self.kernels {
+            let tail = match k.percentiles {
+                Some((p50, p95, p99)) => {
+                    format!("  p50/p95/p99 {p50:.0}/{p95:.0}/{p99:.0} cyc")
+                }
+                None => String::new(),
+            };
             let _ = writeln!(
                 s,
-                "  {:22} {:>9} cycles in {:>7.3}s = {:>11.0} cycles/s",
+                "  {:22} {:>9} cycles in {:>7.3}s = {:>11.0} cycles/s{tail}",
                 k.name, k.cycles, k.wall_s, k.cycles_per_sec
             );
         }
@@ -262,9 +277,15 @@ impl BenchReport {
         let _ = writeln!(s, "  \"host_parallelism\": {},", self.host_parallelism);
         s.push_str("  \"kernels\": [\n");
         for (i, k) in self.kernels.iter().enumerate() {
+            let tail = match k.percentiles {
+                Some((p50, p95, p99)) => {
+                    format!(", \"p50\": {p50:.1}, \"p95\": {p95:.1}, \"p99\": {p99:.1}")
+                }
+                None => String::new(),
+            };
             let _ = write!(
                 s,
-                "    {{\"name\": \"{}\", \"cycles\": {}, \"wall_s\": {:.6}, \"cycles_per_sec\": {:.1}}}",
+                "    {{\"name\": \"{}\", \"cycles\": {}, \"wall_s\": {:.6}, \"cycles_per_sec\": {:.1}{tail}}}",
                 k.name, k.cycles, k.wall_s, k.cycles_per_sec
             );
             s.push_str(if i + 1 < self.kernels.len() {
@@ -321,6 +342,7 @@ mod tests {
                 cycles: 1000,
                 wall_s: 0.5,
                 cycles_per_sec: 2000.0,
+                percentiles: Some((40.0, 90.0, 140.0)),
             }],
             figures: vec![FigureBench {
                 name: "fig06".into(),
@@ -331,8 +353,9 @@ mod tests {
             }],
         };
         let json = report.to_json();
-        assert!(json.contains("\"schema\": \"ringmesh-bench/1\""));
+        assert!(json.contains("\"schema\": \"ringmesh-bench/2\""));
         assert!(json.contains("\"identical\": true"));
+        assert!(json.contains("\"p99\": 140.0"));
         // Balanced braces/brackets — a cheap well-formedness check.
         assert_eq!(json.matches('{').count(), json.matches('}').count());
         assert_eq!(json.matches('[').count(), json.matches(']').count());

@@ -1,8 +1,11 @@
 //! Top-level system configuration.
 
+use std::fmt::Write as _;
+
 use ringmesh_net::{BufferRegime, CacheLineSize, ConfigError};
 use ringmesh_ring::RingSpec;
-use ringmesh_workload::{MemoryParams, WorkloadParams};
+use ringmesh_snap::Fingerprint;
+use ringmesh_workload::{MemoryParams, MissProcess, WorkloadParams};
 
 /// Which interconnect to simulate.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -157,6 +160,51 @@ impl SystemConfig {
         self
     }
 
+    /// A canonical, versioned textual form covering *every* field that
+    /// influences simulation output. Two configs with equal canonical
+    /// strings produce bit-identical runs; floats are rendered as their
+    /// raw IEEE-754 bits so "equal" means exactly equal. This is the
+    /// identity behind checkpoint validation and the serve result
+    /// cache.
+    pub fn canonical(&self) -> String {
+        let mut s = String::from("ringmesh-config/1");
+        let _ = write!(s, "|net={}", self.network.label());
+        let _ = write!(s, "|cl={}", self.cache_line.bytes());
+        let w = &self.workload;
+        let _ = write!(s, "|R={:016x}", w.region.to_bits());
+        let _ = write!(s, "|C={:016x}", w.miss_rate.to_bits());
+        let _ = write!(s, "|T={}", w.outstanding);
+        let _ = write!(s, "|read={:016x}", w.read_fraction.to_bits());
+        let _ = write!(
+            s,
+            "|proc={}",
+            match w.miss_process {
+                MissProcess::Deterministic => "det",
+                MissProcess::Geometric => "geo",
+            }
+        );
+        match &w.hot_spot {
+            Some(h) => {
+                let _ = write!(s, "|hot={}:{:016x}", h.node, h.fraction.to_bits());
+            }
+            None => s.push_str("|hot=-"),
+        }
+        let _ = write!(s, "|mem={}:{}", self.memory.latency, self.memory.occupancy);
+        let _ = write!(
+            s,
+            "|sim={}:{}:{}",
+            self.sim.warmup, self.sim.batch_cycles, self.sim.batches
+        );
+        let _ = write!(s, "|seed={}", self.seed);
+        s
+    }
+
+    /// FNV-1a digest of [`canonical`](Self::canonical) — the compact
+    /// config identity stored in checkpoints and cache keys.
+    pub fn fingerprint(&self) -> u64 {
+        Fingerprint::of(self.canonical().as_bytes())
+    }
+
     /// Checks the cross-field invariants the type system cannot:
     /// network shape, workload parameter ranges, memory timing and
     /// measurement lengths. Construction-time validators ([`RingSpec`]
@@ -246,5 +294,24 @@ mod tests {
     fn sim_horizon() {
         assert_eq!(SimParams::full().horizon(), 36_000);
         assert!(SimParams::quick().horizon() < SimParams::full().horizon());
+    }
+
+    #[test]
+    fn canonical_covers_every_output_relevant_field() {
+        let base = SystemConfig::new(NetworkSpec::mesh(3), CacheLineSize::B64);
+        assert_eq!(base.canonical(), base.clone().canonical());
+        assert_eq!(base.fingerprint(), base.clone().fingerprint());
+        let variants = [
+            SystemConfig::new(NetworkSpec::mesh(4), CacheLineSize::B64),
+            SystemConfig::new(NetworkSpec::mesh(3), CacheLineSize::B32),
+            base.clone()
+                .with_workload(WorkloadParams::paper_baseline().with_region(0.5)),
+            base.clone().with_sim(SimParams::quick()),
+            base.clone().with_seed(99),
+        ];
+        for v in variants {
+            assert_ne!(base.canonical(), v.canonical(), "{}", v.canonical());
+            assert_ne!(base.fingerprint(), v.fingerprint());
+        }
     }
 }

@@ -1,0 +1,86 @@
+//! Typed process exit statuses for the `ringmesh` CLI.
+//!
+//! Every subcommand maps its outcome through [`ExitStatus`] instead of
+//! scattering magic numbers: scripts and CI jobs can tell "bad
+//! arguments" from "the simulation deadlocked" from "the simulator
+//! corrupted its own accounting" without parsing stderr. The numeric
+//! values are part of the CLI's public contract and must not change.
+
+use std::process::ExitCode;
+
+use crate::system::RunError;
+
+/// Outcome of a `ringmesh` invocation, in exit-code order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ExitStatus {
+    /// The run completed and results were reported.
+    Success,
+    /// Bad arguments or an invalid configuration.
+    Usage,
+    /// The simulation stalled (watchdog-detected deadlock).
+    Stall,
+    /// The packet-conservation audit failed — the simulator itself is
+    /// buggy and any numbers it printed are suspect.
+    ConservationViolation,
+    /// A file or socket operation failed.
+    Io,
+    /// A malformed request or response on the serve protocol.
+    Protocol,
+}
+
+impl ExitStatus {
+    /// The numeric exit code (stable CLI contract).
+    pub fn code(self) -> u8 {
+        match self {
+            ExitStatus::Success => 0,
+            ExitStatus::Usage => 1,
+            ExitStatus::Stall => 2,
+            ExitStatus::ConservationViolation => 3,
+            ExitStatus::Io => 4,
+            ExitStatus::Protocol => 5,
+        }
+    }
+}
+
+impl From<ExitStatus> for ExitCode {
+    fn from(status: ExitStatus) -> ExitCode {
+        ExitCode::from(status.code())
+    }
+}
+
+impl From<&RunError> for ExitStatus {
+    fn from(e: &RunError) -> ExitStatus {
+        match e {
+            RunError::Stall(_) => ExitStatus::Stall,
+            RunError::InvalidConfig(_) => ExitStatus::Usage,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn codes_are_the_documented_contract() {
+        assert_eq!(ExitStatus::Success.code(), 0);
+        assert_eq!(ExitStatus::Usage.code(), 1);
+        assert_eq!(ExitStatus::Stall.code(), 2);
+        assert_eq!(ExitStatus::ConservationViolation.code(), 3);
+        assert_eq!(ExitStatus::Io.code(), 4);
+        assert_eq!(ExitStatus::Protocol.code(), 5);
+    }
+
+    #[test]
+    fn run_errors_map_to_their_codes() {
+        let stall: RunError = ringmesh_engine::StallError {
+            detected_at: 10,
+            last_progress: 0,
+            in_flight: 3,
+        }
+        .into();
+        assert_eq!(ExitStatus::from(&stall), ExitStatus::Stall);
+        let usage = RunError::InvalidConfig("x".into());
+        assert_eq!(ExitStatus::from(&usage), ExitStatus::Usage);
+    }
+}

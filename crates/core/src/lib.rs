@@ -52,17 +52,20 @@ pub mod ablations;
 pub mod analytic;
 pub mod benchrun;
 mod config;
+mod exit;
 pub mod figures;
 mod sweep;
 mod system;
 pub mod topologies;
 
 pub use config::{NetworkSpec, SimParams, SystemConfig};
+pub use exit::ExitStatus;
 pub use ringmesh_engine::WorkerPool;
 pub use ringmesh_faults::{ConservationError, DropCounts, FaultConfig, FaultReport};
+pub use ringmesh_snap::SnapError;
 pub use ringmesh_trace::{TraceConfig, TraceReport};
 pub use ringmesh_workload::{RetryPolicy, RetryStats};
 pub use sweep::{
     run_points, run_points_with, run_series, run_series_with, series_of, set_sweep_threads, Scale,
 };
-pub use system::{run_config, FaultPlan, FaultRunReport, RunError, RunResult, System};
+pub use system::{run_config, FaultPlan, FaultRunReport, RunError, RunResult, RunState, System};

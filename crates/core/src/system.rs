@@ -8,6 +8,9 @@ use ringmesh_faults::{ConservationError, FaultConfig, FaultInjector, FaultReport
 use ringmesh_mesh::{MeshConfig, MeshNetwork, MeshTopology};
 use ringmesh_net::{ConfigError, Interconnect, NodeId, Packet, PacketFormat, UtilizationReport};
 use ringmesh_ring::{RingConfig, RingNetwork, SlottedRingNetwork};
+use ringmesh_snap::{
+    read_header, write_header, Fingerprint, SnapError, SnapReader, SnapWriter, SnapshotState,
+};
 use ringmesh_stats::{BatchMeans, Histogram, Summary};
 use ringmesh_trace::{TraceConfig, TraceReport, Tracer};
 use ringmesh_workload::{Mmrp, MmrpStats, PacketSizer, Placement, RetryPolicy, RetryStats};
@@ -70,6 +73,41 @@ impl RunResult {
     /// Mean round-trip latency in cycles — the paper's primary measure.
     pub fn mean_latency(&self) -> f64 {
         self.latency.mean
+    }
+
+    /// A 64-bit digest over the raw bits of every field: two results
+    /// fingerprint equal exactly when they are bit-identical. Used to
+    /// prove a resumed run matches an uninterrupted one and to verify
+    /// cached serve results against fresh re-runs.
+    pub fn fingerprint(&self) -> u64 {
+        let mut fp = Fingerprint::new();
+        fp.write_u64(self.latency.n as u64);
+        fp.write_f64(self.latency.mean);
+        fp.write_f64(self.latency.std_dev);
+        fp.write_f64(self.latency.ci95);
+        fp.write_f64(self.latency.min);
+        fp.write_f64(self.latency.max);
+        match self.percentiles {
+            Some((p50, p95, p99)) => {
+                fp.write_u64(1);
+                fp.write_f64(p50);
+                fp.write_f64(p95);
+                fp.write_f64(p99);
+            }
+            None => fp.write_u64(0),
+        }
+        fp.write_f64(self.throughput);
+        fp.write_f64(self.utilization.overall);
+        fp.write_u64(self.utilization.levels.len() as u64);
+        for level in &self.utilization.levels {
+            fp.write_str(&level.label);
+            fp.write_f64(level.utilization);
+        }
+        fp.write_u64(self.workload.issued);
+        fp.write_u64(self.workload.retired);
+        fp.write_u64(self.workload.local_retired);
+        fp.write_u64(u64::from(self.pms));
+        fp.finish()
     }
 }
 
@@ -327,23 +365,53 @@ impl System {
     }
 
     fn run_mut(&mut self) -> Result<RunResult, RunError> {
+        let mut state = self.begin();
+        self.run_to(&mut state, u64::MAX)?;
+        Ok(self.finish(&state))
+    }
+
+    /// Starts a measurement, returning the loop state that
+    /// [`run_to`](Self::run_to) advances. The split run API exists for
+    /// checkpoint/resume: `begin` + `run_to(u64::MAX)` + `finish` is
+    /// exactly [`run`](Self::run).
+    pub fn begin(&self) -> RunState {
         let sim = self.cfg.sim;
-        let mut latency = BatchMeans::new(sim.warmup, sim.batch_cycles, sim.batches);
-        let mut histogram = Histogram::new();
+        RunState {
+            latency: BatchMeans::new(sim.warmup, sim.batch_cycles, sim.batches),
+            histogram: Histogram::new(),
+            // System-level watchdog: the networks watch their own
+            // flits, but a wedged memory module or a workload whose
+            // transactions all vanish (faults without retry) stalls
+            // with an idle network. Completions count as end-to-end
+            // progress, and so does retry-layer activity — attempt
+            // counters are bounded per transaction, so sustained
+            // retries/give-ups mean the protocol is live even when
+            // nothing is getting through.
+            dog: Watchdog::new((sim.horizon() / 4).max(2_000)),
+            prev_activity: 0,
+        }
+    }
+
+    /// Advances the measurement until it completes or the network clock
+    /// reaches `stop`, whichever comes first. Returns `true` when the
+    /// measurement is complete (call [`finish`](Self::finish)), `false`
+    /// when it paused at `stop` (checkpoint and/or call again).
+    /// Stopping and resuming at any cycle is invisible to the result:
+    /// the loop carries no state outside `self` and `state`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RunError::Stall`] if the network deadlocks.
+    pub fn run_to(&mut self, state: &mut RunState, stop: u64) -> Result<bool, RunError> {
+        let sim = self.cfg.sim;
         let mut delivered: Vec<(NodeId, Packet)> = Vec::new();
         let mut samples: Vec<(u64, f64)> = Vec::new();
-        // System-level watchdog: the networks watch their own flits,
-        // but a wedged memory module or a workload whose transactions
-        // all vanish (faults without retry) stalls with an idle
-        // network. Completions count as end-to-end progress, and so
-        // does retry-layer activity — attempt counters are bounded per
-        // transaction, so sustained retries/give-ups mean the protocol
-        // is live even when nothing is getting through.
-        let mut dog = Watchdog::new((sim.horizon() / 4).max(2_000));
-        let mut prev_activity = 0u64;
         let net = self.net.as_mut();
-        while !latency.is_complete(net.cycle()) {
+        while !state.latency.is_complete(net.cycle()) {
             let now = net.cycle();
+            if now >= stop {
+                return Ok(false);
+            }
             if now == sim.warmup {
                 net.reset_counters();
             }
@@ -354,27 +422,126 @@ impl System {
             // Deliveries happen during cycle `now`; timestamp them so.
             self.workload.post_cycle(net, &delivered, now, &mut samples);
             for &(t, v) in &samples {
-                latency.record(t, v);
+                state.latency.record(t, v);
                 if t >= sim.warmup {
-                    histogram.record(v);
+                    state.histogram.record(v);
                 }
             }
             let r = self.workload.retry_stats();
             let activity = r.timeouts + r.retries + r.gave_up;
-            let progress = samples.len() as u64 + (activity - prev_activity);
-            prev_activity = activity;
-            dog.observe(now, progress, self.workload.outstanding());
-            dog.check(now)?;
+            let progress = samples.len() as u64 + (activity - state.prev_activity);
+            state.prev_activity = activity;
+            state
+                .dog
+                .observe(now, progress, self.workload.outstanding());
+            state.dog.check(now)?;
         }
-        Ok(RunResult {
-            latency: latency.summary(),
-            percentiles: histogram.p50_p95_p99(),
-            throughput: latency.rate_per_cycle(),
+        Ok(true)
+    }
+
+    /// Assembles the results of a completed measurement.
+    pub fn finish(&self, state: &RunState) -> RunResult {
+        RunResult {
+            latency: state.latency.summary(),
+            percentiles: state.histogram.p50_p95_p99(),
+            throughput: state.latency.rate_per_cycle(),
             utilization: self.net.utilization(),
             workload: self.workload.stats(),
             pms: self.cfg.network.num_pms(),
-        })
+        }
     }
+
+    /// The network clock, for choosing checkpoint instants.
+    pub fn cycle(&self) -> u64 {
+        self.net.cycle()
+    }
+
+    /// Workload counters so far — live progress for streaming callers
+    /// of [`run_to`](Self::run_to).
+    pub fn workload_stats(&self) -> MmrpStats {
+        self.workload.stats()
+    }
+
+    /// Installs a tracer on the network; networks without trace support
+    /// drop it. Streaming servers attach custom [`ringmesh_trace`]
+    /// sinks this way and drain them between [`run_to`](Self::run_to)
+    /// pauses ([`run_traced`](Self::run_traced) is the whole-run
+    /// convenience form).
+    pub fn set_tracer(&mut self, tracer: Tracer) {
+        self.net.set_tracer(tracer);
+    }
+
+    /// Serializes the full mutable simulation state — network, workload
+    /// and measurement loop — between cycles. A [`System`] freshly
+    /// built from the same [`SystemConfig`] can
+    /// [`restore`](Self::restore) these bytes and continue
+    /// bit-identically to a run that never stopped.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SnapError::Mismatch`] for networks that do not support
+    /// snapshots or have a fault injector installed.
+    pub fn checkpoint(&self, state: &RunState) -> Result<Vec<u8>, SnapError> {
+        let mut w = SnapWriter::new();
+        write_header(&mut w, "checkpoint");
+        w.u64(self.cfg.fingerprint());
+        w.u64(self.net.cycle());
+        self.net.save_state(&mut w)?;
+        self.workload.save_state(&mut w);
+        state.latency.save_state(&mut w);
+        state.histogram.save_state(&mut w);
+        state.dog.save_state(&mut w);
+        w.u64(state.prev_activity);
+        Ok(w.into_bytes())
+    }
+
+    /// Restores a [`checkpoint`](Self::checkpoint) into this system,
+    /// which must have been built from the *same* configuration (the
+    /// config fingerprint is validated). On success the measurement
+    /// continues from the checkpointed cycle via
+    /// [`run_to`](Self::run_to).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SnapError`] on truncated, corrupt or mismatched bytes;
+    /// `self` may be partially restored and must be discarded then.
+    pub fn restore(&mut self, state: &mut RunState, bytes: &[u8]) -> Result<(), SnapError> {
+        let mut r = SnapReader::new(bytes);
+        read_header(&mut r, "checkpoint")?;
+        let fp = r.u64()?;
+        if fp != self.cfg.fingerprint() {
+            return Err(SnapError::Mismatch(format!(
+                "checkpoint is for config {:016x}, this system is {:016x}",
+                fp,
+                self.cfg.fingerprint()
+            )));
+        }
+        let cycle = r.u64()?;
+        self.net.restore_state(&mut r)?;
+        if self.net.cycle() != cycle {
+            return Err(SnapError::Corrupt(format!(
+                "network restored to cycle {}, checkpoint header says {cycle}",
+                self.net.cycle()
+            )));
+        }
+        self.workload.restore_state(&mut r)?;
+        state.latency.restore_state(&mut r)?;
+        state.histogram.restore_state(&mut r)?;
+        state.dog.restore_state(&mut r)?;
+        state.prev_activity = r.u64()?;
+        Ok(())
+    }
+}
+
+/// Resumable state of the measurement loop — everything
+/// [`System::run_to`] tracks outside the network and workload. Created
+/// by [`System::begin`], serialized inside [`System::checkpoint`].
+#[derive(Debug)]
+pub struct RunState {
+    latency: BatchMeans,
+    histogram: Histogram,
+    dog: Watchdog,
+    prev_activity: u64,
 }
 
 /// Builds and runs `cfg` in one call.

@@ -29,7 +29,7 @@
 //! ```
 
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::{Mutex, OnceLock};
+use std::sync::{mpsc, Mutex, OnceLock};
 
 /// The number of worker threads to use by default, parsed once per
 /// process: the `RINGMESH_THREADS` environment variable if set to a
@@ -142,6 +142,105 @@ impl WorkerPool {
             })
             .collect()
     }
+    /// [`map`](Self::map) with live completion streaming: jobs may
+    /// emit typed progress events while running (via the emitter
+    /// passed to `f`), and the caller observes every event plus each
+    /// job's completion *as it happens*, from the calling thread.
+    ///
+    /// This is the job-server entry point: a batch of sweep points
+    /// fans out across the workers while per-job status streams back
+    /// to the protocol connection. Events from concurrently running
+    /// jobs interleave in completion order (which varies run to run);
+    /// the *returned* results are in input order and bit-identical at
+    /// any thread count, exactly like [`map`](Self::map).
+    ///
+    /// `on_progress` receives `(job index, event)`; `on_done` receives
+    /// `(job index, &result)` once per job. With one worker (or fewer
+    /// than two items) everything runs inline in input order.
+    ///
+    /// # Panics
+    ///
+    /// Panics (after all workers have joined) if `f` panicked on any
+    /// item.
+    pub fn run_jobs<T, R, E, F>(
+        &self,
+        items: Vec<T>,
+        f: F,
+        mut on_progress: impl FnMut(usize, E),
+        mut on_done: impl FnMut(usize, &R),
+    ) -> Vec<R>
+    where
+        T: Send,
+        R: Send,
+        E: Send,
+        F: Fn(usize, T, &mut dyn FnMut(E)) -> R + Sync,
+    {
+        let n = items.len();
+        let workers = self.threads.min(n);
+        if workers <= 1 {
+            return items
+                .into_iter()
+                .enumerate()
+                .map(|(i, item)| {
+                    let r = f(i, item, &mut |e| on_progress(i, e));
+                    on_done(i, &r);
+                    r
+                })
+                .collect();
+        }
+        enum Msg<E, R> {
+            Progress(usize, E),
+            Done(usize, R),
+        }
+        let work: Vec<Mutex<Option<T>>> = items.into_iter().map(|t| Mutex::new(Some(t))).collect();
+        let cursor = AtomicUsize::new(0);
+        let mut results: Vec<Option<R>> = (0..n).map(|_| None).collect();
+        std::thread::scope(|s| {
+            let (tx, rx) = mpsc::channel::<Msg<E, R>>();
+            let (f, work, cursor) = (&f, &work, &cursor);
+            for _ in 0..workers {
+                let tx = tx.clone();
+                s.spawn(move || loop {
+                    let i = cursor.fetch_add(1, Ordering::Relaxed);
+                    if i >= n {
+                        break;
+                    }
+                    let item = work[i]
+                        .lock()
+                        .expect("poisoned work slot")
+                        .take()
+                        .expect("work index claimed twice");
+                    let mut emit = |e| {
+                        let _ = tx.send(Msg::Progress(i, e));
+                    };
+                    let r = f(i, item, &mut emit);
+                    let _ = tx.send(Msg::Done(i, r));
+                });
+            }
+            // The caller's thread is the event loop: it relays progress
+            // and completion while the workers run. All senders live in
+            // this scope, so dropping ours and counting completions
+            // terminates cleanly even if a worker panicked (the scope
+            // re-raises the panic after the join).
+            drop(tx);
+            let mut done = 0;
+            while done < n {
+                match rx.recv() {
+                    Ok(Msg::Progress(i, e)) => on_progress(i, e),
+                    Ok(Msg::Done(i, r)) => {
+                        results[i] = Some(r);
+                        on_done(i, results[i].as_ref().expect("just stored"));
+                        done += 1;
+                    }
+                    Err(_) => break, // a worker panicked; the scope will re-raise
+                }
+            }
+        });
+        results
+            .into_iter()
+            .map(|slot| slot.expect("worker left a result slot empty"))
+            .collect()
+    }
 }
 
 impl Default for WorkerPool {
@@ -189,6 +288,45 @@ mod tests {
         let pool = WorkerPool::new(0);
         assert_eq!(pool.threads(), 1);
         assert_eq!(pool.map(vec![1, 2, 3], |_, x| x + 1), vec![2, 3, 4]);
+    }
+
+    #[test]
+    fn run_jobs_streams_events_and_preserves_order() {
+        for threads in [1, 4] {
+            let pool = WorkerPool::new(threads);
+            let mut progress = Vec::new();
+            let mut done = Vec::new();
+            let out = pool.run_jobs(
+                (0..16u64).collect(),
+                |i, x, emit| {
+                    emit(x * 2);
+                    emit(x * 2 + 1);
+                    (i as u64) * 100 + x
+                },
+                |i, e| progress.push((i, e)),
+                |i, r| done.push((i, *r)),
+            );
+            // Results: input order, same at any thread count.
+            assert_eq!(out, (0..16u64).map(|x| x * 101).collect::<Vec<_>>());
+            // Every job emitted both events and completed exactly once.
+            assert_eq!(progress.len(), 32, "threads={threads}");
+            assert_eq!(done.len(), 16);
+            let mut done_ids: Vec<usize> = done.iter().map(|&(i, _)| i).collect();
+            done_ids.sort_unstable();
+            assert_eq!(done_ids, (0..16).collect::<Vec<_>>());
+            for &(i, r) in &done {
+                assert_eq!(r, (i as u64) * 101);
+            }
+            // Per-job progress events arrive in emit order.
+            for job in 0..16u64 {
+                let evs: Vec<u64> = progress
+                    .iter()
+                    .filter(|&&(i, _)| i as u64 == job)
+                    .map(|&(_, e)| e)
+                    .collect();
+                assert_eq!(evs, vec![job * 2, job * 2 + 1]);
+            }
+        }
     }
 
     #[test]

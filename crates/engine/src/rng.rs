@@ -8,6 +8,8 @@
 //! seeded through splitmix64 — the standard seeding recipe — so the
 //! simulator carries no external RNG dependency.
 
+use ringmesh_snap::{SnapError, SnapReader, SnapWriter, Snapshot};
+
 /// Mixes a 64-bit value through the `splitmix64` finalizer; used to
 /// derive well-separated child seeds from `(seed, stream-id)` pairs and
 /// to expand a 64-bit seed into the generator's 256-bit state.
@@ -137,9 +139,46 @@ impl SimRng {
     }
 }
 
+impl Snapshot for SimRng {
+    fn save(&self, w: &mut SnapWriter) {
+        w.u64(self.seed);
+        for &s in &self.state {
+            w.u64(s);
+        }
+    }
+
+    fn load(r: &mut SnapReader<'_>) -> Result<Self, SnapError> {
+        let seed = r.u64()?;
+        let mut state = [0u64; 4];
+        for s in &mut state {
+            *s = r.u64()?;
+        }
+        if state == [0; 4] {
+            return Err(SnapError::Corrupt("all-zero xoshiro state".into()));
+        }
+        Ok(SimRng { seed, state })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn snapshot_resumes_mid_stream() {
+        let mut rng = SimRng::from_seed(77);
+        for _ in 0..13 {
+            rng.next_u64();
+        }
+        let mut w = SnapWriter::new();
+        rng.save(&mut w);
+        let bytes = w.into_bytes();
+        let mut restored = SimRng::load(&mut SnapReader::new(&bytes)).unwrap();
+        for _ in 0..32 {
+            assert_eq!(rng.next_u64(), restored.next_u64());
+        }
+        assert_eq!(rng.seed(), restored.seed());
+    }
 
     #[test]
     fn same_seed_same_sequence() {

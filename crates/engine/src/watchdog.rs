@@ -9,6 +9,8 @@
 use std::error::Error;
 use std::fmt;
 
+use ringmesh_snap::{SnapError, SnapReader, SnapWriter, SnapshotState};
+
 use crate::SimTime;
 
 /// Error raised when the simulation makes no progress for the watchdog
@@ -104,6 +106,27 @@ impl Watchdog {
     /// Cycle of the most recent observed progress.
     pub fn last_progress(&self) -> SimTime {
         self.last_progress
+    }
+}
+
+impl SnapshotState for Watchdog {
+    fn save_state(&self, w: &mut SnapWriter) {
+        w.u64(self.horizon);
+        w.u64(self.last_progress);
+        w.u64(self.in_flight);
+    }
+
+    fn restore_state(&mut self, r: &mut SnapReader<'_>) -> Result<(), SnapError> {
+        let horizon = r.u64()?;
+        if horizon != self.horizon {
+            return Err(SnapError::Mismatch(format!(
+                "watchdog horizon {horizon}, expected {}",
+                self.horizon
+            )));
+        }
+        self.last_progress = r.u64()?;
+        self.in_flight = r.u64()?;
+        Ok(())
     }
 }
 

@@ -14,6 +14,8 @@
 use std::collections::HashSet;
 use std::fmt;
 
+use ringmesh_snap::{SnapError, SnapReader, SnapWriter, SnapshotState};
+
 /// A violated conservation invariant.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ConservationError {
@@ -144,6 +146,44 @@ impl ConservationLedger {
         if self.violation.is_none() {
             self.violation = Some(detail);
         }
+    }
+}
+
+impl SnapshotState for ConservationLedger {
+    fn save_state(&self, w: &mut SnapWriter) {
+        w.u64(self.injected);
+        w.u64(self.delivered);
+        w.u64(self.dropped);
+        w.bool(self.track);
+        // The live set iterates in hash order; sort so equal ledgers
+        // always produce byte-identical snapshots.
+        let mut live: Vec<usize> = self.live.iter().copied().collect();
+        live.sort_unstable();
+        w.usize(live.len());
+        for slot in live {
+            w.usize(slot);
+        }
+        match &self.violation {
+            None => w.bool(false),
+            Some(v) => {
+                w.bool(true);
+                w.str(v);
+            }
+        }
+    }
+
+    fn restore_state(&mut self, r: &mut SnapReader<'_>) -> Result<(), SnapError> {
+        self.injected = r.u64()?;
+        self.delivered = r.u64()?;
+        self.dropped = r.u64()?;
+        self.track = r.bool()?;
+        let n = r.usize()?;
+        self.live = HashSet::with_capacity(n.min(1 << 16));
+        for _ in 0..n {
+            self.live.insert(r.usize()?);
+        }
+        self.violation = if r.bool()? { Some(r.str()?) } else { None };
+        Ok(())
     }
 }
 

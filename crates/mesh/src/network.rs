@@ -7,6 +7,7 @@ use ringmesh_faults::{
 use ringmesh_net::{
     Interconnect, LevelUtil, NodeId, Packet, PacketStore, QueueClass, UtilizationReport,
 };
+use ringmesh_snap::{SnapError, SnapReader, SnapWriter, Snapshot, SnapshotState};
 use ringmesh_trace::{Counter, EventKind, Gauge, Heatmap, HeatmapId, Probe, TraceLoc, Tracer};
 
 use crate::router::{FaultCtx, Router, Send};
@@ -404,6 +405,66 @@ impl Interconnect for MeshNetwork {
 
     fn conservation_counts(&self) -> Option<(u64, u64, u64)> {
         Some(self.ledger.counts())
+    }
+
+    fn save_state(&self, w: &mut SnapWriter) -> Result<(), SnapError> {
+        if self.faults.is_some() {
+            return Err(SnapError::Mismatch(
+                "checkpointing with fault injection installed is not supported".into(),
+            ));
+        }
+        self.store.save(w);
+        w.usize(self.routers.len());
+        for router in &self.routers {
+            router.save_state(w);
+        }
+        self.active.save(w);
+        self.go.save(w);
+        w.u64(self.cycle);
+        w.u64(self.link_flits);
+        w.u64(self.reset_cycle);
+        self.watchdog.save_state(w);
+        self.ledger.save_state(w);
+        self.corrupt.save(w);
+        Ok(())
+    }
+
+    fn restore_state(&mut self, r: &mut SnapReader<'_>) -> Result<(), SnapError> {
+        if self.faults.is_some() {
+            return Err(SnapError::Mismatch(
+                "restoring into a network with fault injection installed is not supported".into(),
+            ));
+        }
+        let mismatch = |what: &str, got: usize, want: usize| {
+            SnapError::Mismatch(format!("{what}: snapshot has {got}, network has {want}"))
+        };
+        self.store = PacketStore::load(r)?;
+        let n_routers = r.usize()?;
+        if n_routers != self.routers.len() {
+            return Err(mismatch("router count", n_routers, self.routers.len()));
+        }
+        for router in &mut self.routers {
+            router.restore_state(r)?;
+        }
+        let active: Vec<bool> = Snapshot::load(r)?;
+        if active.len() != self.active.len() {
+            return Err(mismatch("router count", active.len(), self.active.len()));
+        }
+        self.active = active;
+        let go: Vec<bool> = Snapshot::load(r)?;
+        if go.len() != self.go.len() {
+            return Err(mismatch("stop/go table size", go.len(), self.go.len()));
+        }
+        self.go = go;
+        self.cycle = r.u64()?;
+        self.link_flits = r.u64()?;
+        self.reset_cycle = r.u64()?;
+        self.watchdog.restore_state(r)?;
+        self.ledger.restore_state(r)?;
+        self.corrupt = Snapshot::load(r)?;
+        self.sends.clear();
+        self.dropped.clear();
+        Ok(())
     }
 }
 

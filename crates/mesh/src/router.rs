@@ -7,6 +7,7 @@ use ringmesh_net::{
     Assembler, DrainState, FlitFifo, NodeId, Packet, PacketQueue, PacketRef, PacketStore,
     QueueClass,
 };
+use ringmesh_snap::{SnapError, SnapReader, SnapWriter, Snapshot, SnapshotState};
 
 use crate::topology::{Direction, MeshTopology};
 
@@ -369,5 +370,34 @@ impl Router {
             input.latch();
             go[self.node.index() * 5 + p] = input.space_latched();
         }
+    }
+}
+
+impl SnapshotState for Router {
+    fn save_state(&self, w: &mut SnapWriter) {
+        for input in &self.inputs {
+            input.save_state(w);
+        }
+        self.route_of.save(w);
+        self.conn.save(w);
+        self.rr.save(w);
+        self.out_req.save_state(w);
+        self.out_resp.save_state(w);
+        self.drain.save(w);
+        self.assembler.save(w);
+    }
+
+    fn restore_state(&mut self, r: &mut SnapReader<'_>) -> Result<(), SnapError> {
+        for input in &mut self.inputs {
+            input.restore_state(r)?;
+        }
+        self.route_of = Snapshot::load(r)?;
+        self.conn = Snapshot::load(r)?;
+        self.rr = Snapshot::load(r)?;
+        self.out_req.restore_state(r)?;
+        self.out_resp.restore_state(r)?;
+        self.drain = DrainState::load(r)?;
+        self.assembler = Assembler::load(r)?;
+        Ok(())
     }
 }

@@ -22,6 +22,8 @@
 
 use std::collections::VecDeque;
 
+use ringmesh_snap::{SnapError, SnapReader, SnapWriter, Snapshot, SnapshotState};
+
 use crate::packet::{Flit, PacketRef};
 
 /// A bounded flit FIFO with registered (previous-cycle) stop/go state.
@@ -427,6 +429,98 @@ impl FlitPool {
         } else {
             Err(self.outstanding)
         }
+    }
+}
+
+impl SnapshotState for FlitFifo {
+    fn save_state(&self, w: &mut SnapWriter) {
+        w.usize(self.cap);
+        self.q.save(w);
+        w.usize(self.latched_len);
+        w.usize(self.tails);
+    }
+
+    fn restore_state(&mut self, r: &mut SnapReader<'_>) -> Result<(), SnapError> {
+        let cap = r.usize()?;
+        if cap != self.cap {
+            return Err(SnapError::Mismatch(format!(
+                "flit FIFO capacity {cap}, expected {}",
+                self.cap
+            )));
+        }
+        self.q = VecDeque::load(r)?;
+        self.latched_len = r.usize()?;
+        self.tails = r.usize()?;
+        if self.q.len() > self.cap || self.latched_len > self.cap {
+            return Err(SnapError::Corrupt("flit FIFO over capacity".into()));
+        }
+        Ok(())
+    }
+}
+
+impl SnapshotState for PacketQueue {
+    fn save_state(&self, w: &mut SnapWriter) {
+        w.usize(self.cap);
+        self.q.save(w);
+    }
+
+    fn restore_state(&mut self, r: &mut SnapReader<'_>) -> Result<(), SnapError> {
+        let cap = r.usize()?;
+        if cap != self.cap {
+            return Err(SnapError::Mismatch(format!(
+                "packet queue capacity {cap}, expected {}",
+                self.cap
+            )));
+        }
+        self.q = VecDeque::load(r)?;
+        if self.q.len() > self.cap {
+            return Err(SnapError::Corrupt("packet queue over capacity".into()));
+        }
+        Ok(())
+    }
+}
+
+impl Snapshot for DrainState {
+    fn save(&self, w: &mut SnapWriter) {
+        self.current.map(|(r, s, t)| (r, (s, t))).save(w);
+    }
+    fn load(r: &mut SnapReader<'_>) -> Result<Self, SnapError> {
+        let current = Option::<(PacketRef, (u32, u32))>::load(r)?;
+        Ok(DrainState {
+            current: current.map(|(p, (s, t))| (p, s, t)),
+        })
+    }
+}
+
+impl Snapshot for Assembler {
+    fn save(&self, w: &mut SnapWriter) {
+        self.current.save(w);
+    }
+    fn load(r: &mut SnapReader<'_>) -> Result<Self, SnapError> {
+        Ok(Assembler {
+            current: Option::load(r)?,
+        })
+    }
+}
+
+impl SnapshotState for FlitPool {
+    fn save_state(&self, w: &mut SnapWriter) {
+        // Freelist buffers are interchangeable empty storage: only the
+        // counters and the freelist size are state; capacities are a
+        // warm-up detail a resumed run re-earns.
+        w.usize(self.free.len());
+        w.u64(self.allocated);
+        w.u64(self.recycled);
+        w.usize(self.outstanding);
+    }
+
+    fn restore_state(&mut self, r: &mut SnapReader<'_>) -> Result<(), SnapError> {
+        let free = r.usize()?;
+        self.free = (0..free).map(|_| Vec::new()).collect();
+        self.allocated = r.u64()?;
+        self.recycled = r.u64()?;
+        self.outstanding = r.usize()?;
+        Ok(())
     }
 }
 

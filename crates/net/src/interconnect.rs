@@ -4,6 +4,7 @@
 
 use ringmesh_engine::StallError;
 use ringmesh_faults::{ConservationError, FaultDomain, FaultInjector};
+use ringmesh_snap::{SnapError, SnapReader, SnapWriter, Snapshot};
 use ringmesh_trace::Tracer;
 
 use crate::packet::{NodeId, Packet};
@@ -28,6 +29,23 @@ impl QueueClass {
             QueueClass::Request
         } else {
             QueueClass::Response
+        }
+    }
+}
+
+impl Snapshot for QueueClass {
+    fn save(&self, w: &mut SnapWriter) {
+        w.u8(match self {
+            QueueClass::Request => 0,
+            QueueClass::Response => 1,
+        });
+    }
+
+    fn load(r: &mut SnapReader<'_>) -> Result<Self, SnapError> {
+        match r.u8()? {
+            0 => Ok(QueueClass::Request),
+            1 => Ok(QueueClass::Response),
+            t => Err(SnapError::Corrupt(format!("invalid queue class tag {t}"))),
         }
     }
 }
@@ -185,6 +203,43 @@ pub trait Interconnect {
     /// conservation ledger is present.
     fn conservation_counts(&self) -> Option<(u64, u64, u64)> {
         None
+    }
+
+    /// Serializes the network's mutable state (in-flight packets,
+    /// buffer contents, per-station switching state, cycle counters)
+    /// into `w` for a deterministic checkpoint. Immutable structure —
+    /// topology, routing tables, capacities — is *not* written; a
+    /// resume rebuilds it from configuration and pours this state back
+    /// in via [`restore_state`](Interconnect::restore_state).
+    ///
+    /// # Errors
+    ///
+    /// The default implementation returns [`SnapError::Mismatch`]:
+    /// the network does not support checkpointing.
+    fn save_state(&self, w: &mut SnapWriter) -> Result<(), SnapError> {
+        let _ = w;
+        Err(SnapError::Mismatch(
+            "this network model does not support state snapshots".into(),
+        ))
+    }
+
+    /// Restores mutable state previously written by
+    /// [`save_state`](Interconnect::save_state) into a freshly
+    /// constructed network of the *same* configuration. After a
+    /// successful restore the network continues bit-identically to the
+    /// one that was checkpointed.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SnapError`] on truncated/corrupt input or a
+    /// configuration mismatch (different topology, buffer depths...).
+    /// The default implementation always errors: checkpointing is
+    /// unsupported.
+    fn restore_state(&mut self, r: &mut SnapReader<'_>) -> Result<(), SnapError> {
+        let _ = r;
+        Err(SnapError::Mismatch(
+            "this network model does not support state snapshots".into(),
+        ))
     }
 }
 

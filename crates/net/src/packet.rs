@@ -8,6 +8,8 @@
 
 use std::fmt;
 
+use ringmesh_snap::{SnapError, SnapReader, SnapWriter, Snapshot};
+
 /// Identifier of a processing module (PM): processor + cache + its slice
 /// of the global memory. PMs are numbered 0..P in the network's natural
 /// order (DFS order for ring hierarchies, row-major for meshes).
@@ -237,6 +239,115 @@ impl PacketStore {
             .iter()
             .enumerate()
             .filter_map(|(i, s)| s.as_ref().map(|p| (PacketRef(i as u32), p)))
+    }
+}
+
+impl Snapshot for NodeId {
+    fn save(&self, w: &mut SnapWriter) {
+        w.u32(self.0);
+    }
+    fn load(r: &mut SnapReader<'_>) -> Result<Self, SnapError> {
+        Ok(NodeId(r.u32()?))
+    }
+}
+
+impl Snapshot for TxnId {
+    fn save(&self, w: &mut SnapWriter) {
+        w.u64(self.0);
+    }
+    fn load(r: &mut SnapReader<'_>) -> Result<Self, SnapError> {
+        Ok(TxnId(r.u64()?))
+    }
+}
+
+impl Snapshot for PacketKind {
+    fn save(&self, w: &mut SnapWriter) {
+        w.u8(match self {
+            PacketKind::ReadReq => 0,
+            PacketKind::ReadResp => 1,
+            PacketKind::WriteReq => 2,
+            PacketKind::WriteResp => 3,
+        });
+    }
+    fn load(r: &mut SnapReader<'_>) -> Result<Self, SnapError> {
+        match r.u8()? {
+            0 => Ok(PacketKind::ReadReq),
+            1 => Ok(PacketKind::ReadResp),
+            2 => Ok(PacketKind::WriteReq),
+            3 => Ok(PacketKind::WriteResp),
+            t => Err(SnapError::Corrupt(format!("packet kind tag {t}"))),
+        }
+    }
+}
+
+impl Snapshot for Packet {
+    fn save(&self, w: &mut SnapWriter) {
+        self.txn.save(w);
+        self.kind.save(w);
+        self.src.save(w);
+        self.dst.save(w);
+        w.u32(self.flits);
+        w.u64(self.injected_at);
+    }
+    fn load(r: &mut SnapReader<'_>) -> Result<Self, SnapError> {
+        Ok(Packet {
+            txn: TxnId::load(r)?,
+            kind: PacketKind::load(r)?,
+            src: NodeId::load(r)?,
+            dst: NodeId::load(r)?,
+            flits: r.u32()?,
+            injected_at: r.u64()?,
+        })
+    }
+}
+
+// `PacketRef` deliberately has no public constructor — handles are only
+// minted by `PacketStore::insert`. Snapshot decoding is the one other
+// legitimate mint: a handle round-trips with the store whose slot
+// numbering it indexes, so a restored ref is as valid as the original.
+impl Snapshot for PacketRef {
+    fn save(&self, w: &mut SnapWriter) {
+        w.u32(self.0);
+    }
+    fn load(r: &mut SnapReader<'_>) -> Result<Self, SnapError> {
+        Ok(PacketRef(r.u32()?))
+    }
+}
+
+impl Snapshot for Flit {
+    fn save(&self, w: &mut SnapWriter) {
+        self.packet.save(w);
+        w.u32(self.seq);
+        w.bool(self.is_tail);
+    }
+    fn load(r: &mut SnapReader<'_>) -> Result<Self, SnapError> {
+        Ok(Flit {
+            packet: PacketRef::load(r)?,
+            seq: r.u32()?,
+            is_tail: r.bool()?,
+        })
+    }
+}
+
+impl Snapshot for PacketStore {
+    fn save(&self, w: &mut SnapWriter) {
+        self.slots.save(w);
+        self.free.save(w);
+        w.u64(self.live);
+    }
+    fn load(r: &mut SnapReader<'_>) -> Result<Self, SnapError> {
+        let slots: Vec<Option<Packet>> = Vec::load(r)?;
+        let free: Vec<u32> = Vec::load(r)?;
+        let live = r.u64()?;
+        let occupied = slots.iter().filter(|s| s.is_some()).count() as u64;
+        if occupied != live || free.len() + occupied as usize != slots.len() {
+            return Err(SnapError::Corrupt(format!(
+                "packet store accounting: {occupied} occupied, {live} live, {} free of {}",
+                free.len(),
+                slots.len()
+            )));
+        }
+        Ok(PacketStore { slots, free, live })
     }
 }
 

@@ -8,6 +8,7 @@
 //! ring traffic has priority over ring-changing traffic.
 
 use ringmesh_net::{FlitFifo, PacketRef, PacketStore, QueueClass};
+use ringmesh_snap::{SnapError, SnapReader, SnapWriter, Snapshot, SnapshotState};
 
 use crate::station::{ClassQueues, Disposition, LinkOwner, Send, SideRef, StepPulse, TransitRoute};
 
@@ -363,5 +364,26 @@ impl Iri {
             self.bufs[LOWER].free_latched(),
             self.bufs[UPPER].free_latched(),
         )
+    }
+}
+
+impl SnapshotState for Iri {
+    fn save_state(&self, w: &mut SnapWriter) {
+        self.bufs[LOWER].save_state(w);
+        self.bufs[UPPER].save_state(w);
+        self.up.save_state(w);
+        self.down.save_state(w);
+        self.owner.save(w);
+        self.transit.save(w);
+    }
+
+    fn restore_state(&mut self, r: &mut SnapReader<'_>) -> Result<(), SnapError> {
+        self.bufs[LOWER].restore_state(r)?;
+        self.bufs[UPPER].restore_state(r)?;
+        self.up.restore_state(r)?;
+        self.down.restore_state(r)?;
+        self.owner = Snapshot::load(r)?;
+        self.transit = Snapshot::load(r)?;
+        Ok(())
     }
 }

@@ -7,6 +7,7 @@ use ringmesh_faults::{
 use ringmesh_net::{
     Interconnect, LevelUtil, NodeId, Packet, PacketRef, PacketStore, QueueClass, UtilizationReport,
 };
+use ringmesh_snap::{SnapError, SnapReader, SnapWriter, Snapshot, SnapshotState};
 use ringmesh_trace::{Counter, EventKind, Gauge, Heatmap, HeatmapId, Probe, TraceLoc, Tracer};
 
 use crate::iri::{Iri, LOWER, UPPER};
@@ -684,6 +685,105 @@ impl Interconnect for RingNetwork {
 
     fn conservation_counts(&self) -> Option<(u64, u64, u64)> {
         Some(self.ledger.counts())
+    }
+
+    fn save_state(&self, w: &mut SnapWriter) -> Result<(), SnapError> {
+        if self.faults.is_some() {
+            return Err(SnapError::Mismatch(
+                "checkpointing with fault injection installed is not supported".into(),
+            ));
+        }
+        self.store.save(w);
+        w.usize(self.nics.len());
+        for nic in &self.nics {
+            nic.save_state(w);
+        }
+        w.usize(self.iris.len());
+        for iri in &self.iris {
+            iri.save_state(w);
+        }
+        self.station_active.save(w);
+        self.free.save(w);
+        w.u64(self.tick);
+        self.ring_flits.save(w);
+        self.ring_credits.save(w);
+        w.u64(self.reset_tick);
+        self.watchdog.save_state(w);
+        self.ledger.save_state(w);
+        self.corrupt.save(w);
+        Ok(())
+    }
+
+    fn restore_state(&mut self, r: &mut SnapReader<'_>) -> Result<(), SnapError> {
+        if self.faults.is_some() {
+            return Err(SnapError::Mismatch(
+                "restoring into a network with fault injection installed is not supported".into(),
+            ));
+        }
+        let mismatch = |what: &str, got: usize, want: usize| {
+            SnapError::Mismatch(format!("{what}: snapshot has {got}, network has {want}"))
+        };
+        self.store = PacketStore::load(r)?;
+        let n_nics = r.usize()?;
+        if n_nics != self.nics.len() {
+            return Err(mismatch("NIC count", n_nics, self.nics.len()));
+        }
+        for nic in &mut self.nics {
+            nic.restore_state(r)?;
+        }
+        let n_iris = r.usize()?;
+        if n_iris != self.iris.len() {
+            return Err(mismatch("IRI count", n_iris, self.iris.len()));
+        }
+        for iri in &mut self.iris {
+            iri.restore_state(r)?;
+        }
+        let station_active: Vec<bool> = Snapshot::load(r)?;
+        if station_active.len() != self.station_active.len() {
+            return Err(mismatch(
+                "station count",
+                station_active.len(),
+                self.station_active.len(),
+            ));
+        }
+        self.station_active = station_active;
+        let free: Vec<usize> = Snapshot::load(r)?;
+        if free.len() != self.free.len() {
+            return Err(mismatch(
+                "free-slot table size",
+                free.len(),
+                self.free.len(),
+            ));
+        }
+        self.free = free;
+        self.tick = r.u64()?;
+        let ring_flits: Vec<u64> = Snapshot::load(r)?;
+        if ring_flits.len() != self.ring_flits.len() {
+            return Err(mismatch(
+                "ring count",
+                ring_flits.len(),
+                self.ring_flits.len(),
+            ));
+        }
+        self.ring_flits = ring_flits;
+        let ring_credits: Vec<i64> = Snapshot::load(r)?;
+        if ring_credits.len() != self.ring_credits.len() {
+            return Err(mismatch(
+                "ring-credit table size",
+                ring_credits.len(),
+                self.ring_credits.len(),
+            ));
+        }
+        self.ring_credits = ring_credits;
+        self.reset_tick = r.u64()?;
+        self.watchdog.restore_state(r)?;
+        self.ledger.restore_state(r)?;
+        self.corrupt = Snapshot::load(r)?;
+        // Per-cycle scratch is always empty between steps.
+        self.sends.clear();
+        self.dropped.clear();
+        self.sunk.clear();
+        Ok(())
     }
 }
 

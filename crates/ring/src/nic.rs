@@ -12,6 +12,7 @@ use ringmesh_net::{
     Assembler, DrainState, FlitFifo, NodeId, Packet, PacketQueue, PacketRef, PacketStore,
     QueueClass,
 };
+use ringmesh_snap::{SnapError, SnapReader, SnapWriter, Snapshot, SnapshotState};
 
 use crate::station::{ClassQueues, Disposition, LinkOwner, Send, SideRef, StepPulse, TransitRoute};
 
@@ -290,5 +291,26 @@ impl Nic {
     pub(crate) fn latch(&mut self) -> usize {
         self.ring_buf.latch();
         self.ring_buf.free_latched()
+    }
+}
+
+impl SnapshotState for Nic {
+    fn save_state(&self, w: &mut SnapWriter) {
+        self.ring_buf.save_state(w);
+        self.out.save_state(w);
+        self.drain.save(w);
+        self.owner.save(w);
+        self.transit.save(w);
+        self.assembler.save(w);
+    }
+
+    fn restore_state(&mut self, r: &mut SnapReader<'_>) -> Result<(), SnapError> {
+        self.ring_buf.restore_state(r)?;
+        self.out.restore_state(r)?;
+        self.drain = DrainState::load(r)?;
+        self.owner = LinkOwner::load(r)?;
+        self.transit = TransitRoute::load(r)?;
+        self.assembler = Assembler::load(r)?;
+        Ok(())
     }
 }

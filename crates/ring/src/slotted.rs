@@ -22,6 +22,7 @@ use ringmesh_net::{
     DrainState, Flit, FlitPool, Interconnect, LevelUtil, NodeId, Packet, PacketRef, PacketStore,
     QueueClass, UtilizationReport,
 };
+use ringmesh_snap::{SnapError, SnapReader, SnapWriter, Snapshot, SnapshotState};
 
 use crate::topology::{RingAction, RingSpec, RingTopology, RouteTable, StationKind};
 use crate::RingConfig;
@@ -115,6 +116,38 @@ impl Outbox {
 
     fn len(&self) -> usize {
         self.resp.len() + self.req.len() + usize::from(self.drain.is_active())
+    }
+}
+
+impl SnapshotState for SlotAssembler {
+    fn save_state(&self, w: &mut SnapWriter) {
+        self.partial.save(w);
+    }
+
+    fn restore_state(&mut self, r: &mut SnapReader<'_>) -> Result<(), SnapError> {
+        // Trains are rebuilt from the snapshot rather than checked out
+        // of the pool: the pool's outstanding counter (restored
+        // separately) already accounts for them, and completion recycles
+        // them back as usual.
+        self.partial = Snapshot::load(r)?;
+        Ok(())
+    }
+}
+
+impl SnapshotState for Outbox {
+    fn save_state(&self, w: &mut SnapWriter) {
+        self.crossing.save(w);
+        self.resp.save(w);
+        self.req.save(w);
+        self.drain.save(w);
+    }
+
+    fn restore_state(&mut self, r: &mut SnapReader<'_>) -> Result<(), SnapError> {
+        self.crossing = Snapshot::load(r)?;
+        self.resp = Snapshot::load(r)?;
+        self.req = Snapshot::load(r)?;
+        self.drain = DrainState::load(r)?;
+        Ok(())
     }
 }
 
@@ -364,6 +397,82 @@ impl Interconnect for SlottedRingNetwork {
     fn reset_counters(&mut self) {
         self.ring_flits.iter_mut().for_each(|c| *c = 0);
         self.reset_cycle = self.cycle;
+    }
+
+    fn save_state(&self, w: &mut SnapWriter) -> Result<(), SnapError> {
+        self.store.save(w);
+        self.slots.save(w);
+        for group in [&self.pm_out, &self.iri_up, &self.iri_down] {
+            w.usize(group.len());
+            for outbox in group {
+                outbox.save_state(w);
+            }
+        }
+        w.usize(self.assemblers.len());
+        for asm in &self.assemblers {
+            asm.save_state(w);
+        }
+        self.pool.save_state(w);
+        w.u64(self.cycle);
+        self.ring_flits.save(w);
+        w.u64(self.reset_cycle);
+        self.watchdog.save_state(w);
+        Ok(())
+    }
+
+    fn restore_state(&mut self, r: &mut SnapReader<'_>) -> Result<(), SnapError> {
+        let mismatch = |what: &str, got: usize, want: usize| {
+            SnapError::Mismatch(format!("{what}: snapshot has {got}, network has {want}"))
+        };
+        self.store = PacketStore::load(r)?;
+        let slots: Vec<Vec<Option<Flit>>> = Snapshot::load(r)?;
+        if slots.len() != self.slots.len() {
+            return Err(mismatch("ring count", slots.len(), self.slots.len()));
+        }
+        for (i, (got, want)) in slots.iter().zip(&self.slots).enumerate() {
+            if got.len() != want.len() {
+                return Err(mismatch(
+                    &format!("ring {i} slot count"),
+                    got.len(),
+                    want.len(),
+                ));
+            }
+        }
+        self.slots = slots;
+        for (label, group) in [
+            ("PM outbox", &mut self.pm_out),
+            ("IRI up outbox", &mut self.iri_up),
+            ("IRI down outbox", &mut self.iri_down),
+        ] {
+            let n = r.usize()?;
+            if n != group.len() {
+                return Err(mismatch(&format!("{label} count"), n, group.len()));
+            }
+            for outbox in group.iter_mut() {
+                outbox.restore_state(r)?;
+            }
+        }
+        let n_asm = r.usize()?;
+        if n_asm != self.assemblers.len() {
+            return Err(mismatch("assembler count", n_asm, self.assemblers.len()));
+        }
+        for asm in &mut self.assemblers {
+            asm.restore_state(r)?;
+        }
+        self.pool.restore_state(r)?;
+        self.cycle = r.u64()?;
+        let ring_flits: Vec<u64> = Snapshot::load(r)?;
+        if ring_flits.len() != self.ring_flits.len() {
+            return Err(mismatch(
+                "ring count",
+                ring_flits.len(),
+                self.ring_flits.len(),
+            ));
+        }
+        self.ring_flits = ring_flits;
+        self.reset_cycle = r.u64()?;
+        self.watchdog.restore_state(r)?;
+        Ok(())
     }
 }
 

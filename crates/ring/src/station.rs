@@ -1,6 +1,7 @@
 //! Small shared pieces of ring station state.
 
 use ringmesh_net::{Flit, PacketRef, QueueClass};
+use ringmesh_snap::{SnapError, SnapReader, SnapWriter, Snapshot, SnapshotState};
 
 /// `(station index, ring side)` — mirrors
 /// [`topology::SideRef`](crate::topology::SideRef).
@@ -100,6 +101,59 @@ impl TransitRoute {
     }
 }
 
+impl Snapshot for LinkOwner {
+    fn save(&self, w: &mut SnapWriter) {
+        match self {
+            LinkOwner::Idle => w.u8(0),
+            LinkOwner::Transit => w.u8(1),
+            LinkOwner::Cross(class) => {
+                w.u8(2);
+                class.save(w);
+            }
+        }
+    }
+
+    fn load(r: &mut SnapReader<'_>) -> Result<Self, SnapError> {
+        match r.u8()? {
+            0 => Ok(LinkOwner::Idle),
+            1 => Ok(LinkOwner::Transit),
+            2 => Ok(LinkOwner::Cross(QueueClass::load(r)?)),
+            t => Err(SnapError::Corrupt(format!("invalid link owner tag {t}"))),
+        }
+    }
+}
+
+impl Snapshot for Disposition {
+    fn save(&self, w: &mut SnapWriter) {
+        w.u8(match self {
+            Disposition::Forward => 0,
+            Disposition::Cross => 1,
+            Disposition::Sink => 2,
+        });
+    }
+
+    fn load(r: &mut SnapReader<'_>) -> Result<Self, SnapError> {
+        match r.u8()? {
+            0 => Ok(Disposition::Forward),
+            1 => Ok(Disposition::Cross),
+            2 => Ok(Disposition::Sink),
+            t => Err(SnapError::Corrupt(format!("invalid disposition tag {t}"))),
+        }
+    }
+}
+
+impl Snapshot for TransitRoute {
+    fn save(&self, w: &mut SnapWriter) {
+        self.current.save(w);
+    }
+
+    fn load(r: &mut SnapReader<'_>) -> Result<Self, SnapError> {
+        Ok(TransitRoute {
+            current: Snapshot::load(r)?,
+        })
+    }
+}
+
 /// A request/response pair of queues (the paper splits every
 /// injection-side buffer by class and gives responses priority).
 #[derive(Debug, Clone)]
@@ -130,6 +184,18 @@ impl<Q> ClassQueues<Q> {
     pub(crate) fn each_mut(&mut self, mut f: impl FnMut(&mut Q)) {
         f(&mut self.response);
         f(&mut self.request);
+    }
+}
+
+impl<Q: SnapshotState> SnapshotState for ClassQueues<Q> {
+    fn save_state(&self, w: &mut SnapWriter) {
+        self.response.save_state(w);
+        self.request.save_state(w);
+    }
+
+    fn restore_state(&mut self, r: &mut SnapReader<'_>) -> Result<(), SnapError> {
+        self.response.restore_state(r)?;
+        self.request.restore_state(r)
     }
 }
 

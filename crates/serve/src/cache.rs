@@ -1,0 +1,193 @@
+//! Content-addressed result cache with checkpoint side-files.
+//!
+//! A cache key digests the *canonicalized* configuration (every
+//! output-relevant field, floats as raw bits — see
+//! [`SystemConfig::canonical`]) together with the code version, so a
+//! key can only ever map to one bit-exact result. Layout on disk:
+//!
+//! ```text
+//! .ringmesh-cache/
+//!   ab/abcd0123deadbeef.json   completed result payload
+//!   ab/abcd0123deadbeef.ckpt   in-progress checkpoint (deleted on completion)
+//! ```
+//!
+//! Entries are written via a temp file + rename so readers never see a
+//! torn payload, and an interrupted server leaves at worst a stale
+//! `.tmp` that the next write replaces.
+
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+use ringmesh::SystemConfig;
+use ringmesh_snap::{hex64, Fingerprint};
+
+/// The code-version component of every cache key. Bumping the crate
+/// version invalidates all cached results, which is exactly right: a
+/// new simulator build may produce different (still deterministic)
+/// numbers.
+pub const CODE_VERSION: &str = env!("CARGO_PKG_VERSION");
+
+/// A directory of content-addressed result payloads plus hit/miss
+/// accounting for the server's summary lines.
+#[derive(Debug)]
+pub struct ResultCache {
+    dir: PathBuf,
+    /// Jobs answered from a stored payload without simulating.
+    pub hits: u64,
+    /// Jobs that had to simulate (their results are then stored).
+    pub misses: u64,
+}
+
+impl ResultCache {
+    /// Opens (creating if needed) a cache rooted at `dir`.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the directory cannot be created.
+    pub fn open(dir: &Path) -> io::Result<ResultCache> {
+        fs::create_dir_all(dir)?;
+        Ok(ResultCache {
+            dir: dir.to_path_buf(),
+            hits: 0,
+            misses: 0,
+        })
+    }
+
+    /// The content key for a configuration under the current code
+    /// version.
+    pub fn key(cfg: &SystemConfig) -> u64 {
+        let mut fp = Fingerprint::new();
+        fp.write_str(&cfg.canonical());
+        fp.write_str("|code=");
+        fp.write_str(CODE_VERSION);
+        fp.finish()
+    }
+
+    fn shard(&self, key: u64) -> PathBuf {
+        self.dir.join(&hex64(key)[..2])
+    }
+
+    /// Path of the stored result payload for `key`.
+    pub fn result_path(&self, key: u64) -> PathBuf {
+        self.shard(key).join(format!("{}.json", hex64(key)))
+    }
+
+    /// Path of the in-progress checkpoint for `key`.
+    pub fn checkpoint_path(&self, key: u64) -> PathBuf {
+        self.shard(key).join(format!("{}.ckpt", hex64(key)))
+    }
+
+    /// The stored payload for `key`, if one exists.
+    pub fn lookup(&self, key: u64) -> Option<String> {
+        fs::read_to_string(self.result_path(key)).ok()
+    }
+
+    /// Stores `payload` as the result for `key` (atomic via rename) and
+    /// drops any leftover checkpoint.
+    ///
+    /// # Errors
+    ///
+    /// Propagates filesystem errors; the cache is an optimization, so
+    /// callers may choose to log and continue.
+    pub fn store(&self, key: u64, payload: &str) -> io::Result<()> {
+        let path = self.result_path(key);
+        write_atomic(&path, payload.as_bytes())?;
+        let _ = fs::remove_file(self.checkpoint_path(key));
+        Ok(())
+    }
+
+    /// Number of completed result entries on disk.
+    pub fn entries(&self) -> usize {
+        let mut n = 0;
+        if let Ok(shards) = fs::read_dir(&self.dir) {
+            for shard in shards.flatten() {
+                if let Ok(files) = fs::read_dir(shard.path()) {
+                    n += files
+                        .flatten()
+                        .filter(|f| f.path().extension().is_some_and(|e| e == "json"))
+                        .count();
+                }
+            }
+        }
+        n
+    }
+}
+
+/// Writes `bytes` to `path` through a sibling temp file + rename, so a
+/// crash can never leave a half-written file at `path`.
+///
+/// # Errors
+///
+/// Propagates filesystem errors.
+pub fn write_atomic(path: &Path, bytes: &[u8]) -> io::Result<()> {
+    if let Some(parent) = path.parent() {
+        fs::create_dir_all(parent)?;
+    }
+    let tmp = path.with_extension("tmp");
+    fs::write(&tmp, bytes)?;
+    fs::rename(&tmp, path)
+}
+
+#[cfg(test)]
+mod tests {
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    use ringmesh::{NetworkSpec, SystemConfig};
+    use ringmesh_net::CacheLineSize;
+
+    use super::*;
+
+    fn tempdir(tag: &str) -> PathBuf {
+        static NEXT: AtomicUsize = AtomicUsize::new(0);
+        let dir = std::env::temp_dir().join(format!(
+            "ringmesh-serve-{tag}-{}-{}",
+            std::process::id(),
+            NEXT.fetch_add(1, Ordering::Relaxed)
+        ));
+        let _ = fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn keys_track_config_identity_and_code_version() {
+        let a = SystemConfig::new(NetworkSpec::mesh(3), CacheLineSize::B64);
+        assert_eq!(ResultCache::key(&a), ResultCache::key(&a.clone()));
+        assert_ne!(
+            ResultCache::key(&a),
+            ResultCache::key(&a.clone().with_seed(1))
+        );
+        // The key covers more than the config alone.
+        assert_ne!(ResultCache::key(&a), a.fingerprint());
+    }
+
+    #[test]
+    fn store_then_lookup_round_trips() {
+        let dir = tempdir("store");
+        let cache = ResultCache::open(&dir).unwrap();
+        let cfg = SystemConfig::new(NetworkSpec::mesh(3), CacheLineSize::B64);
+        let key = ResultCache::key(&cfg);
+        assert_eq!(cache.lookup(key), None);
+        assert_eq!(cache.entries(), 0);
+        cache.store(key, "{\"x\":1}").unwrap();
+        assert_eq!(cache.lookup(key).as_deref(), Some("{\"x\":1}"));
+        assert_eq!(cache.entries(), 1);
+        // Overwrites are atomic replacements, not appends.
+        cache.store(key, "{\"x\":2}").unwrap();
+        assert_eq!(cache.lookup(key).as_deref(), Some("{\"x\":2}"));
+        assert_eq!(cache.entries(), 1);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn storing_a_result_clears_its_checkpoint() {
+        let dir = tempdir("ckpt");
+        let cache = ResultCache::open(&dir).unwrap();
+        let key = 0xabcd_0123_dead_beef;
+        write_atomic(&cache.checkpoint_path(key), b"state").unwrap();
+        assert!(cache.checkpoint_path(key).exists());
+        cache.store(key, "{}").unwrap();
+        assert!(!cache.checkpoint_path(key).exists());
+        let _ = fs::remove_dir_all(&dir);
+    }
+}

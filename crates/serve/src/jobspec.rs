@@ -1,0 +1,263 @@
+//! Translating job objects from the wire into [`SystemConfig`]s.
+//!
+//! A job is a flat JSON object; every field beyond the network shape is
+//! optional and defaults to the paper-baseline configuration. Example:
+//!
+//! ```json
+//! {"op":"job","id":"r24","network":"ring","spec":"2:3:4",
+//!  "cache_line":128,"miss_rate":0.1,"seed":7,"scale":"quick"}
+//! ```
+
+use ringmesh::{NetworkSpec, SimParams, SystemConfig};
+use ringmesh_net::{BufferRegime, CacheLineSize};
+use ringmesh_workload::{HotSpot, MissProcess};
+
+use crate::json::Json;
+
+/// One submitted job: a client-chosen label plus the full simulation
+/// configuration it denotes.
+#[derive(Debug, Clone)]
+pub struct JobSpec {
+    /// Client-chosen job label, echoed on every event for this job.
+    pub id: String,
+    /// The simulation point to run.
+    pub cfg: SystemConfig,
+}
+
+/// Builds a [`JobSpec`] from a parsed `{"op":"job",...}` object.
+///
+/// # Errors
+///
+/// Returns a human-readable message naming the offending field; the
+/// config is also passed through [`SystemConfig::validate`].
+pub fn parse_job(v: &Json, default_id: &str) -> Result<JobSpec, String> {
+    let id = match v.get("id") {
+        Some(j) => j.as_str().ok_or("field 'id' must be a string")?.to_string(),
+        None => default_id.to_string(),
+    };
+
+    let network = parse_network(v)?;
+    let cache_line = match v.get("cache_line") {
+        Some(j) => {
+            let bytes = j
+                .as_u64()
+                .ok_or("field 'cache_line' must be 16/32/64/128")?;
+            CacheLineSize::from_bytes(u32::try_from(bytes).map_err(|_| "cache_line too large")?)?
+        }
+        None => CacheLineSize::B128,
+    };
+    let mut cfg = SystemConfig::new(network, cache_line);
+
+    if let Some(j) = v.get("region") {
+        cfg.workload.region = f64_field(j, "region")?;
+    }
+    if let Some(j) = v.get("miss_rate") {
+        cfg.workload.miss_rate = f64_field(j, "miss_rate")?;
+    }
+    if let Some(j) = v.get("outstanding") {
+        cfg.workload.outstanding = u32_field(j, "outstanding")?;
+    }
+    if let Some(j) = v.get("read_fraction") {
+        cfg.workload.read_fraction = f64_field(j, "read_fraction")?;
+    }
+    if let Some(j) = v.get("miss_process") {
+        cfg.workload.miss_process = match j.as_str() {
+            Some("det") => MissProcess::Deterministic,
+            Some("geo") => MissProcess::Geometric,
+            _ => return Err("field 'miss_process' must be \"det\" or \"geo\"".into()),
+        };
+    }
+    match (v.get("hot_node"), v.get("hot_fraction")) {
+        (Some(n), Some(f)) => {
+            cfg.workload.hot_spot = Some(HotSpot {
+                node: u32_field(n, "hot_node")?,
+                fraction: f64_field(f, "hot_fraction")?,
+            });
+        }
+        (None, None) => {}
+        _ => return Err("'hot_node' and 'hot_fraction' must be given together".into()),
+    }
+    if let Some(j) = v.get("mem_latency") {
+        cfg.memory.latency = u32_field(j, "mem_latency")?;
+    }
+    if let Some(j) = v.get("mem_occupancy") {
+        cfg.memory.occupancy = u32_field(j, "mem_occupancy")?;
+    }
+
+    if let Some(j) = v.get("scale") {
+        cfg.sim = match j.as_str() {
+            Some("quick") => SimParams::quick(),
+            Some("full") => SimParams::full(),
+            _ => return Err("field 'scale' must be \"quick\" or \"full\"".into()),
+        };
+    }
+    if let Some(j) = v.get("warmup") {
+        cfg.sim.warmup = u64_field(j, "warmup")?;
+    }
+    if let Some(j) = v.get("batch_cycles") {
+        cfg.sim.batch_cycles = u64_field(j, "batch_cycles")?;
+    }
+    if let Some(j) = v.get("batches") {
+        cfg.sim.batches = u64_field(j, "batches")? as usize;
+    }
+    if let Some(j) = v.get("seed") {
+        cfg.seed = u64_field(j, "seed")?;
+    }
+
+    cfg.validate().map_err(|e| e.to_string())?;
+    Ok(JobSpec { id, cfg })
+}
+
+fn parse_network(v: &Json) -> Result<NetworkSpec, String> {
+    let kind = v
+        .get("network")
+        .and_then(Json::as_str)
+        .ok_or("field 'network' must be \"ring\", \"slotted\" or \"mesh\"")?;
+    match kind {
+        "ring" | "slotted" => {
+            let spec = v
+                .get("spec")
+                .and_then(Json::as_str)
+                .ok_or("ring networks need a 'spec' string like \"2:3:4\"")?
+                .parse()
+                .map_err(|e| format!("bad ring spec: {e}"))?;
+            if kind == "slotted" {
+                if v.get("speedup").is_some() {
+                    return Err("'speedup' does not apply to slotted rings".into());
+                }
+                Ok(NetworkSpec::SlottedRing { spec })
+            } else {
+                let speedup = match v.get("speedup") {
+                    Some(j) => u32_field(j, "speedup")?,
+                    None => 1,
+                };
+                Ok(NetworkSpec::Ring { spec, speedup })
+            }
+        }
+        "mesh" => {
+            let side = v
+                .get("side")
+                .ok_or_else(|| "mesh networks need a 'side' length".to_string())
+                .and_then(|j| u32_field(j, "side"))?;
+            let buffers = match v.get("buffers") {
+                Some(j) => match j.as_str() {
+                    Some("1") => BufferRegime::OneFlit,
+                    Some("4") => BufferRegime::FourFlit,
+                    Some("line") => BufferRegime::CacheLine,
+                    _ => return Err("field 'buffers' must be \"1\", \"4\" or \"line\"".into()),
+                },
+                None => BufferRegime::FourFlit,
+            };
+            Ok(NetworkSpec::Mesh { side, buffers })
+        }
+        other => Err(format!("unknown network kind '{other}'")),
+    }
+}
+
+fn f64_field(j: &Json, name: &str) -> Result<f64, String> {
+    j.as_f64()
+        .ok_or_else(|| format!("field '{name}' must be a number"))
+}
+
+fn u64_field(j: &Json, name: &str) -> Result<u64, String> {
+    j.as_u64()
+        .ok_or_else(|| format!("field '{name}' must be a non-negative integer"))
+}
+
+fn u32_field(j: &Json, name: &str) -> Result<u32, String> {
+    u64_field(j, name)
+        .and_then(|n| u32::try_from(n).map_err(|_| format!("field '{name}' is out of range")))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(text: &str) -> Result<JobSpec, String> {
+        parse_job(&Json::parse(text).unwrap(), "job-0")
+    }
+
+    #[test]
+    fn minimal_ring_job_uses_paper_defaults() {
+        let job = parse(r#"{"network":"ring","spec":"2:3:4"}"#).unwrap();
+        assert_eq!(job.id, "job-0");
+        assert_eq!(job.cfg.network.label(), "ring 2:3:4");
+        assert_eq!(job.cfg.cache_line, CacheLineSize::B128);
+        assert_eq!(
+            job.cfg,
+            SystemConfig::new(job.cfg.network.clone(), CacheLineSize::B128)
+        );
+    }
+
+    #[test]
+    fn every_field_lands_in_the_config() {
+        let job = parse(
+            r#"{"id":"m5","network":"mesh","side":5,"buffers":"line","cache_line":32,
+                "region":0.5,"miss_rate":0.2,"outstanding":8,"read_fraction":0.6,
+                "miss_process":"geo","hot_node":3,"hot_fraction":0.1,
+                "mem_latency":12,"mem_occupancy":5,
+                "warmup":900,"batch_cycles":700,"batches":3,"seed":99}"#,
+        )
+        .unwrap();
+        assert_eq!(job.id, "m5");
+        let c = &job.cfg;
+        assert_eq!(c.network.label(), "mesh 5x5 (cl-sized buffers)");
+        assert_eq!(c.cache_line, CacheLineSize::B32);
+        assert_eq!(c.workload.region, 0.5);
+        assert_eq!(c.workload.miss_rate, 0.2);
+        assert_eq!(c.workload.outstanding, 8);
+        assert_eq!(c.workload.read_fraction, 0.6);
+        assert_eq!(c.workload.miss_process, MissProcess::Geometric);
+        assert_eq!(
+            c.workload.hot_spot,
+            Some(HotSpot {
+                node: 3,
+                fraction: 0.1
+            })
+        );
+        assert_eq!(c.memory.latency, 12);
+        assert_eq!(c.memory.occupancy, 5);
+        assert_eq!(
+            (c.sim.warmup, c.sim.batch_cycles, c.sim.batches),
+            (900, 700, 3)
+        );
+        assert_eq!(c.seed, 99);
+    }
+
+    #[test]
+    fn slotted_and_sped_up_rings() {
+        let s = parse(r#"{"network":"slotted","spec":"2:2:3"}"#).unwrap();
+        assert_eq!(s.cfg.network.label(), "slotted ring 2:2:3");
+        let f = parse(r#"{"network":"ring","spec":"2:4","speedup":2}"#).unwrap();
+        assert_eq!(f.cfg.network.label(), "ring 2:4 (2x global)");
+        assert!(parse(r#"{"network":"slotted","spec":"2:4","speedup":2}"#).is_err());
+    }
+
+    #[test]
+    fn scale_presets_then_overrides() {
+        let job = parse(r#"{"network":"mesh","side":3,"scale":"quick","batches":2}"#).unwrap();
+        assert_eq!(job.cfg.sim.warmup, SimParams::quick().warmup);
+        assert_eq!(job.cfg.sim.batches, 2);
+    }
+
+    #[test]
+    fn bad_jobs_name_the_offending_field() {
+        for (text, needle) in [
+            (r#"{"spec":"2:3:4"}"#, "'network'"),
+            (r#"{"network":"torus"}"#, "torus"),
+            (r#"{"network":"ring"}"#, "'spec'"),
+            (r#"{"network":"ring","spec":"0:9"}"#, "ring spec"),
+            (r#"{"network":"mesh"}"#, "'side'"),
+            (r#"{"network":"mesh","side":3,"cache_line":48}"#, "48"),
+            (r#"{"network":"mesh","side":3,"hot_node":1}"#, "together"),
+            (
+                r#"{"network":"mesh","side":3,"miss_rate":2.0}"#,
+                "miss rate",
+            ),
+            (r#"{"network":"mesh","side":3,"batches":0}"#, "batch"),
+        ] {
+            let err = parse(text).unwrap_err();
+            assert!(err.contains(needle), "{text} -> {err}");
+        }
+    }
+}

@@ -1,0 +1,49 @@
+//! `ringmesh-serve` — simulation as a service.
+//!
+//! A sweep-job server for the `ringmesh` simulator: clients submit
+//! batches of sweep-point jobs as line-delimited JSON (over stdin/stdout
+//! or a TCP socket), the server schedules them on the shared
+//! [`WorkerPool`](ringmesh::WorkerPool), streams per-job windowed
+//! progress, and answers repeated questions instantly from a
+//! content-addressed result cache:
+//!
+//! - **Content-addressed caching** ([`ResultCache`]) — jobs are keyed
+//!   by a digest of the canonicalized configuration (every
+//!   output-relevant field, floats as raw IEEE-754 bits) plus the code
+//!   version. Because simulations are deterministic, a key identifies
+//!   one bit-exact result forever; resubmitting a sweep costs a file
+//!   read per point. `verify_fraction` re-runs a deterministic sample
+//!   of hits and diffs payloads bit for bit.
+//! - **Checkpoint/resume** ([`run_job`]) — long jobs periodically
+//!   serialize full engine + network + workload state next to their
+//!   cache entry; a resubmitted job picks up where the dead server
+//!   left off, and the resumed run fingerprint-matches an
+//!   uninterrupted one.
+//! - **Windowed streaming** — progress events cover ringmesh-trace
+//!   sampling windows, so live stats line up with trace reports.
+//!
+//! ```text
+//! $ printf '%s\n' \
+//!     '{"op":"job","id":"r24","network":"ring","spec":"2:3:4","scale":"quick"}' \
+//!     '{"op":"run"}' '{"op":"quit"}' | ringmesh serve
+//! {"event":"accepted","id":"r24","key":"...","cached":false}
+//! {"event":"window","id":"r24","cycle":1000,"issued":...,"retired":...}
+//! ...
+//! {"event":"result","id":"r24","cached":false,"resumed":false,"data":{...}}
+//! {"event":"batch","jobs":1,"cache_hits":0,"cache_misses":1,...}
+//! {"event":"bye"}
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod cache;
+mod jobspec;
+pub mod json;
+mod runner;
+mod server;
+
+pub use cache::{write_atomic, ResultCache, CODE_VERSION};
+pub use jobspec::{parse_job, JobSpec};
+pub use runner::{run_job, JobOutcome, WindowEvent};
+pub use server::{ServeExit, ServeOptions, Server};

@@ -1,0 +1,234 @@
+//! Running one sweep-point job: windowed progress, periodic
+//! checkpoints, deterministic resume.
+//!
+//! The runner drives [`System::run_to`] in pauses aligned to the
+//! ringmesh-trace sampling window ([`TraceConfig::window_cycles`]), so
+//! streamed progress lines cover the same cycle spans a trace recorder
+//! would summarize. Pausing at boundaries works uniformly across every
+//! network model — including the slotted ring, which has no tracer
+//! instrumentation — because per-window transaction counts come from
+//! the workload's cumulative counters, not from trace callbacks.
+//!
+//! Checkpoints are a crash-safety side effect of the same loop: every
+//! `checkpoint_every` cycles the full engine + network + workload state
+//! is serialized next to the job's cache entry. If the server dies and
+//! the job is resubmitted, the runner restores and continues; the
+//! determinism contract (enforced by `tests/checkpoint_resume.rs`) says
+//! the resumed run fingerprint-matches an uninterrupted one.
+
+use std::fs;
+use std::path::Path;
+
+use ringmesh::{RunResult, System, SystemConfig};
+
+use crate::cache::write_atomic;
+
+/// Progress for one sampling window of a running job.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WindowEvent {
+    /// Network cycle at the end of the window.
+    pub cycle: u64,
+    /// Transactions issued during the window.
+    pub issued: u64,
+    /// Transactions retired during the window.
+    pub retired: u64,
+}
+
+/// What one job run produced.
+#[derive(Debug, Clone)]
+pub struct JobOutcome {
+    /// The simulation result.
+    pub result: RunResult,
+    /// Final network cycle.
+    pub cycles: u64,
+    /// True if the run continued from an on-disk checkpoint.
+    pub resumed: bool,
+}
+
+/// Runs `cfg` to completion, emitting a [`WindowEvent`] per sampling
+/// window and (optionally) checkpointing to `ckpt` every
+/// `checkpoint_every` cycles. If `ckpt` names an existing readable
+/// checkpoint for this config, the run resumes from it; a stale or
+/// corrupt file is ignored and the run starts fresh. The checkpoint is
+/// removed once the run completes.
+///
+/// # Errors
+///
+/// Returns a message for config errors, stalls, or checkpoint I/O
+/// failures.
+pub fn run_job(
+    cfg: &SystemConfig,
+    window_cycles: u64,
+    checkpoint_every: u64,
+    ckpt: Option<&Path>,
+    emit: &mut dyn FnMut(WindowEvent),
+) -> Result<JobOutcome, String> {
+    let window = window_cycles.max(1);
+    let mut sys = System::new(cfg.clone()).map_err(|e| e.to_string())?;
+    let mut state = sys.begin();
+
+    let mut resumed = false;
+    if let Some(path) = ckpt {
+        if let Ok(bytes) = fs::read(path) {
+            match sys.restore(&mut state, &bytes) {
+                Ok(()) => resumed = true,
+                Err(_) => {
+                    // A failed restore may leave partial state behind;
+                    // rebuild from scratch rather than trust it.
+                    sys = System::new(cfg.clone()).map_err(|e| e.to_string())?;
+                    state = sys.begin();
+                }
+            }
+        }
+    }
+
+    let mut prev = sys.workload_stats();
+    let mut last_ckpt = sys.cycle();
+    loop {
+        let stop = (sys.cycle() / window + 1) * window;
+        let done = sys.run_to(&mut state, stop).map_err(|e| e.to_string())?;
+        let stats = sys.workload_stats();
+        emit(WindowEvent {
+            cycle: sys.cycle(),
+            issued: stats.issued - prev.issued,
+            retired: stats.retired - prev.retired,
+        });
+        prev = stats;
+        if done {
+            break;
+        }
+        if let Some(path) = ckpt {
+            if checkpoint_every > 0 && sys.cycle() - last_ckpt >= checkpoint_every {
+                let bytes = sys.checkpoint(&state).map_err(|e| e.to_string())?;
+                write_atomic(path, &bytes)
+                    .map_err(|e| format!("writing checkpoint {}: {e}", path.display()))?;
+                last_ckpt = sys.cycle();
+            }
+        }
+    }
+
+    let outcome = JobOutcome {
+        result: sys.finish(&state),
+        cycles: sys.cycle(),
+        resumed,
+    };
+    if let Some(path) = ckpt {
+        let _ = fs::remove_file(path);
+    }
+    Ok(outcome)
+}
+
+#[cfg(test)]
+mod tests {
+    use std::path::PathBuf;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    use ringmesh::{NetworkSpec, SimParams};
+    use ringmesh_net::CacheLineSize;
+
+    use super::*;
+
+    fn quick(network: NetworkSpec) -> SystemConfig {
+        SystemConfig::new(network, CacheLineSize::B32)
+            .with_sim(SimParams {
+                warmup: 800,
+                batch_cycles: 800,
+                batches: 3,
+            })
+            .with_seed(17)
+    }
+
+    fn temppath(tag: &str) -> PathBuf {
+        static NEXT: AtomicUsize = AtomicUsize::new(0);
+        std::env::temp_dir().join(format!(
+            "ringmesh-runner-{tag}-{}-{}.ckpt",
+            std::process::id(),
+            NEXT.fetch_add(1, Ordering::Relaxed)
+        ))
+    }
+
+    #[test]
+    fn windows_align_to_the_sampling_grid_and_cover_the_run() {
+        let cfg = quick(NetworkSpec::ring("6".parse().unwrap()));
+        let mut windows = Vec::new();
+        let out = run_job(&cfg, 1_000, 0, None, &mut |w| windows.push(w)).unwrap();
+        assert!(!out.resumed);
+        assert!(!windows.is_empty());
+        for w in &windows[..windows.len() - 1] {
+            assert_eq!(w.cycle % 1_000, 0, "interior window ends on the grid");
+        }
+        assert_eq!(windows.last().unwrap().cycle, out.cycles);
+        let issued: u64 = windows.iter().map(|w| w.issued).sum();
+        assert_eq!(
+            issued, out.result.workload.issued,
+            "windows partition the run"
+        );
+    }
+
+    /// The slotted ring has no tracer hooks at all; windows must still
+    /// stream because they come from run_to pauses, not trace sinks.
+    #[test]
+    fn slotted_ring_jobs_stream_windows_too() {
+        let cfg = quick(NetworkSpec::SlottedRing {
+            spec: "2:2:3".parse().unwrap(),
+        });
+        let mut n = 0;
+        let out = run_job(&cfg, 500, 0, None, &mut |w| {
+            n += 1;
+            assert!(w.cycle > 0);
+        })
+        .unwrap();
+        assert!(n >= 4, "expected several windows, got {n}");
+        assert!(out.result.workload.retired > 0);
+    }
+
+    #[test]
+    fn resume_from_checkpoint_matches_uninterrupted() {
+        let cfg = quick(NetworkSpec::mesh(3));
+        let clean = run_job(&cfg, 1_000, 0, None, &mut |_| {}).unwrap();
+
+        // Produce a mid-run checkpoint the way an interrupted server
+        // would have left one on disk.
+        let path = temppath("resume");
+        let mut sys = System::new(cfg.clone()).unwrap();
+        let mut state = sys.begin();
+        assert!(!sys.run_to(&mut state, 1_200).unwrap());
+        fs::write(&path, sys.checkpoint(&state).unwrap()).unwrap();
+
+        let out = run_job(&cfg, 1_000, 0, Some(&path), &mut |_| {}).unwrap();
+        assert!(out.resumed, "checkpoint on disk must be picked up");
+        assert_eq!(
+            out.result.fingerprint(),
+            clean.result.fingerprint(),
+            "resumed run must be bit-identical"
+        );
+        assert!(!path.exists(), "checkpoint is removed on completion");
+    }
+
+    #[test]
+    fn corrupt_checkpoint_falls_back_to_a_fresh_run() {
+        let cfg = quick(NetworkSpec::ring("2:4".parse().unwrap()));
+        let clean = run_job(&cfg, 1_000, 0, None, &mut |_| {}).unwrap();
+        let path = temppath("corrupt");
+        fs::write(&path, b"not a checkpoint").unwrap();
+        let out = run_job(&cfg, 1_000, 0, Some(&path), &mut |_| {}).unwrap();
+        assert!(!out.resumed);
+        assert_eq!(out.result.fingerprint(), clean.result.fingerprint());
+        let _ = fs::remove_file(&path);
+    }
+
+    #[test]
+    fn periodic_checkpoints_are_written_while_running() {
+        let cfg = quick(NetworkSpec::ring("6".parse().unwrap()));
+        let path = temppath("periodic");
+        let mut saw_file = false;
+        let path2 = path.clone();
+        let out = run_job(&cfg, 400, 800, Some(&path), &mut |_| {
+            saw_file |= path2.exists();
+        })
+        .unwrap();
+        assert!(saw_file, "a checkpoint should exist mid-run");
+        assert!(!path.exists(), "and be cleaned up at the end");
+        assert!(out.result.workload.retired > 0);
+    }
+}

@@ -1,0 +1,499 @@
+//! The sweep-job server: line-delimited JSON over any byte stream.
+//!
+//! One request per line, one or more event lines back. Ops:
+//!
+//! | request                         | events                                  |
+//! |---------------------------------|-----------------------------------------|
+//! | `{"op":"job", ...}`             | `accepted` (job queued for the batch)   |
+//! | `{"op":"run"}`                  | `window`* / `result`* then one `batch`  |
+//! | `{"op":"stats"}`                | `stats` (cache counters)                |
+//! | `{"op":"quit"}`                 | `bye`, connection closes                |
+//! | `{"op":"shutdown"}`             | `bye`, TCP accept loop stops too        |
+//!
+//! `run` answers cache hits instantly from the content-addressed store
+//! and schedules the misses on the shared [`WorkerPool`]; `window` and
+//! `result` events stream as workers progress (each tagged with the
+//! job id), and the closing `batch` line carries hit/miss counters plus
+//! a combined fingerprint over all results in submission order — two
+//! batches of identical jobs produce byte-identical `result` data and
+//! equal batch fingerprints whether computed or cached.
+
+use std::cell::RefCell;
+use std::io::{self, BufRead, BufReader, Write};
+use std::net::TcpListener;
+use std::path::PathBuf;
+
+use ringmesh::{RunResult, SystemConfig, WorkerPool};
+use ringmesh_snap::{hex64, Fingerprint};
+use ringmesh_trace::TraceConfig;
+
+use crate::cache::ResultCache;
+use crate::jobspec::{parse_job, JobSpec};
+use crate::json::{obj, Json};
+use crate::runner::{run_job, WindowEvent};
+
+/// Server tuning knobs.
+#[derive(Debug, Clone)]
+pub struct ServeOptions {
+    /// Result-cache directory.
+    pub cache_dir: PathBuf,
+    /// Worker threads (`None` = the pool's default sizing).
+    pub threads: Option<usize>,
+    /// Fraction of cache hits to deterministically re-run and diff
+    /// bit-for-bit against the stored payload (`--verify-cache`).
+    pub verify_fraction: f64,
+    /// Cycles between state checkpoints for in-flight jobs (0 = off).
+    pub checkpoint_every: u64,
+    /// Progress-window length in cycles; defaults to the ringmesh-trace
+    /// sampling window so streamed stats line up with trace reports.
+    pub window_cycles: u64,
+}
+
+impl Default for ServeOptions {
+    fn default() -> Self {
+        ServeOptions {
+            cache_dir: PathBuf::from(".ringmesh-cache"),
+            threads: None,
+            verify_fraction: 0.0,
+            checkpoint_every: 0,
+            window_cycles: TraceConfig::default().window_cycles,
+        }
+    }
+}
+
+/// How a serve session ended.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ServeExit {
+    /// Input ended or the client sent `quit`; a TCP server keeps
+    /// accepting connections.
+    Quit,
+    /// The client sent `shutdown`; a TCP server stops accepting.
+    Shutdown,
+}
+
+/// A sweep-job server: shared result cache + worker pool, serving any
+/// number of sequential sessions.
+#[derive(Debug)]
+pub struct Server {
+    opts: ServeOptions,
+    cache: ResultCache,
+    pool: WorkerPool,
+}
+
+/// One queued job and what the cache already knows about it.
+#[derive(Debug)]
+struct Pending {
+    spec: JobSpec,
+    key: u64,
+    cached: Option<String>,
+}
+
+/// What `run` decided to do with one pending job.
+#[derive(Debug)]
+enum Plan {
+    /// Serve the stored payload as-is.
+    Hit(String),
+    /// Simulate (index into the work-item vector).
+    Work(usize),
+    /// Cache hit selected for verification: serve the stored payload,
+    /// but also re-run (work index) and diff.
+    Verify(String, usize),
+    /// Same key as an earlier job in this batch; reuse its outcome.
+    Alias(usize),
+}
+
+impl Server {
+    /// Opens the cache and spins up the worker pool.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the cache directory cannot be created.
+    pub fn new(opts: ServeOptions) -> io::Result<Server> {
+        let cache = ResultCache::open(&opts.cache_dir)?;
+        let pool = match opts.threads {
+            Some(n) => WorkerPool::new(n),
+            None => WorkerPool::default(),
+        };
+        Ok(Server { opts, cache, pool })
+    }
+
+    /// Serves one session: reads requests line by line from `input`,
+    /// writes event lines to `out`, until EOF / `quit` / `shutdown`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors on the transport.
+    pub fn serve<R: BufRead, W: Write>(&mut self, input: R, mut out: W) -> io::Result<ServeExit> {
+        let mut pending: Vec<Pending> = Vec::new();
+        let mut next_id = 0usize;
+        for line in input.lines() {
+            let line = line?;
+            if line.trim().is_empty() {
+                continue;
+            }
+            let req = match Json::parse(&line) {
+                Ok(v) => v,
+                Err(e) => {
+                    emit(&mut out, error_event(None, &format!("bad request: {e}")))?;
+                    continue;
+                }
+            };
+            match req.get("op").and_then(Json::as_str) {
+                Some("job") => {
+                    let default_id = format!("job-{next_id}");
+                    match parse_job(&req, &default_id) {
+                        Ok(spec) => {
+                            next_id += 1;
+                            let key = ResultCache::key(&spec.cfg);
+                            let cached = self.cache.lookup(key);
+                            emit(
+                                &mut out,
+                                obj(vec![
+                                    ("event", Json::Str("accepted".into())),
+                                    ("id", Json::Str(spec.id.clone())),
+                                    ("key", Json::Str(hex64(key))),
+                                    ("cached", Json::Bool(cached.is_some())),
+                                ]),
+                            )?;
+                            pending.push(Pending { spec, key, cached });
+                        }
+                        Err(e) => emit(&mut out, error_event(req.get("id"), &e))?,
+                    }
+                }
+                Some("run") => {
+                    let batch = std::mem::take(&mut pending);
+                    self.run_batch(batch, &mut out)?;
+                }
+                Some("stats") => {
+                    emit(
+                        &mut out,
+                        obj(vec![
+                            ("event", Json::Str("stats".into())),
+                            ("cache_hits", Json::Num(self.cache.hits as f64)),
+                            ("cache_misses", Json::Num(self.cache.misses as f64)),
+                            ("cache_entries", Json::Num(self.cache.entries() as f64)),
+                            ("pending", Json::Num(pending.len() as f64)),
+                        ]),
+                    )?;
+                }
+                Some("quit") => {
+                    emit(&mut out, obj(vec![("event", Json::Str("bye".into()))]))?;
+                    return Ok(ServeExit::Quit);
+                }
+                Some("shutdown") => {
+                    emit(&mut out, obj(vec![("event", Json::Str("bye".into()))]))?;
+                    return Ok(ServeExit::Shutdown);
+                }
+                other => {
+                    let msg = match other {
+                        Some(op) => format!("unknown op '{op}'"),
+                        None => "missing 'op' field".to_string(),
+                    };
+                    emit(&mut out, error_event(None, &msg))?;
+                }
+            }
+        }
+        Ok(ServeExit::Quit)
+    }
+
+    /// Binds `addr` and serves connections one at a time until a client
+    /// sends `shutdown`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates bind/accept errors; per-connection transport errors
+    /// end that session only.
+    pub fn serve_tcp(&mut self, addr: &str) -> io::Result<()> {
+        let listener = TcpListener::bind(addr)?;
+        eprintln!("ringmesh serve: listening on {}", listener.local_addr()?);
+        for stream in listener.incoming() {
+            let stream = stream?;
+            let reader = BufReader::new(stream.try_clone()?);
+            match self.serve(reader, stream) {
+                Ok(ServeExit::Shutdown) => return Ok(()),
+                Ok(ServeExit::Quit) => {}
+                Err(e) => eprintln!("ringmesh serve: session error: {e}"),
+            }
+        }
+        Ok(())
+    }
+
+    /// Runs one batch: instant cache hits, pooled misses, streamed
+    /// windows/results, closing summary.
+    fn run_batch<W: Write>(&mut self, batch: Vec<Pending>, out: &mut W) -> io::Result<()> {
+        // Plan each job. Work items carry everything the worker needs.
+        let mut plans: Vec<Plan> = Vec::with_capacity(batch.len());
+        // Work item: (id, config, key, is a cache-verification re-run).
+        let mut work: Vec<(String, SystemConfig, u64, bool)> = Vec::new();
+        for p in &batch {
+            let earlier = work.iter().position(|&(_, _, k, _)| k == p.key);
+            match (&p.cached, earlier) {
+                (_, Some(w)) => plans.push(Plan::Alias(w)),
+                (Some(payload), None) => {
+                    if self.selected_for_verify(p.key) {
+                        work.push((p.spec.id.clone(), p.spec.cfg.clone(), p.key, true));
+                        plans.push(Plan::Verify(payload.clone(), work.len() - 1));
+                    } else {
+                        plans.push(Plan::Hit(payload.clone()));
+                    }
+                }
+                (None, None) => {
+                    work.push((p.spec.id.clone(), p.spec.cfg.clone(), p.key, false));
+                    plans.push(Plan::Work(work.len() - 1));
+                }
+            }
+        }
+
+        // Answer pure hits immediately, in submission order.
+        for (p, plan) in batch.iter().zip(&plans) {
+            if let Plan::Hit(payload) = plan {
+                emit_result(out, &p.spec.id, payload, true, false)?;
+            }
+        }
+
+        // Simulate the rest on the pool, streaming as workers go.
+        let window = self.opts.window_cycles;
+        let checkpoint_every = self.opts.checkpoint_every;
+        let cache = &self.cache;
+        let sink = RefCell::new(&mut *out);
+        let outcomes: Vec<Result<(String, u64, bool), String>> = self.pool.run_jobs(
+            work.clone(),
+            |_, (_, cfg, key, _), progress| {
+                let ckpt = cache.checkpoint_path(key);
+                let outcome = run_job(&cfg, window, checkpoint_every, Some(&ckpt), progress)?;
+                Ok((
+                    result_payload(&cfg, &outcome.result, key),
+                    outcome.result.fingerprint(),
+                    outcome.resumed,
+                ))
+            },
+            |i, w: WindowEvent| {
+                let (id, _, _, _) = &work[i];
+                let _ = emit(
+                    &mut **sink.borrow_mut(),
+                    obj(vec![
+                        ("event", Json::Str("window".into())),
+                        ("id", Json::Str(id.clone())),
+                        ("cycle", Json::Num(w.cycle as f64)),
+                        ("issued", Json::Num(w.issued as f64)),
+                        ("retired", Json::Num(w.retired as f64)),
+                    ]),
+                );
+            },
+            |i, r: &Result<(String, u64, bool), String>| {
+                let (id, _, _, is_verify) = &work[i];
+                let _ = match r {
+                    // A verification re-run is still a cache hit from
+                    // the client's point of view — and must stream the
+                    // *stored* payload so hits stay byte-stable even
+                    // when the entry turns out to be stale (the diff
+                    // and repair happen after the batch completes).
+                    Ok(_) if *is_verify => Ok(()),
+                    Ok((payload, _, resumed)) => {
+                        emit_result(&mut **sink.borrow_mut(), id, payload, false, *resumed)
+                    }
+                    Err(e) => emit(&mut **sink.borrow_mut(), error_event_str(id, e)),
+                };
+            },
+        );
+        let _ = sink;
+
+        // Post-run accounting in submission order: store fresh results,
+        // diff verified hits, emit aliases, fold the batch fingerprint.
+        let mut fp = Fingerprint::new();
+        let mut hits = 0u64;
+        let mut misses = 0u64;
+        let mut verified = 0u64;
+        let mut mismatches = 0u64;
+        let mut errors = 0u64;
+        for (p, plan) in batch.iter().zip(&plans) {
+            match plan {
+                Plan::Hit(payload) => {
+                    hits += 1;
+                    fp.write_str(payload);
+                }
+                Plan::Work(w) => match &outcomes[*w] {
+                    Ok((payload, _, _)) => {
+                        misses += 1;
+                        if let Err(e) = self.cache.store(p.key, payload) {
+                            emit(
+                                out,
+                                error_event_str(&p.spec.id, &format!("cache store: {e}")),
+                            )?;
+                        }
+                        fp.write_str(payload);
+                    }
+                    Err(e) => {
+                        errors += 1;
+                        fp.write_str(&format!("error:{e}"));
+                    }
+                },
+                Plan::Verify(cached, w) => match &outcomes[*w] {
+                    Ok((payload, _, _)) => {
+                        hits += 1;
+                        emit_result(out, &p.spec.id, cached, true, false)?;
+                        if payload == cached {
+                            verified += 1;
+                        } else {
+                            mismatches += 1;
+                            emit(
+                                out,
+                                error_event_str(
+                                    &p.spec.id,
+                                    "cache verification mismatch: stored payload differs from re-run",
+                                ),
+                            )?;
+                            // Trust the fresh run over the stale entry.
+                            let _ = self.cache.store(p.key, payload);
+                        }
+                        fp.write_str(payload);
+                    }
+                    Err(e) => {
+                        errors += 1;
+                        fp.write_str(&format!("error:{e}"));
+                    }
+                },
+                Plan::Alias(w) => match &outcomes[*w] {
+                    Ok((payload, _, _)) => {
+                        hits += 1; // answered from this batch's own work
+                        emit_result(out, &p.spec.id, payload, true, false)?;
+                        fp.write_str(payload);
+                    }
+                    Err(e) => {
+                        errors += 1;
+                        emit(out, error_event_str(&p.spec.id, e))?;
+                        fp.write_str(&format!("error:{e}"));
+                    }
+                },
+            }
+        }
+        self.cache.hits += hits;
+        self.cache.misses += misses;
+
+        emit(
+            out,
+            obj(vec![
+                ("event", Json::Str("batch".into())),
+                ("jobs", Json::Num(batch.len() as f64)),
+                ("cache_hits", Json::Num(hits as f64)),
+                ("cache_misses", Json::Num(misses as f64)),
+                ("verified", Json::Num(verified as f64)),
+                ("mismatches", Json::Num(mismatches as f64)),
+                ("errors", Json::Num(errors as f64)),
+                ("fingerprint", Json::Str(hex64(fp.finish()))),
+            ]),
+        )
+    }
+
+    /// Deterministic verification sampling: stable in the key, so the
+    /// same job is either always or never re-checked at a given
+    /// fraction.
+    fn selected_for_verify(&self, key: u64) -> bool {
+        let f = self.opts.verify_fraction.clamp(0.0, 1.0);
+        (key % 10_000) < (f * 10_000.0) as u64
+    }
+
+    /// Cache hit/miss totals so far (hits, misses).
+    pub fn cache_counters(&self) -> (u64, u64) {
+        (self.cache.hits, self.cache.misses)
+    }
+}
+
+/// The canonical result payload for one completed job. Deterministic by
+/// construction (insertion-ordered members, shortest-round-trip floats)
+/// so equal results serialize to byte-identical text.
+fn result_payload(cfg: &SystemConfig, r: &RunResult, key: u64) -> String {
+    let mut members = vec![
+        ("schema", Json::Str("ringmesh-serve/1".into())),
+        ("key", Json::Str(hex64(key))),
+        ("config", Json::Str(cfg.canonical())),
+        ("network", Json::Str(cfg.network.label())),
+        ("pms", Json::Num(r.pms as f64)),
+        (
+            "latency",
+            obj(vec![
+                ("mean", Json::Num(r.latency.mean)),
+                ("ci95", Json::Num(r.latency.ci95)),
+                ("std_dev", Json::Num(r.latency.std_dev)),
+                ("min", Json::Num(r.latency.min)),
+                ("max", Json::Num(r.latency.max)),
+                ("batches", Json::Num(r.latency.n as f64)),
+            ]),
+        ),
+    ];
+    if let Some((p50, p95, p99)) = r.percentiles {
+        members.push((
+            "percentiles",
+            obj(vec![
+                ("p50", Json::Num(p50)),
+                ("p95", Json::Num(p95)),
+                ("p99", Json::Num(p99)),
+            ]),
+        ));
+    }
+    members.push(("throughput", Json::Num(r.throughput)));
+    members.push(("utilization", Json::Num(r.utilization.overall)));
+    members.push((
+        "levels",
+        Json::Arr(
+            r.utilization
+                .levels
+                .iter()
+                .map(|l| {
+                    obj(vec![
+                        ("label", Json::Str(l.label.clone())),
+                        ("utilization", Json::Num(l.utilization)),
+                    ])
+                })
+                .collect(),
+        ),
+    ));
+    members.push(("issued", Json::Num(r.workload.issued as f64)));
+    members.push(("retired", Json::Num(r.workload.retired as f64)));
+    members.push(("fingerprint", Json::Str(hex64(r.fingerprint()))));
+    obj(members).to_string()
+}
+
+fn emit<W: Write>(out: &mut W, event: Json) -> io::Result<()> {
+    writeln!(out, "{event}")?;
+    out.flush()
+}
+
+/// Writes a `result` event with the payload embedded under `"data"`.
+/// The payload is spliced in verbatim — it is already serialized JSON
+/// and must stay byte-identical between cached and fresh emission.
+fn emit_result<W: Write>(
+    out: &mut W,
+    id: &str,
+    payload: &str,
+    cached: bool,
+    resumed: bool,
+) -> io::Result<()> {
+    let head = obj(vec![
+        ("event", Json::Str("result".into())),
+        ("id", Json::Str(id.to_string())),
+        ("cached", Json::Bool(cached)),
+        ("resumed", Json::Bool(resumed)),
+    ])
+    .to_string();
+    // head is "{...}"; replace the closing brace with ,"data":payload}.
+    writeln!(out, "{},\"data\":{}}}", &head[..head.len() - 1], payload)?;
+    out.flush()
+}
+
+fn error_event(id: Option<&Json>, message: &str) -> Json {
+    let mut members = vec![("event", Json::Str("error".into()))];
+    if let Some(Json::Str(id)) = id {
+        members.push(("id", Json::Str(id.clone())));
+    }
+    members.push(("message", Json::Str(message.to_string())));
+    obj(members)
+}
+
+fn error_event_str(id: &str, message: &str) -> Json {
+    obj(vec![
+        ("event", Json::Str("error".into())),
+        ("id", Json::Str(id.to_string())),
+        ("message", Json::Str(message.to_string())),
+    ])
+}

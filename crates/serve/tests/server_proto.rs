@@ -1,0 +1,277 @@
+//! End-to-end serve protocol: a batch submitted twice must be computed
+//! once and then served entirely from the content-addressed cache with
+//! byte-identical results.
+
+use std::fs;
+use std::io::BufReader;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+use ringmesh_serve::json::Json;
+use ringmesh_serve::{ServeExit, ServeOptions, Server};
+
+fn tempdir(tag: &str) -> PathBuf {
+    static NEXT: AtomicUsize = AtomicUsize::new(0);
+    let dir = std::env::temp_dir().join(format!(
+        "ringmesh-proto-{tag}-{}-{}",
+        std::process::id(),
+        NEXT.fetch_add(1, Ordering::Relaxed)
+    ));
+    let _ = fs::remove_dir_all(&dir);
+    dir
+}
+
+fn opts(dir: &Path) -> ServeOptions {
+    ServeOptions {
+        cache_dir: dir.to_path_buf(),
+        threads: Some(2),
+        ..ServeOptions::default()
+    }
+}
+
+/// Runs one session over in-memory buffers; returns parsed event lines.
+fn session(server: &mut Server, script: &str) -> Vec<Json> {
+    let mut out = Vec::new();
+    let exit = server
+        .serve(BufReader::new(script.as_bytes()), &mut out)
+        .unwrap();
+    assert_eq!(exit, ServeExit::Quit);
+    String::from_utf8(out)
+        .unwrap()
+        .lines()
+        .map(|l| Json::parse(l).unwrap_or_else(|e| panic!("bad event line {l}: {e}")))
+        .collect()
+}
+
+fn events<'a>(lines: &'a [Json], kind: &str) -> Vec<&'a Json> {
+    lines
+        .iter()
+        .filter(|l| l.get("event").and_then(Json::as_str) == Some(kind))
+        .collect()
+}
+
+const BATCH: &str = concat!(
+    r#"{"op":"job","id":"ring","network":"ring","spec":"2:4","warmup":800,"batch_cycles":800,"batches":3,"cache_line":32}"#,
+    "\n",
+    r#"{"op":"job","id":"slotted","network":"slotted","spec":"2:2:3","warmup":800,"batch_cycles":800,"batches":3,"cache_line":32}"#,
+    "\n",
+    r#"{"op":"job","id":"mesh","network":"mesh","side":3,"warmup":800,"batch_cycles":800,"batches":3,"cache_line":32}"#,
+    "\n",
+    r#"{"op":"run"}"#,
+    "\n",
+    r#"{"op":"quit"}"#,
+    "\n",
+);
+
+fn result_data(lines: &[Json], id: &str) -> String {
+    events(lines, "result")
+        .into_iter()
+        .find(|r| r.get("id").and_then(Json::as_str) == Some(id))
+        .unwrap_or_else(|| panic!("no result for {id}"))
+        .get("data")
+        .unwrap()
+        .to_string()
+}
+
+#[test]
+fn second_submission_is_served_from_cache_bit_for_bit() {
+    let dir = tempdir("twice");
+    let mut server = Server::new(opts(&dir)).unwrap();
+
+    let first = session(&mut server, BATCH);
+    let accepted = events(&first, "accepted");
+    assert_eq!(accepted.len(), 3);
+    assert!(accepted
+        .iter()
+        .all(|a| a.get("cached") == Some(&Json::Bool(false))));
+    assert!(!events(&first, "window").is_empty(), "progress must stream");
+    let batch1 = events(&first, "batch")[0];
+    assert_eq!(batch1.get("cache_hits").and_then(Json::as_u64), Some(0));
+    assert_eq!(batch1.get("cache_misses").and_then(Json::as_u64), Some(3));
+    assert_eq!(batch1.get("errors").and_then(Json::as_u64), Some(0));
+
+    // Same batch again — a fresh session, same server and cache.
+    let second = session(&mut server, BATCH);
+    let accepted = events(&second, "accepted");
+    assert!(accepted
+        .iter()
+        .all(|a| a.get("cached") == Some(&Json::Bool(true))));
+    assert!(events(&second, "window").is_empty(), "hits don't simulate");
+    let batch2 = events(&second, "batch")[0];
+    assert_eq!(batch2.get("cache_hits").and_then(Json::as_u64), Some(3));
+    assert_eq!(batch2.get("cache_misses").and_then(Json::as_u64), Some(0));
+
+    // Byte-identical payloads and an equal combined fingerprint.
+    for id in ["ring", "slotted", "mesh"] {
+        assert_eq!(result_data(&first, id), result_data(&second, id), "{id}");
+    }
+    assert_eq!(
+        batch1.get("fingerprint").and_then(Json::as_str),
+        batch2.get("fingerprint").and_then(Json::as_str)
+    );
+    assert_eq!(server.cache_counters(), (3, 3));
+
+    // A restarted server over the same directory still hits.
+    let mut fresh = Server::new(opts(&dir)).unwrap();
+    let third = session(&mut fresh, BATCH);
+    assert_eq!(
+        events(&third, "batch")[0]
+            .get("cache_hits")
+            .and_then(Json::as_u64),
+        Some(3)
+    );
+    let _ = fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn verify_cache_rechecks_hits_and_reports_them() {
+    let dir = tempdir("verify");
+    let mut server = Server::new(ServeOptions {
+        verify_fraction: 1.0,
+        ..opts(&dir)
+    })
+    .unwrap();
+
+    let first = session(&mut server, BATCH);
+    assert_eq!(
+        events(&first, "batch")[0]
+            .get("verified")
+            .and_then(Json::as_u64),
+        Some(0),
+        "misses have nothing to verify"
+    );
+    let second = session(&mut server, BATCH);
+    let batch = events(&second, "batch")[0];
+    assert_eq!(batch.get("cache_hits").and_then(Json::as_u64), Some(3));
+    assert_eq!(batch.get("verified").and_then(Json::as_u64), Some(3));
+    assert_eq!(batch.get("mismatches").and_then(Json::as_u64), Some(0));
+    // Verified hits still serve the cached payload.
+    for r in events(&second, "result") {
+        assert_eq!(r.get("cached"), Some(&Json::Bool(true)));
+    }
+    let _ = fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn verify_cache_detects_a_corrupted_entry() {
+    let dir = tempdir("corrupt");
+    let mut server = Server::new(ServeOptions {
+        verify_fraction: 1.0,
+        ..opts(&dir)
+    })
+    .unwrap();
+    let job = r#"{"op":"job","id":"m","network":"mesh","side":3,"warmup":600,"batch_cycles":600,"batches":2,"cache_line":32}"#;
+    let script = format!("{job}\n{{\"op\":\"run\"}}\n{{\"op\":\"quit\"}}\n");
+    session(&mut server, &script);
+
+    // Corrupt the single stored payload behind the server's back.
+    let mut corrupted = 0;
+    for shard in fs::read_dir(&dir).unwrap().flatten() {
+        for f in fs::read_dir(shard.path()).unwrap().flatten() {
+            if f.path().extension().is_some_and(|e| e == "json") {
+                fs::write(f.path(), "{\"tampered\":true}").unwrap();
+                corrupted += 1;
+            }
+        }
+    }
+    assert_eq!(corrupted, 1);
+
+    let second = session(&mut server, &script);
+    let batch = events(&second, "batch")[0];
+    assert_eq!(batch.get("mismatches").and_then(Json::as_u64), Some(1));
+    assert!(!events(&second, "error").is_empty());
+
+    // The mismatch repaired the entry: a third pass verifies cleanly.
+    let third = session(&mut server, &script);
+    let batch = events(&third, "batch")[0];
+    assert_eq!(batch.get("verified").and_then(Json::as_u64), Some(1));
+    assert_eq!(batch.get("mismatches").and_then(Json::as_u64), Some(0));
+    let _ = fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn duplicate_jobs_in_one_batch_simulate_once() {
+    let dir = tempdir("dedup");
+    let mut server = Server::new(opts(&dir)).unwrap();
+    let script = concat!(
+        r#"{"op":"job","id":"a","network":"mesh","side":3,"warmup":600,"batch_cycles":600,"batches":2,"cache_line":32}"#,
+        "\n",
+        r#"{"op":"job","id":"b","network":"mesh","side":3,"warmup":600,"batch_cycles":600,"batches":2,"cache_line":32}"#,
+        "\n",
+        r#"{"op":"run"}"#,
+        "\n",
+        r#"{"op":"quit"}"#,
+        "\n",
+    );
+    let lines = session(&mut server, script);
+    let batch = events(&lines, "batch")[0];
+    assert_eq!(batch.get("jobs").and_then(Json::as_u64), Some(2));
+    assert_eq!(batch.get("cache_misses").and_then(Json::as_u64), Some(1));
+    assert_eq!(batch.get("cache_hits").and_then(Json::as_u64), Some(1));
+    assert_eq!(result_data(&lines, "a"), result_data(&lines, "b"));
+    let _ = fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn protocol_errors_are_reported_not_fatal() {
+    let dir = tempdir("errors");
+    let mut server = Server::new(opts(&dir)).unwrap();
+    let script = concat!(
+        "this is not json\n",
+        r#"{"op":"warp"}"#,
+        "\n",
+        r#"{"op":"job","id":"bad","network":"torus"}"#,
+        "\n",
+        r#"{"op":"stats"}"#,
+        "\n",
+        r#"{"op":"quit"}"#,
+        "\n",
+    );
+    let lines = session(&mut server, script);
+    assert_eq!(events(&lines, "error").len(), 3);
+    let stats = events(&lines, "stats")[0];
+    assert_eq!(stats.get("cache_entries").and_then(Json::as_u64), Some(0));
+    assert_eq!(events(&lines, "bye").len(), 1);
+    let _ = fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn results_carry_percentiles_and_fingerprint() {
+    let dir = tempdir("payload");
+    let mut server = Server::new(opts(&dir)).unwrap();
+    let script = concat!(
+        r#"{"op":"job","id":"r","network":"ring","spec":"6","warmup":800,"batch_cycles":800,"batches":3,"cache_line":32}"#,
+        "\n",
+        r#"{"op":"run"}"#,
+        "\n",
+        r#"{"op":"quit"}"#,
+        "\n",
+    );
+    let lines = session(&mut server, script);
+    let data_text = result_data(&lines, "r");
+    let data = Json::parse(&data_text).unwrap();
+    assert_eq!(
+        data.get("schema").and_then(Json::as_str),
+        Some("ringmesh-serve/1")
+    );
+    let p = data.get("percentiles").expect("percentiles present");
+    for q in ["p50", "p95", "p99"] {
+        assert!(p.get(q).and_then(Json::as_f64).unwrap() > 0.0);
+    }
+    assert!(
+        data.get("latency")
+            .unwrap()
+            .get("mean")
+            .and_then(Json::as_f64)
+            .unwrap()
+            > 0.0
+    );
+    assert_eq!(
+        data.get("fingerprint")
+            .and_then(Json::as_str)
+            .unwrap()
+            .len(),
+        16
+    );
+    let _ = fs::remove_dir_all(&dir);
+}

@@ -1,5 +1,7 @@
 //! The batch means method of output analysis.
 
+use ringmesh_snap::{SnapError, SnapReader, SnapWriter, SnapshotState};
+
 use crate::Summary;
 
 /// Batch-means collector for a steady-state simulation measure.
@@ -91,6 +93,37 @@ impl BatchMeans {
     /// Summary across batch means.
     pub fn summary(&self) -> Summary {
         Summary::of(&self.batch_means())
+    }
+}
+
+impl SnapshotState for BatchMeans {
+    fn save_state(&self, w: &mut SnapWriter) {
+        w.u64(self.warmup);
+        w.u64(self.batch_cycles);
+        w.usize(self.batches);
+        for &s in &self.sums {
+            w.f64(s);
+        }
+        for &c in &self.counts {
+            w.u64(c);
+        }
+    }
+
+    fn restore_state(&mut self, r: &mut SnapReader<'_>) -> Result<(), SnapError> {
+        let (warmup, batch_cycles, batches) = (r.u64()?, r.u64()?, r.usize()?);
+        if (warmup, batch_cycles, batches) != (self.warmup, self.batch_cycles, self.batches) {
+            return Err(SnapError::Mismatch(format!(
+                "batch-means plan {warmup}/{batch_cycles}x{batches} vs {}/{}x{}",
+                self.warmup, self.batch_cycles, self.batches
+            )));
+        }
+        for s in &mut self.sums {
+            *s = r.f64()?;
+        }
+        for c in &mut self.counts {
+            *c = r.u64()?;
+        }
+        Ok(())
     }
 }
 

@@ -2,6 +2,8 @@
 //! percentile reporting (mean latency alone hides the convoy/tail
 //! behaviour that distinguishes switching disciplines).
 
+use ringmesh_snap::{SnapError, SnapReader, SnapWriter, SnapshotState};
+
 /// Histogram over non-negative values with logarithmically spaced
 /// buckets: 16 sub-buckets per octave, covering `[1, 2^40)` with a
 /// relative resolution of about 4.5%.
@@ -107,6 +109,33 @@ impl Histogram {
 impl Default for Histogram {
     fn default() -> Self {
         Histogram::new()
+    }
+}
+
+impl SnapshotState for Histogram {
+    fn save_state(&self, w: &mut SnapWriter) {
+        w.usize(self.counts.len());
+        for &c in &self.counts {
+            w.u64(c);
+        }
+        w.u64(self.total);
+        w.u64(self.underflow);
+    }
+
+    fn restore_state(&mut self, r: &mut SnapReader<'_>) -> Result<(), SnapError> {
+        let n = r.usize()?;
+        if n != self.counts.len() {
+            return Err(SnapError::Mismatch(format!(
+                "histogram has {n} buckets, expected {}",
+                self.counts.len()
+            )));
+        }
+        for c in &mut self.counts {
+            *c = r.u64()?;
+        }
+        self.total = r.u64()?;
+        self.underflow = r.u64()?;
+        Ok(())
     }
 }
 

@@ -3,6 +3,7 @@
 
 use ringmesh_engine::SimRng;
 use ringmesh_net::{Interconnect, NodeId, Packet, QueueClass, TxnId};
+use ringmesh_snap::{SnapError, SnapReader, SnapWriter, Snapshot, SnapshotState};
 use ringmesh_trace::{Counter, Gauge};
 
 use crate::memory::MemoryModule;
@@ -328,6 +329,84 @@ impl Mmrp {
             let outstanding: u64 = self.procs.iter().map(|p| u64::from(p.outstanding())).sum();
             t.gauge(Gauge::OutstandingTxns, outstanding as f64);
         }
+    }
+}
+
+impl Snapshot for MmrpStats {
+    fn save(&self, w: &mut SnapWriter) {
+        w.u64(self.issued);
+        w.u64(self.retired);
+        w.u64(self.local_retired);
+    }
+
+    fn load(r: &mut SnapReader<'_>) -> Result<Self, SnapError> {
+        Ok(MmrpStats {
+            issued: r.u64()?,
+            retired: r.u64()?,
+            local_retired: r.u64()?,
+        })
+    }
+}
+
+impl SnapshotState for Mmrp {
+    fn save_state(&self, w: &mut SnapWriter) {
+        w.u64(self.txn_seq);
+        self.stats.save(w);
+        w.usize(self.procs.len());
+        for p in &self.procs {
+            p.save_state(w);
+        }
+        w.usize(self.mems.len());
+        for m in &self.mems {
+            m.save_state(w);
+        }
+        // `local_scratch` is per-cycle scratch — empty between cycles.
+        w.bool(self.retry.is_some());
+        if let Some(book) = &self.retry {
+            book.save_state(w);
+        }
+    }
+
+    fn restore_state(&mut self, r: &mut SnapReader<'_>) -> Result<(), SnapError> {
+        self.txn_seq = r.u64()?;
+        self.stats = MmrpStats::load(r)?;
+        let procs = r.usize()?;
+        if procs != self.procs.len() {
+            return Err(SnapError::Mismatch(format!(
+                "snapshot has {procs} processors, workload has {}",
+                self.procs.len()
+            )));
+        }
+        for p in &mut self.procs {
+            p.restore_state(r)?;
+        }
+        let mems = r.usize()?;
+        if mems != self.mems.len() {
+            return Err(SnapError::Mismatch(format!(
+                "snapshot has {mems} memory modules, workload has {}",
+                self.mems.len()
+            )));
+        }
+        for m in &mut self.mems {
+            m.restore_state(r)?;
+        }
+        let had_retry = r.bool()?;
+        if had_retry != self.retry.is_some() {
+            return Err(SnapError::Mismatch(format!(
+                "snapshot retry layer {}, workload retry layer {}",
+                if had_retry { "enabled" } else { "disabled" },
+                if self.retry.is_some() {
+                    "enabled"
+                } else {
+                    "disabled"
+                },
+            )));
+        }
+        if let Some(book) = self.retry.as_mut() {
+            book.restore_state(r)?;
+        }
+        self.local_scratch.clear();
+        Ok(())
     }
 }
 

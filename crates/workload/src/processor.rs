@@ -10,6 +10,7 @@
 
 use ringmesh_engine::SimRng;
 use ringmesh_net::{NodeId, PacketKind};
+use ringmesh_snap::{SnapError, SnapReader, SnapWriter, Snapshot, SnapshotState};
 
 use crate::{MissProcess, WorkloadParams};
 
@@ -186,6 +187,65 @@ impl Processor {
             kind,
             issued_at,
         }
+    }
+}
+
+impl Snapshot for PendingRef {
+    fn save(&self, w: &mut SnapWriter) {
+        self.dst.save(w);
+        self.kind.save(w);
+        w.u64(self.issued_at);
+    }
+
+    fn load(r: &mut SnapReader<'_>) -> Result<Self, SnapError> {
+        Ok(PendingRef {
+            dst: NodeId::load(r)?,
+            kind: PacketKind::load(r)?,
+            issued_at: r.u64()?,
+        })
+    }
+}
+
+impl Snapshot for ProcessorStats {
+    fn save(&self, w: &mut SnapWriter) {
+        w.u64(self.issued);
+        w.u64(self.retired);
+        w.u64(self.blocked_cycles);
+    }
+
+    fn load(r: &mut SnapReader<'_>) -> Result<Self, SnapError> {
+        Ok(ProcessorStats {
+            issued: r.u64()?,
+            retired: r.u64()?,
+            blocked_cycles: r.u64()?,
+        })
+    }
+}
+
+impl SnapshotState for Processor {
+    fn save_state(&self, w: &mut SnapWriter) {
+        w.u32(self.pm.raw());
+        w.u32(self.countdown);
+        w.u32(self.outstanding);
+        self.pending.save(w);
+        self.rng.save(w);
+        self.stats.save(w);
+    }
+
+    fn restore_state(&mut self, r: &mut SnapReader<'_>) -> Result<(), SnapError> {
+        let pm = r.u32()?;
+        if pm != self.pm.raw() {
+            return Err(SnapError::Mismatch(format!(
+                "processor snapshot is for PM {pm}, restoring into PM {}",
+                self.pm.raw()
+            )));
+        }
+        self.countdown = r.u32()?;
+        self.outstanding = r.u32()?;
+        self.pending = Snapshot::load(r)?;
+        self.rng = SimRng::load(r)?;
+        self.stats = ProcessorStats::load(r)?;
+        Ok(())
     }
 }
 

@@ -13,6 +13,7 @@
 use std::collections::{HashMap, VecDeque};
 
 use ringmesh_net::{NodeId, PacketKind};
+use ringmesh_snap::{SnapError, SnapReader, SnapWriter, Snapshot, SnapshotState};
 
 /// Retry/timeout knobs for the end-to-end layer.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -108,6 +109,85 @@ impl RetryBook {
     pub(crate) fn backoff_until(&self, now: u64, attempt: u32) -> u64 {
         let shift = attempt.saturating_sub(1).min(32);
         now + (self.policy.backoff << shift)
+    }
+}
+
+impl Snapshot for RetryStats {
+    fn save(&self, w: &mut SnapWriter) {
+        w.u64(self.timeouts);
+        w.u64(self.retries);
+        w.u64(self.gave_up);
+        w.u64(self.stale_responses);
+        w.u64(self.dead_drops);
+    }
+
+    fn load(r: &mut SnapReader<'_>) -> Result<Self, SnapError> {
+        Ok(RetryStats {
+            timeouts: r.u64()?,
+            retries: r.u64()?,
+            gave_up: r.u64()?,
+            stale_responses: r.u64()?,
+            dead_drops: r.u64()?,
+        })
+    }
+}
+
+impl Snapshot for OpenTxn {
+    fn save(&self, w: &mut SnapWriter) {
+        self.pm.save(w);
+        self.dst.save(w);
+        self.kind.save(w);
+        w.u32(self.flits);
+        w.u64(self.issued_at);
+        w.u32(self.attempt);
+    }
+
+    fn load(r: &mut SnapReader<'_>) -> Result<Self, SnapError> {
+        Ok(OpenTxn {
+            pm: NodeId::load(r)?,
+            dst: NodeId::load(r)?,
+            kind: PacketKind::load(r)?,
+            flits: r.u32()?,
+            issued_at: r.u64()?,
+            attempt: r.u32()?,
+        })
+    }
+}
+
+impl SnapshotState for RetryBook {
+    fn save_state(&self, w: &mut SnapWriter) {
+        w.u64(self.policy.timeout);
+        w.u32(self.policy.max_attempts);
+        w.u64(self.policy.backoff);
+        self.stats.save(w);
+        // The open map is serialized sorted by transaction id so the
+        // snapshot bytes are deterministic despite HashMap iteration
+        // order.
+        let mut open: Vec<(u64, OpenTxn)> = self.open.iter().map(|(&k, &v)| (k, v)).collect();
+        open.sort_unstable_by_key(|&(k, _)| k);
+        open.save(w);
+        self.deadlines.save(w);
+        self.retry_at.save(w);
+    }
+
+    fn restore_state(&mut self, r: &mut SnapReader<'_>) -> Result<(), SnapError> {
+        let policy = RetryPolicy {
+            timeout: r.u64()?,
+            max_attempts: r.u32()?,
+            backoff: r.u64()?,
+        };
+        if policy != self.policy {
+            return Err(SnapError::Mismatch(format!(
+                "retry policy {policy:?} in snapshot, {:?} configured",
+                self.policy
+            )));
+        }
+        self.stats = RetryStats::load(r)?;
+        let open: Vec<(u64, OpenTxn)> = Snapshot::load(r)?;
+        self.open = open.into_iter().collect();
+        self.deadlines = Snapshot::load(r)?;
+        self.retry_at = Snapshot::load(r)?;
+        Ok(())
     }
 }
 

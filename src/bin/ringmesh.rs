@@ -5,20 +5,24 @@
 //! ringmesh --ring 2:3:4 --cache-line 128B --r 0.2 --t 4
 //! ringmesh --mesh 6 --buffers 1flit --cache-line 64B --format csv
 //! ringmesh --slotted-ring 3:3:6 --cache-line 64B
+//! ringmesh serve --cache .ringmesh-cache --verify-cache 0.1
 //! ```
 //!
 //! Run `ringmesh --help` for the full flag list. Argument parsing is
 //! hand-rolled to keep the dependency set to the crates the simulator
 //! itself needs.
 
+use std::io;
+use std::path::PathBuf;
 use std::process::ExitCode;
 
 use ringmesh::benchrun::{self, BenchOptions};
 use ringmesh::{
-    run_config, FaultConfig, FaultPlan, FaultRunReport, NetworkSpec, RetryPolicy, RunError,
-    SimParams, System, SystemConfig, TraceConfig,
+    run_config, ExitStatus, FaultConfig, FaultPlan, FaultRunReport, NetworkSpec, RetryPolicy,
+    RunError, SimParams, System, SystemConfig, TraceConfig,
 };
 use ringmesh_net::{BufferRegime, CacheLineSize};
+use ringmesh_serve::{ServeOptions, Server};
 use ringmesh_workload::{MemoryParams, MissProcess, WorkloadParams};
 
 const HELP: &str = "\
@@ -29,6 +33,7 @@ USAGE:
     ringmesh trace <NETWORK> [OPTIONS] [TRACE OPTIONS]
     ringmesh faults <NETWORK> [OPTIONS] [FAULT OPTIONS]
     ringmesh bench [BENCH OPTIONS]
+    ringmesh serve [SERVE OPTIONS]
 
 The `trace` subcommand runs the same simulation with the observability
 subsystem recording: it prints per-counter and per-gauge batch
@@ -41,13 +46,25 @@ seeded fault schedule (packet corruption, transient link-down
 intervals, permanent router/IRI deaths) with an end-to-end retry layer
 at the processors, and reports delivered throughput, drop accounting
 and the packet-conservation audit. Same seeds replay bit-for-bit.
-Exit status: 1 usage/config error, 2 stall, 3 conservation violation.
 
 The `bench` subcommand records the performance baseline: kernel
 throughput (simulated cycles per wall-clock second) for each network
 model, and serial-vs-parallel sweep timings with a bit-exact output
 comparison. It prints a summary and can write the machine-readable
 baseline as JSON.
+
+The `serve` subcommand turns the simulator into a sweep-job server: it
+reads line-delimited JSON requests on stdin (or accepts TCP
+connections with --listen), schedules jobs on the worker pool, streams
+windowed progress and result events, and answers repeated jobs
+instantly from a content-addressed result cache keyed by the
+canonicalized configuration plus the code version. In-flight jobs
+periodically checkpoint their full simulation state next to their
+cache entry, so a resubmitted job resumes where an interrupted server
+left off — and fingerprint-matches an uninterrupted run.
+
+Exit status: 0 success, 1 usage/config error, 2 simulation stall,
+3 conservation violation, 4 I/O error, 5 protocol error.
 
 NETWORK (exactly one):
     --ring <SPEC>          hierarchical ring, e.g. --ring 2:3:4
@@ -94,6 +111,17 @@ BENCH OPTIONS (with the `bench` subcommand):
     --threads <N>          parallel-leg worker threads
                            [default: RINGMESH_THREADS or host cores]
     --out <PATH>           write the baseline as JSON here
+
+SERVE OPTIONS (with the `serve` subcommand):
+    --listen <ADDR>        accept TCP connections on ADDR (e.g.
+                           127.0.0.1:7077) instead of stdin/stdout
+    --cache <DIR>          result-cache directory  [default: .ringmesh-cache]
+    --threads <N>          worker threads          [default: host cores]
+    --verify-cache <F>     deterministically re-run this fraction of
+                           cache hits and diff bit-for-bit [default: 0]
+    --checkpoint-every <N> checkpoint in-flight jobs every N cycles,
+                           0 disables                 [default: 100000]
+    --window <N>           progress window, cycles    [default: 1000]
 
 ENVIRONMENT:
     RINGMESH_FULL          any value but 0: figure sweeps and `bench`
@@ -349,19 +377,21 @@ fn run_faults(cfg: SystemConfig, opts: FaultOpts, format: &str) -> ExitCode {
     print_fault_report(&report, plan.retry.is_some());
     if let Some(v) = &report.violation {
         eprintln!("error: packet conservation violated: {v}");
-        return ExitCode::from(3);
+        return ExitStatus::ConservationViolation.into();
     }
-    ExitCode::SUCCESS
+    ExitStatus::Success.into()
 }
 
-/// Prints `e` and picks the exit status: stalls get a distinct code so
-/// scripts can tell "the simulation deadlocked" from "bad arguments".
+/// Prints `e` and maps it to the typed exit status, so scripts can tell
+/// "the simulation deadlocked" from "bad arguments".
 fn fail(e: &RunError) -> ExitCode {
     eprintln!("error: {e}");
-    match e {
-        RunError::Stall(_) => ExitCode::from(2),
-        _ => ExitCode::FAILURE,
-    }
+    ExitStatus::from(e).into()
+}
+
+fn usage_error(msg: &str) -> ExitCode {
+    eprintln!("error: {msg}");
+    ExitStatus::Usage.into()
 }
 
 fn print_result(format: &str, label: &str, pms: u32, r: &ringmesh::RunResult) {
@@ -417,14 +447,14 @@ fn run_trace(cfg: SystemConfig, opts: TraceOpts, format: &str) -> ExitCode {
         }
         if let Err(e) = std::fs::write(&path, csv) {
             eprintln!("error: writing {path}: {e}");
-            return ExitCode::FAILURE;
+            return ExitStatus::Io.into();
         }
         eprintln!("heatmap CSV written to {path}");
     }
     if let Some(path) = opts.out {
         if let Err(e) = std::fs::write(&path, report.chrome_trace_json()) {
             eprintln!("error: writing {path}: {e}");
-            return ExitCode::FAILURE;
+            return ExitStatus::Io.into();
         }
         eprintln!(
             "Chrome trace written to {path} ({} events, {} dropped)",
@@ -432,7 +462,7 @@ fn run_trace(cfg: SystemConfig, opts: TraceOpts, format: &str) -> ExitCode {
             report.events_dropped
         );
     }
-    ExitCode::SUCCESS
+    ExitStatus::Success.into()
 }
 
 fn run_bench(mut args: Args) -> ExitCode {
@@ -440,21 +470,14 @@ fn run_bench(mut args: Args) -> ExitCode {
     let quick = args.take_flag("--quick");
     let threads = match args.take_parsed::<usize>("--threads") {
         Ok(t) => t,
-        Err(e) => {
-            eprintln!("error: {e}");
-            return ExitCode::FAILURE;
-        }
+        Err(e) => return usage_error(&e),
     };
     let out = match args.take_value("--out") {
         Ok(o) => o,
-        Err(e) => {
-            eprintln!("error: {e}");
-            return ExitCode::FAILURE;
-        }
+        Err(e) => return usage_error(&e),
     };
     if !args.0.is_empty() {
-        eprintln!("error: unrecognized arguments: {:?}", args.0);
-        return ExitCode::FAILURE;
+        return usage_error(&format!("unrecognized arguments: {:?}", args.0));
     }
     let defaults = BenchOptions::default();
     let opts = BenchOptions {
@@ -470,22 +493,88 @@ fn run_bench(mut args: Args) -> ExitCode {
     if let Some(path) = out {
         if let Err(e) = std::fs::write(&path, report.to_json()) {
             eprintln!("error: writing {path}: {e}");
-            return ExitCode::FAILURE;
+            return ExitStatus::Io.into();
         }
         eprintln!("benchmark baseline written to {path}");
     }
-    ExitCode::SUCCESS
+    ExitStatus::Success.into()
+}
+
+fn run_serve(mut args: Args) -> ExitCode {
+    let parsed = (|| -> Result<(Option<String>, ServeOptions), String> {
+        let listen = args.take_value("--listen")?;
+        let cache_dir = args
+            .take_value("--cache")?
+            .unwrap_or_else(|| ".ringmesh-cache".into());
+        let threads = args.take_parsed::<usize>("--threads")?;
+        let verify = args.take_parsed::<f64>("--verify-cache")?.unwrap_or(0.0);
+        if !(0.0..=1.0).contains(&verify) {
+            return Err(format!("--verify-cache must be in [0, 1], got {verify}"));
+        }
+        let checkpoint_every = args
+            .take_parsed::<u64>("--checkpoint-every")?
+            .unwrap_or(100_000);
+        let window = args
+            .take_parsed::<u64>("--window")?
+            .unwrap_or(TraceConfig::default().window_cycles)
+            .max(1);
+        if !args.0.is_empty() {
+            return Err(format!("unrecognized arguments: {:?}", args.0));
+        }
+        Ok((
+            listen,
+            ServeOptions {
+                cache_dir: PathBuf::from(cache_dir),
+                threads,
+                verify_fraction: verify,
+                checkpoint_every,
+                window_cycles: window,
+            },
+        ))
+    })();
+    let (listen, opts) = match parsed {
+        Ok(x) => x,
+        Err(e) => return usage_error(&e),
+    };
+    let mut server = match Server::new(opts) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("error: opening result cache: {e}");
+            return ExitStatus::Io.into();
+        }
+    };
+    let outcome = match listen {
+        Some(addr) => server.serve_tcp(&addr),
+        None => server
+            .serve(io::stdin().lock(), io::stdout().lock())
+            .map(|_| ()),
+    };
+    match outcome {
+        Ok(()) => {
+            let (hits, misses) = server.cache_counters();
+            eprintln!("ringmesh serve: {hits} cache hits, {misses} misses this session");
+            ExitStatus::Success.into()
+        }
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitStatus::Io.into()
+        }
+    }
 }
 
 fn main() -> ExitCode {
     let mut args = Args(std::env::args().skip(1).collect());
     if args.take_flag("--help") || args.take_flag("-h") || args.0.is_empty() {
         print!("{HELP}");
-        return ExitCode::SUCCESS;
+        return ExitStatus::Success.into();
     }
     if args.0.first().is_some_and(|a| a == "bench") {
         args.0.remove(0);
         return run_bench(args);
+    }
+    if args.0.first().is_some_and(|a| a == "serve") {
+        args.0.remove(0);
+        return run_serve(args);
     }
     let tracing = args.0.first().is_some_and(|a| a == "trace");
     let faulting = args.0.first().is_some_and(|a| a == "faults");
@@ -494,18 +583,12 @@ fn main() -> ExitCode {
     }
     let format = match args.take_value("--format") {
         Ok(f) => f.unwrap_or_else(|| "text".into()),
-        Err(e) => {
-            eprintln!("error: {e}");
-            return ExitCode::FAILURE;
-        }
+        Err(e) => return usage_error(&e),
     };
     let trace_opts = if tracing {
         match parse_trace_opts(&mut args) {
             Ok(o) => Some(o),
-            Err(e) => {
-                eprintln!("error: {e}");
-                return ExitCode::FAILURE;
-            }
+            Err(e) => return usage_error(&e),
         }
     } else {
         None
@@ -513,24 +596,17 @@ fn main() -> ExitCode {
     let fault_opts = if faulting {
         match parse_fault_opts(&mut args) {
             Ok(o) => Some(o),
-            Err(e) => {
-                eprintln!("error: {e}");
-                return ExitCode::FAILURE;
-            }
+            Err(e) => return usage_error(&e),
         }
     } else {
         None
     };
     let cfg = match build_config(&mut args) {
         Ok(cfg) => cfg,
-        Err(e) => {
-            eprintln!("error: {e}");
-            return ExitCode::FAILURE;
-        }
+        Err(e) => return usage_error(&e),
     };
     if !args.0.is_empty() {
-        eprintln!("error: unrecognized arguments: {:?}", args.0);
-        return ExitCode::FAILURE;
+        return usage_error(&format!("unrecognized arguments: {:?}", args.0));
     }
     if let Some(opts) = trace_opts {
         return run_trace(cfg, opts, &format);
@@ -543,7 +619,7 @@ fn main() -> ExitCode {
     match run_config(cfg) {
         Ok(r) => {
             print_result(&format, &label, pms, &r);
-            ExitCode::SUCCESS
+            ExitStatus::Success.into()
         }
         Err(e) => fail(&e),
     }

@@ -12,13 +12,25 @@
 //! * [`ringmesh_mesh`] — 2-D bi-directional wormhole meshes.
 //! * [`ringmesh_workload`] — the M-MRP synthetic workload.
 //! * [`ringmesh_stats`] — batch-means output analysis.
+//! * [`ringmesh_trace`] — cycle-level observability (counters, heatmaps).
+//! * [`ringmesh_faults`] — deterministic fault injection and retry.
+//! * [`ringmesh_snap`] — binary state-snapshot codec and fingerprints.
+//! * [`ringmesh_serve`] — sweep-job server with result cache and
+//!   checkpoint/resume.
+//!
+//! The `ringmesh` CLI binary also lives here (`src/bin/ringmesh.rs`)
+//! so it can drive every subsystem, including `ringmesh serve`.
 
 #![forbid(unsafe_code)]
 
 pub use ringmesh;
 pub use ringmesh_engine;
+pub use ringmesh_faults;
 pub use ringmesh_mesh;
 pub use ringmesh_net;
 pub use ringmesh_ring;
+pub use ringmesh_serve;
+pub use ringmesh_snap;
 pub use ringmesh_stats;
+pub use ringmesh_trace;
 pub use ringmesh_workload;
