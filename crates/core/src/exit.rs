@@ -26,6 +26,11 @@ pub enum ExitStatus {
     Io,
     /// A malformed request or response on the serve protocol.
     Protocol,
+    /// The process was asked to stop (SIGTERM/SIGINT) and shut down
+    /// gracefully: in-flight work checkpointed, journal and cache
+    /// flushed. Distinct from [`ExitStatus::Success`] so supervisors can
+    /// tell "finished" from "wound down on request".
+    Interrupted,
 }
 
 impl ExitStatus {
@@ -38,6 +43,7 @@ impl ExitStatus {
             ExitStatus::ConservationViolation => 3,
             ExitStatus::Io => 4,
             ExitStatus::Protocol => 5,
+            ExitStatus::Interrupted => 6,
         }
     }
 }
@@ -69,6 +75,7 @@ mod tests {
         assert_eq!(ExitStatus::ConservationViolation.code(), 3);
         assert_eq!(ExitStatus::Io.code(), 4);
         assert_eq!(ExitStatus::Protocol.code(), 5);
+        assert_eq!(ExitStatus::Interrupted.code(), 6);
     }
 
     #[test]

@@ -60,7 +60,7 @@ pub mod topologies;
 
 pub use config::{NetworkSpec, SimParams, SystemConfig};
 pub use exit::ExitStatus;
-pub use ringmesh_engine::WorkerPool;
+pub use ringmesh_engine::{AdmissionGate, StopFlag, WorkerPool};
 pub use ringmesh_faults::{ConservationError, DropCounts, FaultConfig, FaultReport};
 pub use ringmesh_snap::SnapError;
 pub use ringmesh_trace::{TraceConfig, TraceReport};

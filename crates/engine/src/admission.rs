@@ -1,0 +1,173 @@
+//! Cooperative-shutdown and admission-control primitives for services
+//! built on the simulation kernel.
+//!
+//! The serve layer runs one session per connection and one batch per
+//! `run` request, all sharing a single [`WorkerPool`](crate::WorkerPool).
+//! Two small std-only primitives keep that safe under load:
+//!
+//! - [`StopFlag`] — a cloneable cooperative-shutdown signal. Long-running
+//!   work polls it at natural pause points (window boundaries, request
+//!   boundaries) and winds down cleanly: checkpoints are flushed, journals
+//!   synced, partial output never emitted.
+//! - [`AdmissionGate`] — a bounded in-flight counter with RAII permits.
+//!   Capacity is fixed at construction; [`AdmissionGate::try_enter`]
+//!   never blocks, so a saturated service *sheds* load with a typed
+//!   `busy` reply instead of hanging the client.
+
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::Arc;
+
+/// A cloneable cooperative-shutdown signal.
+///
+/// All clones observe the same flag; once [`set`](StopFlag::set), it
+/// stays set for the life of the process (there is deliberately no
+/// reset — shutdown is one-way).
+#[derive(Debug, Clone, Default)]
+pub struct StopFlag(Arc<AtomicBool>);
+
+impl StopFlag {
+    /// A fresh, unset flag.
+    pub fn new() -> Self {
+        StopFlag::default()
+    }
+
+    /// Requests shutdown. Idempotent; safe from any thread.
+    pub fn set(&self) {
+        self.0.store(true, Ordering::SeqCst);
+    }
+
+    /// True once shutdown has been requested.
+    pub fn is_set(&self) -> bool {
+        self.0.load(Ordering::SeqCst)
+    }
+}
+
+/// A bounded in-flight counter that sheds load instead of blocking.
+///
+/// # Example
+///
+/// ```
+/// use ringmesh_engine::AdmissionGate;
+///
+/// let gate = AdmissionGate::new(1);
+/// let permit = gate.try_enter().expect("capacity free");
+/// assert!(gate.try_enter().is_none(), "gate is full");
+/// drop(permit);
+/// assert!(gate.try_enter().is_some(), "capacity returned");
+/// ```
+#[derive(Debug)]
+pub struct AdmissionGate {
+    limit: usize,
+    in_flight: AtomicUsize,
+}
+
+impl AdmissionGate {
+    /// A gate admitting at most `limit` concurrent holders; zero is
+    /// clamped to one (a gate that admits nothing is never useful).
+    pub fn new(limit: usize) -> Self {
+        AdmissionGate {
+            limit: limit.max(1),
+            in_flight: AtomicUsize::new(0),
+        }
+    }
+
+    /// The configured capacity.
+    pub fn limit(&self) -> usize {
+        self.limit
+    }
+
+    /// Permits currently held.
+    pub fn in_flight(&self) -> usize {
+        self.in_flight.load(Ordering::SeqCst)
+    }
+
+    /// Claims a permit if capacity is free; `None` means the caller
+    /// should shed the work (reply `busy`), never wait.
+    pub fn try_enter(&self) -> Option<Permit<'_>> {
+        let mut cur = self.in_flight.load(Ordering::SeqCst);
+        loop {
+            if cur >= self.limit {
+                return None;
+            }
+            match self
+                .in_flight
+                .compare_exchange(cur, cur + 1, Ordering::SeqCst, Ordering::SeqCst)
+            {
+                Ok(_) => return Some(Permit { gate: self }),
+                Err(now) => cur = now,
+            }
+        }
+    }
+}
+
+/// A held admission slot; dropping it returns the capacity.
+#[derive(Debug)]
+pub struct Permit<'a> {
+    gate: &'a AdmissionGate,
+}
+
+impl Drop for Permit<'_> {
+    fn drop(&mut self) {
+        self.gate.in_flight.fetch_sub(1, Ordering::SeqCst);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stop_flag_is_shared_across_clones() {
+        let a = StopFlag::new();
+        let b = a.clone();
+        assert!(!a.is_set() && !b.is_set());
+        b.set();
+        assert!(a.is_set() && b.is_set());
+        b.set(); // idempotent
+        assert!(a.is_set());
+    }
+
+    #[test]
+    fn gate_admits_up_to_its_limit_and_recycles_permits() {
+        let gate = AdmissionGate::new(2);
+        assert_eq!(gate.limit(), 2);
+        let p1 = gate.try_enter().unwrap();
+        let p2 = gate.try_enter().unwrap();
+        assert_eq!(gate.in_flight(), 2);
+        assert!(gate.try_enter().is_none(), "full gate sheds");
+        drop(p1);
+        assert_eq!(gate.in_flight(), 1);
+        let p3 = gate.try_enter().unwrap();
+        assert!(gate.try_enter().is_none());
+        drop((p2, p3));
+        assert_eq!(gate.in_flight(), 0);
+    }
+
+    #[test]
+    fn zero_capacity_clamps_to_one() {
+        let gate = AdmissionGate::new(0);
+        assert_eq!(gate.limit(), 1);
+        assert!(gate.try_enter().is_some());
+    }
+
+    #[test]
+    fn concurrent_claims_never_exceed_the_limit() {
+        let gate = AdmissionGate::new(3);
+        let peak = AtomicUsize::new(0);
+        std::thread::scope(|s| {
+            for _ in 0..8 {
+                s.spawn(|| {
+                    for _ in 0..200 {
+                        if let Some(_p) = gate.try_enter() {
+                            let seen = gate.in_flight();
+                            peak.fetch_max(seen, Ordering::SeqCst);
+                            assert!(seen <= 3, "over-admitted: {seen}");
+                        }
+                    }
+                });
+            }
+        });
+        assert!(peak.load(Ordering::SeqCst) >= 1);
+        assert_eq!(gate.in_flight(), 0);
+    }
+}

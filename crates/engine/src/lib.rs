@@ -44,6 +44,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod admission;
 mod calendar;
 mod clock;
 mod facility;
@@ -51,6 +52,7 @@ mod pool;
 mod rng;
 mod watchdog;
 
+pub use admission::{AdmissionGate, Permit, StopFlag};
 pub use calendar::EventCalendar;
 pub use clock::{run_cycles, run_cycles_traced, ClockDivider, ClockedSystem};
 pub use facility::{Facility, FacilityStats, RequestOutcome};

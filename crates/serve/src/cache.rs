@@ -1,4 +1,5 @@
-//! Content-addressed result cache with checkpoint side-files.
+//! Content-addressed result cache with integrity footers, quarantine,
+//! and deterministic size-budgeted eviction.
 //!
 //! A cache key digests the *canonicalized* configuration (every
 //! output-relevant field, floats as raw bits — see
@@ -7,20 +8,37 @@
 //!
 //! ```text
 //! .ringmesh-cache/
-//!   ab/abcd0123deadbeef.json   completed result payload
+//!   ab/abcd0123deadbeef.json   sealed result payload (FNV footer)
 //!   ab/abcd0123deadbeef.ckpt   in-progress checkpoint (deleted on completion)
+//!   access.log                 append-only key-touch order (eviction recency)
+//!   journal.wal                durable batch journal (see crate::journal)
+//!   quarantine/                entries that failed integrity verification
 //! ```
 //!
-//! Entries are written via a temp file + rename so readers never see a
-//! torn payload, and an interrupted server leaves at worst a stale
-//! `.tmp` that the next write replaces.
+//! Three robustness layers compose:
+//!
+//! - **Atomic writes.** Entries land via a temp file + rename, so a
+//!   crash can never leave a half-written file at the entry path.
+//! - **Integrity footers.** Every sealed entry ends with an FNV-1a
+//!   digest of its payload (`\n#fnv64=<16 hex>\n`). [`ResultCache::lookup`]
+//!   verifies the footer on every read; a torn, truncated, or tampered
+//!   entry is moved to `quarantine/` and reported as a miss, so the
+//!   server transparently recomputes it — the cache self-heals instead
+//!   of serving poison.
+//! - **Deterministic eviction.** Key touches (stores and hits) append to
+//!   `access.log`; [`ResultCache::evict_to_budget`] drops
+//!   least-recently-touched entries (ties broken by key) until the
+//!   cache fits the budget. Recency comes from the log, never from
+//!   filesystem timestamps, so two hosts that served the same request
+//!   history evict the same entries in the same order.
 
-use std::fs;
-use std::io;
+use std::collections::HashMap;
+use std::fs::{self, File, OpenOptions};
+use std::io::{self, Write};
 use std::path::{Path, PathBuf};
 
 use ringmesh::SystemConfig;
-use ringmesh_snap::{hex64, Fingerprint};
+use ringmesh_snap::{hex64, parse_hex64, Fingerprint};
 
 /// The code-version component of every cache key. Bumping the crate
 /// version invalidates all cached results, which is exactly right: a
@@ -28,8 +46,17 @@ use ringmesh_snap::{hex64, Fingerprint};
 /// numbers.
 pub const CODE_VERSION: &str = env!("CARGO_PKG_VERSION");
 
-/// A directory of content-addressed result payloads plus hit/miss
-/// accounting for the server's summary lines.
+/// Marker that introduces the integrity footer of a sealed entry.
+pub const FOOTER_PREFIX: &str = "\n#fnv64=";
+
+/// Name of the quarantine directory under the cache root.
+const QUARANTINE_DIR: &str = "quarantine";
+
+/// Name of the key-touch order log under the cache root.
+const ACCESS_LOG: &str = "access.log";
+
+/// A directory of content-addressed result payloads plus hit/miss,
+/// quarantine, and eviction accounting for the server's summary lines.
 #[derive(Debug)]
 pub struct ResultCache {
     dir: PathBuf,
@@ -37,20 +64,40 @@ pub struct ResultCache {
     pub hits: u64,
     /// Jobs that had to simulate (their results are then stored).
     pub misses: u64,
+    /// Entries that failed integrity verification and were quarantined.
+    pub quarantined: u64,
+    /// Entries evicted by the size budget.
+    pub evicted: u64,
+    /// Key touches in order (recency = last occurrence), mirrored to
+    /// `access.log`.
+    touches: Vec<u64>,
+    /// Open append handle for `access.log`.
+    log: Option<File>,
 }
 
 impl ResultCache {
-    /// Opens (creating if needed) a cache rooted at `dir`.
+    /// Opens (creating if needed) a cache rooted at `dir`, loading and
+    /// compacting the access log.
     ///
     /// # Errors
     ///
     /// Fails if the directory cannot be created.
     pub fn open(dir: &Path) -> io::Result<ResultCache> {
         fs::create_dir_all(dir)?;
+        let touches = recency_order(&read_touch_log(dir));
+        write_touch_log(dir, &touches)?;
+        let log = OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(dir.join(ACCESS_LOG))?;
         Ok(ResultCache {
             dir: dir.to_path_buf(),
             hits: 0,
             misses: 0,
+            quarantined: 0,
+            evicted: 0,
+            touches,
+            log: Some(log),
         })
     }
 
@@ -64,54 +111,242 @@ impl ResultCache {
         fp.finish()
     }
 
-    fn shard(&self, key: u64) -> PathBuf {
-        self.dir.join(&hex64(key)[..2])
+    /// Path of the stored result payload for `key` under `dir` — usable
+    /// without holding the cache itself (the server computes checkpoint
+    /// paths from worker threads while the cache is locked elsewhere).
+    pub fn result_path_in(dir: &Path, key: u64) -> PathBuf {
+        dir.join(&hex64(key)[..2])
+            .join(format!("{}.json", hex64(key)))
+    }
+
+    /// Path of the in-progress checkpoint for `key` under `dir`.
+    pub fn checkpoint_path_in(dir: &Path, key: u64) -> PathBuf {
+        dir.join(&hex64(key)[..2])
+            .join(format!("{}.ckpt", hex64(key)))
     }
 
     /// Path of the stored result payload for `key`.
     pub fn result_path(&self, key: u64) -> PathBuf {
-        self.shard(key).join(format!("{}.json", hex64(key)))
+        ResultCache::result_path_in(&self.dir, key)
     }
 
     /// Path of the in-progress checkpoint for `key`.
     pub fn checkpoint_path(&self, key: u64) -> PathBuf {
-        self.shard(key).join(format!("{}.ckpt", hex64(key)))
+        ResultCache::checkpoint_path_in(&self.dir, key)
     }
 
-    /// The stored payload for `key`, if one exists.
-    pub fn lookup(&self, key: u64) -> Option<String> {
-        fs::read_to_string(self.result_path(key)).ok()
+    /// Seals `payload` for storage: appends the FNV-1a integrity footer
+    /// that [`lookup`](Self::lookup) verifies on every read.
+    pub fn seal(payload: &str) -> String {
+        format!(
+            "{payload}{FOOTER_PREFIX}{}\n",
+            hex64(Fingerprint::of(payload.as_bytes()))
+        )
     }
 
-    /// Stores `payload` as the result for `key` (atomic via rename) and
-    /// drops any leftover checkpoint.
+    /// Splits a sealed entry back into its payload, verifying the
+    /// footer; `None` means the entry is torn, truncated, or tampered.
+    pub fn unseal(sealed: &str) -> Option<&str> {
+        let at = sealed.rfind(FOOTER_PREFIX)?;
+        let payload = &sealed[..at];
+        let digest = sealed[at + FOOTER_PREFIX.len()..].strip_suffix('\n')?;
+        (parse_hex64(digest)? == Fingerprint::of(payload.as_bytes())).then_some(payload)
+    }
+
+    /// The stored payload for `key`, if a verified entry exists. A
+    /// present-but-corrupt entry is moved to `quarantine/` and reported
+    /// as a miss so the caller recomputes it.
+    pub fn lookup(&mut self, key: u64) -> Option<String> {
+        let path = self.result_path(key);
+        let sealed = fs::read_to_string(&path).ok()?;
+        match ResultCache::unseal(&sealed) {
+            Some(payload) => {
+                let payload = payload.to_string();
+                self.touch(key);
+                Some(payload)
+            }
+            None => {
+                self.quarantine(&path);
+                None
+            }
+        }
+    }
+
+    /// Stores `payload` (sealed, atomic via rename) as the result for
+    /// `key` and drops any leftover checkpoint.
     ///
     /// # Errors
     ///
     /// Propagates filesystem errors; the cache is an optimization, so
     /// callers may choose to log and continue.
-    pub fn store(&self, key: u64, payload: &str) -> io::Result<()> {
+    pub fn store(&mut self, key: u64, payload: &str) -> io::Result<()> {
         let path = self.result_path(key);
-        write_atomic(&path, payload.as_bytes())?;
+        write_atomic(&path, ResultCache::seal(payload).as_bytes())?;
         let _ = fs::remove_file(self.checkpoint_path(key));
+        self.touch(key);
         Ok(())
     }
 
-    /// Number of completed result entries on disk.
-    pub fn entries(&self) -> usize {
-        let mut n = 0;
-        if let Ok(shards) = fs::read_dir(&self.dir) {
-            for shard in shards.flatten() {
-                if let Ok(files) = fs::read_dir(shard.path()) {
-                    n += files
-                        .flatten()
-                        .filter(|f| f.path().extension().is_some_and(|e| e == "json"))
-                        .count();
+    /// Moves a failed entry into `quarantine/` (falling back to removal
+    /// if the move itself fails) and counts it.
+    fn quarantine(&mut self, path: &Path) {
+        let qdir = self.dir.join(QUARANTINE_DIR);
+        let ok = fs::create_dir_all(&qdir).is_ok()
+            && path.file_name().is_some_and(|name| {
+                let dest = qdir.join(name);
+                let _ = fs::remove_file(&dest);
+                fs::rename(path, &dest).is_ok()
+            });
+        if !ok {
+            let _ = fs::remove_file(path);
+        }
+        self.quarantined += 1;
+    }
+
+    /// Records a key touch for eviction recency: in memory and appended
+    /// to `access.log` (best-effort — the log is an eviction-order
+    /// record, not a durability structure).
+    fn touch(&mut self, key: u64) {
+        self.touches.push(key);
+        if let Some(log) = &mut self.log {
+            let _ = writeln!(log, "{}", hex64(key));
+        }
+    }
+
+    /// Evicts least-recently-touched entries (oldest first, ties broken
+    /// by key) until completed payloads fit in `budget` bytes, then
+    /// compacts the access log. Entries never touched in recorded
+    /// history sort oldest of all. Returns the number of entries
+    /// evicted.
+    ///
+    /// # Errors
+    ///
+    /// Propagates failures rewriting the access log; individual entry
+    /// removals are best-effort.
+    pub fn evict_to_budget(&mut self, budget: u64) -> io::Result<u64> {
+        let recency: HashMap<u64, usize> = self
+            .touches
+            .iter()
+            .enumerate()
+            .map(|(i, &k)| (k, i))
+            .collect();
+        // (rank, key, size): rank -1 (never touched) sorts first.
+        let mut entries: Vec<(i64, u64, u64)> = Vec::new();
+        let mut total = 0u64;
+        for (key, size) in self.disk_entries() {
+            let rank = recency.get(&key).map_or(-1, |&i| i as i64);
+            entries.push((rank, key, size));
+            total += size;
+        }
+        entries.sort_unstable();
+        let mut evicted = 0u64;
+        for &(_, key, size) in &entries {
+            if total <= budget {
+                break;
+            }
+            let _ = fs::remove_file(self.result_path(key));
+            let _ = fs::remove_file(self.checkpoint_path(key));
+            total -= size;
+            evicted += 1;
+        }
+        self.evicted += evicted;
+        // Compact: surviving keys only, in recency order.
+        let survivors: Vec<u64> = recency_order(&self.touches)
+            .into_iter()
+            .filter(|k| self.result_path(*k).exists())
+            .collect();
+        self.log = None; // close before rewriting
+        write_touch_log(&self.dir, &survivors)?;
+        self.touches = survivors;
+        self.log = Some(
+            OpenOptions::new()
+                .append(true)
+                .open(self.dir.join(ACCESS_LOG))?,
+        );
+        Ok(evicted)
+    }
+
+    /// Completed `(key, payload size)` entries on disk, shard order.
+    fn disk_entries(&self) -> Vec<(u64, u64)> {
+        let mut out = Vec::new();
+        for shard in shard_dirs(&self.dir) {
+            let Ok(files) = fs::read_dir(&shard) else {
+                continue;
+            };
+            for f in files.flatten() {
+                let path = f.path();
+                if path.extension().is_some_and(|e| e == "json") {
+                    if let Some(key) = path
+                        .file_stem()
+                        .and_then(|s| s.to_str())
+                        .and_then(parse_hex64)
+                    {
+                        let size = f.metadata().map(|m| m.len()).unwrap_or(0);
+                        out.push((key, size));
+                    }
                 }
             }
         }
-        n
+        out
     }
+
+    /// Number of completed result entries on disk (quarantine excluded).
+    pub fn entries(&self) -> usize {
+        self.disk_entries().len()
+    }
+
+    /// Total bytes of completed result entries on disk.
+    pub fn entry_bytes(&self) -> u64 {
+        self.disk_entries().iter().map(|&(_, size)| size).sum()
+    }
+}
+
+/// The two-hex-digit shard directories under the cache root (skips
+/// `quarantine/` and any stray files).
+fn shard_dirs(dir: &Path) -> Vec<PathBuf> {
+    let Ok(rd) = fs::read_dir(dir) else {
+        return Vec::new();
+    };
+    let mut shards: Vec<PathBuf> = rd
+        .flatten()
+        .map(|e| e.path())
+        .filter(|p| {
+            p.is_dir()
+                && p.file_name()
+                    .and_then(|n| n.to_str())
+                    .is_some_and(|n| n.len() == 2 && n.bytes().all(|b| b.is_ascii_hexdigit()))
+        })
+        .collect();
+    shards.sort();
+    shards
+}
+
+/// Reads the raw touch sequence from `access.log`, skipping anything
+/// unparseable (a torn tail after a crash is expected, not an error).
+fn read_touch_log(dir: &Path) -> Vec<u64> {
+    let Ok(text) = fs::read_to_string(dir.join(ACCESS_LOG)) else {
+        return Vec::new();
+    };
+    text.lines().filter_map(parse_hex64).collect()
+}
+
+/// Rewrites `access.log` with exactly `touches`, one key per line.
+fn write_touch_log(dir: &Path, touches: &[u64]) -> io::Result<()> {
+    let mut text = String::with_capacity(touches.len() * 17);
+    for &k in touches {
+        text.push_str(&hex64(k));
+        text.push('\n');
+    }
+    write_atomic(&dir.join(ACCESS_LOG), text.as_bytes())
+}
+
+/// Deduplicates a touch sequence to recency order: each key once, least
+/// recently touched first.
+fn recency_order(touches: &[u64]) -> Vec<u64> {
+    let last: HashMap<u64, usize> = touches.iter().enumerate().map(|(i, &k)| (k, i)).collect();
+    let mut keys: Vec<(usize, u64)> = last.into_iter().map(|(k, i)| (i, k)).collect();
+    keys.sort_unstable();
+    keys.into_iter().map(|(_, k)| k).collect()
 }
 
 /// Writes `bytes` to `path` through a sibling temp file + rename, so a
@@ -164,7 +399,7 @@ mod tests {
     #[test]
     fn store_then_lookup_round_trips() {
         let dir = tempdir("store");
-        let cache = ResultCache::open(&dir).unwrap();
+        let mut cache = ResultCache::open(&dir).unwrap();
         let cfg = SystemConfig::new(NetworkSpec::mesh(3), CacheLineSize::B64);
         let key = ResultCache::key(&cfg);
         assert_eq!(cache.lookup(key), None);
@@ -182,12 +417,142 @@ mod tests {
     #[test]
     fn storing_a_result_clears_its_checkpoint() {
         let dir = tempdir("ckpt");
-        let cache = ResultCache::open(&dir).unwrap();
+        let mut cache = ResultCache::open(&dir).unwrap();
         let key = 0xabcd_0123_dead_beef;
         write_atomic(&cache.checkpoint_path(key), b"state").unwrap();
         assert!(cache.checkpoint_path(key).exists());
         cache.store(key, "{}").unwrap();
         assert!(!cache.checkpoint_path(key).exists());
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn seal_and_unseal_are_inverse_and_tamper_evident() {
+        let sealed = ResultCache::seal("{\"pms\":24}");
+        assert_eq!(ResultCache::unseal(&sealed), Some("{\"pms\":24}"));
+        // Any payload byte flip invalidates the footer.
+        let tampered = sealed.replace("24", "25");
+        assert_eq!(ResultCache::unseal(&tampered), None);
+        // So does a truncated footer or a missing one.
+        assert_eq!(ResultCache::unseal(&sealed[..sealed.len() - 2]), None);
+        assert_eq!(ResultCache::unseal("{\"pms\":24}"), None);
+        // A payload that itself contains the footer marker still seals.
+        let tricky = format!("{{\"note\":\"{}abc\"}}", "#fnv64=");
+        assert_eq!(
+            ResultCache::unseal(&ResultCache::seal(&tricky)),
+            Some(tricky.as_str())
+        );
+    }
+
+    #[test]
+    fn corrupt_entries_are_quarantined_and_reported_as_misses() {
+        let dir = tempdir("heal");
+        let mut cache = ResultCache::open(&dir).unwrap();
+        let key = 0x1122_3344_5566_7788;
+        cache.store(key, "{\"ok\":true}").unwrap();
+
+        // Tear the entry mid-file, as a crashed write or bad disk would.
+        let path = cache.result_path(key);
+        let sealed = fs::read_to_string(&path).unwrap();
+        fs::write(&path, &sealed[..sealed.len() / 2]).unwrap();
+
+        assert_eq!(cache.lookup(key), None, "torn entry must miss");
+        assert_eq!(cache.quarantined, 1);
+        assert!(!path.exists(), "entry removed from the serving path");
+        assert!(
+            dir.join(QUARANTINE_DIR)
+                .join(path.file_name().unwrap())
+                .exists(),
+            "entry preserved for post-mortem"
+        );
+        // Recompute-and-store heals the slot.
+        cache.store(key, "{\"ok\":true}").unwrap();
+        assert_eq!(cache.lookup(key).as_deref(), Some("{\"ok\":true}"));
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn legacy_unsealed_entries_are_recycled_not_served() {
+        let dir = tempdir("legacy");
+        let mut cache = ResultCache::open(&dir).unwrap();
+        let key = 0xfeed_beef_0000_0001;
+        // A pre-footer entry written by an older build.
+        write_atomic(&cache.result_path(key), b"{\"old\":1}").unwrap();
+        assert_eq!(cache.lookup(key), None);
+        assert_eq!(cache.quarantined, 1);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn eviction_is_oldest_first_and_deterministic() {
+        let run = |dir: &Path| -> Vec<u64> {
+            let mut cache = ResultCache::open(dir).unwrap();
+            for key in [1u64, 2, 3, 4] {
+                cache.store(key, &format!("{{\"k\":{key}}}")).unwrap();
+            }
+            // Touch 1 again: recency order is now 2, 3, 4, 1.
+            assert!(cache.lookup(1).is_some());
+            let budget = cache.entry_bytes() - 1; // forces evictions
+            cache.evict_to_budget(budget / 2).unwrap();
+            let mut left: Vec<u64> = [1u64, 2, 3, 4]
+                .into_iter()
+                .filter(|&k| cache.result_path(k).exists())
+                .collect();
+            left.sort_unstable();
+            left
+        };
+        let (a, b) = (tempdir("evict-a"), tempdir("evict-b"));
+        let left_a = run(&a);
+        let left_b = run(&b);
+        assert_eq!(left_a, left_b, "same history ⇒ identical eviction");
+        assert!(
+            left_a.contains(&1),
+            "most recently touched key must survive: {left_a:?}"
+        );
+        assert!(!left_a.contains(&2), "oldest key evicts first: {left_a:?}");
+        let _ = fs::remove_dir_all(&a);
+        let _ = fs::remove_dir_all(&b);
+    }
+
+    #[test]
+    fn eviction_survives_reopen_via_the_access_log() {
+        let dir = tempdir("evict-reopen");
+        {
+            let mut cache = ResultCache::open(&dir).unwrap();
+            for key in [10u64, 20, 30] {
+                cache
+                    .store(key, "{\"payload\":\"xxxxxxxxxxxxxxxx\"}")
+                    .unwrap();
+            }
+            assert!(cache.lookup(10).is_some()); // recency: 20, 30, 10
+        }
+        let mut cache = ResultCache::open(&dir).unwrap();
+        let one_entry = cache.entry_bytes() / 3;
+        cache.evict_to_budget(one_entry).unwrap();
+        assert!(cache.result_path(10).exists(), "recent key survives reopen");
+        assert!(!cache.result_path(20).exists());
+        assert_eq!(cache.evicted, 2);
+        assert_eq!(cache.entries(), 1);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn zero_budget_clears_everything_and_compacts_the_log() {
+        let dir = tempdir("evict-zero");
+        let mut cache = ResultCache::open(&dir).unwrap();
+        for key in [7u64, 8] {
+            cache.store(key, "{}").unwrap();
+        }
+        cache.evict_to_budget(0).unwrap();
+        assert_eq!(cache.entries(), 0);
+        assert_eq!(
+            fs::read_to_string(dir.join(ACCESS_LOG)).unwrap(),
+            "",
+            "log compacts to the survivors"
+        );
+        // And the cache still works afterwards.
+        cache.store(9, "{\"x\":1}").unwrap();
+        assert_eq!(cache.lookup(9).as_deref(), Some("{\"x\":1}"));
         let _ = fs::remove_dir_all(&dir);
     }
 }

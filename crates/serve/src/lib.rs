@@ -21,6 +21,18 @@
 //!   uninterrupted one.
 //! - **Windowed streaming** — progress events cover ringmesh-trace
 //!   sampling windows, so live stats line up with trace reports.
+//! - **Crash safety** ([`Journal`]) — accepted batches append to an
+//!   fsync'd write-ahead log before simulating; a server killed
+//!   mid-batch finishes the work at its next startup (resuming from
+//!   checkpoints) with fingerprint-identical results.
+//! - **Self-healing cache** — every entry carries an FNV integrity
+//!   footer verified on read; corrupt or torn entries are quarantined
+//!   and recomputed, and a `--cache-budget` evicts
+//!   least-recently-touched entries deterministically.
+//! - **Multi-client serving** — [`Server::serve_tcp`] runs concurrent
+//!   sessions with read/write deadlines over shared state; load beyond
+//!   the admission limits is shed with typed `busy` events instead of
+//!   queued unboundedly.
 //!
 //! ```text
 //! $ printf '%s\n' \
@@ -39,11 +51,13 @@
 
 mod cache;
 mod jobspec;
+mod journal;
 pub mod json;
 mod runner;
 mod server;
 
 pub use cache::{write_atomic, ResultCache, CODE_VERSION};
 pub use jobspec::{parse_job, JobSpec};
-pub use runner::{run_job, JobOutcome, WindowEvent};
-pub use server::{ServeExit, ServeOptions, Server};
+pub use journal::{Journal, RecoveredJob, Recovery};
+pub use runner::{run_job, JobError, JobOutcome, WindowEvent};
+pub use server::{ServeExit, ServeOptions, Server, MAX_LINE_BYTES, MAX_PENDING_JOBS};

@@ -1,4 +1,5 @@
-//! The sweep-job server: line-delimited JSON over any byte stream.
+//! The sweep-job server: line-delimited JSON over any byte stream,
+//! hardened for concurrent clients and unclean deaths.
 //!
 //! One request per line, one or more event lines back. Ops:
 //!
@@ -6,9 +7,9 @@
 //! |---------------------------------|-----------------------------------------|
 //! | `{"op":"job", ...}`             | `accepted` (job queued for the batch)   |
 //! | `{"op":"run"}`                  | `window`* / `result`* then one `batch`  |
-//! | `{"op":"stats"}`                | `stats` (cache counters)                |
+//! | `{"op":"stats"}`                | `stats` (cache + robustness counters)   |
 //! | `{"op":"quit"}`                 | `bye`, connection closes                |
-//! | `{"op":"shutdown"}`             | `bye`, TCP accept loop stops too        |
+//! | `{"op":"shutdown"}`             | `bye`, whole server winds down          |
 //!
 //! `run` answers cache hits instantly from the content-addressed store
 //! and schedules the misses on the shared [`WorkerPool`]; `window` and
@@ -17,20 +18,60 @@
 //! a combined fingerprint over all results in submission order — two
 //! batches of identical jobs produce byte-identical `result` data and
 //! equal batch fingerprints whether computed or cached.
+//!
+//! # Robustness contract
+//!
+//! - **Concurrent clients.** [`Server::serve_tcp`] runs one session
+//!   thread per connection over a shared cache, journal, and worker
+//!   pool; concurrent submissions of the same job are answered with
+//!   byte-identical payloads.
+//! - **Admission control.** Connections beyond `max_clients` and `run`
+//!   requests beyond `max_batches` are shed with a typed `busy` event —
+//!   the server never silently queues unbounded work or hangs a client.
+//!   A session's own job queue is bounded by [`MAX_PENDING_JOBS`].
+//! - **Deadlines.** TCP sessions carry read/write deadlines; an idle or
+//!   stuck peer is disconnected instead of pinning a thread forever.
+//! - **Malformed input is survivable.** A line that fails to parse, an
+//!   unknown op, invalid UTF-8, or a line longer than
+//!   [`MAX_LINE_BYTES`] draws a typed `error` event and the session
+//!   continues; nothing a client sends can wedge the server.
+//! - **Crash safety.** Batches journal to an fsync'd WAL before
+//!   simulating; a SIGKILL mid-batch is recovered at the next startup
+//!   (resuming from checkpoints) and yields fingerprint-identical
+//!   results. Graceful stops ([`Server::stop_handle`], SIGTERM in the
+//!   CLI) flush checkpoints and the journal before exiting.
 
 use std::cell::RefCell;
 use std::io::{self, BufRead, BufReader, Write};
-use std::net::TcpListener;
+use std::net::{TcpListener, TcpStream};
 use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, MutexGuard};
+use std::time::{Duration, Instant};
 
-use ringmesh::{RunResult, SystemConfig, WorkerPool};
+use ringmesh::{AdmissionGate, RunResult, StopFlag, SystemConfig, WorkerPool};
 use ringmesh_snap::{hex64, Fingerprint};
 use ringmesh_trace::TraceConfig;
 
 use crate::cache::ResultCache;
 use crate::jobspec::{parse_job, JobSpec};
+use crate::journal::{Journal, Recovery};
 use crate::json::{obj, Json};
-use crate::runner::{run_job, WindowEvent};
+use crate::runner::{run_job, JobError, WindowEvent};
+
+/// Longest accepted request line, in bytes (1 MiB). Anything longer is
+/// discarded up to its newline and answered with a typed `error` event;
+/// the connection stays alive. Part of the documented protocol.
+pub const MAX_LINE_BYTES: usize = 1 << 20;
+
+/// Most jobs one session may queue before `run`; further `job` requests
+/// draw a `busy` event until the queue drains. Bounds server memory
+/// against a client that submits forever without running.
+pub const MAX_PENDING_JOBS: usize = 4096;
+
+/// How often a blocked TCP read wakes to poll the stop flag and the
+/// idle deadline.
+const POLL_TICK: Duration = Duration::from_secs(1);
 
 /// Server tuning knobs.
 #[derive(Debug, Clone)]
@@ -47,6 +88,23 @@ pub struct ServeOptions {
     /// Progress-window length in cycles; defaults to the ringmesh-trace
     /// sampling window so streamed stats line up with trace reports.
     pub window_cycles: u64,
+    /// Completed-entry size budget in bytes; exceeding it evicts
+    /// least-recently-touched entries at startup and after each batch
+    /// (`None` = unbounded).
+    pub cache_budget: Option<u64>,
+    /// Concurrent TCP sessions admitted; further connections get a
+    /// `busy` event and are closed.
+    pub max_clients: usize,
+    /// Concurrent running batches admitted across all sessions; further
+    /// `run` requests get a `busy` event (jobs stay queued).
+    pub max_batches: usize,
+    /// TCP idle deadline: a session that sends nothing for this long is
+    /// disconnected (`None` = never).
+    pub read_deadline: Option<Duration>,
+    /// TCP write deadline per event line; a peer that stops draining
+    /// output errors the session instead of wedging a thread (`None` =
+    /// never).
+    pub write_deadline: Option<Duration>,
 }
 
 impl Default for ServeOptions {
@@ -57,6 +115,11 @@ impl Default for ServeOptions {
             verify_fraction: 0.0,
             checkpoint_every: 0,
             window_cycles: TraceConfig::default().window_cycles,
+            cache_budget: None,
+            max_clients: 16,
+            max_batches: 2,
+            read_deadline: Some(Duration::from_secs(300)),
+            write_deadline: Some(Duration::from_secs(30)),
         }
     }
 }
@@ -67,23 +130,48 @@ pub enum ServeExit {
     /// Input ended or the client sent `quit`; a TCP server keeps
     /// accepting connections.
     Quit,
-    /// The client sent `shutdown`; a TCP server stops accepting.
+    /// The client sent `shutdown`; the whole server winds down.
     Shutdown,
+    /// The server's stop flag was set (SIGTERM or another session's
+    /// `shutdown`); checkpoints and journal were flushed first.
+    Terminated,
+    /// The session sat idle past its read deadline and was dropped.
+    IdleTimeout,
 }
 
-/// A sweep-job server: shared result cache + worker pool, serving any
-/// number of sequential sessions.
+/// A sweep-job server: shared result cache, durable batch journal, and
+/// worker pool, serving any number of concurrent sessions.
 #[derive(Debug)]
 pub struct Server {
+    shared: Arc<Shared>,
+}
+
+/// Everything a session thread needs, behind one `Arc`.
+#[derive(Debug)]
+struct Shared {
     opts: ServeOptions,
-    cache: ResultCache,
     pool: WorkerPool,
+    cache: Mutex<ResultCache>,
+    journal: Mutex<Journal>,
+    /// Bounds concurrent running batches (admission for `run`).
+    batches: AdmissionGate,
+    /// Bounds concurrent TCP sessions (admission at accept).
+    clients: AdmissionGate,
+    /// Cooperative shutdown: set by `shutdown`, SIGTERM, or tests.
+    stop: StopFlag,
+    /// Malformed request lines seen (drives `ExitStatus::Protocol`).
+    protocol_errors: AtomicU64,
+    /// Journaled jobs completed by startup recovery.
+    recovered: AtomicU64,
 }
 
 /// One queued job and what the cache already knows about it.
 #[derive(Debug)]
 struct Pending {
     spec: JobSpec,
+    /// The wire-form request object, journaled verbatim so a crashed
+    /// batch can be replayed by a server that never saw the client.
+    raw: Json,
     key: u64,
     cached: Option<String>,
 }
@@ -103,49 +191,233 @@ enum Plan {
 }
 
 impl Server {
-    /// Opens the cache and spins up the worker pool.
+    /// Opens the cache, replays the batch journal (completing any work
+    /// a dead server left unfinished, resuming from checkpoints), runs
+    /// a budget-eviction pass, and spins up the worker pool.
     ///
     /// # Errors
     ///
-    /// Fails if the cache directory cannot be created.
+    /// Fails if the cache directory or journal cannot be prepared, or
+    /// if recovery cannot write its results.
     pub fn new(opts: ServeOptions) -> io::Result<Server> {
         let cache = ResultCache::open(&opts.cache_dir)?;
+        let (journal, recovery) = Journal::open(&opts.cache_dir)?;
         let pool = match opts.threads {
             Some(n) => WorkerPool::new(n),
             None => WorkerPool::default(),
         };
-        Ok(Server { opts, cache, pool })
+        let shared = Arc::new(Shared {
+            batches: AdmissionGate::new(opts.max_batches),
+            clients: AdmissionGate::new(opts.max_clients),
+            opts,
+            pool,
+            cache: Mutex::new(cache),
+            journal: Mutex::new(journal),
+            stop: StopFlag::new(),
+            protocol_errors: AtomicU64::new(0),
+            recovered: AtomicU64::new(0),
+        });
+        if let Some(recovery) = recovery {
+            shared.recover(recovery)?;
+        }
+        if let Some(budget) = shared.opts.cache_budget {
+            shared.cache_lock().evict_to_budget(budget)?;
+        }
+        Ok(Server { shared })
+    }
+
+    /// A handle that requests graceful shutdown when set: sessions wind
+    /// down at their next request boundary, in-flight jobs checkpoint
+    /// at their next window, and the journal is flushed.
+    pub fn stop_handle(&self) -> StopFlag {
+        self.shared.stop.clone()
     }
 
     /// Serves one session: reads requests line by line from `input`,
-    /// writes event lines to `out`, until EOF / `quit` / `shutdown`.
+    /// writes event lines to `out`, until EOF / `quit` / `shutdown` /
+    /// stop / idle deadline.
     ///
     /// # Errors
     ///
     /// Propagates I/O errors on the transport.
-    pub fn serve<R: BufRead, W: Write>(&mut self, input: R, mut out: W) -> io::Result<ServeExit> {
+    pub fn serve<R: BufRead, W: Write>(&self, input: R, out: W) -> io::Result<ServeExit> {
+        self.shared.session(input, out)
+    }
+
+    /// Binds `addr` and serves connections concurrently (one thread per
+    /// admitted session) until a client sends `shutdown` or
+    /// [`stop_handle`](Self::stop_handle) is set. Connections beyond
+    /// `max_clients` receive a `busy` event and are closed; admitted
+    /// sessions get the configured read/write deadlines.
+    ///
+    /// # Errors
+    ///
+    /// Propagates bind/accept errors; per-connection transport errors
+    /// end that session only.
+    pub fn serve_tcp(&self, addr: &str) -> io::Result<()> {
+        let listener = TcpListener::bind(addr)?;
+        eprintln!("ringmesh serve: listening on {}", listener.local_addr()?);
+        listener.set_nonblocking(true)?;
+        let shared = &self.shared;
+        let outcome = std::thread::scope(|s| -> io::Result<()> {
+            loop {
+                if shared.stop.is_set() {
+                    return Ok(());
+                }
+                match listener.accept() {
+                    Ok((stream, peer)) => match shared.clients.try_enter() {
+                        Some(permit) => {
+                            s.spawn(move || {
+                                let _permit = permit;
+                                if let Err(e) = shared.connection(stream) {
+                                    eprintln!("ringmesh serve: session {peer}: {e}");
+                                }
+                            });
+                        }
+                        None => {
+                            // Shed the connection with a typed reply
+                            // rather than letting it queue invisibly.
+                            let mut stream = stream;
+                            let _ = stream.set_write_timeout(Some(Duration::from_secs(5)));
+                            let _ = writeln!(
+                                stream,
+                                "{}",
+                                busy_event("connections", shared.clients.limit())
+                            );
+                        }
+                    },
+                    Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                        std::thread::sleep(Duration::from_millis(25));
+                    }
+                    Err(e) => return Err(e),
+                }
+            }
+        });
+        // All sessions have joined; make the journal durable before the
+        // process (typically) exits.
+        let _ = self.shared.journal_lock().sync();
+        outcome
+    }
+
+    /// Cache hit/miss totals so far (hits, misses).
+    pub fn cache_counters(&self) -> (u64, u64) {
+        let cache = self.shared.cache_lock();
+        (cache.hits, cache.misses)
+    }
+
+    /// Malformed request lines seen across all sessions (drives the
+    /// CLI's `ExitStatus::Protocol` path).
+    pub fn protocol_errors(&self) -> u64 {
+        self.shared.protocol_errors.load(Ordering::SeqCst)
+    }
+
+    /// Journaled jobs completed by startup recovery.
+    pub fn recovered_jobs(&self) -> u64 {
+        self.shared.recovered.load(Ordering::SeqCst)
+    }
+
+    /// Holds one batch admission slot; while the guard lives, one fewer
+    /// concurrent `run` is admitted. Lets tests exercise the `busy`
+    /// path deterministically.
+    #[doc(hidden)]
+    pub fn hold_batch_slot(&self) -> Option<impl Drop + '_> {
+        self.shared.batches.try_enter()
+    }
+}
+
+impl Shared {
+    fn cache_lock(&self) -> MutexGuard<'_, ResultCache> {
+        self.cache.lock().expect("cache lock poisoned")
+    }
+
+    fn journal_lock(&self) -> MutexGuard<'_, Journal> {
+        self.journal.lock().expect("journal lock poisoned")
+    }
+
+    /// Configures deadlines on an accepted socket and runs a session
+    /// over it.
+    fn connection(&self, stream: TcpStream) -> io::Result<()> {
+        // Short read timeout = the poll tick; the idle deadline is
+        // enforced in the session loop so the stop flag is still
+        // observed promptly under a long (or absent) deadline.
+        stream.set_read_timeout(Some(POLL_TICK))?;
+        stream.set_write_timeout(self.opts.write_deadline)?;
+        let reader = BufReader::new(stream.try_clone()?);
+        if self.session(reader, stream)? == ServeExit::Shutdown {
+            self.stop.set();
+        }
+        Ok(())
+    }
+
+    /// One request/response session over arbitrary byte streams.
+    fn session<R: BufRead, W: Write>(&self, input: R, mut out: W) -> io::Result<ServeExit> {
+        let mut reader = LineReader::new(input, MAX_LINE_BYTES);
         let mut pending: Vec<Pending> = Vec::new();
         let mut next_id = 0usize;
-        for line in input.lines() {
-            let line = line?;
+        let mut last_activity = Instant::now();
+        let exit = loop {
+            if self.stop.is_set() {
+                emit(
+                    &mut out,
+                    obj(vec![
+                        ("event", Json::Str("bye".into())),
+                        ("reason", Json::Str("shutdown".into())),
+                    ]),
+                )?;
+                break ServeExit::Terminated;
+            }
+            let line = match reader.next_line()? {
+                LineRead::TimedOut => {
+                    if let Some(deadline) = self.opts.read_deadline {
+                        if last_activity.elapsed() >= deadline {
+                            break ServeExit::IdleTimeout;
+                        }
+                    }
+                    continue;
+                }
+                LineRead::Eof => break ServeExit::Quit,
+                LineRead::Oversized => {
+                    last_activity = Instant::now();
+                    self.protocol_error(
+                        &mut out,
+                        None,
+                        &format!("request line exceeds the {MAX_LINE_BYTES}-byte limit"),
+                    )?;
+                    continue;
+                }
+                LineRead::Line(bytes) => {
+                    last_activity = Instant::now();
+                    match String::from_utf8(bytes) {
+                        Ok(s) => s,
+                        Err(_) => {
+                            self.protocol_error(&mut out, None, "request line is not valid UTF-8")?;
+                            continue;
+                        }
+                    }
+                }
+            };
             if line.trim().is_empty() {
                 continue;
             }
             let req = match Json::parse(&line) {
                 Ok(v) => v,
                 Err(e) => {
-                    emit(&mut out, error_event(None, &format!("bad request: {e}")))?;
+                    self.protocol_error(&mut out, None, &format!("bad request: {e}"))?;
                     continue;
                 }
             };
             match req.get("op").and_then(Json::as_str) {
                 Some("job") => {
+                    if pending.len() >= MAX_PENDING_JOBS {
+                        emit(&mut out, busy_event("jobs", MAX_PENDING_JOBS))?;
+                        continue;
+                    }
                     let default_id = format!("job-{next_id}");
                     match parse_job(&req, &default_id) {
                         Ok(spec) => {
                             next_id += 1;
                             let key = ResultCache::key(&spec.cfg);
-                            let cached = self.cache.lookup(key);
+                            let cached = self.cache_lock().lookup(key);
                             emit(
                                 &mut out,
                                 obj(vec![
@@ -155,72 +427,158 @@ impl Server {
                                     ("cached", Json::Bool(cached.is_some())),
                                 ]),
                             )?;
-                            pending.push(Pending { spec, key, cached });
+                            pending.push(Pending {
+                                spec,
+                                raw: req,
+                                key,
+                                cached,
+                            });
                         }
-                        Err(e) => emit(&mut out, error_event(req.get("id"), &e))?,
+                        Err(e) => self.protocol_error(&mut out, req.get("id"), &e)?,
                     }
                 }
-                Some("run") => {
-                    let batch = std::mem::take(&mut pending);
-                    self.run_batch(batch, &mut out)?;
-                }
+                Some("run") => match self.batches.try_enter() {
+                    Some(_permit) => {
+                        let batch = std::mem::take(&mut pending);
+                        self.run_batch(batch, &mut out)?;
+                    }
+                    None => emit(&mut out, busy_event("batches", self.batches.limit()))?,
+                },
                 Some("stats") => {
+                    let (hits, misses, entries, bytes, quarantined, evicted) = {
+                        let cache = self.cache_lock();
+                        (
+                            cache.hits,
+                            cache.misses,
+                            cache.entries(),
+                            cache.entry_bytes(),
+                            cache.quarantined,
+                            cache.evicted,
+                        )
+                    };
                     emit(
                         &mut out,
                         obj(vec![
                             ("event", Json::Str("stats".into())),
-                            ("cache_hits", Json::Num(self.cache.hits as f64)),
-                            ("cache_misses", Json::Num(self.cache.misses as f64)),
-                            ("cache_entries", Json::Num(self.cache.entries() as f64)),
+                            ("cache_hits", Json::Num(hits as f64)),
+                            ("cache_misses", Json::Num(misses as f64)),
+                            ("cache_entries", Json::Num(entries as f64)),
+                            ("cache_bytes", Json::Num(bytes as f64)),
+                            ("quarantined", Json::Num(quarantined as f64)),
+                            ("evicted", Json::Num(evicted as f64)),
+                            (
+                                "recovered",
+                                Json::Num(self.recovered.load(Ordering::SeqCst) as f64),
+                            ),
                             ("pending", Json::Num(pending.len() as f64)),
+                            (
+                                "batches_in_flight",
+                                Json::Num(self.batches.in_flight() as f64),
+                            ),
                         ]),
                     )?;
                 }
                 Some("quit") => {
                     emit(&mut out, obj(vec![("event", Json::Str("bye".into()))]))?;
-                    return Ok(ServeExit::Quit);
+                    break ServeExit::Quit;
                 }
                 Some("shutdown") => {
                     emit(&mut out, obj(vec![("event", Json::Str("bye".into()))]))?;
-                    return Ok(ServeExit::Shutdown);
+                    break ServeExit::Shutdown;
                 }
                 other => {
                     let msg = match other {
                         Some(op) => format!("unknown op '{op}'"),
                         None => "missing 'op' field".to_string(),
                     };
-                    emit(&mut out, error_event(None, &msg))?;
+                    self.protocol_error(&mut out, None, &msg)?;
+                }
+            }
+        };
+        // Session boundary: make the journal durable whatever happens
+        // to the process next.
+        let _ = self.journal_lock().sync();
+        Ok(exit)
+    }
+
+    /// Emits a typed protocol `error` event and counts it toward the
+    /// CLI's `ExitStatus::Protocol` path. The session always continues.
+    fn protocol_error<W: Write>(
+        &self,
+        out: &mut W,
+        id: Option<&Json>,
+        message: &str,
+    ) -> io::Result<()> {
+        self.protocol_errors.fetch_add(1, Ordering::SeqCst);
+        emit(out, error_event(id, "protocol", message))
+    }
+
+    /// Completes journaled work a dead server left behind: re-runs each
+    /// job (resuming from its checkpoint where one exists), stores the
+    /// results, and closes the recovery batch.
+    fn recover(&self, recovery: Recovery) -> io::Result<()> {
+        let mut runnable: Vec<(u64, SystemConfig)> = Vec::new();
+        for job in &recovery.jobs {
+            match parse_job(&job.spec, "recovered") {
+                // The key must still match: a code-version bump (or a
+                // protocol change) means the journaled promise is from
+                // another world — drop it and let clients resubmit.
+                Ok(spec) if ResultCache::key(&spec.cfg) == job.key => {
+                    runnable.push((job.key, spec.cfg));
+                }
+                _ => {
+                    eprintln!(
+                        "ringmesh serve: dropping unreplayable journal entry {}",
+                        hex64(job.key)
+                    );
+                    self.journal_lock().record_done(job.key)?;
                 }
             }
         }
-        Ok(ServeExit::Quit)
-    }
-
-    /// Binds `addr` and serves connections one at a time until a client
-    /// sends `shutdown`.
-    ///
-    /// # Errors
-    ///
-    /// Propagates bind/accept errors; per-connection transport errors
-    /// end that session only.
-    pub fn serve_tcp(&mut self, addr: &str) -> io::Result<()> {
-        let listener = TcpListener::bind(addr)?;
-        eprintln!("ringmesh serve: listening on {}", listener.local_addr()?);
-        for stream in listener.incoming() {
-            let stream = stream?;
-            let reader = BufReader::new(stream.try_clone()?);
-            match self.serve(reader, stream) {
-                Ok(ServeExit::Shutdown) => return Ok(()),
-                Ok(ServeExit::Quit) => {}
-                Err(e) => eprintln!("ringmesh serve: session error: {e}"),
+        if !runnable.is_empty() {
+            eprintln!(
+                "ringmesh serve: recovering {} journaled job(s) from an unclean shutdown",
+                runnable.len()
+            );
+        }
+        let window = self.opts.window_cycles.max(1);
+        let outcomes = self.pool.map(runnable, |_, (key, cfg)| {
+            let ckpt = ResultCache::checkpoint_path_in(&self.opts.cache_dir, key);
+            let outcome = run_job(
+                &cfg,
+                window,
+                self.opts.checkpoint_every,
+                Some(&ckpt),
+                Some(&self.stop),
+                &mut |_| {},
+            );
+            (key, cfg, outcome)
+        });
+        let mut interrupted = false;
+        for (key, cfg, outcome) in outcomes {
+            match outcome {
+                Ok(o) => {
+                    let payload = result_payload(&cfg, &o.result, key);
+                    self.cache_lock().store(key, &payload)?;
+                    self.journal_lock().record_done(key)?;
+                    self.recovered.fetch_add(1, Ordering::SeqCst);
+                }
+                Err(JobError::Interrupted) => interrupted = true, // still pending; checkpointed
+                Err(JobError::Failed(e)) => {
+                    eprintln!("ringmesh serve: recovery of {} failed: {e}", hex64(key));
+                    self.journal_lock().record_done(key)?;
+                }
             }
+        }
+        if !interrupted {
+            self.journal_lock().end_batch(recovery.batch)?;
         }
         Ok(())
     }
 
     /// Runs one batch: instant cache hits, pooled misses, streamed
-    /// windows/results, closing summary.
-    fn run_batch<W: Write>(&mut self, batch: Vec<Pending>, out: &mut W) -> io::Result<()> {
+    /// windows/results, journaled crash safety, closing summary.
+    fn run_batch<W: Write>(&self, batch: Vec<Pending>, out: &mut W) -> io::Result<()> {
         // Plan each job. Work items carry everything the worker needs.
         let mut plans: Vec<Plan> = Vec::with_capacity(batch.len());
         // Work item: (id, config, key, is a cache-verification re-run).
@@ -244,6 +602,21 @@ impl Server {
             }
         }
 
+        // Journal the fresh computes (not verify re-runs — the cache
+        // already holds their results) before any of them start: after
+        // this fsync a SIGKILL anywhere in the batch is recoverable.
+        let journaled: Vec<(u64, Json)> = batch
+            .iter()
+            .zip(&plans)
+            .filter(|(_, plan)| matches!(plan, Plan::Work(_)))
+            .map(|(p, _)| (p.key, p.raw.clone()))
+            .collect();
+        let journal_batch = if journaled.is_empty() {
+            None
+        } else {
+            Some(self.journal_lock().begin_batch(&journaled)?)
+        };
+
         // Answer pure hits immediately, in submission order.
         for (p, plan) in batch.iter().zip(&plans) {
             if let Plan::Hit(payload) = plan {
@@ -254,13 +627,21 @@ impl Server {
         // Simulate the rest on the pool, streaming as workers go.
         let window = self.opts.window_cycles;
         let checkpoint_every = self.opts.checkpoint_every;
-        let cache = &self.cache;
+        let cache_dir = &self.opts.cache_dir;
+        let stop = &self.stop;
         let sink = RefCell::new(&mut *out);
-        let outcomes: Vec<Result<(String, u64, bool), String>> = self.pool.run_jobs(
+        let outcomes: Vec<Result<(String, u64, bool), JobError>> = self.pool.run_jobs(
             work.clone(),
             |_, (_, cfg, key, _), progress| {
-                let ckpt = cache.checkpoint_path(key);
-                let outcome = run_job(&cfg, window, checkpoint_every, Some(&ckpt), progress)?;
+                let ckpt = ResultCache::checkpoint_path_in(cache_dir, key);
+                let outcome = run_job(
+                    &cfg,
+                    window,
+                    checkpoint_every,
+                    Some(&ckpt),
+                    Some(stop),
+                    progress,
+                )?;
                 Ok((
                     result_payload(&cfg, &outcome.result, key),
                     outcome.result.fingerprint(),
@@ -280,7 +661,7 @@ impl Server {
                     ]),
                 );
             },
-            |i, r: &Result<(String, u64, bool), String>| {
+            |i, r: &Result<(String, u64, bool), JobError>| {
                 let (id, _, _, is_verify) = &work[i];
                 let _ = match r {
                     // A verification re-run is still a cache hit from
@@ -292,7 +673,10 @@ impl Server {
                     Ok((payload, _, resumed)) => {
                         emit_result(&mut **sink.borrow_mut(), id, payload, false, *resumed)
                     }
-                    Err(e) => emit(&mut **sink.borrow_mut(), error_event_str(id, e)),
+                    Err(JobError::Interrupted) => Ok(()), // reported in accounting
+                    Err(JobError::Failed(e)) => {
+                        emit(&mut **sink.borrow_mut(), error_event_str(id, "run", e))
+                    }
                 };
             },
         );
@@ -300,12 +684,22 @@ impl Server {
 
         // Post-run accounting in submission order: store fresh results,
         // diff verified hits, emit aliases, fold the batch fingerprint.
+        // Client writes are best-effort from here: a peer that vanished
+        // mid-batch must not stop results from reaching the cache and
+        // the journal (the work is already paid for).
+        let mut write_err: Option<io::Error> = None;
+        let mut best_effort = |r: io::Result<()>| {
+            if let (Err(e), None) = (r, write_err.as_ref().map(|_| ())) {
+                write_err = Some(e);
+            }
+        };
         let mut fp = Fingerprint::new();
         let mut hits = 0u64;
         let mut misses = 0u64;
         let mut verified = 0u64;
         let mut mismatches = 0u64;
         let mut errors = 0u64;
+        let mut interrupted = 0u64;
         for (p, plan) in batch.iter().zip(&plans) {
             match plan {
                 Plan::Hit(payload) => {
@@ -315,40 +709,62 @@ impl Server {
                 Plan::Work(w) => match &outcomes[*w] {
                     Ok((payload, _, _)) => {
                         misses += 1;
-                        if let Err(e) = self.cache.store(p.key, payload) {
-                            emit(
+                        if let Err(e) = self.cache_lock().store(p.key, payload) {
+                            best_effort(emit(
                                 out,
-                                error_event_str(&p.spec.id, &format!("cache store: {e}")),
-                            )?;
+                                error_event_str(&p.spec.id, "cache", &format!("cache store: {e}")),
+                            ));
                         }
+                        self.journal_lock().record_done(p.key)?;
                         fp.write_str(payload);
                     }
-                    Err(e) => {
+                    Err(JobError::Interrupted) => {
+                        interrupted += 1;
+                        best_effort(emit(
+                            out,
+                            error_event_str(
+                                &p.spec.id,
+                                "interrupted",
+                                "shutdown before completion; progress checkpointed — resubmit to resume",
+                            ),
+                        ));
+                        fp.write_str("interrupted");
+                    }
+                    Err(JobError::Failed(e)) => {
                         errors += 1;
+                        self.journal_lock().record_done(p.key)?;
                         fp.write_str(&format!("error:{e}"));
                     }
                 },
                 Plan::Verify(cached, w) => match &outcomes[*w] {
                     Ok((payload, _, _)) => {
                         hits += 1;
-                        emit_result(out, &p.spec.id, cached, true, false)?;
+                        best_effort(emit_result(out, &p.spec.id, cached, true, false));
                         if payload == cached {
                             verified += 1;
                         } else {
                             mismatches += 1;
-                            emit(
+                            best_effort(emit(
                                 out,
                                 error_event_str(
                                     &p.spec.id,
+                                    "cache",
                                     "cache verification mismatch: stored payload differs from re-run",
                                 ),
-                            )?;
+                            ));
                             // Trust the fresh run over the stale entry.
-                            let _ = self.cache.store(p.key, payload);
+                            let _ = self.cache_lock().store(p.key, payload);
                         }
                         fp.write_str(payload);
                     }
-                    Err(e) => {
+                    Err(JobError::Interrupted) => {
+                        // Verification was cut short; the stored entry
+                        // is still the answer.
+                        hits += 1;
+                        best_effort(emit_result(out, &p.spec.id, cached, true, false));
+                        fp.write_str(cached);
+                    }
+                    Err(JobError::Failed(e)) => {
                         errors += 1;
                         fp.write_str(&format!("error:{e}"));
                     }
@@ -356,21 +772,44 @@ impl Server {
                 Plan::Alias(w) => match &outcomes[*w] {
                     Ok((payload, _, _)) => {
                         hits += 1; // answered from this batch's own work
-                        emit_result(out, &p.spec.id, payload, true, false)?;
+                        best_effort(emit_result(out, &p.spec.id, payload, true, false));
                         fp.write_str(payload);
                     }
-                    Err(e) => {
+                    Err(JobError::Interrupted) => {
+                        interrupted += 1;
+                        best_effort(emit(
+                            out,
+                            error_event_str(
+                                &p.spec.id,
+                                "interrupted",
+                                "shutdown before completion; progress checkpointed — resubmit to resume",
+                            ),
+                        ));
+                        fp.write_str("interrupted");
+                    }
+                    Err(JobError::Failed(e)) => {
                         errors += 1;
-                        emit(out, error_event_str(&p.spec.id, e))?;
+                        best_effort(emit(out, error_event_str(&p.spec.id, "run", e)));
                         fp.write_str(&format!("error:{e}"));
                     }
                 },
             }
         }
-        self.cache.hits += hits;
-        self.cache.misses += misses;
+        {
+            let mut cache = self.cache_lock();
+            cache.hits += hits;
+            cache.misses += misses;
+        }
+        if let Some(n) = journal_batch {
+            if interrupted == 0 {
+                self.journal_lock().end_batch(n)?;
+            }
+        }
+        if let Some(budget) = self.opts.cache_budget {
+            self.cache_lock().evict_to_budget(budget)?;
+        }
 
-        emit(
+        let summary = emit(
             out,
             obj(vec![
                 ("event", Json::Str("batch".into())),
@@ -380,9 +819,14 @@ impl Server {
                 ("verified", Json::Num(verified as f64)),
                 ("mismatches", Json::Num(mismatches as f64)),
                 ("errors", Json::Num(errors as f64)),
+                ("interrupted", Json::Num(interrupted as f64)),
                 ("fingerprint", Json::Str(hex64(fp.finish()))),
             ]),
-        )
+        );
+        match write_err {
+            Some(e) => Err(e),
+            None => summary,
+        }
     }
 
     /// Deterministic verification sampling: stable in the key, so the
@@ -392,10 +836,103 @@ impl Server {
         let f = self.opts.verify_fraction.clamp(0.0, 1.0);
         (key % 10_000) < (f * 10_000.0) as u64
     }
+}
 
-    /// Cache hit/miss totals so far (hits, misses).
-    pub fn cache_counters(&self) -> (u64, u64) {
-        (self.cache.hits, self.cache.misses)
+/// What one bounded line read produced.
+enum LineRead {
+    /// A complete line (newline stripped), at most the cap in bytes.
+    Line(Vec<u8>),
+    /// A line longer than the cap; the excess was discarded through its
+    /// newline.
+    Oversized,
+    /// The transport reported a read timeout (poll tick); the partial
+    /// line, if any, stays buffered.
+    TimedOut,
+    /// End of input (a final unterminated line is returned first).
+    Eof,
+}
+
+/// A line reader with a hard byte cap and timeout transparency: reads
+/// never allocate beyond the cap no matter what the peer sends, and a
+/// socket read timeout surfaces as [`LineRead::TimedOut`] without
+/// losing buffered partial input.
+struct LineReader<R> {
+    inner: R,
+    scratch: Vec<u8>,
+    /// Inside an oversized line, discarding until its newline.
+    discarding: bool,
+    max: usize,
+}
+
+impl<R: BufRead> LineReader<R> {
+    fn new(inner: R, max: usize) -> Self {
+        LineReader {
+            inner,
+            scratch: Vec::new(),
+            discarding: false,
+            max,
+        }
+    }
+
+    fn next_line(&mut self) -> io::Result<LineRead> {
+        loop {
+            let buf = match self.inner.fill_buf() {
+                Ok(buf) => buf,
+                Err(e)
+                    if matches!(
+                        e.kind(),
+                        io::ErrorKind::WouldBlock
+                            | io::ErrorKind::TimedOut
+                            | io::ErrorKind::Interrupted
+                    ) =>
+                {
+                    return Ok(LineRead::TimedOut);
+                }
+                Err(e) => return Err(e),
+            };
+            if buf.is_empty() {
+                // EOF: flush any final unterminated line first.
+                if self.discarding {
+                    self.discarding = false;
+                    return Ok(LineRead::Oversized);
+                }
+                if self.scratch.is_empty() {
+                    return Ok(LineRead::Eof);
+                }
+                return Ok(LineRead::Line(std::mem::take(&mut self.scratch)));
+            }
+            let newline = buf.iter().position(|&b| b == b'\n');
+            if self.discarding {
+                let n = newline.map_or(buf.len(), |p| p + 1);
+                self.inner.consume(n);
+                if newline.is_some() {
+                    self.discarding = false;
+                    return Ok(LineRead::Oversized);
+                }
+                continue;
+            }
+            match newline {
+                Some(p) => {
+                    self.scratch.extend_from_slice(&buf[..p]);
+                    self.inner.consume(p + 1);
+                    if self.scratch.len() > self.max {
+                        self.scratch.clear();
+                        return Ok(LineRead::Oversized);
+                    }
+                    return Ok(LineRead::Line(std::mem::take(&mut self.scratch)));
+                }
+                None => {
+                    let n = buf.len();
+                    self.scratch.extend_from_slice(buf);
+                    self.inner.consume(n);
+                    if self.scratch.len() > self.max {
+                        // Too long already; drop it and skip to newline.
+                        self.scratch.clear();
+                        self.discarding = true;
+                    }
+                }
+            }
+        }
     }
 }
 
@@ -481,19 +1018,31 @@ fn emit_result<W: Write>(
     out.flush()
 }
 
-fn error_event(id: Option<&Json>, message: &str) -> Json {
+/// Typed load-shedding event: `scope` names the saturated limit.
+fn busy_event(scope: &str, limit: usize) -> Json {
+    obj(vec![
+        ("event", Json::Str("busy".into())),
+        ("scope", Json::Str(scope.to_string())),
+        ("limit", Json::Num(limit as f64)),
+        ("retry", Json::Bool(true)),
+    ])
+}
+
+fn error_event(id: Option<&Json>, code: &str, message: &str) -> Json {
     let mut members = vec![("event", Json::Str("error".into()))];
     if let Some(Json::Str(id)) = id {
         members.push(("id", Json::Str(id.clone())));
     }
+    members.push(("code", Json::Str(code.to_string())));
     members.push(("message", Json::Str(message.to_string())));
     obj(members)
 }
 
-fn error_event_str(id: &str, message: &str) -> Json {
+fn error_event_str(id: &str, code: &str, message: &str) -> Json {
     obj(vec![
         ("event", Json::Str("error".into())),
         ("id", Json::Str(id.to_string())),
+        ("code", Json::Str(code.to_string())),
         ("message", Json::Str(message.to_string())),
     ])
 }

@@ -8,7 +8,7 @@ use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicUsize, Ordering};
 
 use ringmesh_serve::json::Json;
-use ringmesh_serve::{ServeExit, ServeOptions, Server};
+use ringmesh_serve::{ResultCache, ServeExit, ServeOptions, Server};
 
 fn tempdir(tag: &str) -> PathBuf {
     static NEXT: AtomicUsize = AtomicUsize::new(0);
@@ -30,7 +30,7 @@ fn opts(dir: &Path) -> ServeOptions {
 }
 
 /// Runs one session over in-memory buffers; returns parsed event lines.
-fn session(server: &mut Server, script: &str) -> Vec<Json> {
+fn session(server: &Server, script: &str) -> Vec<Json> {
     let mut out = Vec::new();
     let exit = server
         .serve(BufReader::new(script.as_bytes()), &mut out)
@@ -76,9 +76,9 @@ fn result_data(lines: &[Json], id: &str) -> String {
 #[test]
 fn second_submission_is_served_from_cache_bit_for_bit() {
     let dir = tempdir("twice");
-    let mut server = Server::new(opts(&dir)).unwrap();
+    let server = Server::new(opts(&dir)).unwrap();
 
-    let first = session(&mut server, BATCH);
+    let first = session(&server, BATCH);
     let accepted = events(&first, "accepted");
     assert_eq!(accepted.len(), 3);
     assert!(accepted
@@ -91,7 +91,7 @@ fn second_submission_is_served_from_cache_bit_for_bit() {
     assert_eq!(batch1.get("errors").and_then(Json::as_u64), Some(0));
 
     // Same batch again — a fresh session, same server and cache.
-    let second = session(&mut server, BATCH);
+    let second = session(&server, BATCH);
     let accepted = events(&second, "accepted");
     assert!(accepted
         .iter()
@@ -112,8 +112,8 @@ fn second_submission_is_served_from_cache_bit_for_bit() {
     assert_eq!(server.cache_counters(), (3, 3));
 
     // A restarted server over the same directory still hits.
-    let mut fresh = Server::new(opts(&dir)).unwrap();
-    let third = session(&mut fresh, BATCH);
+    let fresh = Server::new(opts(&dir)).unwrap();
+    let third = session(&fresh, BATCH);
     assert_eq!(
         events(&third, "batch")[0]
             .get("cache_hits")
@@ -126,13 +126,13 @@ fn second_submission_is_served_from_cache_bit_for_bit() {
 #[test]
 fn verify_cache_rechecks_hits_and_reports_them() {
     let dir = tempdir("verify");
-    let mut server = Server::new(ServeOptions {
+    let server = Server::new(ServeOptions {
         verify_fraction: 1.0,
         ..opts(&dir)
     })
     .unwrap();
 
-    let first = session(&mut server, BATCH);
+    let first = session(&server, BATCH);
     assert_eq!(
         events(&first, "batch")[0]
             .get("verified")
@@ -140,7 +140,7 @@ fn verify_cache_rechecks_hits_and_reports_them() {
         Some(0),
         "misses have nothing to verify"
     );
-    let second = session(&mut server, BATCH);
+    let second = session(&server, BATCH);
     let batch = events(&second, "batch")[0];
     assert_eq!(batch.get("cache_hits").and_then(Json::as_u64), Some(3));
     assert_eq!(batch.get("verified").and_then(Json::as_u64), Some(3));
@@ -155,34 +155,40 @@ fn verify_cache_rechecks_hits_and_reports_them() {
 #[test]
 fn verify_cache_detects_a_corrupted_entry() {
     let dir = tempdir("corrupt");
-    let mut server = Server::new(ServeOptions {
+    let server = Server::new(ServeOptions {
         verify_fraction: 1.0,
         ..opts(&dir)
     })
     .unwrap();
     let job = r#"{"op":"job","id":"m","network":"mesh","side":3,"warmup":600,"batch_cycles":600,"batches":2,"cache_line":32}"#;
     let script = format!("{job}\n{{\"op\":\"run\"}}\n{{\"op\":\"quit\"}}\n");
-    session(&mut server, &script);
+    session(&server, &script);
 
-    // Corrupt the single stored payload behind the server's back.
+    // Swap the single stored payload for a *validly sealed* wrong one
+    // behind the server's back. The integrity footer checks out, so
+    // only the verify re-run can catch it (a broken footer would be
+    // quarantined on read instead — see the quarantine test).
     let mut corrupted = 0;
     for shard in fs::read_dir(&dir).unwrap().flatten() {
+        if !shard.path().is_dir() {
+            continue; // access.log / journal.wal live at the cache root
+        }
         for f in fs::read_dir(shard.path()).unwrap().flatten() {
             if f.path().extension().is_some_and(|e| e == "json") {
-                fs::write(f.path(), "{\"tampered\":true}").unwrap();
+                fs::write(f.path(), ResultCache::seal("{\"tampered\":true}")).unwrap();
                 corrupted += 1;
             }
         }
     }
     assert_eq!(corrupted, 1);
 
-    let second = session(&mut server, &script);
+    let second = session(&server, &script);
     let batch = events(&second, "batch")[0];
     assert_eq!(batch.get("mismatches").and_then(Json::as_u64), Some(1));
     assert!(!events(&second, "error").is_empty());
 
     // The mismatch repaired the entry: a third pass verifies cleanly.
-    let third = session(&mut server, &script);
+    let third = session(&server, &script);
     let batch = events(&third, "batch")[0];
     assert_eq!(batch.get("verified").and_then(Json::as_u64), Some(1));
     assert_eq!(batch.get("mismatches").and_then(Json::as_u64), Some(0));
@@ -192,7 +198,7 @@ fn verify_cache_detects_a_corrupted_entry() {
 #[test]
 fn duplicate_jobs_in_one_batch_simulate_once() {
     let dir = tempdir("dedup");
-    let mut server = Server::new(opts(&dir)).unwrap();
+    let server = Server::new(opts(&dir)).unwrap();
     let script = concat!(
         r#"{"op":"job","id":"a","network":"mesh","side":3,"warmup":600,"batch_cycles":600,"batches":2,"cache_line":32}"#,
         "\n",
@@ -203,7 +209,7 @@ fn duplicate_jobs_in_one_batch_simulate_once() {
         r#"{"op":"quit"}"#,
         "\n",
     );
-    let lines = session(&mut server, script);
+    let lines = session(&server, script);
     let batch = events(&lines, "batch")[0];
     assert_eq!(batch.get("jobs").and_then(Json::as_u64), Some(2));
     assert_eq!(batch.get("cache_misses").and_then(Json::as_u64), Some(1));
@@ -215,7 +221,7 @@ fn duplicate_jobs_in_one_batch_simulate_once() {
 #[test]
 fn protocol_errors_are_reported_not_fatal() {
     let dir = tempdir("errors");
-    let mut server = Server::new(opts(&dir)).unwrap();
+    let server = Server::new(opts(&dir)).unwrap();
     let script = concat!(
         "this is not json\n",
         r#"{"op":"warp"}"#,
@@ -227,7 +233,7 @@ fn protocol_errors_are_reported_not_fatal() {
         r#"{"op":"quit"}"#,
         "\n",
     );
-    let lines = session(&mut server, script);
+    let lines = session(&server, script);
     assert_eq!(events(&lines, "error").len(), 3);
     let stats = events(&lines, "stats")[0];
     assert_eq!(stats.get("cache_entries").and_then(Json::as_u64), Some(0));
@@ -236,9 +242,155 @@ fn protocol_errors_are_reported_not_fatal() {
 }
 
 #[test]
+fn oversized_lines_draw_a_typed_error_and_the_session_survives() {
+    let dir = tempdir("oversized");
+    let server = Server::new(opts(&dir)).unwrap();
+    let huge = "x".repeat(ringmesh_serve::MAX_LINE_BYTES + 64);
+    let script = format!("{huge}\n{{\"op\":\"stats\"}}\n{{\"op\":\"quit\"}}\n");
+    let lines = session(&server, &script);
+    let errors = events(&lines, "error");
+    assert_eq!(errors.len(), 1);
+    assert!(errors[0]
+        .get("message")
+        .and_then(Json::as_str)
+        .unwrap()
+        .contains("byte limit"));
+    assert!(!events(&lines, "stats").is_empty(), "session kept serving");
+    assert_eq!(events(&lines, "bye").len(), 1);
+    assert_eq!(server.protocol_errors(), 1);
+    let _ = fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn corrupt_footer_entries_are_quarantined_and_recomputed() {
+    let dir = tempdir("quarantine");
+    let server = Server::new(opts(&dir)).unwrap();
+    let job = r#"{"op":"job","id":"m","network":"mesh","side":3,"warmup":600,"batch_cycles":600,"batches":2,"cache_line":32}"#;
+    let script = format!("{job}\n{{\"op\":\"run\"}}\n{{\"op\":\"quit\"}}\n");
+    let first = session(&server, &script);
+    let data_first = result_data(&first, "m");
+
+    // Tear the entry: a footer-less file fails integrity verification.
+    let mut torn = 0;
+    for shard in fs::read_dir(&dir).unwrap().flatten() {
+        if !shard.path().is_dir() || shard.file_name() == "quarantine" {
+            continue;
+        }
+        for f in fs::read_dir(shard.path()).unwrap().flatten() {
+            if f.path().extension().is_some_and(|e| e == "json") {
+                fs::write(f.path(), "{\"torn\":").unwrap();
+                torn += 1;
+            }
+        }
+    }
+    assert_eq!(torn, 1);
+
+    // The hit misses, the entry is quarantined, the job transparently
+    // recomputes — and the healed payload is byte-identical.
+    let second = session(&server, &script);
+    let batch = events(&second, "batch")[0];
+    assert_eq!(batch.get("cache_misses").and_then(Json::as_u64), Some(1));
+    assert_eq!(batch.get("cache_hits").and_then(Json::as_u64), Some(0));
+    assert_eq!(result_data(&second, "m"), data_first);
+    assert!(
+        fs::read_dir(dir.join("quarantine")).unwrap().count() >= 1,
+        "failed entry preserved for post-mortem"
+    );
+
+    let third = session(&server, &script);
+    assert_eq!(
+        events(&third, "batch")[0]
+            .get("cache_hits")
+            .and_then(Json::as_u64),
+        Some(1),
+        "healed entry serves again"
+    );
+    let _ = fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn saturated_batch_gate_sheds_with_a_typed_busy_event() {
+    let dir = tempdir("busy");
+    let server = Server::new(ServeOptions {
+        max_batches: 1,
+        ..opts(&dir)
+    })
+    .unwrap();
+    let guard = server.hold_batch_slot().expect("slot free");
+    let job = r#"{"op":"job","id":"m","network":"mesh","side":3,"warmup":600,"batch_cycles":600,"batches":2,"cache_line":32}"#;
+    let script = format!("{job}\n{{\"op\":\"run\"}}\n{{\"op\":\"quit\"}}\n");
+    let lines = session(&server, &script);
+    let busy = events(&lines, "busy");
+    assert_eq!(busy.len(), 1, "saturated gate must shed the run");
+    assert_eq!(busy[0].get("scope").and_then(Json::as_str), Some("batches"));
+    assert_eq!(busy[0].get("retry"), Some(&Json::Bool(true)));
+    assert!(events(&lines, "batch").is_empty(), "no batch ran");
+    assert_eq!(server.protocol_errors(), 0, "busy is not a client error");
+
+    drop(guard);
+    let lines = session(&server, &script);
+    assert_eq!(events(&lines, "batch").len(), 1, "freed slot admits runs");
+    let _ = fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn stop_flag_ends_sessions_with_a_graceful_bye() {
+    let dir = tempdir("stop");
+    let server = Server::new(opts(&dir)).unwrap();
+    server.stop_handle().set();
+    let mut out = Vec::new();
+    let exit = server
+        .serve(BufReader::new(BATCH.as_bytes()), &mut out)
+        .unwrap();
+    assert_eq!(exit, ServeExit::Terminated);
+    let text = String::from_utf8(out).unwrap();
+    let bye = Json::parse(text.lines().next().unwrap()).unwrap();
+    assert_eq!(bye.get("event").and_then(Json::as_str), Some("bye"));
+    assert_eq!(bye.get("reason").and_then(Json::as_str), Some("shutdown"));
+    let _ = fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn journaled_jobs_from_a_dead_server_recover_at_startup() {
+    use ringmesh_serve::Journal;
+
+    let dir = tempdir("recover");
+    let job = r#"{"op":"job","id":"m","network":"mesh","side":3,"warmup":600,"batch_cycles":600,"batches":2,"cache_line":32}"#;
+    let spec = ringmesh_serve::parse_job(&Json::parse(job).unwrap(), "m").unwrap();
+    let key = ResultCache::key(&spec.cfg);
+
+    // A server journals the batch, then dies before simulating it.
+    {
+        fs::create_dir_all(&dir).unwrap();
+        let (mut journal, recovery) = Journal::open(&dir).unwrap();
+        assert!(recovery.is_none());
+        journal
+            .begin_batch(&[(key, Json::parse(job).unwrap())])
+            .unwrap();
+    }
+
+    // The next startup completes the promised work before serving.
+    let server = Server::new(opts(&dir)).unwrap();
+    assert_eq!(server.recovered_jobs(), 1);
+    let script = format!("{job}\n{{\"op\":\"run\"}}\n{{\"op\":\"quit\"}}\n");
+    let lines = session(&server, &script);
+    let batch = events(&lines, "batch")[0];
+    assert_eq!(
+        batch.get("cache_hits").and_then(Json::as_u64),
+        Some(1),
+        "recovered result is already cached"
+    );
+
+    // And the journal is clean: a further restart recovers nothing.
+    let fresh = Server::new(opts(&dir)).unwrap();
+    assert_eq!(fresh.recovered_jobs(), 0);
+    let _ = fs::remove_dir_all(&dir);
+}
+
+#[test]
 fn results_carry_percentiles_and_fingerprint() {
     let dir = tempdir("payload");
-    let mut server = Server::new(opts(&dir)).unwrap();
+    let server = Server::new(opts(&dir)).unwrap();
     let script = concat!(
         r#"{"op":"job","id":"r","network":"ring","spec":"6","warmup":800,"batch_cycles":800,"batches":3,"cache_line":32}"#,
         "\n",
@@ -247,7 +399,7 @@ fn results_carry_percentiles_and_fingerprint() {
         r#"{"op":"quit"}"#,
         "\n",
     );
-    let lines = session(&mut server, script);
+    let lines = session(&server, script);
     let data_text = result_data(&lines, "r");
     let data = Json::parse(&data_text).unwrap();
     assert_eq!(

@@ -483,6 +483,17 @@ pub fn hex64(v: u64) -> String {
     format!("{v:016x}")
 }
 
+/// Parses a [`hex64`]-formatted digest back into its value. Strict
+/// inverse: exactly 16 lowercase hex digits, nothing else — the cache
+/// integrity footer and the batch journal reject anything looser as
+/// corruption rather than guessing.
+pub fn parse_hex64(s: &str) -> Option<u64> {
+    if s.len() != 16 || !s.bytes().all(|b| matches!(b, b'0'..=b'9' | b'a'..=b'f')) {
+        return None;
+    }
+    u64::from_str_radix(s, 16).ok()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -587,6 +598,17 @@ mod tests {
         // Known FNV-1a vector: empty input hashes to the offset basis.
         assert_eq!(Fingerprint::of(b""), 0xcbf2_9ce4_8422_2325);
         assert_eq!(hex64(0xab), "00000000000000ab");
+        assert_eq!(parse_hex64("00000000000000ab"), Some(0xab));
+        assert_eq!(parse_hex64(&hex64(u64::MAX)), Some(u64::MAX));
+        for bad in [
+            "",
+            "ab",
+            "00000000000000AB",
+            "00000000000000zz",
+            "00000000000000ab0",
+        ] {
+            assert_eq!(parse_hex64(bad), None, "{bad:?}");
+        }
     }
 
     #[test]

@@ -15,6 +15,8 @@
 use std::io;
 use std::path::PathBuf;
 use std::process::ExitCode;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::time::Duration;
 
 use ringmesh::benchrun::{self, BenchOptions};
 use ringmesh::{
@@ -22,7 +24,7 @@ use ringmesh::{
     RunError, SimParams, System, SystemConfig, TraceConfig,
 };
 use ringmesh_net::{BufferRegime, CacheLineSize};
-use ringmesh_serve::{ServeOptions, Server};
+use ringmesh_serve::{ServeExit, ServeOptions, Server};
 use ringmesh_workload::{MemoryParams, MissProcess, WorkloadParams};
 
 const HELP: &str = "\
@@ -54,17 +56,25 @@ comparison. It prints a summary and can write the machine-readable
 baseline as JSON.
 
 The `serve` subcommand turns the simulator into a sweep-job server: it
-reads line-delimited JSON requests on stdin (or accepts TCP
+reads line-delimited JSON requests on stdin (or accepts concurrent TCP
 connections with --listen), schedules jobs on the worker pool, streams
 windowed progress and result events, and answers repeated jobs
 instantly from a content-addressed result cache keyed by the
 canonicalized configuration plus the code version. In-flight jobs
 periodically checkpoint their full simulation state next to their
-cache entry, so a resubmitted job resumes where an interrupted server
-left off — and fingerprint-matches an uninterrupted run.
+cache entry, and every accepted batch appends to an fsync'd journal
+before simulating — so a server killed mid-batch (even SIGKILL)
+finishes the work at its next startup, resuming from checkpoints, with
+fingerprint-identical results. Cache entries carry integrity footers
+verified on every read: torn or tampered entries are quarantined and
+transparently recomputed. Connections and batches beyond the admission
+limits are shed with typed busy events; request lines longer than 1
+MiB draw a typed error event and are skipped. SIGTERM/SIGINT wind the
+server down gracefully: checkpoints and journal flushed, exit code 6.
 
 Exit status: 0 success, 1 usage/config error, 2 simulation stall,
-3 conservation violation, 4 I/O error, 5 protocol error.
+3 conservation violation, 4 I/O error, 5 protocol error,
+6 interrupted by a graceful shutdown request.
 
 NETWORK (exactly one):
     --ring <SPEC>          hierarchical ring, e.g. --ring 2:3:4
@@ -122,6 +132,17 @@ SERVE OPTIONS (with the `serve` subcommand):
     --checkpoint-every <N> checkpoint in-flight jobs every N cycles,
                            0 disables                 [default: 100000]
     --window <N>           progress window, cycles    [default: 1000]
+    --cache-budget <BYTES> evict least-recently-touched cache entries
+                           (deterministically) past this many bytes,
+                           at startup and after each batch
+    --max-clients <N>      concurrent TCP sessions admitted; excess
+                           connections get a busy event  [default: 16]
+    --max-batches <N>      concurrent running batches; excess run
+                           requests get a busy event     [default: 2]
+    --read-deadline <S>    drop TCP sessions idle this many seconds,
+                           0 disables                 [default: 300]
+    --write-deadline <S>   per-event TCP write deadline in seconds,
+                           0 disables                 [default: 30]
 
 ENVIRONMENT:
     RINGMESH_FULL          any value but 0: figure sweeps and `bench`
@@ -500,6 +521,35 @@ fn run_bench(mut args: Args) -> ExitCode {
     ExitStatus::Success.into()
 }
 
+/// Set from the signal handler; a bridge thread relays it onto the
+/// server's stop flag (handlers must stay async-signal-safe, so the
+/// handler itself only flips this atomic).
+static STOP_REQUESTED: AtomicBool = AtomicBool::new(false);
+
+extern "C" fn on_stop_signal(_sig: i32) {
+    STOP_REQUESTED.store(true, Ordering::SeqCst);
+}
+
+/// Routes SIGTERM and SIGINT into [`STOP_REQUESTED`]. Note libc's
+/// `signal` implies SA_RESTART, so a stdin session blocked in a read
+/// only notices at its next request boundary or EOF; TCP sessions poll
+/// the flag every second.
+#[cfg(unix)]
+fn install_stop_signals() {
+    extern "C" {
+        fn signal(signum: i32, handler: extern "C" fn(i32)) -> usize;
+    }
+    const SIGINT: i32 = 2;
+    const SIGTERM: i32 = 15;
+    unsafe {
+        signal(SIGTERM, on_stop_signal);
+        signal(SIGINT, on_stop_signal);
+    }
+}
+
+#[cfg(not(unix))]
+fn install_stop_signals() {}
+
 fn run_serve(mut args: Args) -> ExitCode {
     let parsed = (|| -> Result<(Option<String>, ServeOptions), String> {
         let listen = args.take_value("--listen")?;
@@ -518,6 +568,30 @@ fn run_serve(mut args: Args) -> ExitCode {
             .take_parsed::<u64>("--window")?
             .unwrap_or(TraceConfig::default().window_cycles)
             .max(1);
+        let defaults = ServeOptions::default();
+        let cache_budget = args.take_parsed::<u64>("--cache-budget")?;
+        let max_clients = args
+            .take_parsed::<usize>("--max-clients")?
+            .unwrap_or(defaults.max_clients)
+            .max(1);
+        let max_batches = args
+            .take_parsed::<usize>("--max-batches")?
+            .unwrap_or(defaults.max_batches)
+            .max(1);
+        // 0 = no deadline, for debugging against a paused client.
+        let secs = |v: Option<u64>, default: Option<Duration>| match v {
+            Some(0) => None,
+            Some(s) => Some(Duration::from_secs(s)),
+            None => default,
+        };
+        let read_deadline = secs(
+            args.take_parsed::<u64>("--read-deadline")?,
+            defaults.read_deadline,
+        );
+        let write_deadline = secs(
+            args.take_parsed::<u64>("--write-deadline")?,
+            defaults.write_deadline,
+        );
         if !args.0.is_empty() {
             return Err(format!("unrecognized arguments: {:?}", args.0));
         }
@@ -529,6 +603,11 @@ fn run_serve(mut args: Args) -> ExitCode {
                 verify_fraction: verify,
                 checkpoint_every,
                 window_cycles: window,
+                cache_budget,
+                max_clients,
+                max_batches,
+                read_deadline,
+                write_deadline,
             },
         ))
     })();
@@ -536,24 +615,41 @@ fn run_serve(mut args: Args) -> ExitCode {
         Ok(x) => x,
         Err(e) => return usage_error(&e),
     };
-    let mut server = match Server::new(opts) {
+    let server = match Server::new(opts) {
         Ok(s) => s,
         Err(e) => {
             eprintln!("error: opening result cache: {e}");
             return ExitStatus::Io.into();
         }
     };
+
+    install_stop_signals();
+    let stop = server.stop_handle();
+    std::thread::spawn(move || loop {
+        if STOP_REQUESTED.load(Ordering::SeqCst) {
+            stop.set();
+            return;
+        }
+        std::thread::sleep(Duration::from_millis(50));
+    });
+
     let outcome = match listen {
-        Some(addr) => server.serve_tcp(&addr),
-        None => server
-            .serve(io::stdin().lock(), io::stdout().lock())
-            .map(|_| ()),
+        Some(addr) => server.serve_tcp(&addr).map(|()| ServeExit::Shutdown),
+        None => server.serve(io::stdin().lock(), io::stdout().lock()),
     };
     match outcome {
-        Ok(()) => {
+        Ok(exit) => {
             let (hits, misses) = server.cache_counters();
             eprintln!("ringmesh serve: {hits} cache hits, {misses} misses this session");
-            ExitStatus::Success.into()
+            if exit == ServeExit::Terminated || STOP_REQUESTED.load(Ordering::SeqCst) {
+                ExitStatus::Interrupted.into()
+            } else if server.protocol_errors() > 0 {
+                // Every malformed line was answered and skipped; the
+                // exit code still reports that the stream wasn't clean.
+                ExitStatus::Protocol.into()
+            } else {
+                ExitStatus::Success.into()
+            }
         }
         Err(e) => {
             eprintln!("error: {e}");
