@@ -31,6 +31,12 @@ pub enum ExitStatus {
     /// flushed. Distinct from [`ExitStatus::Success`] so supervisors can
     /// tell "finished" from "wound down on request".
     Interrupted,
+    /// Two workers produced byte-different results for one content key —
+    /// the determinism contract the entire cache and recovery design
+    /// rests on is broken (a corrupted worker or a mixed build that
+    /// slipped past the code-hash handshake). Nothing from the affected
+    /// fleet should be trusted until the cause is found.
+    DeterminismViolation,
 }
 
 impl ExitStatus {
@@ -44,6 +50,7 @@ impl ExitStatus {
             ExitStatus::Io => 4,
             ExitStatus::Protocol => 5,
             ExitStatus::Interrupted => 6,
+            ExitStatus::DeterminismViolation => 7,
         }
     }
 }
@@ -76,6 +83,7 @@ mod tests {
         assert_eq!(ExitStatus::Io.code(), 4);
         assert_eq!(ExitStatus::Protocol.code(), 5);
         assert_eq!(ExitStatus::Interrupted.code(), 6);
+        assert_eq!(ExitStatus::DeterminismViolation.code(), 7);
     }
 
     #[test]

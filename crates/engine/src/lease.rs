@@ -1,0 +1,175 @@
+//! Time-bounded leases and capped exponential backoff — the dispatch
+//! primitives behind the distributed sweep fleet.
+//!
+//! A coordinator that hands work to remote workers needs two small,
+//! deterministic-by-construction pieces of bookkeeping:
+//!
+//! - [`Lease`] — a renewable claim on one unit of work. The holder must
+//!   show progress (renew) before the deadline or the work is assumed
+//!   lost and becomes eligible for re-dispatch. Renewal extends the
+//!   deadline by the original duration, so a healthy worker streaming
+//!   heartbeats holds its lease indefinitely while a dead or wedged one
+//!   loses it after exactly one lease period.
+//! - [`Backoff`] — a capped exponential delay schedule for re-dispatch
+//!   attempts. Each failure doubles the delay up to the cap, so a job
+//!   that keeps dying (bad worker, poisoned config) cannot hot-loop the
+//!   dispatcher, while the first retry stays fast.
+//!
+//! Both are plain value types over [`std::time::Instant`]; nothing here
+//! spawns threads or touches the network.
+
+use std::time::{Duration, Instant};
+
+/// A renewable, time-bounded claim on one unit of dispatched work.
+///
+/// # Example
+///
+/// ```
+/// use std::time::Duration;
+/// use ringmesh_engine::Lease;
+///
+/// let mut lease = Lease::new(Duration::from_secs(10));
+/// assert!(!lease.expired());
+/// lease.renew(); // heartbeat arrived: deadline pushed out again
+/// assert!(lease.remaining() > Duration::from_secs(9));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Lease {
+    duration: Duration,
+    deadline: Instant,
+}
+
+impl Lease {
+    /// A fresh lease expiring `duration` from now.
+    pub fn new(duration: Duration) -> Self {
+        Lease {
+            duration,
+            deadline: Instant::now() + duration,
+        }
+    }
+
+    /// The lease period granted at construction (renewals extend by
+    /// this much).
+    pub fn duration(&self) -> Duration {
+        self.duration
+    }
+
+    /// Extends the deadline to one full period from now. Call on every
+    /// heartbeat or progress report from the holder.
+    pub fn renew(&mut self) {
+        self.deadline = Instant::now() + self.duration;
+    }
+
+    /// True once the deadline has passed without a renewal.
+    pub fn expired(&self) -> bool {
+        Instant::now() >= self.deadline
+    }
+
+    /// Time left before expiry (zero if already expired).
+    pub fn remaining(&self) -> Duration {
+        self.deadline.saturating_duration_since(Instant::now())
+    }
+}
+
+/// A capped exponential backoff schedule: `base`, `2*base`, `4*base`,
+/// … never exceeding `cap`.
+///
+/// # Example
+///
+/// ```
+/// use std::time::Duration;
+/// use ringmesh_engine::Backoff;
+///
+/// let mut b = Backoff::new(Duration::from_millis(100), Duration::from_millis(350));
+/// assert_eq!(b.next_delay(), Duration::from_millis(100));
+/// assert_eq!(b.next_delay(), Duration::from_millis(200));
+/// assert_eq!(b.next_delay(), Duration::from_millis(350)); // capped
+/// assert_eq!(b.next_delay(), Duration::from_millis(350));
+/// assert_eq!(b.attempts(), 4);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Backoff {
+    base: Duration,
+    cap: Duration,
+    attempts: u32,
+}
+
+impl Backoff {
+    /// A schedule starting at `base` and doubling up to `cap`. A zero
+    /// `base` is clamped to one millisecond so the schedule always
+    /// makes progress toward the cap.
+    pub fn new(base: Duration, cap: Duration) -> Self {
+        Backoff {
+            base: base.max(Duration::from_millis(1)),
+            cap: cap.max(base),
+            attempts: 0,
+        }
+    }
+
+    /// Failures recorded so far (calls to [`next_delay`](Self::next_delay)).
+    pub fn attempts(&self) -> u32 {
+        self.attempts
+    }
+
+    /// Records one more failure and returns how long to wait before the
+    /// next attempt.
+    pub fn next_delay(&mut self) -> Duration {
+        let delay = self.delay_for(self.attempts);
+        self.attempts += 1;
+        delay
+    }
+
+    /// The delay after `attempt` prior failures (0-based), without
+    /// recording anything: `base * 2^attempt`, capped.
+    pub fn delay_for(&self, attempt: u32) -> Duration {
+        let factor = 1u32.checked_shl(attempt.min(31)).unwrap_or(u32::MAX);
+        self.base.saturating_mul(factor).min(self.cap)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lease_expires_without_renewal_and_survives_with_it() {
+        let mut lease = Lease::new(Duration::from_millis(40));
+        assert!(!lease.expired());
+        assert!(lease.remaining() <= Duration::from_millis(40));
+        std::thread::sleep(Duration::from_millis(25));
+        lease.renew();
+        std::thread::sleep(Duration::from_millis(25));
+        assert!(!lease.expired(), "renewal must push the deadline out");
+        std::thread::sleep(Duration::from_millis(30));
+        assert!(lease.expired(), "no renewal ⇒ expiry after one period");
+        assert_eq!(lease.remaining(), Duration::ZERO);
+    }
+
+    #[test]
+    fn zero_duration_lease_is_born_expired() {
+        let lease = Lease::new(Duration::ZERO);
+        assert!(lease.expired());
+    }
+
+    #[test]
+    fn backoff_doubles_to_the_cap_and_stays_there() {
+        let mut b = Backoff::new(Duration::from_millis(50), Duration::from_secs(1));
+        let delays: Vec<u64> = (0..7).map(|_| b.next_delay().as_millis() as u64).collect();
+        assert_eq!(delays, vec![50, 100, 200, 400, 800, 1000, 1000]);
+        assert_eq!(b.attempts(), 7);
+    }
+
+    #[test]
+    fn backoff_never_overflows_at_absurd_attempt_counts() {
+        let b = Backoff::new(Duration::from_secs(1), Duration::from_secs(30));
+        assert_eq!(b.delay_for(63), Duration::from_secs(30));
+        assert_eq!(b.delay_for(u32::MAX), Duration::from_secs(30));
+    }
+
+    #[test]
+    fn zero_base_is_clamped_so_delays_still_grow() {
+        let mut b = Backoff::new(Duration::ZERO, Duration::from_millis(8));
+        assert!(b.next_delay() >= Duration::from_millis(1));
+        assert!(b.next_delay() >= Duration::from_millis(2));
+    }
+}

@@ -22,6 +22,10 @@
 //! * [`WorkerPool`] — an order-preserving fork-join pool on scoped
 //!   threads, used to fan independent sweep points across cores while
 //!   keeping results byte-identical to a serial run.
+//! * [`StopFlag`] / [`AdmissionGate`] — cooperative shutdown and
+//!   load-shedding admission control for services built on the kernel.
+//! * [`Lease`] / [`Backoff`] — time-bounded work claims and capped
+//!   exponential retry delays for distributed dispatch.
 //!
 //! The networks themselves (hierarchical rings, 2-D meshes) live in the
 //! `ringmesh-ring` and `ringmesh-mesh` crates; workload generation lives
@@ -48,6 +52,7 @@ mod admission;
 mod calendar;
 mod clock;
 mod facility;
+mod lease;
 mod pool;
 mod rng;
 mod watchdog;
@@ -56,6 +61,7 @@ pub use admission::{AdmissionGate, Permit, StopFlag};
 pub use calendar::EventCalendar;
 pub use clock::{run_cycles, run_cycles_traced, ClockDivider, ClockedSystem};
 pub use facility::{Facility, FacilityStats, RequestOutcome};
+pub use lease::{Backoff, Lease};
 pub use pool::{configured_threads, WorkerPool};
 pub use rng::SimRng;
 pub use watchdog::{StallError, Watchdog};

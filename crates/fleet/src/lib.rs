@@ -1,0 +1,47 @@
+//! `ringmesh-fleet` — a fault-tolerant distributed sweep fleet.
+//!
+//! Extends [`ringmesh-serve`](ringmesh_serve) beyond one machine: a
+//! coordinator ([`FleetPool`]) accepts TCP connections from remote
+//! workers ([`run_worker`]) and dispatches the cache misses of each
+//! batch to them under **time-bounded leases**, keeping the serve
+//! layer's determinism contract intact across worker crashes:
+//!
+//! - **Line-JSON protocol over `std::net`** ([`WorkerMsg`],
+//!   [`CoordMsg`]) — no external dependencies; one message per line,
+//!   self-describing, forward-skippable.
+//! - **Code-version handshake** — a worker registers with the FNV hash
+//!   of the coordinator's [`CODE_VERSION`](ringmesh_serve::CODE_VERSION)
+//!   contract ([`code_hash`]); a mismatched build is refused with a
+//!   typed message naming both hashes, because a fleet of mixed builds
+//!   could silently produce non-reproducible sweeps.
+//! - **Leases, heartbeats, re-dispatch** — every dispatch carries a
+//!   deadline and is journaled by the serve layer; a missed heartbeat
+//!   or expired lease re-enqueues the job (on another worker, or the
+//!   local pool as a fallback) under capped exponential backoff.
+//! - **Straggler speculation with first-result-wins** — a job whose
+//!   lease expires while its worker still breathes is speculatively
+//!   dispatched a second time; duplicate results deduplicate by
+//!   content hash, and **byte-divergent** duplicates are reported as a
+//!   hard determinism violation rather than silently picking one.
+//! - **Byte-identical merges** — the serve layer emits results in job
+//!   submission order, so a batch's output (and its batch fingerprint)
+//!   is identical whether it ran on zero, one, or ten workers, and
+//!   regardless of which of them died mid-flight. A chaos test pins
+//!   this by `kill -9`ing workers mid-batch and diffing against a
+//!   single-process control run.
+//!
+//! The coordinator plugs into the server through the
+//! [`RemoteRunner`](ringmesh_serve::RemoteRunner) trait, so
+//! `ringmesh-serve` stays free of any networking beyond its own client
+//! sockets.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod coordinator;
+mod protocol;
+mod worker;
+
+pub use coordinator::{FleetOptions, FleetPool};
+pub use protocol::{code_hash, CoordMsg, WorkerMsg};
+pub use worker::{run_worker, WorkerExit, WorkerOptions};

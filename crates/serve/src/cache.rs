@@ -49,6 +49,14 @@ pub const CODE_VERSION: &str = env!("CARGO_PKG_VERSION");
 /// Marker that introduces the integrity footer of a sealed entry.
 pub const FOOTER_PREFIX: &str = "\n#fnv64=";
 
+/// How many times one key may be quarantined before the cache stops
+/// rewriting its slot. A slot that keeps corrupting (bad sector, bad
+/// RAM, hostile tampering) would otherwise drive an unbounded
+/// quarantine → recompute → store → corrupt loop; past this limit the
+/// key is answered by recomputation alone and the server emits a
+/// `warn` event instead of churning the disk.
+pub const QUARANTINE_STRIKE_LIMIT: u32 = 3;
+
 /// Name of the quarantine directory under the cache root.
 const QUARANTINE_DIR: &str = "quarantine";
 
@@ -68,6 +76,11 @@ pub struct ResultCache {
     pub quarantined: u64,
     /// Entries evicted by the size budget.
     pub evicted: u64,
+    /// Stores suppressed because the key struck out (see
+    /// [`QUARANTINE_STRIKE_LIMIT`]).
+    pub suppressed_stores: u64,
+    /// Per-key quarantine counts this process lifetime.
+    strikes: HashMap<u64, u32>,
     /// Key touches in order (recency = last occurrence), mirrored to
     /// `access.log`.
     touches: Vec<u64>,
@@ -96,6 +109,8 @@ impl ResultCache {
             misses: 0,
             quarantined: 0,
             evicted: 0,
+            suppressed_stores: 0,
+            strikes: HashMap::new(),
             touches,
             log: Some(log),
         })
@@ -166,20 +181,41 @@ impl ResultCache {
                 Some(payload)
             }
             None => {
-                self.quarantine(&path);
+                self.quarantine(key, &path);
                 None
             }
         }
     }
 
+    /// Times `key` has been quarantined this process lifetime; at
+    /// [`QUARANTINE_STRIKE_LIMIT`] the slot is struck out and
+    /// [`store`](Self::store) backs off.
+    pub fn strikes(&self, key: u64) -> u32 {
+        self.strikes.get(&key).copied().unwrap_or(0)
+    }
+
+    /// True once `key` has struck out: its slot keeps corrupting, so
+    /// rewriting it is suppressed and callers should emit a `warn`.
+    pub fn struck_out(&self, key: u64) -> bool {
+        self.strikes(key) >= QUARANTINE_STRIKE_LIMIT
+    }
+
     /// Stores `payload` (sealed, atomic via rename) as the result for
-    /// `key` and drops any leftover checkpoint.
+    /// `key` and drops any leftover checkpoint. A key that has struck
+    /// out ([`struck_out`](Self::struck_out)) is *not* rewritten — the
+    /// slot keeps corrupting, so the write is suppressed (counted in
+    /// `suppressed_stores`) and the key is served by recomputation.
     ///
     /// # Errors
     ///
     /// Propagates filesystem errors; the cache is an optimization, so
     /// callers may choose to log and continue.
     pub fn store(&mut self, key: u64, payload: &str) -> io::Result<()> {
+        if self.struck_out(key) {
+            self.suppressed_stores += 1;
+            let _ = fs::remove_file(self.checkpoint_path(key));
+            return Ok(());
+        }
         let path = self.result_path(key);
         write_atomic(&path, ResultCache::seal(payload).as_bytes())?;
         let _ = fs::remove_file(self.checkpoint_path(key));
@@ -188,8 +224,9 @@ impl ResultCache {
     }
 
     /// Moves a failed entry into `quarantine/` (falling back to removal
-    /// if the move itself fails) and counts it.
-    fn quarantine(&mut self, path: &Path) {
+    /// if the move itself fails) and counts it — both globally and as a
+    /// strike against `key`.
+    fn quarantine(&mut self, key: u64, path: &Path) {
         let qdir = self.dir.join(QUARANTINE_DIR);
         let ok = fs::create_dir_all(&qdir).is_ok()
             && path.file_name().is_some_and(|name| {
@@ -201,6 +238,7 @@ impl ResultCache {
             let _ = fs::remove_file(path);
         }
         self.quarantined += 1;
+        *self.strikes.entry(key).or_insert(0) += 1;
     }
 
     /// Records a key touch for eviction recency: in memory and appended
@@ -468,6 +506,48 @@ mod tests {
         // Recompute-and-store heals the slot.
         cache.store(key, "{\"ok\":true}").unwrap();
         assert_eq!(cache.lookup(key).as_deref(), Some("{\"ok\":true}"));
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn repeated_corruption_strikes_the_key_out_and_suppresses_stores() {
+        let dir = tempdir("strikes");
+        let mut cache = ResultCache::open(&dir).unwrap();
+        let key = 0x0bad_0bad_0bad_0bad;
+        let corrupt_slot = |cache: &mut ResultCache| {
+            let path = cache.result_path(key);
+            let sealed = fs::read_to_string(&path).unwrap();
+            fs::write(&path, &sealed[..sealed.len() / 2]).unwrap();
+        };
+
+        // The recompute → store → corrupt loop runs up to the limit…
+        for round in 0..QUARANTINE_STRIKE_LIMIT {
+            assert!(!cache.struck_out(key), "round {round}: not out yet");
+            cache.store(key, "{\"v\":1}").unwrap();
+            assert!(cache.result_path(key).exists());
+            corrupt_slot(&mut cache);
+            assert_eq!(cache.lookup(key), None);
+            assert_eq!(cache.strikes(key), round + 1);
+        }
+
+        // …then the slot is struck out: stores become no-ops (but still
+        // clear checkpoints) and are counted, and lookups keep missing.
+        assert!(cache.struck_out(key));
+        write_atomic(&cache.checkpoint_path(key), b"state").unwrap();
+        cache.store(key, "{\"v\":1}").unwrap();
+        assert!(!cache.result_path(key).exists(), "store suppressed");
+        assert!(!cache.checkpoint_path(key).exists(), "ckpt still cleared");
+        assert_eq!(cache.suppressed_stores, 1);
+        assert_eq!(cache.lookup(key), None);
+        assert_eq!(
+            cache.quarantined,
+            u64::from(QUARANTINE_STRIKE_LIMIT),
+            "no further quarantine churn once the slot is empty"
+        );
+
+        // Other keys are unaffected.
+        cache.store(1, "{\"ok\":true}").unwrap();
+        assert_eq!(cache.lookup(1).as_deref(), Some("{\"ok\":true}"));
         let _ = fs::remove_dir_all(&dir);
     }
 

@@ -27,9 +27,29 @@
 //! misread. `done` is recorded for failed attempts too (the journal
 //! tracks *attempts*, not successes) so a config that deterministically
 //! stalls cannot wedge every subsequent startup in a recovery loop.
+//!
+//! Fleet dispatch adds an informational `lease` record — which worker
+//! holds which job under what deadline — so a post-mortem can
+//! reconstruct who was computing what when a machine died:
+//!
+//! ```text
+//! {"rec":"lease","key":"ab…ef","worker":2,"attempt":1,"lease_ms":15000}
+//! ```
+//!
+//! Replay ignores `lease` records (recovery cares only about
+//! job-vs-done); they are an audit trail, not state.
+//!
+//! **Truncate-on-checkpoint:** the WAL does not grow without bound.
+//! The journal tracks open batches and not-yet-done jobs; when the last
+//! open batch ends with nothing pending, the file is truncated to empty
+//! (the cache holds every completed result, so a fully-settled journal
+//! carries no information). A server that runs for weeks therefore
+//! keeps a journal proportional to its *in-flight* work, not its
+//! history.
 
+use std::collections::HashSet;
 use std::fs::{self, File, OpenOptions};
-use std::io::{self, Write};
+use std::io::{self, Seek, SeekFrom, Write};
 use std::path::{Path, PathBuf};
 
 use ringmesh_snap::{hex64, parse_hex64};
@@ -67,6 +87,10 @@ pub struct Journal {
     path: PathBuf,
     file: File,
     next_batch: u64,
+    /// Jobs begun but not yet recorded done (drives truncation).
+    pending: HashSet<u64>,
+    /// Batches begun but not yet ended (drives truncation).
+    open_batches: u64,
 }
 
 impl Journal {
@@ -105,11 +129,18 @@ impl Journal {
             })
         };
         file.sync_data()?;
+        let pending: HashSet<u64> = recovery
+            .iter()
+            .flat_map(|r| r.jobs.iter().map(|j| j.key))
+            .collect();
+        let open_batches = u64::from(!pending.is_empty());
         Ok((
             Journal {
                 path,
                 file,
                 next_batch: 1,
+                pending,
+                open_batches,
             },
             recovery,
         ))
@@ -131,9 +162,39 @@ impl Journal {
         self.next_batch += 1;
         for (key, spec) in jobs {
             writeln!(self.file, "{}", job_record(batch, *key, spec))?;
+            self.pending.insert(*key);
         }
+        self.open_batches += 1;
         self.file.sync_data()?;
         Ok(batch)
+    }
+
+    /// Records that a job was leased to a fleet worker — an audit-trail
+    /// record replay ignores, durable on return so a post-mortem of a
+    /// dead coordinator shows who held what.
+    ///
+    /// # Errors
+    ///
+    /// Propagates write/fsync errors.
+    pub fn record_lease(
+        &mut self,
+        key: u64,
+        worker: u64,
+        attempt: u32,
+        lease_ms: u64,
+    ) -> io::Result<()> {
+        writeln!(
+            self.file,
+            "{}",
+            obj(vec![
+                ("rec", Json::Str("lease".into())),
+                ("key", Json::Str(hex64(key))),
+                ("worker", Json::Num(worker as f64)),
+                ("attempt", Json::Num(f64::from(attempt))),
+                ("lease_ms", Json::Num(lease_ms as f64)),
+            ])
+        )?;
+        self.file.sync_data()
     }
 
     /// Records that a job attempt ran to completion (success or
@@ -152,15 +213,20 @@ impl Journal {
                 ("key", Json::Str(hex64(key))),
             ])
         )?;
+        self.pending.remove(&key);
         self.file.sync_data()
     }
 
     /// Records that every job in `batch` is accounted for. Durable on
-    /// return.
+    /// return. When this closes the *last* open batch and no job is
+    /// pending, the journal compacts itself to empty (the cache holds
+    /// every completed result, so a settled WAL carries no state) —
+    /// this is what keeps the file from growing across server
+    /// lifetimes.
     ///
     /// # Errors
     ///
-    /// Propagates write/fsync errors.
+    /// Propagates write/fsync/truncate errors.
     pub fn end_batch(&mut self, batch: u64) -> io::Result<()> {
         writeln!(
             self.file,
@@ -170,7 +236,21 @@ impl Journal {
                 ("batch", Json::Num(batch as f64)),
             ])
         )?;
+        self.open_batches = self.open_batches.saturating_sub(1);
+        if self.open_batches == 0 && self.pending.is_empty() {
+            // Truncate-on-checkpoint: everything the log records is
+            // settled, so the history (this `end` line included) is
+            // dead weight. Rewind before truncating so the next append
+            // starts at offset zero.
+            self.file.seek(SeekFrom::Start(0))?;
+            self.file.set_len(0)?;
+        }
         self.file.sync_data()
+    }
+
+    /// Jobs begun but not yet recorded done (diagnostics and tests).
+    pub fn pending_jobs(&self) -> usize {
+        self.pending.len()
     }
 
     /// Forces everything appended so far to disk (a no-op given every
@@ -332,6 +412,71 @@ mod tests {
             3,
             "job 3 is still pending because its done record tore"
         );
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn settled_journal_truncates_to_empty() {
+        let dir = tempdir("compact");
+        let (mut j, _) = Journal::open(&dir).unwrap();
+        let b = j.begin_batch(&[(1, spec(1)), (2, spec(2))]).unwrap();
+        assert_eq!(j.pending_jobs(), 2);
+        j.record_done(1).unwrap();
+        j.record_done(2).unwrap();
+        assert!(fs::metadata(j.path()).unwrap().len() > 0);
+        j.end_batch(b).unwrap();
+        assert_eq!(
+            fs::metadata(j.path()).unwrap().len(),
+            0,
+            "a settled WAL must truncate, not grow forever"
+        );
+        assert_eq!(j.pending_jobs(), 0);
+        // And the journal keeps working after the truncation.
+        let b2 = j.begin_batch(&[(3, spec(3))]).unwrap();
+        drop(j);
+        let (_, rec) = Journal::open(&dir).unwrap();
+        assert_eq!(rec.expect("job 3 pending").jobs[0].key, 3);
+        let _ = b2;
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn truncation_waits_for_every_open_batch() {
+        let dir = tempdir("compact-overlap");
+        let (mut j, _) = Journal::open(&dir).unwrap();
+        // Two concurrent batches (max_batches > 1 in the server).
+        let a = j.begin_batch(&[(1, spec(1))]).unwrap();
+        let b = j.begin_batch(&[(2, spec(2))]).unwrap();
+        j.record_done(1).unwrap();
+        j.end_batch(a).unwrap();
+        assert!(
+            fs::metadata(j.path()).unwrap().len() > 0,
+            "batch b is still open; its job record must survive"
+        );
+        j.record_done(2).unwrap();
+        j.end_batch(b).unwrap();
+        assert_eq!(fs::metadata(j.path()).unwrap().len(), 0);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn lease_records_are_durable_audit_but_invisible_to_replay() {
+        let dir = tempdir("lease");
+        {
+            let (mut j, _) = Journal::open(&dir).unwrap();
+            j.begin_batch(&[(8, spec(8))]).unwrap();
+            j.record_lease(8, 2, 1, 15_000).unwrap();
+            j.record_lease(8, 3, 2, 15_000).unwrap();
+            let text = fs::read_to_string(j.path()).unwrap();
+            assert_eq!(text.matches("\"rec\":\"lease\"").count(), 2);
+            assert!(text.contains("\"worker\":2") && text.contains("\"attempt\":2"));
+        }
+        // Replay: the job is still pending exactly once — leases do not
+        // complete, duplicate, or reorder it.
+        let (_, rec) = Journal::open(&dir).unwrap();
+        let rec = rec.expect("leased-but-unfinished job is pending");
+        assert_eq!(rec.jobs.len(), 1);
+        assert_eq!(rec.jobs[0].key, 8);
         let _ = fs::remove_dir_all(&dir);
     }
 

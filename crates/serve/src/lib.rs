@@ -33,6 +33,13 @@
 //!   sessions with read/write deadlines over shared state; load beyond
 //!   the admission limits is shed with typed `busy` events instead of
 //!   queued unboundedly.
+//! - **Fleet dispatch** ([`RemoteRunner`]) — an attached worker fleet
+//!   runs batch misses under journaled, time-bounded leases with
+//!   heartbeat-driven re-dispatch and straggler speculation; results
+//!   merge in job-submission order, so a batch is byte-identical to a
+//!   single-process run no matter how many workers served it or died
+//!   mid-flight, and byte-divergent duplicate results are surfaced as
+//!   hard determinism violations.
 //!
 //! ```text
 //! $ printf '%s\n' \
@@ -53,11 +60,15 @@ mod cache;
 mod jobspec;
 mod journal;
 pub mod json;
+mod remote;
 mod runner;
 mod server;
 
-pub use cache::{write_atomic, ResultCache, CODE_VERSION};
+pub use cache::{write_atomic, ResultCache, CODE_VERSION, QUARANTINE_STRIKE_LIMIT};
 pub use jobspec::{parse_job, JobSpec};
 pub use journal::{Journal, RecoveredJob, Recovery};
+pub use remote::{RemoteEvent, RemoteOutcome, RemoteRunner, RemoteTask};
 pub use runner::{run_job, JobError, JobOutcome, WindowEvent};
-pub use server::{ServeExit, ServeOptions, Server, MAX_LINE_BYTES, MAX_PENDING_JOBS};
+pub use server::{
+    result_payload, ServeExit, ServeOptions, Server, MAX_LINE_BYTES, MAX_PENDING_JOBS,
+};

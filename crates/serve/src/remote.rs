@@ -1,0 +1,140 @@
+//! Pluggable remote execution for batch work — the seam between the
+//! serve coordinator and a worker fleet.
+//!
+//! The server schedules a batch's cache misses either on its local
+//! [`WorkerPool`](ringmesh::WorkerPool) or, when a [`RemoteRunner`] is
+//! attached and has live workers, by handing the whole work vector to
+//! the runner. The trait lives *here* (not in the fleet crate) so the
+//! dependency points outward: `ringmesh-serve` defines the contract,
+//! `ringmesh-fleet` implements it over TCP, and the CLI wires the two
+//! together. The server never links the fleet.
+//!
+//! # Contract
+//!
+//! - `run_tasks` is called from the batch's session thread and may
+//!   block until every task reaches a terminal [`RemoteOutcome`]. It
+//!   must return outcomes **in input order**.
+//! - [`RemoteEvent`]s stream through the callback from the calling
+//!   thread (the runner marshals its internal concurrency); the server
+//!   relays them to the client and journals lease grants.
+//! - A task the runner could not finish (no workers left, cooperative
+//!   stop) comes back as [`RemoteOutcome::Unrun`]; the server decides
+//!   whether to fall back to the local pool or report interruption.
+//! - Two *completed* attempts of one task disagreeing on the result
+//!   payload is a **hard determinism violation**
+//!   ([`RemoteOutcome::Divergent`]): the simulator promises one
+//!   bit-exact result per content key, so divergence means a broken
+//!   worker or a broken build, and the CLI surfaces it with its own
+//!   exit status.
+
+use ringmesh::StopFlag;
+
+use crate::json::Json;
+
+/// One unit of batch work offered to a remote runner.
+#[derive(Debug, Clone)]
+pub struct RemoteTask {
+    /// Client-chosen job id (labels events; not part of the content).
+    pub id: String,
+    /// Content key of the job (canonical config + code version).
+    pub key: u64,
+    /// The wire-form job object, re-parseable by
+    /// [`parse_job`](crate::parse_job) on the worker.
+    pub spec: Json,
+}
+
+/// Dispatch-lifecycle and progress events streamed while remote tasks
+/// run. `task` indexes the vector passed to
+/// [`RemoteRunner::run_tasks`].
+#[derive(Debug, Clone)]
+pub enum RemoteEvent {
+    /// The task was leased to a worker for `lease_ms` (attempt is
+    /// 1-based across re-dispatches).
+    Lease {
+        /// Index into the task vector.
+        task: usize,
+        /// Coordinator-assigned worker id.
+        worker: u64,
+        /// 1-based dispatch attempt.
+        attempt: u32,
+        /// Lease duration granted, in milliseconds.
+        lease_ms: u64,
+    },
+    /// Windowed progress relayed from the worker computing the task.
+    Window {
+        /// Index into the task vector.
+        task: usize,
+        /// Network cycle at the end of the window.
+        cycle: u64,
+        /// Transactions issued during the window.
+        issued: u64,
+        /// Transactions retired during the window.
+        retired: u64,
+    },
+    /// The task was re-enqueued (lease expiry, worker death, or a
+    /// failed attempt) and will wait `backoff_ms` before re-dispatch.
+    Retry {
+        /// Index into the task vector.
+        task: usize,
+        /// The attempt that just ended.
+        attempt: u32,
+        /// Why the attempt ended (`"lease-expired"`, `"worker-death"`,
+        /// `"attempt-failed"`).
+        reason: String,
+        /// Capped exponential backoff before the next dispatch.
+        backoff_ms: u64,
+    },
+    /// A long-tail straggler was speculatively duplicated onto another
+    /// worker; first completed result wins.
+    Speculate {
+        /// Index into the task vector.
+        task: usize,
+        /// The worker running the duplicate.
+        worker: u64,
+    },
+}
+
+/// Terminal outcome of one remote task, in task-vector order.
+#[derive(Debug, Clone, PartialEq)]
+pub enum RemoteOutcome {
+    /// The task completed; `payload` is the canonical result JSON whose
+    /// FNV content hash was verified against the worker's claim.
+    Done {
+        /// Canonical serialized result payload.
+        payload: String,
+    },
+    /// Two completed attempts returned byte-different payloads — a hard
+    /// determinism violation.
+    Divergent {
+        /// Content hash of the first completed payload.
+        first: u64,
+        /// Content hash of the disagreeing duplicate.
+        second: u64,
+    },
+    /// Every dispatch attempt failed for a task-intrinsic reason (bad
+    /// config, stall) — re-dispatching cannot help.
+    Failed(String),
+    /// The runner could not complete the task (no live workers, stop
+    /// requested, retry budget exhausted on worker deaths); the caller
+    /// should fall back to local execution or report interruption.
+    Unrun,
+}
+
+/// A remote batch executor the server can dispatch work through.
+pub trait RemoteRunner: Send + Sync + std::fmt::Debug {
+    /// Number of live, registered workers right now. The server only
+    /// routes a batch remotely when this is non-zero.
+    fn live_workers(&self) -> usize;
+
+    /// Runs `tasks` to terminal outcomes, streaming [`RemoteEvent`]s
+    /// through `events` from the calling thread, honoring `stop` as a
+    /// cooperative abort (unfinished tasks return
+    /// [`RemoteOutcome::Unrun`]). Returns one outcome per task, in
+    /// input order.
+    fn run_tasks(
+        &self,
+        tasks: Vec<RemoteTask>,
+        stop: &StopFlag,
+        events: &mut dyn FnMut(RemoteEvent),
+    ) -> Vec<RemoteOutcome>;
+}

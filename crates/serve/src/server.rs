@@ -12,12 +12,16 @@
 //! | `{"op":"shutdown"}`             | `bye`, whole server winds down          |
 //!
 //! `run` answers cache hits instantly from the content-addressed store
-//! and schedules the misses on the shared [`WorkerPool`]; `window` and
-//! `result` events stream as workers progress (each tagged with the
-//! job id), and the closing `batch` line carries hit/miss counters plus
-//! a combined fingerprint over all results in submission order — two
-//! batches of identical jobs produce byte-identical `result` data and
-//! equal batch fingerprints whether computed or cached.
+//! and schedules the misses on the shared [`WorkerPool`] — or, when a
+//! [`RemoteRunner`] fleet is attached and reports live workers, on the
+//! fleet under journaled leases. `window` events stream as workers
+//! progress (each tagged with the job id); fleet batches additionally
+//! stream `lease`, `retry`, and `speculate` lifecycle events. `result`
+//! events are emitted in job-submission order, and the closing `batch`
+//! line carries hit/miss counters plus a combined fingerprint over all
+//! results in submission order — two batches of identical jobs produce
+//! byte-identical `result` data and equal batch fingerprints whether
+//! computed, cached, or recovered from dead workers.
 //!
 //! # Robustness contract
 //!
@@ -46,7 +50,7 @@ use std::io::{self, BufRead, BufReader, Write};
 use std::net::{TcpListener, TcpStream};
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Mutex, MutexGuard};
+use std::sync::{Arc, Mutex, MutexGuard, OnceLock};
 use std::time::{Duration, Instant};
 
 use ringmesh::{AdmissionGate, RunResult, StopFlag, SystemConfig, WorkerPool};
@@ -57,6 +61,7 @@ use crate::cache::ResultCache;
 use crate::jobspec::{parse_job, JobSpec};
 use crate::journal::{Journal, Recovery};
 use crate::json::{obj, Json};
+use crate::remote::{RemoteEvent, RemoteOutcome, RemoteRunner, RemoteTask};
 use crate::runner::{run_job, JobError, WindowEvent};
 
 /// Longest accepted request line, in bytes (1 MiB). Anything longer is
@@ -163,6 +168,12 @@ struct Shared {
     protocol_errors: AtomicU64,
     /// Journaled jobs completed by startup recovery.
     recovered: AtomicU64,
+    /// Optional worker fleet; batches with misses dispatch here while
+    /// it reports live workers (set once via [`Server::set_remote`]).
+    remote: OnceLock<Arc<dyn RemoteRunner>>,
+    /// Duplicate remote runs that disagreed byte-for-byte — a broken
+    /// worker or build (drives `ExitStatus::DeterminismViolation`).
+    determinism_violations: AtomicU64,
 }
 
 /// One queued job and what the cache already knows about it.
@@ -190,6 +201,22 @@ enum Plan {
     Alias(usize),
 }
 
+/// One planned simulation: everything either execution lane (local pool
+/// or remote fleet) needs to run the job and label its events.
+#[derive(Debug, Clone)]
+struct WorkItem {
+    /// Client-chosen job id (event labels only).
+    id: String,
+    cfg: SystemConfig,
+    key: u64,
+    /// Wire-form job object, re-parsed by remote workers.
+    raw: Json,
+}
+
+/// Terminal outcome of one work item, lane-independent: the canonical
+/// result payload plus whether the run resumed from a checkpoint.
+type WorkOutcome = Result<(String, bool), JobError>;
+
 impl Server {
     /// Opens the cache, replays the batch journal (completing any work
     /// a dead server left unfinished, resuming from checkpoints), runs
@@ -216,6 +243,8 @@ impl Server {
             stop: StopFlag::new(),
             protocol_errors: AtomicU64::new(0),
             recovered: AtomicU64::new(0),
+            remote: OnceLock::new(),
+            determinism_violations: AtomicU64::new(0),
         });
         if let Some(recovery) = recovery {
             shared.recover(recovery)?;
@@ -314,6 +343,22 @@ impl Server {
     /// Journaled jobs completed by startup recovery.
     pub fn recovered_jobs(&self) -> u64 {
         self.shared.recovered.load(Ordering::SeqCst)
+    }
+
+    /// Attaches a worker fleet. From then on, any batch with cache
+    /// misses is dispatched through `runner` whenever it reports live
+    /// workers (falling back to the local pool otherwise, or for tasks
+    /// the fleet hands back unrun). At most one fleet may be attached;
+    /// later calls are ignored.
+    pub fn set_remote(&self, runner: Arc<dyn RemoteRunner>) {
+        let _ = self.shared.remote.set(runner);
+    }
+
+    /// Hard determinism violations observed so far: duplicate remote
+    /// runs of one content key that returned byte-different payloads.
+    /// Non-zero drives the CLI's `ExitStatus::DeterminismViolation`.
+    pub fn determinism_violations(&self) -> u64 {
+        self.shared.determinism_violations.load(Ordering::SeqCst)
     }
 
     /// Holds one batch admission slot; while the guard lives, one fewer
@@ -445,7 +490,7 @@ impl Shared {
                     None => emit(&mut out, busy_event("batches", self.batches.limit()))?,
                 },
                 Some("stats") => {
-                    let (hits, misses, entries, bytes, quarantined, evicted) = {
+                    let (hits, misses, entries, bytes, quarantined, evicted, suppressed) = {
                         let cache = self.cache_lock();
                         (
                             cache.hits,
@@ -454,6 +499,7 @@ impl Shared {
                             cache.entry_bytes(),
                             cache.quarantined,
                             cache.evicted,
+                            cache.suppressed_stores,
                         )
                     };
                     emit(
@@ -466,6 +512,7 @@ impl Shared {
                             ("cache_bytes", Json::Num(bytes as f64)),
                             ("quarantined", Json::Num(quarantined as f64)),
                             ("evicted", Json::Num(evicted as f64)),
+                            ("suppressed_stores", Json::Num(suppressed as f64)),
                             (
                                 "recovered",
                                 Json::Num(self.recovered.load(Ordering::SeqCst) as f64),
@@ -474,6 +521,14 @@ impl Shared {
                             (
                                 "batches_in_flight",
                                 Json::Num(self.batches.in_flight() as f64),
+                            ),
+                            (
+                                "fleet_workers",
+                                Json::Num(self.remote.get().map_or(0, |r| r.live_workers()) as f64),
+                            ),
+                            (
+                                "determinism_violations",
+                                Json::Num(self.determinism_violations.load(Ordering::SeqCst) as f64),
                             ),
                         ]),
                     )?;
@@ -576,27 +631,38 @@ impl Shared {
         Ok(())
     }
 
-    /// Runs one batch: instant cache hits, pooled misses, streamed
-    /// windows/results, journaled crash safety, closing summary.
+    /// Runs one batch: instant cache hits, misses on the local pool or
+    /// the attached fleet, streamed windows and lifecycle events,
+    /// journaled crash safety, results merged in submission order,
+    /// closing summary.
     fn run_batch<W: Write>(&self, batch: Vec<Pending>, out: &mut W) -> io::Result<()> {
-        // Plan each job. Work items carry everything the worker needs.
+        // Plan each job. Work items carry everything either lane needs.
         let mut plans: Vec<Plan> = Vec::with_capacity(batch.len());
-        // Work item: (id, config, key, is a cache-verification re-run).
-        let mut work: Vec<(String, SystemConfig, u64, bool)> = Vec::new();
+        let mut work: Vec<WorkItem> = Vec::new();
         for p in &batch {
-            let earlier = work.iter().position(|&(_, _, k, _)| k == p.key);
+            let earlier = work.iter().position(|w| w.key == p.key);
             match (&p.cached, earlier) {
                 (_, Some(w)) => plans.push(Plan::Alias(w)),
                 (Some(payload), None) => {
                     if self.selected_for_verify(p.key) {
-                        work.push((p.spec.id.clone(), p.spec.cfg.clone(), p.key, true));
+                        work.push(WorkItem {
+                            id: p.spec.id.clone(),
+                            cfg: p.spec.cfg.clone(),
+                            key: p.key,
+                            raw: p.raw.clone(),
+                        });
                         plans.push(Plan::Verify(payload.clone(), work.len() - 1));
                     } else {
                         plans.push(Plan::Hit(payload.clone()));
                     }
                 }
                 (None, None) => {
-                    work.push((p.spec.id.clone(), p.spec.cfg.clone(), p.key, false));
+                    work.push(WorkItem {
+                        id: p.spec.id.clone(),
+                        cfg: p.spec.cfg.clone(),
+                        key: p.key,
+                        raw: p.raw.clone(),
+                    });
                     plans.push(Plan::Work(work.len() - 1));
                 }
             }
@@ -624,66 +690,24 @@ impl Shared {
             }
         }
 
-        // Simulate the rest on the pool, streaming as workers go.
-        let window = self.opts.window_cycles;
-        let checkpoint_every = self.opts.checkpoint_every;
-        let cache_dir = &self.opts.cache_dir;
-        let stop = &self.stop;
-        let sink = RefCell::new(&mut *out);
-        let outcomes: Vec<Result<(String, u64, bool), JobError>> = self.pool.run_jobs(
-            work.clone(),
-            |_, (_, cfg, key, _), progress| {
-                let ckpt = ResultCache::checkpoint_path_in(cache_dir, key);
-                let outcome = run_job(
-                    &cfg,
-                    window,
-                    checkpoint_every,
-                    Some(&ckpt),
-                    Some(stop),
-                    progress,
-                )?;
-                Ok((
-                    result_payload(&cfg, &outcome.result, key),
-                    outcome.result.fingerprint(),
-                    outcome.resumed,
-                ))
-            },
-            |i, w: WindowEvent| {
-                let (id, _, _, _) = &work[i];
-                let _ = emit(
-                    &mut **sink.borrow_mut(),
-                    obj(vec![
-                        ("event", Json::Str("window".into())),
-                        ("id", Json::Str(id.clone())),
-                        ("cycle", Json::Num(w.cycle as f64)),
-                        ("issued", Json::Num(w.issued as f64)),
-                        ("retired", Json::Num(w.retired as f64)),
-                    ]),
-                );
-            },
-            |i, r: &Result<(String, u64, bool), JobError>| {
-                let (id, _, _, is_verify) = &work[i];
-                let _ = match r {
-                    // A verification re-run is still a cache hit from
-                    // the client's point of view — and must stream the
-                    // *stored* payload so hits stay byte-stable even
-                    // when the entry turns out to be stale (the diff
-                    // and repair happen after the batch completes).
-                    Ok(_) if *is_verify => Ok(()),
-                    Ok((payload, _, resumed)) => {
-                        emit_result(&mut **sink.borrow_mut(), id, payload, false, *resumed)
-                    }
-                    Err(JobError::Interrupted) => Ok(()), // reported in accounting
-                    Err(JobError::Failed(e)) => {
-                        emit(&mut **sink.borrow_mut(), error_event_str(id, "run", e))
-                    }
-                };
-            },
-        );
-        let _ = sink;
+        // Simulate the rest: on the attached fleet when it has live
+        // workers, on the local pool otherwise. Either lane streams
+        // progress as it goes and returns one terminal outcome per work
+        // item; result emission happens below in submission order, so
+        // the client-visible stream is identical whichever lane ran the
+        // work (and however many workers died along the way).
+        let runner = self
+            .remote
+            .get()
+            .filter(|r| !work.is_empty() && r.live_workers() > 0)
+            .cloned();
+        let outcomes: Vec<WorkOutcome> = match runner {
+            Some(runner) => self.run_remote(&*runner, &work, out)?,
+            None => self.run_local(&work, out),
+        };
 
-        // Post-run accounting in submission order: store fresh results,
-        // diff verified hits, emit aliases, fold the batch fingerprint.
+        // Post-run accounting in submission order: emit results, store
+        // fresh ones, diff verified hits, fold the batch fingerprint.
         // Client writes are best-effort from here: a peer that vanished
         // mid-batch must not stop results from reaching the cache and
         // the journal (the work is already paid for).
@@ -707,13 +731,27 @@ impl Shared {
                     fp.write_str(payload);
                 }
                 Plan::Work(w) => match &outcomes[*w] {
-                    Ok((payload, _, _)) => {
+                    Ok((payload, resumed)) => {
                         misses += 1;
-                        if let Err(e) = self.cache_lock().store(p.key, payload) {
-                            best_effort(emit(
-                                out,
-                                error_event_str(&p.spec.id, "cache", &format!("cache store: {e}")),
-                            ));
+                        best_effort(emit_result(out, &p.spec.id, payload, false, *resumed));
+                        let struck = {
+                            let mut cache = self.cache_lock();
+                            let struck = cache.struck_out(p.key).then(|| cache.strikes(p.key));
+                            if let Err(e) = cache.store(p.key, payload) {
+                                drop(cache);
+                                best_effort(emit(
+                                    out,
+                                    error_event_str(
+                                        &p.spec.id,
+                                        "cache",
+                                        &format!("cache store: {e}"),
+                                    ),
+                                ));
+                            }
+                            struck
+                        };
+                        if let Some(strikes) = struck {
+                            best_effort(emit(out, warn_event(&p.spec.id, p.key, strikes)));
                         }
                         self.journal_lock().record_done(p.key)?;
                         fp.write_str(payload);
@@ -732,12 +770,17 @@ impl Shared {
                     }
                     Err(JobError::Failed(e)) => {
                         errors += 1;
+                        best_effort(emit(out, error_event_str(&p.spec.id, "run", e)));
                         self.journal_lock().record_done(p.key)?;
                         fp.write_str(&format!("error:{e}"));
                     }
                 },
                 Plan::Verify(cached, w) => match &outcomes[*w] {
-                    Ok((payload, _, _)) => {
+                    // A verification re-run is still a cache hit from
+                    // the client's point of view — it serves the
+                    // *stored* payload so hits stay byte-stable even
+                    // when the entry turns out to be stale.
+                    Ok((payload, _)) => {
                         hits += 1;
                         best_effort(emit_result(out, &p.spec.id, cached, true, false));
                         if payload == cached {
@@ -770,7 +813,7 @@ impl Shared {
                     }
                 },
                 Plan::Alias(w) => match &outcomes[*w] {
-                    Ok((payload, _, _)) => {
+                    Ok((payload, _)) => {
                         hits += 1; // answered from this batch's own work
                         best_effort(emit_result(out, &p.spec.id, payload, true, false));
                         fp.write_str(payload);
@@ -827,6 +870,179 @@ impl Shared {
             Some(e) => Err(e),
             None => summary,
         }
+    }
+
+    /// Runs work items on the local [`WorkerPool`], streaming `window`
+    /// events as workers progress. Returns one terminal outcome per
+    /// item; results and errors are emitted later, in submission order.
+    fn run_local<W: Write>(&self, work: &[WorkItem], out: &mut W) -> Vec<WorkOutcome> {
+        let window = self.opts.window_cycles;
+        let checkpoint_every = self.opts.checkpoint_every;
+        let cache_dir = &self.opts.cache_dir;
+        let stop = &self.stop;
+        let sink = RefCell::new(out);
+        self.pool.run_jobs(
+            work.to_vec(),
+            |_, item: WorkItem, progress| {
+                let ckpt = ResultCache::checkpoint_path_in(cache_dir, item.key);
+                let outcome = run_job(
+                    &item.cfg,
+                    window,
+                    checkpoint_every,
+                    Some(&ckpt),
+                    Some(stop),
+                    progress,
+                )?;
+                Ok((
+                    result_payload(&item.cfg, &outcome.result, item.key),
+                    outcome.resumed,
+                ))
+            },
+            |i, w: WindowEvent| {
+                let _ = emit(&mut **sink.borrow_mut(), window_event(&work[i].id, &w));
+            },
+            |_, _: &WorkOutcome| {},
+        )
+    }
+
+    /// Dispatches work items to the attached fleet: relays its lease /
+    /// window / retry / speculate lifecycle to the client, journals
+    /// every lease grant for the post-mortem audit trail, counts
+    /// determinism violations, and falls back to the local pool for any
+    /// task the fleet hands back unrun (all workers died, retry budget
+    /// drained) so a batch always reaches the same terminal outcomes a
+    /// single-process server would produce.
+    ///
+    /// # Errors
+    ///
+    /// Propagates journal write failures; client writes are
+    /// best-effort.
+    fn run_remote<W: Write>(
+        &self,
+        runner: &dyn RemoteRunner,
+        work: &[WorkItem],
+        out: &mut W,
+    ) -> io::Result<Vec<WorkOutcome>> {
+        let tasks: Vec<RemoteTask> = work
+            .iter()
+            .map(|w| RemoteTask {
+                id: w.id.clone(),
+                key: w.key,
+                spec: w.raw.clone(),
+            })
+            .collect();
+        let mut journal_err: Option<io::Error> = None;
+        let raw = {
+            let journal_err = &mut journal_err;
+            let mut events = |ev: RemoteEvent| {
+                let line = match ev {
+                    RemoteEvent::Lease {
+                        task,
+                        worker,
+                        attempt,
+                        lease_ms,
+                    } => {
+                        let item = &work[task];
+                        if let Err(e) = self
+                            .journal_lock()
+                            .record_lease(item.key, worker, attempt, lease_ms)
+                        {
+                            journal_err.get_or_insert(e);
+                        }
+                        obj(vec![
+                            ("event", Json::Str("lease".into())),
+                            ("id", Json::Str(item.id.clone())),
+                            ("worker", Json::Num(worker as f64)),
+                            ("attempt", Json::Num(f64::from(attempt))),
+                            ("lease_ms", Json::Num(lease_ms as f64)),
+                        ])
+                    }
+                    RemoteEvent::Window {
+                        task,
+                        cycle,
+                        issued,
+                        retired,
+                    } => window_event(
+                        &work[task].id,
+                        &WindowEvent {
+                            cycle,
+                            issued,
+                            retired,
+                        },
+                    ),
+                    RemoteEvent::Retry {
+                        task,
+                        attempt,
+                        reason,
+                        backoff_ms,
+                    } => obj(vec![
+                        ("event", Json::Str("retry".into())),
+                        ("id", Json::Str(work[task].id.clone())),
+                        ("attempt", Json::Num(f64::from(attempt))),
+                        ("reason", Json::Str(reason)),
+                        ("backoff_ms", Json::Num(backoff_ms as f64)),
+                    ]),
+                    RemoteEvent::Speculate { task, worker } => obj(vec![
+                        ("event", Json::Str("speculate".into())),
+                        ("id", Json::Str(work[task].id.clone())),
+                        ("worker", Json::Num(worker as f64)),
+                    ]),
+                };
+                let _ = emit(out, line);
+            };
+            runner.run_tasks(tasks, &self.stop, &mut events)
+        };
+        if let Some(e) = journal_err {
+            return Err(e);
+        }
+        debug_assert_eq!(raw.len(), work.len(), "one outcome per task");
+        let mut outcomes: Vec<Option<WorkOutcome>> = Vec::with_capacity(work.len());
+        let mut fallback: Vec<usize> = Vec::new();
+        for (i, o) in raw.into_iter().enumerate() {
+            outcomes.push(match o {
+                RemoteOutcome::Done { payload } => Some(Ok((payload, false))),
+                RemoteOutcome::Failed(e) => Some(Err(JobError::Failed(e))),
+                RemoteOutcome::Divergent { first, second } => {
+                    self.determinism_violations.fetch_add(1, Ordering::SeqCst);
+                    let msg = format!(
+                        "determinism violation: duplicate runs of key {} returned \
+                         different payloads ({} vs {})",
+                        hex64(work[i].key),
+                        hex64(first),
+                        hex64(second)
+                    );
+                    eprintln!("ringmesh serve: {msg}");
+                    Some(Err(JobError::Failed(msg)))
+                }
+                RemoteOutcome::Unrun if self.stop.is_set() => Some(Err(JobError::Interrupted)),
+                RemoteOutcome::Unrun => {
+                    fallback.push(i);
+                    None
+                }
+            });
+        }
+        if !fallback.is_empty() {
+            let _ = emit(
+                out,
+                obj(vec![
+                    ("event", Json::Str("fallback".into())),
+                    ("jobs", Json::Num(fallback.len() as f64)),
+                    (
+                        "reason",
+                        Json::Str("fleet could not finish; running locally".into()),
+                    ),
+                ]),
+            );
+            let items: Vec<WorkItem> = fallback.iter().map(|&i| work[i].clone()).collect();
+            let local = self.run_local(&items, out);
+            for (slot, r) in fallback.into_iter().zip(local) {
+                outcomes[slot] = Some(r);
+            }
+        }
+        Ok(outcomes
+            .into_iter()
+            .map(|o| o.expect("every task reaches a terminal outcome"))
+            .collect())
     }
 
     /// Deterministic verification sampling: stable in the key, so the
@@ -938,8 +1154,10 @@ impl<R: BufRead> LineReader<R> {
 
 /// The canonical result payload for one completed job. Deterministic by
 /// construction (insertion-ordered members, shortest-round-trip floats)
-/// so equal results serialize to byte-identical text.
-fn result_payload(cfg: &SystemConfig, r: &RunResult, key: u64) -> String {
+/// so equal results serialize to byte-identical text — remote workers
+/// build their payloads through this exact function, which is what lets
+/// the coordinator hash-compare duplicate attempts byte for byte.
+pub fn result_payload(cfg: &SystemConfig, r: &RunResult, key: u64) -> String {
     let mut members = vec![
         ("schema", Json::Str("ringmesh-serve/1".into())),
         ("key", Json::Str(hex64(key))),
@@ -1016,6 +1234,36 @@ fn emit_result<W: Write>(
     // head is "{...}"; replace the closing brace with ,"data":payload}.
     writeln!(out, "{},\"data\":{}}}", &head[..head.len() - 1], payload)?;
     out.flush()
+}
+
+/// Windowed-progress event for one job, identical whichever lane
+/// (local pool or remote worker) produced the window.
+fn window_event(id: &str, w: &WindowEvent) -> Json {
+    obj(vec![
+        ("event", Json::Str("window".into())),
+        ("id", Json::Str(id.to_string())),
+        ("cycle", Json::Num(w.cycle as f64)),
+        ("issued", Json::Num(w.issued as f64)),
+        ("retired", Json::Num(w.retired as f64)),
+    ])
+}
+
+/// Non-fatal advisory: the key's cache slot keeps corrupting, so the
+/// server stopped rewriting it and answers by recomputation.
+fn warn_event(id: &str, key: u64, strikes: u32) -> Json {
+    obj(vec![
+        ("event", Json::Str("warn".into())),
+        ("id", Json::Str(id.to_string())),
+        ("code", Json::Str("cache-backoff".into())),
+        (
+            "message",
+            Json::Str(format!(
+                "cache slot for key {} quarantined {strikes} times; \
+                 store suppressed, serving by recomputation",
+                hex64(key)
+            )),
+        ),
+    ])
 }
 
 /// Typed load-shedding event: `scope` names the saturated limit.

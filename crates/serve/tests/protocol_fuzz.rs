@@ -12,7 +12,7 @@ use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicUsize, Ordering};
 
 use ringmesh_serve::json::Json;
-use ringmesh_serve::{ResultCache, ServeExit, ServeOptions, Server};
+use ringmesh_serve::{Journal, ResultCache, ServeExit, ServeOptions, Server};
 
 fn tempdir(tag: &str) -> PathBuf {
     static NEXT: AtomicUsize = AtomicUsize::new(0);
@@ -266,8 +266,20 @@ fn torn_journals_of_every_shape_open_and_serve() {
         let script = format!("{VALID_JOB}\n{{\"op\":\"run\"}}\n{{\"op\":\"quit\"}}\n");
         fuzz_session(&server, script.as_bytes(), "seed journal");
     }
+    // A settled journal truncates to empty, so there is nothing left to
+    // tear; journal an in-flight batch the way a SIGKILL mid-batch
+    // would leave one.
+    {
+        let (mut journal, recovery) = Journal::open(&dir).unwrap();
+        assert!(recovery.is_none(), "seed batch must have settled");
+        let spec = Json::parse(VALID_JOB).unwrap();
+        journal
+            .begin_batch(&[(0xdead_beef_0000_0001, spec)])
+            .unwrap();
+    }
     let wal = dir.join("journal.wal");
     let text = fs::read(&wal).unwrap();
+    assert!(!text.is_empty(), "in-flight batch must persist records");
     let mut rng = Rng(42);
     for round in 0..12 {
         let mut torn = text.clone();

@@ -23,6 +23,7 @@ use ringmesh::{
     run_config, ExitStatus, FaultConfig, FaultPlan, FaultRunReport, NetworkSpec, RetryPolicy,
     RunError, SimParams, System, SystemConfig, TraceConfig,
 };
+use ringmesh_fleet::{run_worker, FleetOptions, FleetPool, WorkerExit, WorkerOptions};
 use ringmesh_net::{BufferRegime, CacheLineSize};
 use ringmesh_serve::{ServeExit, ServeOptions, Server};
 use ringmesh_workload::{MemoryParams, MissProcess, WorkloadParams};
@@ -36,6 +37,7 @@ USAGE:
     ringmesh faults <NETWORK> [OPTIONS] [FAULT OPTIONS]
     ringmesh bench [BENCH OPTIONS]
     ringmesh serve [SERVE OPTIONS]
+    ringmesh worker --connect <ADDR> [WORKER OPTIONS]
 
 The `trace` subcommand runs the same simulation with the observability
 subsystem recording: it prints per-counter and per-gauge batch
@@ -72,9 +74,28 @@ limits are shed with typed busy events; request lines longer than 1
 MiB draw a typed error event and are skipped. SIGTERM/SIGINT wind the
 server down gracefully: checkpoints and journal flushed, exit code 6.
 
+With --fleet the server also coordinates a distributed worker fleet:
+remote `ringmesh worker` processes register over TCP (refused unless
+their code-version hash matches exactly) and batch cache-misses are
+dispatched to them under journaled, time-bounded leases. A worker that
+dies or goes silent mid-lease has its jobs re-dispatched with capped
+exponential backoff; long-tail stragglers are speculatively duplicated
+with first-result-wins dedupe by content hash. Results merge in job
+submission order, so a batch's output is byte-identical no matter how
+many workers served it or died mid-flight. Byte-divergent duplicate
+results for one content key are a hard determinism violation: the
+batch fails and the server exits with code 7.
+
+The `worker` subcommand is the other half: it connects to a serving
+coordinator, registers with its code-version hash, heartbeats, and
+runs dispatched jobs, streaming windowed progress and content-hashed
+results back. Workers are stateless; kill -9 one mid-job and the
+coordinator re-runs the job elsewhere with identical output.
+
 Exit status: 0 success, 1 usage/config error, 2 simulation stall,
 3 conservation violation, 4 I/O error, 5 protocol error,
-6 interrupted by a graceful shutdown request.
+6 interrupted by a graceful shutdown request, 7 determinism
+violation (byte-divergent duplicate results in a worker fleet).
 
 NETWORK (exactly one):
     --ring <SPEC>          hierarchical ring, e.g. --ring 2:3:4
@@ -143,6 +164,17 @@ SERVE OPTIONS (with the `serve` subcommand):
                            0 disables                 [default: 300]
     --write-deadline <S>   per-event TCP write deadline in seconds,
                            0 disables                 [default: 30]
+    --fleet <ADDR>         accept remote workers on ADDR (e.g.
+                           127.0.0.1:7078) and dispatch batch jobs to
+                           them under time-bounded leases
+    --lease <MS>           fleet lease per dispatch   [default: 30000]
+    --heartbeat <MS>       fleet heartbeat cadence    [default: 2000]
+    --fleet-attempts <N>   dispatch attempts per job before falling
+                           back to the local pool     [default: 4]
+
+WORKER OPTIONS (with the `worker` subcommand):
+    --connect <ADDR>       coordinator to register with (required)
+    --threads <N>          concurrent dispatches to run [default: 1]
 
 ENVIRONMENT:
     RINGMESH_FULL          any value but 0: figure sweeps and `bench`
@@ -550,9 +582,35 @@ fn install_stop_signals() {
 #[cfg(not(unix))]
 fn install_stop_signals() {}
 
+/// A `--fleet` coordinator endpoint plus its tuning knobs.
+type FleetSpec = (String, FleetOptions);
+
 fn run_serve(mut args: Args) -> ExitCode {
-    let parsed = (|| -> Result<(Option<String>, ServeOptions), String> {
+    let parsed = (|| -> Result<(Option<String>, Option<FleetSpec>, ServeOptions), String> {
         let listen = args.take_value("--listen")?;
+        let fleet = args.take_value("--fleet")?;
+        let fleet_defaults = FleetOptions::default();
+        let fleet = fleet.map(|addr| -> Result<FleetSpec, String> {
+            Ok((
+                addr,
+                FleetOptions {
+                    lease_ms: args
+                        .take_parsed::<u64>("--lease")?
+                        .unwrap_or(fleet_defaults.lease_ms)
+                        .max(1),
+                    heartbeat_ms: args
+                        .take_parsed::<u64>("--heartbeat")?
+                        .unwrap_or(fleet_defaults.heartbeat_ms)
+                        .max(10),
+                    max_attempts: args
+                        .take_parsed::<u32>("--fleet-attempts")?
+                        .unwrap_or(fleet_defaults.max_attempts)
+                        .max(1),
+                    ..fleet_defaults
+                },
+            ))
+        });
+        let mut fleet = fleet.transpose()?;
         let cache_dir = args
             .take_value("--cache")?
             .unwrap_or_else(|| ".ringmesh-cache".into());
@@ -595,8 +653,14 @@ fn run_serve(mut args: Args) -> ExitCode {
         if !args.0.is_empty() {
             return Err(format!("unrecognized arguments: {:?}", args.0));
         }
+        // Fleet progress windows track the serve-side window length so
+        // remote and local jobs stream comparable events.
+        if let Some((_, fleet_opts)) = fleet.as_mut() {
+            fleet_opts.window_cycles = window;
+        }
         Ok((
             listen,
+            fleet,
             ServeOptions {
                 cache_dir: PathBuf::from(cache_dir),
                 threads,
@@ -611,7 +675,7 @@ fn run_serve(mut args: Args) -> ExitCode {
             },
         ))
     })();
-    let (listen, opts) = match parsed {
+    let (listen, fleet, opts) = match parsed {
         Ok(x) => x,
         Err(e) => return usage_error(&e),
     };
@@ -622,6 +686,15 @@ fn run_serve(mut args: Args) -> ExitCode {
             return ExitStatus::Io.into();
         }
     };
+    if let Some((addr, fleet_opts)) = fleet {
+        match FleetPool::bind(&addr, fleet_opts) {
+            Ok(pool) => server.set_remote(std::sync::Arc::new(pool)),
+            Err(e) => {
+                eprintln!("error: binding fleet listener {addr}: {e}");
+                return ExitStatus::Io.into();
+            }
+        }
+    }
 
     install_stop_signals();
     let stop = server.stop_handle();
@@ -641,7 +714,12 @@ fn run_serve(mut args: Args) -> ExitCode {
         Ok(exit) => {
             let (hits, misses) = server.cache_counters();
             eprintln!("ringmesh serve: {hits} cache hits, {misses} misses this session");
-            if exit == ServeExit::Terminated || STOP_REQUESTED.load(Ordering::SeqCst) {
+            if server.determinism_violations() > 0 {
+                // Outranks every other outcome: the fleet produced
+                // byte-divergent results for one content key, so nothing
+                // this session reported should be trusted.
+                ExitStatus::DeterminismViolation.into()
+            } else if exit == ServeExit::Terminated || STOP_REQUESTED.load(Ordering::SeqCst) {
                 ExitStatus::Interrupted.into()
             } else if server.protocol_errors() > 0 {
                 // Every malformed line was answered and skipped; the
@@ -651,6 +729,48 @@ fn run_serve(mut args: Args) -> ExitCode {
                 ExitStatus::Success.into()
             }
         }
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitStatus::Io.into()
+        }
+    }
+}
+
+/// `ringmesh worker --connect <host:port>`: join a serving
+/// coordinator's fleet and run dispatched jobs until told goodbye.
+fn run_worker_cmd(mut args: Args) -> ExitCode {
+    let parsed = (|| -> Result<(String, WorkerOptions), String> {
+        let connect = args
+            .take_value("--connect")?
+            .ok_or_else(|| "worker requires --connect <host:port>".to_string())?;
+        let threads = args.take_parsed::<u32>("--threads")?.unwrap_or(1).max(1);
+        if !args.0.is_empty() {
+            return Err(format!("unrecognized arguments: {:?}", args.0));
+        }
+        Ok((connect, WorkerOptions { threads }))
+    })();
+    let (connect, opts) = match parsed {
+        Ok(x) => x,
+        Err(e) => return usage_error(&e),
+    };
+
+    install_stop_signals();
+    let stop = ringmesh::StopFlag::new();
+    let bridge = stop.clone();
+    std::thread::spawn(move || loop {
+        if STOP_REQUESTED.load(Ordering::SeqCst) {
+            bridge.set();
+            return;
+        }
+        std::thread::sleep(Duration::from_millis(50));
+    });
+
+    match run_worker(&connect, &opts, &stop) {
+        Ok(WorkerExit::Done) => ExitStatus::Success.into(),
+        // A refused registration is an operator problem (stale binary
+        // pointed at a newer coordinator), not a transport failure.
+        Ok(WorkerExit::Refused { .. }) => ExitStatus::Usage.into(),
+        Ok(WorkerExit::Stopped) => ExitStatus::Interrupted.into(),
         Err(e) => {
             eprintln!("error: {e}");
             ExitStatus::Io.into()
@@ -671,6 +791,10 @@ fn main() -> ExitCode {
     if args.0.first().is_some_and(|a| a == "serve") {
         args.0.remove(0);
         return run_serve(args);
+    }
+    if args.0.first().is_some_and(|a| a == "worker") {
+        args.0.remove(0);
+        return run_worker_cmd(args);
     }
     let tracing = args.0.first().is_some_and(|a| a == "trace");
     let faulting = args.0.first().is_some_and(|a| a == "faults");
