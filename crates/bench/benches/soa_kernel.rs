@@ -1,0 +1,204 @@
+//! Criterion benchmarks for the intra-cycle parallel mesh kernel.
+//!
+//! Two families:
+//!
+//! * **Layout microbenchmark** — the per-port state walk that dominates
+//!   the mesh step, written twice: over the pre-refactor
+//!   array-of-structs layout (one struct per router, ports inline) and
+//!   over the shipped structure-of-arrays layout (one flat array per
+//!   field, indexed `node * 5 + port`). Same arithmetic, same access
+//!   pattern as `MeshShard::compute`'s port scan, so the delta is pure
+//!   cache behaviour.
+//! * **End-to-end kernel scaling** — the full mesh simulation at fixed
+//!   intra-cycle thread counts (1, 2, 4), the numbers behind the
+//!   `threads` matrix in `BENCH_RUN.json`.
+
+use criterion::{black_box, criterion_group, criterion_main, BatchSize, Criterion};
+use ringmesh::{NetworkSpec, SimParams, System, SystemConfig};
+use ringmesh_net::CacheLineSize;
+
+const PORTS: usize = 5;
+const NODES: usize = 49; // mesh 7x7
+
+/// The pre-refactor shape: every router carried its port state inline,
+/// padded by the colder fields that travelled with it (queues,
+/// assembler, drain bookkeeping ≈ 200+ bytes), so a port scan touched
+/// one cache line per router even when it only needed a few bytes.
+struct AosRouter {
+    occupancy: [u32; PORTS],
+    route_of: [u8; PORTS],
+    conn: [u8; PORTS],
+    rr: [u8; PORTS],
+    go: [bool; PORTS],
+    _cold: [u64; 28], // stand-in for the cold per-router fields
+}
+
+/// The shipped shape: one flat array per field, `node * PORTS + port`.
+struct SoaShard {
+    occupancy: Vec<u32>,
+    route_of: Vec<u8>,
+    conn: Vec<u8>,
+    rr: Vec<u8>,
+    go: Vec<bool>,
+}
+
+/// One arbitration-ish pass: for every output port pick the
+/// round-robin-first input with flits and a matching route, advance
+/// the rr pointer, and latch a go bit. Identical maths in both
+/// layouts; only memory layout differs.
+fn aos_pass(routers: &mut [AosRouter]) -> u64 {
+    let mut granted = 0u64;
+    for r in routers.iter_mut() {
+        for out in 0..PORTS {
+            let start = r.rr[out] as usize;
+            for k in 0..PORTS {
+                let inp = (start + k) % PORTS;
+                if r.occupancy[inp] > 0 && r.route_of[inp] as usize == out && r.conn[inp] == 0 {
+                    r.occupancy[inp] -= 1;
+                    r.rr[out] = ((inp + 1) % PORTS) as u8;
+                    r.go[out] = !r.go[out];
+                    granted += 1;
+                    break;
+                }
+            }
+        }
+    }
+    granted
+}
+
+fn soa_pass(s: &mut SoaShard) -> u64 {
+    let mut granted = 0u64;
+    for node in 0..NODES {
+        let b = node * PORTS;
+        for out in 0..PORTS {
+            let start = s.rr[b + out] as usize;
+            for k in 0..PORTS {
+                let inp = (start + k) % PORTS;
+                if s.occupancy[b + inp] > 0
+                    && s.route_of[b + inp] as usize == out
+                    && s.conn[b + inp] == 0
+                {
+                    s.occupancy[b + inp] -= 1;
+                    s.rr[b + out] = ((inp + 1) % PORTS) as u8;
+                    s.go[b + out] = !s.go[b + out];
+                    granted += 1;
+                    break;
+                }
+            }
+        }
+    }
+    granted
+}
+
+/// Deterministic pseudo-random fill so both layouts walk identical
+/// state (no RNG dependency in the bench harness).
+fn mix(i: usize) -> u32 {
+    let x = (i as u32).wrapping_mul(0x9e37_79b9) ^ 0x85eb_ca6b;
+    x ^ (x >> 13)
+}
+
+fn seed_aos() -> Vec<AosRouter> {
+    (0..NODES)
+        .map(|n| {
+            let mut r = AosRouter {
+                occupancy: [0; PORTS],
+                route_of: [0; PORTS],
+                conn: [0; PORTS],
+                rr: [0; PORTS],
+                go: [false; PORTS],
+                _cold: [0; 28],
+            };
+            for p in 0..PORTS {
+                let v = mix(n * PORTS + p);
+                r.occupancy[p] = v % 7;
+                r.route_of[p] = (v % PORTS as u32) as u8;
+                r.conn[p] = (v >> 8).is_multiple_of(3) as u8;
+            }
+            r
+        })
+        .collect()
+}
+
+fn seed_soa() -> SoaShard {
+    let mut s = SoaShard {
+        occupancy: vec![0; NODES * PORTS],
+        route_of: vec![0; NODES * PORTS],
+        conn: vec![0; NODES * PORTS],
+        rr: vec![0; NODES * PORTS],
+        go: vec![false; NODES * PORTS],
+    };
+    for i in 0..NODES * PORTS {
+        let v = mix(i);
+        s.occupancy[i] = v % 7;
+        s.route_of[i] = (v % PORTS as u32) as u8;
+        s.conn[i] = (v >> 8).is_multiple_of(3) as u8;
+    }
+    s
+}
+
+fn layout_benches(c: &mut Criterion) {
+    // Sanity first: same state, same maths, same grant count.
+    let (mut a, mut s) = (seed_aos(), seed_soa());
+    assert_eq!(aos_pass(&mut a), soa_pass(&mut s));
+
+    c.bench_function("layout_aos_port_scan_7x7_100_passes", |b| {
+        b.iter_batched(
+            seed_aos,
+            |mut routers| {
+                let mut total = 0u64;
+                for _ in 0..100 {
+                    total += aos_pass(&mut routers);
+                }
+                black_box(total)
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    c.bench_function("layout_soa_port_scan_7x7_100_passes", |b| {
+        b.iter_batched(
+            seed_soa,
+            |mut shard| {
+                let mut total = 0u64;
+                for _ in 0..100 {
+                    total += soa_pass(&mut shard);
+                }
+                black_box(total)
+            },
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+fn kernel_scaling_benches(c: &mut Criterion) {
+    let cfg = SystemConfig::new(NetworkSpec::mesh(7), CacheLineSize::B64).with_sim(SimParams {
+        warmup: 500,
+        batch_cycles: 500,
+        batches: 2,
+    });
+    for threads in [1usize, 2, 4] {
+        let cfg = cfg.clone();
+        c.bench_function(&format!("mesh_7x7_kernel_{threads}_threads"), |b| {
+            b.iter_batched(
+                || {
+                    let mut sys = System::new(cfg.clone()).expect("valid config");
+                    sys.set_kernel_threads(threads);
+                    sys
+                },
+                |sys| sys.run().expect("no deadlock"),
+                BatchSize::SmallInput,
+            )
+        });
+    }
+}
+
+fn benches(c: &mut Criterion) {
+    layout_benches(c);
+    kernel_scaling_benches(c);
+}
+
+criterion_group! {
+    name = soa_kernel;
+    config = Criterion::default().sample_size(10);
+    targets = benches
+}
+criterion_main!(soa_kernel);

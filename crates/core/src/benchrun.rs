@@ -26,12 +26,14 @@ use ringmesh_net::CacheLineSize;
 
 use crate::figures::{self, FigureData};
 use crate::sweep::{set_sweep_threads, Scale};
-use crate::system::run_config;
+use crate::system::System;
 use crate::{NetworkSpec, SystemConfig, WorkerPool};
 
 /// JSON schema tag written into every report. Version 2 added latency
-/// percentiles to each kernel entry.
-pub const SCHEMA: &str = "ringmesh-bench/2";
+/// percentiles to each kernel entry; version 3 added the per-kernel
+/// thread matrix (`threads` array + `identical` flag) measuring the
+/// intra-cycle parallel kernel at 1/2/4/host-max compute threads.
+pub const SCHEMA: &str = "ringmesh-bench/3";
 
 /// What to measure and where to write it.
 #[derive(Debug, Clone)]
@@ -51,6 +53,20 @@ impl Default for BenchOptions {
     }
 }
 
+/// One leg of a kernel measurement at a specific intra-cycle thread
+/// count.
+#[derive(Debug, Clone)]
+pub struct KernelThreadBench {
+    /// Compute threads the kernel actually used (the network clamps —
+    /// the serial ring models always report 1, the mesh clamps to its
+    /// shard count).
+    pub threads: usize,
+    /// Wall-clock seconds for the run.
+    pub wall_s: f64,
+    /// `cycles / wall_s`.
+    pub cycles_per_sec: f64,
+}
+
 /// One kernel-throughput measurement.
 #[derive(Debug, Clone)]
 pub struct KernelBench {
@@ -58,14 +74,31 @@ pub struct KernelBench {
     pub name: String,
     /// Simulated cycles executed (the configured horizon).
     pub cycles: u64,
-    /// Wall-clock seconds for the run.
+    /// Wall-clock seconds for the single-thread run (the regression
+    /// baseline — independent of host core count).
     pub wall_s: f64,
-    /// `cycles / wall_s`.
+    /// `cycles / wall_s` of the single-thread run.
     pub cycles_per_sec: f64,
+    /// Whether every thread-count leg produced a bit-identical
+    /// [`crate::RunResult`] fingerprint — the parallel-kernel
+    /// determinism guarantee, checked on every bench run.
+    pub identical: bool,
+    /// Per-thread-count measurements, ascending, deduplicated on the
+    /// effective thread count (serial models report a single leg).
+    pub threads: Vec<KernelThreadBench>,
     /// Simulated round-trip latency percentiles `(p50, p95, p99)` of
     /// the measured run, in network cycles — the tail-latency baseline
     /// tracked alongside throughput.
     pub percentiles: Option<(f64, f64, f64)>,
+}
+
+impl KernelBench {
+    /// The best (highest cycles/s) leg of the thread matrix.
+    pub fn best(&self) -> Option<&KernelThreadBench> {
+        self.threads
+            .iter()
+            .max_by(|a, b| a.cycles_per_sec.total_cmp(&b.cycles_per_sec))
+    }
 }
 
 /// One serial-vs-parallel sweep measurement.
@@ -111,7 +144,7 @@ pub fn run(opts: &BenchOptions) -> BenchReport {
     };
     for (name, cfg) in kernel_cases(opts.scale) {
         eprintln!("bench: kernel {name} ...");
-        if let Some(k) = kernel_bench(name, cfg) {
+        if let Some(k) = kernel_bench(name, cfg, report.host_parallelism) {
             report.kernels.push(k);
         }
     }
@@ -164,27 +197,160 @@ fn kernel_cases(scale: Scale) -> Vec<(String, SystemConfig)> {
             "mesh 7x7".into(),
             sized(SystemConfig::new(NetworkSpec::mesh(7), CacheLineSize::B64)),
         ),
+        // A larger mesh with more row shards, so the thread matrix has
+        // parallelism headroom beyond four threads.
+        (
+            "mesh 12x12".into(),
+            sized(SystemConfig::new(NetworkSpec::mesh(12), CacheLineSize::B64)),
+        ),
     ]
 }
 
-fn kernel_bench(name: String, cfg: SystemConfig) -> Option<KernelBench> {
+/// Trials per kernel leg; the fastest wall time is reported. Noise on
+/// a shared host is one-sided — a trial can only ever be slower than
+/// the machine's true speed — so best-of-N is far more stable between
+/// runs than a single sample, which is what lets `--check-against`
+/// hold a 10% tolerance without flapping.
+const KERNEL_TRIALS: usize = 3;
+
+/// Runs one kernel configuration at 1, 2, 4 and `host_max` intra-cycle
+/// compute threads (deduplicated on the count the network actually
+/// uses — serial models collapse to one leg) and checks that every leg
+/// produces a bit-identical result fingerprint. Each leg takes the
+/// best of [`KERNEL_TRIALS`] timed runs (construction excluded).
+fn kernel_bench(name: String, cfg: SystemConfig, host_max: usize) -> Option<KernelBench> {
     let cycles = cfg.sim.horizon();
-    let start = Instant::now();
-    let result = match run_config(cfg) {
-        Ok(r) => r,
-        Err(e) => {
-            eprintln!("warning: bench kernel {name} failed: {e}");
-            return None;
+    let mut requested = vec![1usize, 2, 4, host_max.max(1)];
+    requested.sort_unstable();
+    requested.dedup();
+    let mut legs: Vec<KernelThreadBench> = Vec::new();
+    let mut fingerprints: Vec<u64> = Vec::new();
+    let mut percentiles = None;
+    for t in requested {
+        let mut wall_s = f64::INFINITY;
+        let mut effective = 0;
+        let mut skip = false;
+        for trial in 0..KERNEL_TRIALS {
+            let mut sys = match System::new(cfg.clone()) {
+                Ok(s) => s,
+                Err(e) => {
+                    eprintln!("warning: bench kernel {name} failed to build: {e}");
+                    return None;
+                }
+            };
+            sys.set_kernel_threads(t);
+            effective = sys.kernel_threads();
+            if legs.iter().any(|l| l.threads == effective) {
+                skip = true;
+                break;
+            }
+            let start = Instant::now();
+            let result = match sys.run() {
+                Ok(r) => r,
+                Err(e) => {
+                    eprintln!("warning: bench kernel {name} failed at {t} threads: {e}");
+                    return None;
+                }
+            };
+            wall_s = wall_s.min(start.elapsed().as_secs_f64());
+            // Repeated trials of one leg are the same deterministic
+            // run; record the fingerprint (and percentiles) once.
+            if trial == 0 {
+                fingerprints.push(result.fingerprint());
+                if percentiles.is_none() {
+                    percentiles = result.percentiles;
+                }
+            }
         }
-    };
-    let wall_s = start.elapsed().as_secs_f64();
+        if skip {
+            continue;
+        }
+        legs.push(KernelThreadBench {
+            threads: effective,
+            wall_s,
+            cycles_per_sec: cycles as f64 / wall_s.max(1e-9),
+        });
+    }
+    let base = legs.first()?;
     Some(KernelBench {
         name,
         cycles,
-        cycles_per_sec: cycles as f64 / wall_s.max(1e-9),
-        wall_s,
-        percentiles: result.percentiles,
+        wall_s: base.wall_s,
+        cycles_per_sec: base.cycles_per_sec,
+        identical: fingerprints.windows(2).all(|w| w[0] == w[1]),
+        threads: legs.clone(),
+        percentiles,
     })
+}
+
+/// Compares `report` against a previously committed `BENCH_RUN.json`,
+/// failing on any kernel whose **single-thread** cycles/s dropped by
+/// more than `tolerance` (a fraction: `0.10` = 10%). Single-thread is
+/// the gated number because it is independent of host core count;
+/// multi-thread legs and kernels missing from the baseline are noted
+/// but never gate. Also fails if any kernel's cross-thread `identical`
+/// flag is false — a determinism break is always an error.
+///
+/// # Errors
+///
+/// Returns the list of violations as a human-readable string.
+pub fn check_against(
+    report: &BenchReport,
+    baseline_json: &str,
+    tolerance: f64,
+) -> Result<String, String> {
+    let mut summary = String::new();
+    let mut failures = String::new();
+    for k in &report.kernels {
+        if !k.identical {
+            let _ = writeln!(
+                failures,
+                "FAIL {:22} parallel kernel result diverged across thread counts",
+                k.name
+            );
+        }
+        match baseline_kernel_cps(baseline_json, &k.name) {
+            Some(base) => {
+                let ratio = k.cycles_per_sec / base.max(1e-9);
+                let line = format!(
+                    "{:22} single-thread {:>11.0} cycles/s vs baseline {:>11.0} ({:+.1}%)",
+                    k.name,
+                    k.cycles_per_sec,
+                    base,
+                    (ratio - 1.0) * 100.0
+                );
+                if ratio < 1.0 - tolerance {
+                    let _ = writeln!(failures, "FAIL {line}");
+                } else {
+                    let _ = writeln!(summary, "  ok {line}");
+                }
+            }
+            None => {
+                let _ = writeln!(summary, "  -- {:22} not in baseline, skipped", k.name);
+            }
+        }
+    }
+    if failures.is_empty() {
+        Ok(summary)
+    } else {
+        Err(format!("{failures}{summary}"))
+    }
+}
+
+/// Extracts the single-thread `cycles_per_sec` of the named kernel from
+/// a committed `BENCH_RUN.json` (schema 2 or 3: both store it as the
+/// first `"cycles_per_sec"` field after the kernel's `"name"`).
+fn baseline_kernel_cps(json: &str, name: &str) -> Option<f64> {
+    let needle = format!("\"name\": \"{name}\"");
+    let at = json.find(&needle)? + needle.len();
+    let rest = &json[at..];
+    let key = "\"cycles_per_sec\": ";
+    let v = rest.find(key)? + key.len();
+    let tail = &rest[v..];
+    let end = tail
+        .find(|c: char| c != '-' && c != '.' && !c.is_ascii_digit())
+        .unwrap_or(tail.len());
+    tail[..end].parse().ok()
 }
 
 /// Times `figure` once pinned to one sweep worker and once at
@@ -255,6 +421,18 @@ impl BenchReport {
                 "  {:22} {:>9} cycles in {:>7.3}s = {:>11.0} cycles/s{tail}",
                 k.name, k.cycles, k.wall_s, k.cycles_per_sec
             );
+            if k.threads.len() > 1 {
+                for leg in &k.threads {
+                    let _ = writeln!(
+                        s,
+                        "    {:>2} threads: {:>11.0} cycles/s ({:.2}x)",
+                        leg.threads,
+                        leg.cycles_per_sec,
+                        leg.cycles_per_sec / k.cycles_per_sec.max(1e-9)
+                    );
+                }
+                let _ = writeln!(s, "    identical across thread counts: {}", k.identical);
+            }
         }
         let _ = writeln!(s, "\nsweep scaling (serial vs {} threads):", self.threads);
         for f in &self.figures {
@@ -283,10 +461,21 @@ impl BenchReport {
                 }
                 None => String::new(),
             };
+            let mut legs = String::new();
+            for (j, leg) in k.threads.iter().enumerate() {
+                let _ = write!(
+                    legs,
+                    "{}{{\"threads\": {}, \"wall_s\": {:.6}, \"cycles_per_sec\": {:.1}}}",
+                    if j > 0 { ", " } else { "" },
+                    leg.threads,
+                    leg.wall_s,
+                    leg.cycles_per_sec
+                );
+            }
             let _ = write!(
                 s,
-                "    {{\"name\": \"{}\", \"cycles\": {}, \"wall_s\": {:.6}, \"cycles_per_sec\": {:.1}{tail}}}",
-                k.name, k.cycles, k.wall_s, k.cycles_per_sec
+                "    {{\"name\": \"{}\", \"cycles\": {}, \"wall_s\": {:.6}, \"cycles_per_sec\": {:.1}, \"identical\": {}, \"threads\": [{legs}]{tail}}}",
+                k.name, k.cycles, k.wall_s, k.cycles_per_sec, k.identical
             );
             s.push_str(if i + 1 < self.kernels.len() {
                 ",\n"
@@ -325,15 +514,38 @@ mod tests {
                 batch_cycles: 200,
                 batches: 2,
             });
-        let k = kernel_bench("tiny ring".into(), cfg).expect("tiny run completes");
+        let k = kernel_bench("tiny ring".into(), cfg, 4).expect("tiny run completes");
         assert_eq!(k.cycles, 600);
         assert!(k.wall_s > 0.0 && k.cycles_per_sec > 0.0);
+        // The ring kernel is serial: the requested 1/2/4 thread legs
+        // collapse to a single effective count.
+        assert_eq!(k.threads.len(), 1);
+        assert_eq!(k.threads[0].threads, 1);
+        assert!(k.identical);
         let _ = scale;
     }
 
     #[test]
-    fn json_report_is_well_formed() {
-        let report = BenchReport {
+    fn mesh_kernel_bench_covers_thread_matrix_identically() {
+        let cfg = SystemConfig::new(NetworkSpec::mesh(4), CacheLineSize::B32).with_sim(
+            crate::SimParams {
+                warmup: 200,
+                batch_cycles: 200,
+                batches: 2,
+            },
+        );
+        let k = kernel_bench("tiny mesh".into(), cfg, 3).expect("tiny run completes");
+        // Requested {1, 2, 3, 4}; a 4x4 mesh has 4 row shards, so all
+        // four counts are effective and distinct.
+        assert_eq!(
+            k.threads.iter().map(|l| l.threads).collect::<Vec<_>>(),
+            vec![1, 2, 3, 4]
+        );
+        assert!(k.identical, "parallel kernel must be bit-identical");
+    }
+
+    fn sample_report() -> BenchReport {
+        BenchReport {
             scale: "quick",
             threads: 4,
             host_parallelism: 8,
@@ -342,6 +554,19 @@ mod tests {
                 cycles: 1000,
                 wall_s: 0.5,
                 cycles_per_sec: 2000.0,
+                identical: true,
+                threads: vec![
+                    KernelThreadBench {
+                        threads: 1,
+                        wall_s: 0.5,
+                        cycles_per_sec: 2000.0,
+                    },
+                    KernelThreadBench {
+                        threads: 4,
+                        wall_s: 0.125,
+                        cycles_per_sec: 8000.0,
+                    },
+                ],
                 percentiles: Some((40.0, 90.0, 140.0)),
             }],
             figures: vec![FigureBench {
@@ -351,14 +576,67 @@ mod tests {
                 speedup: 2.0,
                 identical: true,
             }],
-        };
+        }
+    }
+
+    #[test]
+    fn json_report_is_well_formed() {
+        let report = sample_report();
         let json = report.to_json();
-        assert!(json.contains("\"schema\": \"ringmesh-bench/2\""));
+        assert!(json.contains("\"schema\": \"ringmesh-bench/3\""));
         assert!(json.contains("\"identical\": true"));
+        assert!(json.contains("\"threads\": [{\"threads\": 1"));
         assert!(json.contains("\"p99\": 140.0"));
         // Balanced braces/brackets — a cheap well-formedness check.
         assert_eq!(json.matches('{').count(), json.matches('}').count());
         assert_eq!(json.matches('[').count(), json.matches(']').count());
         assert!(report.to_text().contains("fig06"));
+        assert!(report.to_text().contains("4 threads"));
+    }
+
+    #[test]
+    fn best_leg_is_highest_throughput() {
+        let report = sample_report();
+        assert_eq!(report.kernels[0].best().unwrap().threads, 4);
+    }
+
+    #[test]
+    fn check_against_passes_within_tolerance() {
+        let report = sample_report();
+        // Baseline slightly faster than current: -5% is inside 10%.
+        let baseline = r#"{"kernels": [{"name": "ring 3:3:6", "cycles_per_sec": 2100.0}]}"#;
+        let summary = check_against(&report, baseline, 0.10).expect("within tolerance");
+        assert!(summary.contains("ok"), "{summary}");
+    }
+
+    #[test]
+    fn check_against_fails_on_regression() {
+        let report = sample_report();
+        let baseline = r#"{"kernels": [{"name": "ring 3:3:6", "cycles_per_sec": 4000.0}]}"#;
+        let err = check_against(&report, baseline, 0.10).expect_err("50% regression");
+        assert!(err.contains("FAIL"), "{err}");
+        assert!(err.contains("ring 3:3:6"), "{err}");
+    }
+
+    #[test]
+    fn check_against_skips_missing_kernels_and_flags_divergence() {
+        let mut report = sample_report();
+        let baseline = r#"{"kernels": [{"name": "other", "cycles_per_sec": 1.0}]}"#;
+        let summary = check_against(&report, baseline, 0.10).expect("nothing to gate");
+        assert!(summary.contains("not in baseline"), "{summary}");
+        // A determinism break fails even with no baseline entry.
+        report.kernels[0].identical = false;
+        let err = check_against(&report, baseline, 0.10).expect_err("divergence");
+        assert!(err.contains("diverged"), "{err}");
+    }
+
+    #[test]
+    fn baseline_parse_reads_schema3_shape() {
+        let report = sample_report();
+        let json = report.to_json();
+        // Round-trip: the comparator must find the single-thread number
+        // in the JSON this very module writes.
+        assert_eq!(baseline_kernel_cps(&json, "ring 3:3:6"), Some(2000.0));
+        assert_eq!(baseline_kernel_cps(&json, "nonexistent"), None);
     }
 }

@@ -60,7 +60,10 @@ pub mod topologies;
 
 pub use config::{NetworkSpec, SimParams, SystemConfig};
 pub use exit::ExitStatus;
-pub use ringmesh_engine::{AdmissionGate, StopFlag, WorkerPool};
+pub use ringmesh_engine::{
+    configured_kernel_threads, effective_kernel_threads, set_kernel_threads, AdmissionGate,
+    KernelPool, StopFlag, WorkerPool,
+};
 pub use ringmesh_faults::{ConservationError, DropCounts, FaultConfig, FaultReport};
 pub use ringmesh_snap::SnapError;
 pub use ringmesh_trace::{TraceConfig, TraceReport};

@@ -259,7 +259,28 @@ impl System {
             cache_line: cfg.cache_line,
         };
         let workload = Mmrp::new(placement, cfg.workload, cfg.memory, sizer, cfg.seed);
-        Ok(System { cfg, net, workload })
+        let mut sys = System { cfg, net, workload };
+        // Size the intra-cycle kernel from the process-wide setting
+        // (`--kernel-threads` / RINGMESH_KERNEL_THREADS, clamped under
+        // an active sweep). Purely a performance knob: stepping is
+        // byte-identical at any count, and the thread count is not part
+        // of the config fingerprint.
+        sys.net
+            .set_kernel_threads(ringmesh_engine::effective_kernel_threads());
+        Ok(sys)
+    }
+
+    /// Re-sizes the network's intra-cycle kernel (see
+    /// [`Interconnect::set_kernel_threads`]); overrides the count
+    /// applied from the global setting at construction. Safe at any
+    /// point between steps — results are byte-identical at any count.
+    pub fn set_kernel_threads(&mut self, threads: usize) {
+        self.net.set_kernel_threads(threads);
+    }
+
+    /// The number of compute threads the network kernel currently uses.
+    pub fn kernel_threads(&self) -> usize {
+        self.net.kernel_threads()
     }
 
     /// Builds a system with an explicitly-tuned ring network (e.g. a
@@ -581,7 +602,10 @@ pub(crate) fn run_prebuilt(
         cache_line: cfg.cache_line,
     };
     let workload = Mmrp::new(placement, cfg.workload, cfg.memory, sizer, cfg.seed);
-    System { cfg, net, workload }.run()
+    let mut sys = System { cfg, net, workload };
+    sys.net
+        .set_kernel_threads(ringmesh_engine::effective_kernel_threads());
+    sys.run()
 }
 
 #[cfg(test)]

@@ -1,0 +1,518 @@
+//! Intra-cycle kernel parallelism: a persistent worker pool that fans
+//! the per-cycle node loop of a network model across threads while
+//! keeping every observable byte identical to a serial run.
+//!
+//! # Why a second pool
+//!
+//! [`WorkerPool`](crate::WorkerPool) fans out *whole simulations* (sweep
+//! points) and spawns scoped threads per call — fine at that granularity
+//! because each call runs for seconds. The cycle kernel is the opposite
+//! regime: a `mesh 7x7` cycle is a few microseconds, stepped hundreds of
+//! thousands of times, so thread spawn (or even a condvar round-trip) per
+//! cycle would swamp the work. [`KernelPool`] therefore keeps its workers
+//! alive for the lifetime of the network and hands them one *task* (a
+//! `Fn(usize)` over shard indices) per parallel phase, with a spin-first
+//! barrier tuned for microsecond-scale phases.
+//!
+//! # Determinism contract
+//!
+//! The pool only distributes *which thread* computes each shard; it never
+//! changes *observable order*. Callers split each cycle into:
+//!
+//! 1. a **compute** phase — every shard reads shared previous-cycle state
+//!    (registered stop/go, the packet store, fault schedules) and writes
+//!    only shard-local buffers; the pool runs shards in any order on any
+//!    thread;
+//! 2. a serial **commit** phase — the caller applies each shard's buffered
+//!    effects in fixed shard order on one thread.
+//!
+//! Because phase 1 is read-shared/write-local and phase 2 is serial and
+//! order-fixed, delivered-packet streams, ledger updates, RNG draws,
+//! tracer output and snapshot bytes are identical at any thread count.
+//!
+//! # Thread-count configuration
+//!
+//! Kernel threads are sized by, in precedence order:
+//!
+//! 1. [`set_kernel_threads`] — explicit programmatic/CLI override
+//!    (`ringmesh --kernel-threads N`);
+//! 2. the `RINGMESH_KERNEL_THREADS` environment variable, read once per
+//!    process;
+//! 3. the default of **1** (serial; no worker threads are ever spawned).
+//!
+//! [`effective_kernel_threads`] additionally applies an oversubscription
+//! guard: while a sweep [`WorkerPool`](crate::WorkerPool) is fanning out
+//! `W` simulations, each simulation's kernel is clamped to
+//! `max(1, available_parallelism / W)` so `sweep × kernel` never
+//! oversubscribes the host. The clamp warns (once) on stderr when it
+//! engages. Code that constructs a [`KernelPool`] directly with an
+//! explicit count (determinism tests comparing thread counts) bypasses
+//! the guard.
+
+#![allow(unsafe_code)] // lifetime-erased task pointer + disjoint &mut distribution; see SAFETY comments.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex, OnceLock};
+use std::thread::JoinHandle;
+
+/// Explicit kernel-thread override (0 = unset). Highest precedence.
+static KERNEL_OVERRIDE: AtomicUsize = AtomicUsize::new(0);
+
+/// Width of the sweep currently fanning out on a `WorkerPool` (0 = no
+/// sweep active). Written by the sweep pool around `map`/`run_jobs`,
+/// read by the oversubscription guard. The value is advisory: kernels
+/// sized while it is stale merely use more or fewer threads, which by
+/// the determinism contract cannot change any result byte.
+static SWEEP_WIDTH: AtomicUsize = AtomicUsize::new(0);
+
+/// Whether the oversubscription clamp has already warned this process.
+static CLAMP_WARNED: AtomicBool = AtomicBool::new(false);
+
+/// Sets the process-wide kernel thread count, overriding
+/// `RINGMESH_KERNEL_THREADS`. `0` clears the override. Networks size
+/// their pools when constructed (or when `set_kernel_threads` is called
+/// on them); already-built pools are unaffected.
+pub fn set_kernel_threads(threads: usize) {
+    KERNEL_OVERRIDE.store(threads, Ordering::Relaxed);
+}
+
+/// The configured kernel thread count: the [`set_kernel_threads`]
+/// override if set, else `RINGMESH_KERNEL_THREADS` if set to a positive
+/// integer (read once per process), else 1 (serial).
+pub fn configured_kernel_threads() -> usize {
+    let over = KERNEL_OVERRIDE.load(Ordering::Relaxed);
+    if over > 0 {
+        return over;
+    }
+    static ENV: OnceLock<Option<usize>> = OnceLock::new();
+    ENV.get_or_init(|| {
+        std::env::var("RINGMESH_KERNEL_THREADS")
+            .ok()
+            .and_then(|v| v.trim().parse::<usize>().ok())
+            .filter(|&n| n >= 1)
+    })
+    .unwrap_or(1)
+}
+
+/// Marks `width` sweep workers as active (0 = sweep finished). Called
+/// by the sweep `WorkerPool` so [`effective_kernel_threads`] can guard
+/// against `sweep × kernel` oversubscription.
+pub fn set_active_sweep_width(width: usize) {
+    SWEEP_WIDTH.store(width, Ordering::Relaxed);
+}
+
+/// [`configured_kernel_threads`] with the oversubscription guard
+/// applied: while a sweep of width `W > 1` is active, the kernel is
+/// clamped to `max(1, available_parallelism / W)`.
+pub fn effective_kernel_threads() -> usize {
+    let want = configured_kernel_threads();
+    let sweep = SWEEP_WIDTH.load(Ordering::Relaxed);
+    if want <= 1 || sweep <= 1 {
+        return want;
+    }
+    let host = std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1);
+    let allowed = (host / sweep).max(1);
+    if want > allowed && !CLAMP_WARNED.swap(true, Ordering::Relaxed) {
+        eprintln!(
+            "warning: clamping kernel threads {want} -> {allowed} \
+             ({sweep} sweep workers on {host} hardware threads)"
+        );
+    }
+    want.min(allowed)
+}
+
+/// A raw base pointer shared across the pool's threads so each can
+/// form `&mut items[i]` for the indices it claims.
+struct SendPtr<T>(*mut T);
+
+impl<T> SendPtr<T> {
+    /// Element pointer at `i`. A method (not direct field access) so
+    /// closures capture the whole `SendPtr` — edition-2021 disjoint
+    /// capture would otherwise capture the raw `*mut T` field itself,
+    /// which is not `Sync`.
+    ///
+    /// # Safety
+    ///
+    /// `i` must be in bounds of the allocation behind the pointer.
+    unsafe fn at(&self, i: usize) -> *mut T {
+        unsafe { self.0.add(i) }
+    }
+}
+
+// SAFETY: the pointer is only used to index disjoint elements (one
+// claim per index, enforced by the pool's atomic cursor), so sharing
+// it across threads is sound.
+unsafe impl<T> Send for SendPtr<T> {}
+unsafe impl<T> Sync for SendPtr<T> {}
+
+/// A lifetime-erased pointer to the current parallel task.
+///
+/// The pool guarantees (via the quiescence handshake in
+/// [`KernelPool::run_task`]) that no worker dereferences the pointer
+/// after `run_task` returns, so erasing the borrow lifetime is sound.
+#[derive(Clone, Copy)]
+struct ErasedTask(*const (dyn Fn(usize) + Sync));
+
+// SAFETY: the pointee is `Sync` (shared calls from many threads are
+// fine) and the pool's handshake bounds every dereference within the
+// lifetime of the `run_task` borrow.
+unsafe impl Send for ErasedTask {}
+
+/// What workers wait on: the current task (if any) and a generation
+/// counter bumped once per `run_task` so sleeping workers can tell a
+/// new task from a spurious wakeup.
+struct TaskCell {
+    task: Option<ErasedTask>,
+    generation: u64,
+    shutdown: bool,
+}
+
+struct Shared {
+    cell: Mutex<TaskCell>,
+    wake: Condvar,
+    /// Next shard index to claim. Claims at or past `limit` are no-ops.
+    cursor: AtomicUsize,
+    /// One past the last valid shard index for the current task.
+    limit: AtomicUsize,
+    /// Shards fully computed for the current task.
+    done: AtomicUsize,
+    /// Workers currently parked or between tasks. `run_task` returns
+    /// only once all workers are idle again, which is what makes the
+    /// borrow erasure in [`ErasedTask`] sound.
+    idle: AtomicUsize,
+    /// Set when a task panicked on a worker; re-raised by `run_task`.
+    panicked: AtomicBool,
+}
+
+/// A persistent pool of kernel worker threads executing one indexed
+/// task at a time (see the [module docs](self)).
+///
+/// A pool of `threads <= 1` spawns nothing and runs every task inline
+/// on the caller's thread — the default, so serial runs pay zero
+/// synchronization.
+pub struct KernelPool {
+    shared: Arc<Shared>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl std::fmt::Debug for KernelPool {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("KernelPool")
+            .field("threads", &self.threads())
+            .finish()
+    }
+}
+
+impl Default for KernelPool {
+    fn default() -> Self {
+        KernelPool::serial()
+    }
+}
+
+impl KernelPool {
+    /// A pool that runs everything inline on the caller's thread.
+    pub fn serial() -> Self {
+        KernelPool::new(1)
+    }
+
+    /// A pool of `threads` total compute threads: the caller's thread
+    /// plus `threads - 1` persistent workers. Zero is clamped to one.
+    pub fn new(threads: usize) -> Self {
+        let workers_wanted = threads.max(1) - 1;
+        let shared = Arc::new(Shared {
+            cell: Mutex::new(TaskCell {
+                task: None,
+                generation: 0,
+                shutdown: false,
+            }),
+            wake: Condvar::new(),
+            cursor: AtomicUsize::new(0),
+            limit: AtomicUsize::new(0),
+            done: AtomicUsize::new(0),
+            idle: AtomicUsize::new(workers_wanted),
+            panicked: AtomicBool::new(false),
+        });
+        let workers = (0..workers_wanted)
+            .map(|i| {
+                let shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("ringmesh-kernel-{i}"))
+                    .spawn(move || worker_loop(&shared))
+                    .expect("spawn kernel worker")
+            })
+            .collect();
+        KernelPool { shared, workers }
+    }
+
+    /// Total compute threads (the caller's plus persistent workers).
+    pub fn threads(&self) -> usize {
+        self.workers.len() + 1
+    }
+
+    /// Runs `f(i, &mut items[i])` for every item, distributing items
+    /// across the pool. Items are claimed dynamically from an atomic
+    /// cursor; each index is claimed by exactly one thread. Returns
+    /// once every item has been processed and all workers are idle
+    /// again.
+    ///
+    /// # Panics
+    ///
+    /// Re-raises (as a panic on the caller's thread) if `f` panicked on
+    /// any item.
+    pub fn run_mut<T, F>(&self, items: &mut [T], f: F)
+    where
+        T: Send,
+        F: Fn(usize, &mut T) + Sync,
+    {
+        let n = items.len();
+        if self.workers.is_empty() || n <= 1 {
+            for (i, item) in items.iter_mut().enumerate() {
+                f(i, item);
+            }
+            return;
+        }
+        let base = SendPtr(items.as_mut_ptr());
+        let task = move |i: usize| {
+            // SAFETY: `i < n` (enforced by the claim loop) and every
+            // index is claimed exactly once, so this `&mut` is the only
+            // live reference to `items[i]`.
+            let item = unsafe { &mut *base.at(i) };
+            f(i, item);
+        };
+        self.run_task(n, &task);
+    }
+
+    /// Distributes `task(0..n)` across the pool, each index exactly
+    /// once, and waits for completion plus worker quiescence.
+    fn run_task(&self, n: usize, task: &(dyn Fn(usize) + Sync)) {
+        let shared = &*self.shared;
+        // Publish the work. `done`/`cursor` are reset while no task is
+        // visible (workers are idle between generations).
+        shared.done.store(0, Ordering::Relaxed);
+        shared.limit.store(n, Ordering::Relaxed);
+        shared.cursor.store(0, Ordering::Release);
+        let erased: *const (dyn Fn(usize) + Sync) = task;
+        // SAFETY: erases the borrow lifetime only; the quiescence
+        // handshake below keeps every dereference inside this call.
+        let erased: ErasedTask = ErasedTask(unsafe {
+            std::mem::transmute::<
+                *const (dyn Fn(usize) + Sync),
+                *const (dyn Fn(usize) + Sync + 'static),
+            >(erased)
+        });
+        {
+            let mut cell = self.shared.cell.lock().expect("kernel pool poisoned");
+            cell.task = Some(erased);
+            cell.generation += 1;
+        }
+        shared.wake.notify_all();
+        // The caller's thread participates in the claim loop.
+        work(shared, task);
+        // 1. Wait until every index has been computed (a panicking index
+        //    still counts as done, so this cannot hang).
+        spin_until(|| shared.done.load(Ordering::Acquire) >= n);
+        // 2. Unpublish the task so late-waking workers see nothing.
+        {
+            let mut cell = self.shared.cell.lock().expect("kernel pool poisoned");
+            cell.task = None;
+        }
+        // 3. Wait until every worker is idle again: a worker that did
+        //    grab the task pointer has finished with it, so the borrow
+        //    behind `ErasedTask` is provably dead from here on.
+        let workers = self.workers.len();
+        spin_until(|| shared.idle.load(Ordering::Acquire) >= workers);
+        if shared.panicked.swap(false, Ordering::Relaxed) {
+            panic!("kernel worker panicked while stepping a shard");
+        }
+    }
+}
+
+impl Drop for KernelPool {
+    fn drop(&mut self) {
+        {
+            let mut cell = self.shared.cell.lock().expect("kernel pool poisoned");
+            cell.shutdown = true;
+        }
+        self.shared.wake.notify_all();
+        for handle in self.workers.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+/// Claims indices until the cursor passes the limit, running `task` on
+/// each and counting completions (panics included, so the barrier in
+/// `run_task` cannot deadlock on a panicked shard).
+fn work(shared: &Shared, task: &(dyn Fn(usize) + Sync)) {
+    loop {
+        let i = shared.cursor.fetch_add(1, Ordering::AcqRel);
+        if i >= shared.limit.load(Ordering::Acquire) {
+            break;
+        }
+        if catch_unwind(AssertUnwindSafe(|| task(i))).is_err() {
+            shared.panicked.store(true, Ordering::Relaxed);
+        }
+        shared.done.fetch_add(1, Ordering::AcqRel);
+    }
+}
+
+/// Spins briefly (parallel phases are microseconds), then yields.
+fn spin_until(cond: impl Fn() -> bool) {
+    let mut spins = 0u32;
+    while !cond() {
+        spins += 1;
+        if spins < 1 << 14 {
+            std::hint::spin_loop();
+        } else {
+            std::thread::yield_now();
+        }
+    }
+}
+
+fn worker_loop(shared: &Shared) {
+    let mut seen_generation = 0u64;
+    loop {
+        let task = {
+            let mut cell = shared.cell.lock().expect("kernel pool poisoned");
+            loop {
+                if cell.shutdown {
+                    return;
+                }
+                if cell.generation != seen_generation {
+                    seen_generation = cell.generation;
+                    if let Some(t) = cell.task {
+                        // Mark busy *while holding the lock*, so
+                        // `run_task`'s step 2 (which takes this lock)
+                        // cannot observe all-idle while we hold the
+                        // task pointer.
+                        shared.idle.fetch_sub(1, Ordering::AcqRel);
+                        break t;
+                    }
+                    // Generation moved but the task is already
+                    // unpublished: that run completed without us.
+                    continue;
+                }
+                cell = shared.wake.wait(cell).expect("kernel pool poisoned");
+            }
+        };
+        // SAFETY: `run_task` does not return until this worker goes
+        // idle again, so the borrow behind the pointer is live.
+        let task = unsafe { &*task.0 };
+        work(shared, task);
+        shared.idle.fetch_add(1, Ordering::AcqRel);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU64;
+
+    #[test]
+    fn serial_pool_runs_inline() {
+        let pool = KernelPool::serial();
+        assert_eq!(pool.threads(), 1);
+        let mut items = vec![0u64; 8];
+        pool.run_mut(&mut items, |i, x| *x = i as u64 * 3);
+        assert_eq!(items, (0..8).map(|i| i * 3).collect::<Vec<u64>>());
+    }
+
+    #[test]
+    fn every_index_visited_exactly_once() {
+        let pool = KernelPool::new(4);
+        let mut items = vec![0u32; 64];
+        pool.run_mut(&mut items, |_, x| *x += 1);
+        assert!(items.iter().all(|&x| x == 1));
+    }
+
+    #[test]
+    fn pool_is_reusable_across_many_cycles() {
+        // The kernel regime: thousands of tiny tasks on one pool.
+        let pool = KernelPool::new(3);
+        let mut items = vec![0u64; 7];
+        for _ in 0..10_000 {
+            pool.run_mut(&mut items, |_, x| *x += 1);
+        }
+        assert!(items.iter().all(|&x| x == 10_000));
+    }
+
+    #[test]
+    fn results_match_serial_bitwise() {
+        let work = |i: usize, x: &mut f64| *x = (i as f64).sqrt() * 1e9;
+        let mut serial = vec![0f64; 33];
+        KernelPool::serial().run_mut(&mut serial, work);
+        for threads in [2, 3, 8] {
+            let mut parallel = vec![0f64; 33];
+            KernelPool::new(threads).run_mut(&mut parallel, work);
+            let bits = |v: &[f64]| v.iter().map(|y| y.to_bits()).collect::<Vec<_>>();
+            assert_eq!(bits(&serial), bits(&parallel), "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn threads_share_the_claim_loop() {
+        // With enough items, at least two distinct threads participate.
+        let pool = KernelPool::new(4);
+        let mut seen: Vec<Option<std::thread::ThreadId>> = vec![None; 256];
+        pool.run_mut(&mut seen, |_, slot| {
+            std::thread::sleep(std::time::Duration::from_micros(50));
+            *slot = Some(std::thread::current().id());
+        });
+        let ids: Vec<_> = seen.into_iter().flatten().collect();
+        assert_eq!(ids.len(), 256);
+        let distinct: std::collections::HashSet<_> = ids.iter().collect();
+        assert!(
+            distinct.len() >= 2,
+            "expected multiple threads, got {distinct:?}"
+        );
+    }
+
+    #[test]
+    fn worker_panic_propagates_and_pool_survives_drop() {
+        let pool = KernelPool::new(2);
+        let mut items = vec![0u8; 16];
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            pool.run_mut(&mut items, |i, _| {
+                if i == 7 {
+                    panic!("boom");
+                }
+            });
+        }));
+        assert!(result.is_err());
+        // The pool is still usable after a task panic.
+        let mut again = vec![0u8; 4];
+        pool.run_mut(&mut again, |_, x| *x = 1);
+        assert_eq!(again, vec![1; 4]);
+    }
+
+    #[test]
+    fn empty_input_is_a_no_op() {
+        let pool = KernelPool::new(4);
+        let mut items: Vec<u8> = Vec::new();
+        pool.run_mut(&mut items, |_, _| unreachable!());
+    }
+
+    #[test]
+    fn effects_are_observable_after_return() {
+        // A coarse memory-ordering check: sums written by workers are
+        // visible to the caller immediately after run_mut returns.
+        let pool = KernelPool::new(4);
+        let total = AtomicU64::new(0);
+        let mut items = vec![1u64; 128];
+        pool.run_mut(&mut items, |_, x| {
+            total.fetch_add(*x, Ordering::Relaxed);
+        });
+        assert_eq!(total.load(Ordering::Relaxed), 128);
+    }
+
+    #[test]
+    fn configured_threads_default_is_serial() {
+        // No override, and the test env does not set the variable.
+        if std::env::var("RINGMESH_KERNEL_THREADS").is_err() {
+            assert_eq!(configured_kernel_threads(), 1);
+        }
+    }
+}

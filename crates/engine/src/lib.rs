@@ -22,6 +22,10 @@
 //! * [`WorkerPool`] — an order-preserving fork-join pool on scoped
 //!   threads, used to fan independent sweep points across cores while
 //!   keeping results byte-identical to a serial run.
+//! * [`KernelPool`] — a persistent spin-barrier pool that parallelizes
+//!   the *inside* of a simulated cycle (sharded node stepping with a
+//!   deterministic compute/commit split), byte-identical at any thread
+//!   count.
 //! * [`StopFlag`] / [`AdmissionGate`] — cooperative shutdown and
 //!   load-shedding admission control for services built on the kernel.
 //! * [`Lease`] / [`Backoff`] — time-bounded work claims and capped
@@ -45,13 +49,16 @@
 //! assert_eq!((t, ev), (10, "timer-a"));
 //! ```
 
-#![forbid(unsafe_code)]
+// `deny` rather than `forbid`: the crate is safe code except for the
+// audited lifetime-erasure in `kernel.rs`, which opts in locally.
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
 
 mod admission;
 mod calendar;
 mod clock;
 mod facility;
+mod kernel;
 mod lease;
 mod pool;
 mod rng;
@@ -61,6 +68,10 @@ pub use admission::{AdmissionGate, Permit, StopFlag};
 pub use calendar::EventCalendar;
 pub use clock::{run_cycles, run_cycles_traced, ClockDivider, ClockedSystem};
 pub use facility::{Facility, FacilityStats, RequestOutcome};
+pub use kernel::{
+    configured_kernel_threads, effective_kernel_threads, set_active_sweep_width,
+    set_kernel_threads, KernelPool,
+};
 pub use lease::{Backoff, Lease};
 pub use pool::{configured_threads, WorkerPool};
 pub use rng::SimRng;

@@ -31,6 +31,27 @@
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{mpsc, Mutex, OnceLock};
 
+use crate::kernel::set_active_sweep_width;
+
+/// Marks a sweep of `width` workers as active for the lifetime of the
+/// guard, so the kernel-thread oversubscription clamp (see
+/// [`crate::effective_kernel_threads`]) can account for it — including
+/// on the panic path.
+struct SweepWidthGuard;
+
+impl SweepWidthGuard {
+    fn activate(width: usize) -> Self {
+        set_active_sweep_width(width);
+        SweepWidthGuard
+    }
+}
+
+impl Drop for SweepWidthGuard {
+    fn drop(&mut self) {
+        set_active_sweep_width(0);
+    }
+}
+
 /// The number of worker threads to use by default, parsed once per
 /// process: the `RINGMESH_THREADS` environment variable if set to a
 /// positive integer, else [`std::thread::available_parallelism`]
@@ -109,13 +130,13 @@ impl WorkerPool {
                 .map(|(i, item)| f(i, item))
                 .collect();
         }
-        // Safe shared state only (`forbid(unsafe_code)`): each index is
-        // claimed exactly once via the cursor, so every Mutex below is
-        // uncontended — it exists to satisfy the borrow checker, not to
-        // serialize work.
+        // Safe shared state only: each index is claimed exactly once
+        // via the cursor, so every Mutex below is uncontended — it
+        // exists to satisfy the borrow checker, not to serialize work.
         let work: Vec<Mutex<Option<T>>> = items.into_iter().map(|t| Mutex::new(Some(t))).collect();
         let results: Vec<Mutex<Option<R>>> = (0..n).map(|_| Mutex::new(None)).collect();
         let cursor = AtomicUsize::new(0);
+        let _sweep = SweepWidthGuard::activate(workers);
         std::thread::scope(|s| {
             for _ in 0..workers {
                 s.spawn(|| loop {
@@ -195,6 +216,7 @@ impl WorkerPool {
         let work: Vec<Mutex<Option<T>>> = items.into_iter().map(|t| Mutex::new(Some(t))).collect();
         let cursor = AtomicUsize::new(0);
         let mut results: Vec<Option<R>> = (0..n).map(|_| None).collect();
+        let _sweep = SweepWidthGuard::activate(workers);
         std::thread::scope(|s| {
             let (tx, rx) = mpsc::channel::<Msg<E, R>>();
             let (f, work, cursor) = (&f, &work, &cursor);

@@ -33,7 +33,7 @@
 
 mod config;
 mod network;
-mod router;
+mod shard;
 pub mod topology;
 
 pub use config::MeshConfig;

@@ -1,6 +1,6 @@
 //! The 2-D mesh network simulator.
 
-use ringmesh_engine::{StallError, Watchdog};
+use ringmesh_engine::{KernelPool, StallError, Watchdog};
 use ringmesh_faults::{
     ConservationError, ConservationLedger, DropReason, FaultDomain, FaultInjector,
 };
@@ -10,7 +10,7 @@ use ringmesh_net::{
 use ringmesh_snap::{SnapError, SnapReader, SnapWriter, Snapshot, SnapshotState};
 use ringmesh_trace::{Counter, EventKind, Gauge, Heatmap, HeatmapId, Probe, TraceLoc, Tracer};
 
-use crate::router::{FaultCtx, Router, Send};
+use crate::shard::{CommitOp, FaultCtx, MeshShard, Send, LOCAL};
 use crate::topology::MeshTopology;
 use crate::MeshConfig;
 
@@ -46,15 +46,22 @@ pub struct MeshNetwork {
     topo: MeshTopology,
     cfg: MeshConfig,
     store: PacketStore,
-    routers: Vec<Router>,
-    /// Active-router worklist: `active[i]` is false only while router
-    /// `i` is provably quiescent ([`Router::quiescent`]), letting the
-    /// step loop skip idle routers under light load. Set true again by
-    /// any arriving flit or local injection.
-    active: Vec<bool>,
-    /// Registered stop/go per router input buffer (`node*5 + port`).
+    /// Router state in structure-of-arrays layout, one shard per mesh
+    /// row (see [`MeshShard`]); the shard is the unit of parallel work
+    /// in the compute and latch phases. The partition is fixed at
+    /// construction and never depends on the thread count.
+    shards: Vec<MeshShard>,
+    /// Shared fault-free e-cube table, `node * n + dst` (one flat copy
+    /// replacing the old per-router `Vec<u8>`s).
+    route_lut: Vec<u8>,
+    /// Registered stop/go per router input buffer (`node*5 + port`) —
+    /// the "current" half of the double-buffered cycle state, read by
+    /// every shard during compute; the "next" half is each shard's
+    /// `go_out`, gathered back here after the latch phase.
     go: Vec<bool>,
     sends: Vec<Send>,
+    /// Intra-cycle worker pool; serial (inline) by default.
+    kernel: KernelPool,
     cycle: u64,
     link_flits: u64,
     reset_cycle: u64,
@@ -82,10 +89,22 @@ impl MeshNetwork {
     /// Builds the network for `topo` under `cfg`.
     pub fn new(topo: MeshTopology, cfg: MeshConfig) -> Self {
         let n = topo.num_pms() as usize;
-        let routers = (0..n as u32)
-            .map(|i| {
-                Router::new(
-                    NodeId::new(i),
+        let side = topo.side() as usize;
+        let mut route_lut = vec![0u8; n * n];
+        for node in 0..n {
+            for dst in 0..n {
+                route_lut[node * n + dst] =
+                    match topo.ecube(NodeId::new(node as u32), NodeId::new(dst as u32)) {
+                        Some(dir) => dir.port() as u8,
+                        None => LOCAL as u8,
+                    };
+            }
+        }
+        let shards = (0..side)
+            .map(|row| {
+                MeshShard::new(
+                    row * side,
+                    side,
                     &topo,
                     cfg.buffer_flits(),
                     cfg.out_queue_packets,
@@ -97,10 +116,11 @@ impl MeshNetwork {
             topo,
             cfg,
             store: PacketStore::new(),
-            routers,
-            active: vec![true; n],
+            shards,
+            route_lut,
             go: vec![true; n * 5],
             sends: Vec::new(),
+            kernel: KernelPool::serial(),
             cycle: 0,
             link_flits: 0,
             reset_cycle: 0,
@@ -117,6 +137,13 @@ impl MeshNetwork {
     /// The mesh topology.
     pub fn topology(&self) -> &MeshTopology {
         &self.topo
+    }
+
+    /// `(shard index, local node index)` of a global node id. Shards
+    /// are one mesh row each, so this is a divmod by the side.
+    fn shard_slot(&self, node: usize) -> (usize, usize) {
+        let side = self.topo.side() as usize;
+        (node / side, node % side)
     }
 
     /// The configuration the network was built with.
@@ -169,7 +196,7 @@ impl Probe for MeshNetwork {
     /// Publishes occupancy gauges: flits in router input buffers and
     /// live packets.
     fn probe(&self, t: &mut Tracer) {
-        let inputs: usize = self.routers.iter().map(Router::occupancy).sum();
+        let inputs: usize = self.shards.iter().map(MeshShard::occupancy).sum();
         t.gauge(Gauge::MeshInputOccupancy, inputs as f64);
         t.gauge(Gauge::InFlightPackets, self.store.live() as f64);
     }
@@ -185,7 +212,22 @@ impl Interconnect for MeshNetwork {
     }
 
     fn can_inject(&self, pm: NodeId, class: QueueClass) -> bool {
-        self.routers[pm.index()].can_accept(class)
+        let (sh, l) = self.shard_slot(pm.index());
+        self.shards[sh].can_accept(l, class)
+    }
+
+    fn set_kernel_threads(&mut self, threads: usize) {
+        // More threads than shards cannot help (a shard is the unit of
+        // work), so clamp — this also keeps worker counts modest for
+        // small meshes.
+        let threads = threads.clamp(1, self.shards.len().max(1));
+        if threads != self.kernel.threads() {
+            self.kernel = KernelPool::new(threads);
+        }
+    }
+
+    fn kernel_threads(&self) -> usize {
+        self.kernel.threads()
     }
 
     fn inject(&mut self, pm: NodeId, packet: Packet) {
@@ -234,8 +276,8 @@ impl Interconnect for MeshNetwork {
             }
             self.corrupt[r.slot()] = bad;
         }
-        self.routers[pm.index()].enqueue(class, r);
-        self.active[pm.index()] = true;
+        let (sh, l) = self.shard_slot(pm.index());
+        self.shards[sh].enqueue(l, class, r);
     }
 
     fn step(&mut self, delivered: &mut Vec<(NodeId, Packet)>) -> Result<(), StallError> {
@@ -245,50 +287,81 @@ impl Interconnect for MeshNetwork {
         if enabled {
             self.tracer.cycle(now);
         }
-        let mut moved = 0u64;
-        let mut blocked = 0u64;
-        self.sends.clear();
         if let Some(f) = &mut self.faults {
             f.advance(now);
         }
-        let fc = FaultCtx {
-            inj: self.faults.as_ref(),
-            corrupt: &self.corrupt,
-            now,
-        };
-        for i in 0..self.routers.len() {
-            // Skip provably-idle routers; a skipped step is a no-op by
-            // construction (see `Router::quiescent`), so the cycle
-            // stream is identical to stepping everything.
-            if !self.active[i] {
-                continue;
-            }
-            self.routers[i].step(
+        // Phase 1 — compute, in parallel across shards. Every shard
+        // reads only shared *previous-cycle* state (the registered
+        // stop/go buffer, the packet store, the fault view) and writes
+        // only its own arrays plus its `sends`/`ops` effect buffers.
+        {
+            let fc = FaultCtx {
+                inj: self.faults.as_ref(),
+                corrupt: &self.corrupt,
                 now,
-                &self.topo,
-                &self.go,
-                &fc,
-                &mut self.store,
-                &mut self.ledger,
-                &mut self.sends,
-                delivered,
-                &mut self.dropped,
-                &mut moved,
-                &mut blocked,
-            );
-            if self.routers[i].quiescent() {
-                self.active[i] = false;
+            };
+            let topo = &self.topo;
+            let go = &self.go;
+            let route_lut = &self.route_lut;
+            let store = &self.store;
+            self.kernel.run_mut(&mut self.shards, |_, shard| {
+                shard.compute(now, topo, go, route_lut, store, &fc);
+            });
+        }
+        // Phase 2 — commit, serial in shard order (= ascending node
+        // order, the order the old serial loop produced these effects):
+        // deliveries and drops first, so packet-store slot reuse and
+        // the delivered stream stay byte-identical, then the link
+        // transfers into destination buffers.
+        let mut moved = 0u64;
+        let mut blocked = 0u64;
+        self.sends.clear();
+        for si in 0..self.shards.len() {
+            for k in 0..self.shards[si].ops.len() {
+                match self.shards[si].ops[k] {
+                    CommitOp::Deliver { node, packet } => {
+                        let slot = packet.slot();
+                        let pkt = self.store.remove(packet);
+                        self.ledger.complete(slot, false);
+                        delivered.push((node, pkt));
+                    }
+                    CommitOp::Drop { packet, reason } => {
+                        let slot = packet.slot();
+                        let pkt = self.store.remove(packet);
+                        self.ledger.complete(slot, true);
+                        self.dropped.push((pkt, reason));
+                    }
+                }
+            }
+            moved += self.shards[si].moved;
+            blocked += self.shards[si].blocked;
+            // The concatenated send list is only needed for tracing
+            // (heatmap bumps and Hop events); skip the copy otherwise.
+            if enabled {
+                self.sends.extend_from_slice(&self.shards[si].sends);
             }
         }
-        for i in 0..self.sends.len() {
-            let s = self.sends[i];
-            self.routers[s.to_node as usize]
-                .input_mut(s.to_port)
-                .push(s.flit, now);
-            self.active[s.to_node as usize] = true;
+        // Link transfers, applied shard by shard. Each input FIFO has
+        // exactly one upstream router, so at most one flit arrives per
+        // FIFO per cycle and application order across source shards
+        // cannot matter. Swapping each buffer out and back (no copy)
+        // satisfies the borrow checker without concatenating.
+        let mut nsends = 0u64;
+        for si in 0..self.shards.len() {
+            let sends = std::mem::take(&mut self.shards[si].sends);
+            for &s in &sends {
+                self.shards[s.to_sh as usize].deliver_flit(
+                    s.to_l as usize,
+                    s.to_port as usize,
+                    s.flit,
+                    now,
+                );
+            }
+            nsends += sends.len() as u64;
+            self.shards[si].sends = sends;
         }
-        moved += self.sends.len() as u64;
-        self.link_flits += self.sends.len() as u64;
+        moved += nsends;
+        self.link_flits += nsends;
         if !self.dropped.is_empty() {
             if enabled {
                 self.tracer
@@ -304,8 +377,15 @@ impl Interconnect for MeshNetwork {
         if enabled {
             self.trace_cycle(now, blocked, &delivered[mark..]);
         }
-        for i in 0..self.routers.len() {
-            self.routers[i].latch(&mut self.go);
+        // Phase 3 — latch, in parallel across shards: register each
+        // input buffer and publish next-cycle stop/go into the shards'
+        // `go_out` halves, then gather them into the shared buffer.
+        self.kernel
+            .run_mut(&mut self.shards, |_, shard| shard.latch());
+        for shard in &self.shards {
+            let b = shard.lo() * 5;
+            let out = shard.go_out();
+            self.go[b..b + out.len()].copy_from_slice(out);
         }
         #[cfg(debug_assertions)]
         {
@@ -414,11 +494,21 @@ impl Interconnect for MeshNetwork {
             ));
         }
         self.store.save(w);
-        w.usize(self.routers.len());
-        for router in &self.routers {
-            router.save_state(w);
+        // Byte-compatible with the pre-SoA `Vec<Router>` layout: node
+        // count, then each node's state in ascending node order, then
+        // the activity flags as one length-prefixed vector.
+        let n = self.num_pms();
+        w.usize(n);
+        for node in 0..n {
+            let (sh, l) = self.shard_slot(node);
+            self.shards[sh].save_node_state(l, w);
         }
-        self.active.save(w);
+        w.usize(n);
+        for shard in &self.shards {
+            for &a in shard.active() {
+                w.bool(a);
+            }
+        }
         self.go.save(w);
         w.u64(self.cycle);
         w.u64(self.link_flits);
@@ -439,18 +529,24 @@ impl Interconnect for MeshNetwork {
             SnapError::Mismatch(format!("{what}: snapshot has {got}, network has {want}"))
         };
         self.store = PacketStore::load(r)?;
+        let n = self.num_pms();
         let n_routers = r.usize()?;
-        if n_routers != self.routers.len() {
-            return Err(mismatch("router count", n_routers, self.routers.len()));
+        if n_routers != n {
+            return Err(mismatch("router count", n_routers, n));
         }
-        for router in &mut self.routers {
-            router.restore_state(r)?;
+        for node in 0..n {
+            let (sh, l) = self.shard_slot(node);
+            self.shards[sh].restore_node_state(l, r)?;
         }
-        let active: Vec<bool> = Snapshot::load(r)?;
-        if active.len() != self.active.len() {
-            return Err(mismatch("router count", active.len(), self.active.len()));
+        let n_active = r.usize()?;
+        if n_active != n {
+            return Err(mismatch("router count", n_active, n));
         }
-        self.active = active;
+        for shard in &mut self.shards {
+            for a in shard.active_mut() {
+                *a = r.bool()?;
+            }
+        }
         let go: Vec<bool> = Snapshot::load(r)?;
         if go.len() != self.go.len() {
             return Err(mismatch("stop/go table size", go.len(), self.go.len()));

@@ -55,10 +55,19 @@ use crate::packet::{Flit, PacketRef};
 /// ```
 #[derive(Debug, Clone)]
 pub struct FlitFifo {
-    q: VecDeque<(Flit, u64)>,
+    q: VecDeque<Flit>,
     cap: usize,
     latched_len: usize,
     tails: usize,
+    /// Cycle of the most recent push. Together with `fresh` this
+    /// encodes everything the old per-entry arrival stamps did: a
+    /// buffered flit is ready iff it arrived on an earlier cycle, and
+    /// arrivals are monotone, so only the newest cycle's pushes can be
+    /// unready — no need to carry a timestamp per entry.
+    last_push: u64,
+    /// Number of flits pushed at `last_push` (the unready back of the
+    /// queue while the clock still reads `last_push`).
+    fresh: usize,
 }
 
 impl FlitFifo {
@@ -75,6 +84,8 @@ impl FlitFifo {
             cap,
             latched_len: 0,
             tails: 0,
+            last_push: 0,
+            fresh: 0,
         }
     }
 
@@ -117,25 +128,40 @@ impl FlitFifo {
     /// [`space_latched`](Self::space_latched), so overflow is a model bug.
     pub fn push(&mut self, flit: Flit, now: u64) {
         assert!(self.q.len() < self.cap, "flit FIFO overflow");
+        debug_assert!(now >= self.last_push, "FIFO clock must be monotone");
         if flit.is_tail {
             self.tails += 1;
         }
-        self.q.push_back((flit, now));
+        if now == self.last_push {
+            self.fresh += 1;
+        } else {
+            self.last_push = now;
+            self.fresh = 1;
+        }
+        self.q.push_back(flit);
+    }
+
+    /// Occupancy excluding flits that arrived at cycle `now` (which
+    /// cannot leave until the next cycle).
+    fn ready_len(&self, now: u64) -> usize {
+        let fresh = if self.last_push == now { self.fresh } else { 0 };
+        self.q.len() - fresh
     }
 
     /// The head flit, if it arrived on an earlier cycle than `now`
     /// (flits cannot cut through a node in zero cycles).
     pub fn front_ready(&self, now: u64) -> Option<Flit> {
-        match self.q.front() {
-            Some(&(flit, arrived)) if arrived < now => Some(flit),
-            _ => None,
+        if self.ready_len(now) > 0 {
+            self.q.front().copied()
+        } else {
+            None
         }
     }
 
     /// Pops the head flit if it is ready at cycle `now`.
     pub fn pop_ready(&mut self, now: u64) -> Option<Flit> {
-        if self.front_ready(now).is_some() {
-            let (flit, _) = self.q.pop_front().expect("front was ready");
+        if self.ready_len(now) > 0 {
+            let flit = self.q.pop_front().expect("front was ready");
             if flit.is_tail {
                 self.tails -= 1;
             }
@@ -162,7 +188,7 @@ impl FlitFifo {
 
     /// Iterates over buffered flits, head first (diagnostics).
     pub fn iter(&self) -> impl Iterator<Item = &Flit> {
-        self.q.iter().map(|(f, _)| f)
+        self.q.iter()
     }
 }
 
@@ -438,6 +464,8 @@ impl SnapshotState for FlitFifo {
         self.q.save(w);
         w.usize(self.latched_len);
         w.usize(self.tails);
+        w.u64(self.last_push);
+        w.usize(self.fresh);
     }
 
     fn restore_state(&mut self, r: &mut SnapReader<'_>) -> Result<(), SnapError> {
@@ -451,8 +479,19 @@ impl SnapshotState for FlitFifo {
         self.q = VecDeque::load(r)?;
         self.latched_len = r.usize()?;
         self.tails = r.usize()?;
+        self.last_push = r.u64()?;
+        self.fresh = r.usize()?;
         if self.q.len() > self.cap || self.latched_len > self.cap {
             return Err(SnapError::Corrupt("flit FIFO over capacity".into()));
+        }
+        // `fresh` goes stale once later cycles pop the flits it counted
+        // (it is only consulted while `last_push` equals the current
+        // cycle), so it may legitimately exceed the queue length — but
+        // never the capacity, which bounds one cycle's pushes.
+        if self.fresh > self.cap {
+            return Err(SnapError::Corrupt(
+                "flit FIFO fresh count over capacity".into(),
+            ));
         }
         Ok(())
     }

@@ -31,7 +31,7 @@ use std::fmt;
 pub const MAGIC: &[u8; 6] = b"RMSNAP";
 
 /// Current container format version.
-pub const VERSION: u16 = 1;
+pub const VERSION: u16 = 2;
 
 /// Error raised when decoding a snapshot fails.
 #[derive(Debug, Clone, PartialEq, Eq)]

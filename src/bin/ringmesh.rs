@@ -116,6 +116,14 @@ OPTIONS:
     --batches <N>          measured batches               [default: 8]
     --seed <N>             RNG seed                       [default: 1380011591]
     --format <F>           text | csv                     [default: text]
+    --kernel-threads <N>   intra-cycle compute threads for the network
+                           kernel (accepted by every subcommand; results
+                           are byte-identical at any count). Precedence:
+                           this flag > RINGMESH_KERNEL_THREADS > 1.
+                           Serial models (the rings) ignore it; under a
+                           parallel sweep the count is clamped so
+                           sweep x kernel threads never oversubscribes
+                           the host                       [default: 1]
     -h, --help             print this help
 
 TRACE OPTIONS (with the `trace` subcommand):
@@ -142,6 +150,13 @@ BENCH OPTIONS (with the `bench` subcommand):
     --threads <N>          parallel-leg worker threads
                            [default: RINGMESH_THREADS or host cores]
     --out <PATH>           write the baseline as JSON here
+    --check-against <PATH> compare kernel throughput against a committed
+                           baseline JSON; exit 1 if any kernel's
+                           single-thread cycles/s regressed by more
+                           than the tolerance, or if parallel stepping
+                           diverged across thread counts
+    --tolerance <F>        allowed fractional regression for
+                           --check-against            [default: 0.10]
 
 SERVE OPTIONS (with the `serve` subcommand):
     --listen <ADDR>        accept TCP connections on ADDR (e.g.
@@ -182,6 +197,10 @@ ENVIRONMENT:
                            process)
     RINGMESH_THREADS       worker threads for parameter sweeps
                            [default: available host parallelism]
+    RINGMESH_KERNEL_THREADS
+                           intra-cycle compute threads for the network
+                           kernel, overridden by --kernel-threads
+                           [default: 1]
 ";
 
 struct Args(Vec<String>);
@@ -529,6 +548,17 @@ fn run_bench(mut args: Args) -> ExitCode {
         Ok(o) => o,
         Err(e) => return usage_error(&e),
     };
+    let check_against = match args.take_value("--check-against") {
+        Ok(c) => c,
+        Err(e) => return usage_error(&e),
+    };
+    let tolerance = match args.take_parsed::<f64>("--tolerance") {
+        Ok(t) => t.unwrap_or(0.10),
+        Err(e) => return usage_error(&e),
+    };
+    if !(0.0..1.0).contains(&tolerance) {
+        return usage_error(&format!("--tolerance must be in [0, 1), got {tolerance}"));
+    }
     if !args.0.is_empty() {
         return usage_error(&format!("unrecognized arguments: {:?}", args.0));
     }
@@ -549,6 +579,32 @@ fn run_bench(mut args: Args) -> ExitCode {
             return ExitStatus::Io.into();
         }
         eprintln!("benchmark baseline written to {path}");
+    }
+    if let Some(path) = check_against {
+        let baseline = match std::fs::read_to_string(&path) {
+            Ok(b) => b,
+            Err(e) => {
+                eprintln!("error: reading baseline {path}: {e}");
+                return ExitStatus::Io.into();
+            }
+        };
+        match benchrun::check_against(&report, &baseline, tolerance) {
+            Ok(summary) => {
+                eprintln!(
+                    "bench regression gate vs {path} (tolerance {:.0}%): pass",
+                    tolerance * 100.0
+                );
+                eprint!("{summary}");
+            }
+            Err(failures) => {
+                eprintln!(
+                    "error: bench regression gate vs {path} (tolerance {:.0}%) FAILED",
+                    tolerance * 100.0
+                );
+                eprint!("{failures}");
+                return ExitStatus::Usage.into();
+            }
+        }
     }
     ExitStatus::Success.into()
 }
@@ -783,6 +839,13 @@ fn main() -> ExitCode {
     if args.take_flag("--help") || args.take_flag("-h") || args.0.is_empty() {
         print!("{HELP}");
         return ExitStatus::Success.into();
+    }
+    // Global knob, honoured by every subcommand: flag beats the
+    // RINGMESH_KERNEL_THREADS environment variable beats serial.
+    match args.take_parsed::<usize>("--kernel-threads") {
+        Ok(Some(n)) => ringmesh::set_kernel_threads(n.max(1)),
+        Ok(None) => {}
+        Err(e) => return usage_error(&e),
     }
     if args.0.first().is_some_and(|a| a == "bench") {
         args.0.remove(0);
