@@ -1,0 +1,6 @@
+//! Regenerates the Ring-Mesh crossover study (ring vs slotted vs mesh
+//! vs hybrid at matched PM counts). Run with
+//! `cargo bench -p ringmesh-bench --bench crossover_hybrid`.
+fn main() {
+    ringmesh_bench::run("crossover");
+}

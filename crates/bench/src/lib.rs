@@ -95,6 +95,10 @@ pub fn run(name: &str) {
             "Figure 21: mesh vs double-speed-global rings",
             &figures::fig21(scale),
         ),
+        "crossover" => print_figure(
+            "Crossover study: ring vs slotted vs mesh vs hybrid",
+            &figures::fig_crossover(scale),
+        ),
         other => panic!("unknown experiment {other:?}"),
     }
     println!("[{name} completed in {:.1?}]", t0.elapsed());

@@ -32,7 +32,10 @@ use crate::{NetworkSpec, SystemConfig, WorkerPool};
 /// JSON schema tag written into every report. Version 2 added latency
 /// percentiles to each kernel entry; version 3 added the per-kernel
 /// thread matrix (`threads` array + `identical` flag) measuring the
-/// intra-cycle parallel kernel at 1/2/4/host-max compute threads.
+/// intra-cycle parallel kernel at 1/2/4/host-max compute threads. On a
+/// single-core host the matrix collapses to the single-thread leg and
+/// the entry carries an extra `"thread_matrix": "skipped"` marker
+/// (still schema 3: fields are only ever added, never reshaped).
 pub const SCHEMA: &str = "ringmesh-bench/3";
 
 /// What to measure and where to write it.
@@ -86,6 +89,10 @@ pub struct KernelBench {
     /// Per-thread-count measurements, ascending, deduplicated on the
     /// effective thread count (serial models report a single leg).
     pub threads: Vec<KernelThreadBench>,
+    /// The multi-thread legs were not run because the host reports a
+    /// single core — timing them there would measure scheduler churn,
+    /// not the kernel. Marked `"thread_matrix": "skipped"` in the JSON.
+    pub threads_skipped: bool,
     /// Simulated round-trip latency percentiles `(p50, p95, p99)` of
     /// the measured run, in network cycles — the tail-latency baseline
     /// tracked alongside throughput.
@@ -203,6 +210,15 @@ fn kernel_cases(scale: Scale) -> Vec<(String, SystemConfig)> {
             "mesh 12x12".into(),
             sized(SystemConfig::new(NetworkSpec::mesh(12), CacheLineSize::B64)),
         ),
+        // The hybrid crossover network: serial ring stations feeding
+        // the sharded mesh kernel, both on the clock at once.
+        (
+            "hybrid 4x4:4".into(),
+            sized(SystemConfig::new(
+                NetworkSpec::Hybrid { side: 4, local: 4 },
+                CacheLineSize::B64,
+            )),
+        ),
     ]
 }
 
@@ -220,7 +236,15 @@ const KERNEL_TRIALS: usize = 3;
 /// best of [`KERNEL_TRIALS`] timed runs (construction excluded).
 fn kernel_bench(name: String, cfg: SystemConfig, host_max: usize) -> Option<KernelBench> {
     let cycles = cfg.sim.horizon();
-    let mut requested = vec![1usize, 2, 4, host_max.max(1)];
+    // On a single-core host the multi-thread legs are pure overhead
+    // measurements; run (and gate on) the single-thread leg only and
+    // mark the matrix as skipped in the report.
+    let threads_skipped = host_max <= 1;
+    let mut requested = if threads_skipped {
+        vec![1usize]
+    } else {
+        vec![1usize, 2, 4, host_max]
+    };
     requested.sort_unstable();
     requested.dedup();
     let mut legs: Vec<KernelThreadBench> = Vec::new();
@@ -279,6 +303,7 @@ fn kernel_bench(name: String, cfg: SystemConfig, host_max: usize) -> Option<Kern
         cycles_per_sec: base.cycles_per_sec,
         identical: fingerprints.windows(2).all(|w| w[0] == w[1]),
         threads: legs.clone(),
+        threads_skipped,
         percentiles,
     })
 }
@@ -421,7 +446,9 @@ impl BenchReport {
                 "  {:22} {:>9} cycles in {:>7.3}s = {:>11.0} cycles/s{tail}",
                 k.name, k.cycles, k.wall_s, k.cycles_per_sec
             );
-            if k.threads.len() > 1 {
+            if k.threads_skipped {
+                let _ = writeln!(s, "    thread matrix: skipped (single-core host)");
+            } else if k.threads.len() > 1 {
                 for leg in &k.threads {
                     let _ = writeln!(
                         s,
@@ -472,9 +499,14 @@ impl BenchReport {
                     leg.cycles_per_sec
                 );
             }
+            let matrix = if k.threads_skipped {
+                ", \"thread_matrix\": \"skipped\""
+            } else {
+                ""
+            };
             let _ = write!(
                 s,
-                "    {{\"name\": \"{}\", \"cycles\": {}, \"wall_s\": {:.6}, \"cycles_per_sec\": {:.1}, \"identical\": {}, \"threads\": [{legs}]{tail}}}",
+                "    {{\"name\": \"{}\", \"cycles\": {}, \"wall_s\": {:.6}, \"cycles_per_sec\": {:.1}, \"identical\": {}, \"threads\": [{legs}]{matrix}{tail}}}",
                 k.name, k.cycles, k.wall_s, k.cycles_per_sec, k.identical
             );
             s.push_str(if i + 1 < self.kernels.len() {
@@ -544,6 +576,32 @@ mod tests {
         assert!(k.identical, "parallel kernel must be bit-identical");
     }
 
+    fn single_core_host_skips_the_thread_matrix_impl(network: NetworkSpec) -> KernelBench {
+        let cfg = SystemConfig::new(network, CacheLineSize::B32).with_sim(crate::SimParams {
+            warmup: 200,
+            batch_cycles: 200,
+            batches: 2,
+        });
+        kernel_bench("single-core".into(), cfg, 1).expect("tiny run completes")
+    }
+
+    #[test]
+    fn single_core_host_skips_the_thread_matrix() {
+        let k = single_core_host_skips_the_thread_matrix_impl(NetworkSpec::mesh(4));
+        assert!(k.threads_skipped);
+        assert_eq!(k.threads.len(), 1);
+        assert_eq!(k.threads[0].threads, 1);
+        let report = BenchReport {
+            scale: "quick",
+            threads: 1,
+            host_parallelism: 1,
+            kernels: vec![k],
+            figures: vec![],
+        };
+        assert!(report.to_json().contains("\"thread_matrix\": \"skipped\""));
+        assert!(report.to_text().contains("skipped (single-core host)"));
+    }
+
     fn sample_report() -> BenchReport {
         BenchReport {
             scale: "quick",
@@ -567,6 +625,7 @@ mod tests {
                         cycles_per_sec: 8000.0,
                     },
                 ],
+                threads_skipped: false,
                 percentiles: Some((40.0, 90.0, 140.0)),
             }],
             figures: vec![FigureBench {

@@ -1,9 +1,13 @@
 //! Top-level system configuration.
 
+use std::fmt;
 use std::fmt::Write as _;
+use std::str::FromStr;
 
-use ringmesh_net::{BufferRegime, CacheLineSize, ConfigError};
-use ringmesh_ring::RingSpec;
+use ringmesh_hybrid::HybridBuilder;
+use ringmesh_mesh::MeshBuilder;
+use ringmesh_net::{BufferRegime, CacheLineSize, ConfigError, TopologyBuilder};
+use ringmesh_ring::{RingBuilder, RingSpec, SlottedBuilder};
 use ringmesh_snap::Fingerprint;
 use ringmesh_workload::{MemoryParams, MissProcess, WorkloadParams};
 
@@ -32,6 +36,15 @@ pub enum NetworkSpec {
         /// Hierarchy spec.
         spec: RingSpec,
     },
+    /// A hybrid Ring-Mesh: a `side × side` global wormhole mesh whose
+    /// routers each carry one `local`-PM ring, bridged per router
+    /// (the arXiv:1904.03428 crossover design).
+    Hybrid {
+        /// Global mesh side length.
+        side: u32,
+        /// PMs per local ring.
+        local: u32,
+    },
 }
 
 impl NetworkSpec {
@@ -48,23 +61,143 @@ impl NetworkSpec {
         }
     }
 
-    /// Number of processing modules.
-    pub fn num_pms(&self) -> u32 {
-        match self {
-            NetworkSpec::Ring { spec, .. } | NetworkSpec::SlottedRing { spec } => spec.num_pms(),
-            NetworkSpec::Mesh { side, .. } => side * side,
+    /// The [`TopologyBuilder`] for this spec — the single point where
+    /// a network description becomes a concrete topology. Everything
+    /// identity- or construction-shaped (PM count, labels, spec
+    /// strings, workload placement, packet format, kernel-parallelism
+    /// support, and the network itself) comes off this builder; no
+    /// other code matches on the variants to construct a network.
+    pub fn builder(&self) -> Box<dyn TopologyBuilder> {
+        match self.clone() {
+            NetworkSpec::Ring { spec, speedup } => Box::new(RingBuilder { spec, speedup }),
+            NetworkSpec::Mesh { side, buffers } => Box::new(MeshBuilder { side, buffers }),
+            NetworkSpec::SlottedRing { spec } => Box::new(SlottedBuilder { spec }),
+            NetworkSpec::Hybrid { side, local } => Box::new(HybridBuilder { side, local }),
         }
     }
 
-    /// Short human-readable description ("ring 2:3:4", "mesh 6x6").
+    /// Number of processing modules.
+    pub fn num_pms(&self) -> u32 {
+        self.builder().num_pms()
+    }
+
+    /// Short human-readable description ("ring 2:3:4", "mesh 6x6
+    /// (4-flit buffers)").
     pub fn label(&self) -> String {
-        match self {
-            NetworkSpec::Ring { spec, speedup: 1 } => format!("ring {spec}"),
-            NetworkSpec::Ring { spec, speedup } => format!("ring {spec} ({speedup}x global)"),
-            NetworkSpec::Mesh { side, buffers } => {
-                format!("mesh {side}x{side} ({buffers} buffers)")
+        self.builder().label()
+    }
+}
+
+/// Prints the canonical spec string (`ring:2:3:4`, `mesh:12`,
+/// `hybrid:4x4:4`, …) — the exact inverse of [`FromStr`], used by the
+/// CLI `--topology` flag, serve job keys and the config canonical
+/// form.
+impl fmt::Display for NetworkSpec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.builder().spec())
+    }
+}
+
+impl FromStr for NetworkSpec {
+    type Err = ConfigError;
+
+    /// Parses a topology spec string:
+    ///
+    /// * `ring:2:3:4` — hierarchical ring (normal-speed global ring)
+    /// * `ring2x:2:3:4` — §6 double-speed global ring
+    /// * `slotted:2:3:4` — slotted-ring switching
+    /// * `mesh:12`, `mesh:12:1flit`, `mesh:12:cl` — square mesh with
+    ///   4-flit (default), 1-flit or cache-line buffers
+    /// * `hybrid:4x4:4` — 4×4 global mesh of 4-PM local rings
+    fn from_str(s: &str) -> Result<Self, ConfigError> {
+        let (head, rest) = s.split_once(':').ok_or_else(|| {
+            ConfigError::Invalid(format!(
+                "topology '{s}' must be '<kind>:<shape>' \
+                 (e.g. ring:2:3:4, mesh:12, hybrid:4x4:4)"
+            ))
+        })?;
+        match head {
+            "ring" => Ok(NetworkSpec::Ring {
+                spec: rest.parse()?,
+                speedup: 1,
+            }),
+            "slotted" => Ok(NetworkSpec::SlottedRing {
+                spec: rest.parse()?,
+            }),
+            "mesh" => {
+                let (side_s, regime) = match rest.split_once(':') {
+                    Some((a, b)) => (a, Some(b)),
+                    None => (rest, None),
+                };
+                let side: u32 = side_s.parse().map_err(|_| {
+                    ConfigError::Invalid(format!("mesh side '{side_s}' is not a number"))
+                })?;
+                let buffers = match regime {
+                    None | Some("4flit") => BufferRegime::FourFlit,
+                    Some("1flit") => BufferRegime::OneFlit,
+                    Some("cl") => BufferRegime::CacheLine,
+                    Some(other) => {
+                        return Err(ConfigError::Invalid(format!(
+                            "unknown mesh buffer regime '{other}' \
+                             (expected 1flit, 4flit or cl)"
+                        )))
+                    }
+                };
+                if side == 0 {
+                    return Err(ConfigError::ZeroMeshSide);
+                }
+                Ok(NetworkSpec::Mesh { side, buffers })
             }
-            NetworkSpec::SlottedRing { spec } => format!("slotted ring {spec}"),
+            "hybrid" => {
+                let bad_shape = || {
+                    ConfigError::Invalid(format!(
+                        "hybrid topology '{s}' must be 'hybrid:<G>x<G>:<L>' \
+                         (e.g. hybrid:4x4:4)"
+                    ))
+                };
+                let (grid, local_s) = rest.split_once(':').ok_or_else(bad_shape)?;
+                let (a, b) = grid.split_once('x').ok_or_else(bad_shape)?;
+                let side: u32 = a.parse().map_err(|_| bad_shape())?;
+                let side_b: u32 = b.parse().map_err(|_| bad_shape())?;
+                if side != side_b {
+                    return Err(ConfigError::Invalid(format!(
+                        "hybrid global mesh must be square, got {a}x{b}"
+                    )));
+                }
+                let local: u32 = local_s.parse().map_err(|_| bad_shape())?;
+                if side == 0 {
+                    return Err(ConfigError::ZeroMeshSide);
+                }
+                if local == 0 {
+                    return Err(ConfigError::Invalid(
+                        "hybrid local ring size must be positive".into(),
+                    ));
+                }
+                Ok(NetworkSpec::Hybrid { side, local })
+            }
+            _ => {
+                // ringNx:SPEC — global-ring clock multiplier.
+                if let Some(n_s) = head.strip_prefix("ring").and_then(|t| t.strip_suffix('x')) {
+                    let speedup: u32 = n_s.parse().map_err(|_| {
+                        ConfigError::Invalid(format!(
+                            "ring speedup '{n_s}' in '{head}' is not a number"
+                        ))
+                    })?;
+                    if !(1..=2).contains(&speedup) {
+                        return Err(ConfigError::Invalid(format!(
+                            "global ring speedup {speedup} unsupported (must be 1 or 2)"
+                        )));
+                    }
+                    return Ok(NetworkSpec::Ring {
+                        spec: rest.parse()?,
+                        speedup,
+                    });
+                }
+                Err(ConfigError::Invalid(format!(
+                    "unknown topology kind '{head}' \
+                     (expected ring, ring2x, slotted, mesh or hybrid)"
+                )))
+            }
         }
     }
 }
@@ -167,8 +300,8 @@ impl SystemConfig {
     /// identity behind checkpoint validation and the serve result
     /// cache.
     pub fn canonical(&self) -> String {
-        let mut s = String::from("ringmesh-config/1");
-        let _ = write!(s, "|net={}", self.network.label());
+        let mut s = String::from("ringmesh-config/2");
+        let _ = write!(s, "|net={}", self.network);
         let _ = write!(s, "|cl={}", self.cache_line.bytes());
         let w = &self.workload;
         let _ = write!(s, "|R={:016x}", w.region.to_bits());
@@ -217,6 +350,16 @@ impl SystemConfig {
     pub fn validate(&self) -> Result<(), ConfigError> {
         if let NetworkSpec::Mesh { side: 0, .. } = self.network {
             return Err(ConfigError::ZeroMeshSide);
+        }
+        if let NetworkSpec::Hybrid { side, local } = self.network {
+            if side == 0 {
+                return Err(ConfigError::ZeroMeshSide);
+            }
+            if local == 0 {
+                return Err(ConfigError::Invalid(
+                    "hybrid local ring size must be positive".into(),
+                ));
+            }
         }
         let w = &self.workload;
         if !(w.region > 0.0 && w.region <= 1.0) {
@@ -288,6 +431,90 @@ mod tests {
             speedup: 2,
         };
         assert_eq!(f.label(), "ring 3:3:4 (2x global)");
+    }
+
+    #[test]
+    fn topology_specs_round_trip() {
+        // Every canonical spec string parses and re-prints unchanged,
+        // and every NetworkSpec survives Display → FromStr.
+        for s in [
+            "ring:4",
+            "ring:2:3:4",
+            "ring2x:3:3:4",
+            "slotted:2:3:4",
+            "mesh:12",
+            "mesh:12:1flit",
+            "mesh:12:cl",
+            "hybrid:4x4:4",
+            "hybrid:2x2:8",
+        ] {
+            let spec: NetworkSpec = s.parse().unwrap_or_else(|e| panic!("{s}: {e}"));
+            assert_eq!(spec.to_string(), s, "canonical form drifted for {s}");
+            let again: NetworkSpec = spec.to_string().parse().unwrap();
+            assert_eq!(spec, again);
+        }
+        // Non-canonical but accepted aliases normalise.
+        let m: NetworkSpec = "mesh:6:4flit".parse().unwrap();
+        assert_eq!(m.to_string(), "mesh:6");
+        let r: NetworkSpec = "ring1x:2:4".parse().unwrap();
+        assert_eq!(r.to_string(), "ring:2:4");
+    }
+
+    #[test]
+    fn malformed_topology_specs_draw_typed_errors() {
+        for s in [
+            "",
+            "ring",
+            "mesh",
+            "torus:4",
+            "ring:",
+            "ring:0",
+            "ring:a:b",
+            "ring3x:2:3:4",
+            "ringx:2:3:4",
+            "mesh:0",
+            "mesh:abc",
+            "mesh:4:8flit",
+            "hybrid:4x4",
+            "hybrid:4x5:4",
+            "hybrid:0x0:4",
+            "hybrid:4x4:0",
+            "hybrid:axa:4",
+            "hybrid:4x4:x",
+        ] {
+            let err = s.parse::<NetworkSpec>().expect_err(s);
+            // Typed errors render a message; none of these may panic.
+            assert!(!err.to_string().is_empty(), "{s}");
+        }
+    }
+
+    #[test]
+    fn hybrid_spec_identity() {
+        let h = NetworkSpec::Hybrid { side: 4, local: 4 };
+        assert_eq!(h.num_pms(), 64);
+        assert_eq!(h.label(), "hybrid 4x4 mesh of 4-PM rings");
+        assert_eq!(h.to_string(), "hybrid:4x4:4");
+        assert!(h.builder().parallel_kernel());
+    }
+
+    #[test]
+    fn validate_rejects_zero_hybrid_dims() {
+        let cfg = SystemConfig::new(
+            NetworkSpec::Hybrid { side: 0, local: 4 },
+            CacheLineSize::B64,
+        );
+        assert!(cfg.validate().is_err());
+        let cfg = SystemConfig::new(
+            NetworkSpec::Hybrid { side: 2, local: 0 },
+            CacheLineSize::B64,
+        );
+        assert!(cfg.validate().is_err());
+    }
+
+    #[test]
+    fn canonical_uses_spec_strings() {
+        let cfg = SystemConfig::new(NetworkSpec::mesh(3), CacheLineSize::B64);
+        assert!(cfg.canonical().starts_with("ringmesh-config/2|net=mesh:3|"));
     }
 
     #[test]

@@ -20,6 +20,7 @@
 //! | [`fig18`] | Fig. 18 | locality with cl-sized mesh buffers, 128B |
 //! | [`fig19_20`] | Figs. 19–20 | double-speed global ring latency + utilization |
 //! | [`fig21`] | Fig. 21 | mesh vs double-speed-global rings |
+//! | [`fig_crossover`] | extension | ring vs slotted vs mesh vs hybrid at matched PM counts |
 //!
 //! Every figure's sweep points run through [`run_series`]/[`run_points`]
 //! and therefore fan out across the sweep worker pool (sized by
@@ -629,6 +630,85 @@ pub fn fig21(scale: Scale) -> FigureData {
     )]
 }
 
+/// The spec strings of the crossover study, one curve per registered
+/// topology at matched PM counts: `p = (2g)²` gives a `2g × 2g` mesh
+/// and a `g × g` hybrid of 4-PM rings; the rings take their Table-2
+/// optimal hierarchy at the same `p`. Split out from [`fig_crossover`]
+/// so tests can pin the registry round-trip without running sweeps.
+pub fn crossover_specs(scale: Scale) -> Vec<(&'static str, Vec<(u32, String)>)> {
+    let cl = CacheLineSize::B64;
+    let pms: Vec<u32> = [16u32, 36, 64, 100, 144]
+        .into_iter()
+        .filter(|&p| p <= scale.max_pms.max(36))
+        .collect();
+    let rings = |prefix: &str| -> Vec<(u32, String)> {
+        pms.iter()
+            .filter_map(|&p| best_spec(p, cl, None).map(|s| (p, format!("{prefix}:{s}"))))
+            .collect()
+    };
+    vec![
+        ("Ring", rings("ring")),
+        ("Slotted", rings("slotted")),
+        (
+            "Mesh",
+            pms.iter()
+                .map(|&p| (p, format!("mesh:{}", (f64::from(p)).sqrt() as u32)))
+                .collect(),
+        ),
+        (
+            "Hybrid",
+            pms.iter()
+                .map(|&p| {
+                    let g = (f64::from(p / 4)).sqrt() as u32;
+                    (p, format!("hybrid:{g}x{g}:4"))
+                })
+                .collect(),
+        ),
+    ]
+}
+
+/// The Ring-Mesh crossover study (beyond the paper; the design studied
+/// by the arXiv:1904.03428 line of work): uniform M-MRP latency and
+/// throughput for all four registered topologies — wormhole ring,
+/// slotted ring, mesh and the hybrid mesh-of-rings — at matched PM
+/// counts, 64-byte lines, R=1.0, C=0.04, T=4. Every configuration is
+/// built by parsing a registry spec string, so this sweep exercises
+/// exactly the `--topology` path end to end.
+pub fn fig_crossover(scale: Scale) -> FigureData {
+    let cl = CacheLineSize::B64;
+    let mut latency_group = Vec::new();
+    let mut thru_group = Vec::new();
+    for (label, specs) in crossover_specs(scale) {
+        let points: Vec<(f64, SystemConfig)> = specs
+            .into_iter()
+            .map(|(p, s)| {
+                let network: NetworkSpec = s.parse().expect("registry spec");
+                (
+                    f64::from(p),
+                    SystemConfig::new(network, cl)
+                        .with_workload(wl(1.0, 4))
+                        .with_sim(scale.sim)
+                        .with_seed(SEED),
+                )
+            })
+            .collect();
+        let results = run_points(points);
+        latency_group.push(series_of(label.to_string(), &results, latency));
+        thru_group.push(series_of(label.to_string(), &results, |r| r.throughput));
+    }
+    vec![
+        (
+            "ring vs slotted vs mesh vs hybrid latency (64B, R=1.0, C=0.04, T=4)".into(),
+            latency_group,
+        ),
+        (
+            "ring vs slotted vs mesh vs hybrid throughput, txns/cycle (64B, R=1.0, C=0.04, T=4)"
+                .into(),
+            thru_group,
+        ),
+    ]
+}
+
 /// Prints a figure's groups as aligned tables, with cross-over points
 /// for Ring/Mesh comparison groups. If the `RINGMESH_CSV_DIR`
 /// environment variable names a directory, each group is also written
@@ -705,6 +785,26 @@ mod tests {
         assert_eq!(t.rows.len(), 10);
         assert_eq!(t.rows[9][0], "108");
         assert_eq!(t.rows[9][1], "3:3:12");
+    }
+
+    #[test]
+    fn crossover_specs_are_matched_and_round_trip() {
+        for (label, specs) in crossover_specs(Scale::full()) {
+            assert!(!specs.is_empty(), "{label} curve has points");
+            for (p, s) in specs {
+                let net: NetworkSpec = s.parse().unwrap_or_else(|e| panic!("{label} {s}: {e}"));
+                assert_eq!(net.num_pms(), p, "{label} {s}");
+                assert_eq!(net.to_string(), s, "{label} spec must be canonical");
+            }
+        }
+        // Every curve covers the same matched sizes (the rings can
+        // only drop a point if no hierarchy exists, which would skew
+        // the comparison silently — refuse that here).
+        let sizes: Vec<Vec<u32>> = crossover_specs(Scale::full())
+            .into_iter()
+            .map(|(_, v)| v.into_iter().map(|(p, _)| p).collect())
+            .collect();
+        assert!(sizes.windows(2).all(|w| w[0] == w[1]), "{sizes:?}");
     }
 
     #[test]

@@ -5,9 +5,8 @@ use std::fmt;
 
 use ringmesh_engine::{StallError, Watchdog};
 use ringmesh_faults::{ConservationError, FaultConfig, FaultInjector, FaultReport, FaultSchedule};
-use ringmesh_mesh::{MeshConfig, MeshNetwork, MeshTopology};
-use ringmesh_net::{ConfigError, Interconnect, NodeId, Packet, PacketFormat, UtilizationReport};
-use ringmesh_ring::{RingConfig, RingNetwork, SlottedRingNetwork};
+use ringmesh_net::{ConfigError, Interconnect, NodeId, Packet, UtilizationReport};
+use ringmesh_ring::{RingConfig, RingNetwork};
 use ringmesh_snap::{
     read_header, write_header, Fingerprint, SnapError, SnapReader, SnapWriter, SnapshotState,
 };
@@ -220,45 +219,22 @@ impl System {
     /// configurations.
     pub fn new(cfg: SystemConfig) -> Result<System, RunError> {
         cfg.validate()?;
-        let (net, placement, format): (Box<dyn Interconnect>, Placement, PacketFormat) =
-            match &cfg.network {
-                NetworkSpec::Ring { spec, speedup } => {
-                    let rc = RingConfig::new(cfg.cache_line).with_global_speedup(*speedup);
-                    let net = RingNetwork::new(spec, rc);
-                    (
-                        Box::new(net),
-                        Placement::Linear {
-                            pms: spec.num_pms(),
-                        },
-                        PacketFormat::RING,
-                    )
-                }
-                NetworkSpec::Mesh { side, buffers } => {
-                    let mc = MeshConfig::new(cfg.cache_line).with_buffers(*buffers);
-                    let net = MeshNetwork::new(MeshTopology::try_new(*side)?, mc);
-                    (
-                        Box::new(net),
-                        Placement::Grid { side: *side },
-                        PacketFormat::MESH,
-                    )
-                }
-                NetworkSpec::SlottedRing { spec } => {
-                    let rc = RingConfig::new(cfg.cache_line);
-                    let net = SlottedRingNetwork::new(spec, rc);
-                    (
-                        Box::new(net),
-                        Placement::Linear {
-                            pms: spec.num_pms(),
-                        },
-                        PacketFormat::RING,
-                    )
-                }
-            };
+        // The topology registry is the only place a NetworkSpec becomes
+        // a network: construction, placement and packet format all come
+        // off the same builder.
+        let builder = cfg.network.builder();
+        let net = builder.build(cfg.cache_line)?;
         let sizer = PacketSizer {
-            format,
+            format: builder.format(),
             cache_line: cfg.cache_line,
         };
-        let workload = Mmrp::new(placement, cfg.workload, cfg.memory, sizer, cfg.seed);
+        let workload = Mmrp::new(
+            builder.placement(),
+            cfg.workload,
+            cfg.memory,
+            sizer,
+            cfg.seed,
+        );
         let mut sys = System { cfg, net, workload };
         // Size the intra-cycle kernel from the process-wide setting
         // (`--kernel-threads` / RINGMESH_KERNEL_THREADS, clamped under
@@ -583,15 +559,8 @@ pub(crate) fn run_prebuilt(
     net: Box<dyn Interconnect>,
     cfg: SystemConfig,
 ) -> Result<RunResult, RunError> {
-    let (placement, format) = match &cfg.network {
-        NetworkSpec::Ring { spec, .. } | NetworkSpec::SlottedRing { spec } => (
-            Placement::Linear {
-                pms: spec.num_pms(),
-            },
-            PacketFormat::RING,
-        ),
-        NetworkSpec::Mesh { side, .. } => (Placement::Grid { side: *side }, PacketFormat::MESH),
-    };
+    let builder = cfg.network.builder();
+    let (placement, format) = (builder.placement(), builder.format());
     if net.num_pms() != cfg.network.num_pms() as usize {
         return Err(RunError::InvalidConfig(
             "prebuilt network size does not match the config".into(),

@@ -143,6 +143,23 @@ fn ring_kernels_unaffected_by_thread_requests() {
     }
 }
 
+/// The hybrid network runs the sharded mesh kernel between its serial
+/// ring phases: the same bit-exactness guarantee applies through the
+/// registry-built `hybrid:GxG:L` path.
+#[test]
+fn hybrid_kernel_bit_exact_across_thread_counts() {
+    let network: NetworkSpec = "hybrid:3x3:3".parse().expect("registry spec");
+    let cfg = SystemConfig::new(network, CacheLineSize::B32).with_sim(sim());
+    let base = kernel_fingerprint(&cfg, 1);
+    for threads in [2usize, 3, 8] {
+        assert_eq!(
+            kernel_fingerprint(&cfg, threads),
+            base,
+            "hybrid kernel diverged at {threads} threads"
+        );
+    }
+}
+
 /// A parallel mesh kernel must stay bit-exact under fault injection
 /// too: drops and corruption verdicts are decided from shared
 /// read-only per-cycle state, so thread count cannot reorder them.

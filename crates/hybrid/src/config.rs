@@ -1,0 +1,90 @@
+//! Buffer and queue sizing for the hybrid Ring-Mesh network.
+
+use ringmesh_net::{CacheLineSize, PacketFormat};
+
+/// Sizing knobs for [`HybridNetwork`](crate::HybridNetwork).
+///
+/// The hybrid keeps one uniform link width on both tiers (the
+/// ring-style 128-bit channel), so a packet has the same flit count on
+/// a local ring and on the global mesh, and the bridge never
+/// re-segments worms. Ring-side sizing mirrors
+/// `ringmesh_ring::RingConfig`; the mesh routers get one-worm input
+/// buffers, which is the cache-line regime of the plain mesh under the
+/// wider channel.
+#[derive(Debug, Clone)]
+pub struct HybridConfig {
+    /// Coherence cache-line size (sets data-carrying packet length).
+    pub cache_line: CacheLineSize,
+    /// Channel format, identical on both tiers
+    /// ([`PacketFormat::RING`]).
+    pub format: PacketFormat,
+    /// Station transit (bypass) buffer size on the local rings, in
+    /// cache-line packets.
+    pub ring_buffer_packets: usize,
+    /// PM-side and mesh-side output queue capacity, in packets.
+    pub out_queue_packets: usize,
+    /// Bridge ring→mesh crossing queue size per class, in cache-line
+    /// packets.
+    pub bridge_queue_packets: usize,
+    /// Mesh router input buffer size per port, in cache-line packets.
+    pub mesh_buffer_packets: usize,
+    /// Backlog (in cache-line packets) beyond which a bridge's
+    /// mesh→ring drain takes priority over continuing ring traffic.
+    pub convoy_threshold_packets: usize,
+    /// Cycles without flit movement (while packets are in flight)
+    /// before the stall watchdog trips.
+    pub watchdog_horizon: u64,
+}
+
+impl HybridConfig {
+    /// Defaults for `cache_line`: ring-style sizing on the local
+    /// rings, one-worm mesh input buffers, a two-packet bridge
+    /// crossing queue per class.
+    pub fn new(cache_line: CacheLineSize) -> Self {
+        HybridConfig {
+            cache_line,
+            format: PacketFormat::RING,
+            ring_buffer_packets: 2,
+            out_queue_packets: 1,
+            bridge_queue_packets: 2,
+            mesh_buffer_packets: 1,
+            convoy_threshold_packets: 4,
+            watchdog_horizon: 10_000,
+        }
+    }
+
+    /// Flits in one cache-line packet under this format.
+    pub fn cl_packet_flits(&self) -> usize {
+        self.format.cl_packet_flits(self.cache_line) as usize
+    }
+
+    /// Ring station transit buffer capacity in flits.
+    pub fn ring_buffer_flits(&self) -> usize {
+        self.ring_buffer_packets * self.cl_packet_flits()
+    }
+
+    /// Bridge ring→mesh crossing queue capacity per class in flits.
+    pub fn bridge_queue_flits(&self) -> usize {
+        self.bridge_queue_packets * self.cl_packet_flits()
+    }
+
+    /// Mesh router input buffer capacity per port in flits.
+    pub fn mesh_buffer_flits(&self) -> usize {
+        self.mesh_buffer_packets * self.cl_packet_flits()
+    }
+
+    /// Bridge mesh→ring descent queue capacity: elastic (effectively
+    /// unbounded), exactly like the IRI down queues of the
+    /// hierarchical ring — a worm leaving the mesh never stalls inside
+    /// a mesh router waiting on ring entry, which (with the ring
+    /// credit rule) keeps the two tiers jointly deadlock-free.
+    pub fn bridge_down_queue_flits(&self) -> usize {
+        usize::MAX / 2
+    }
+
+    /// Convoy-control threshold in flits.
+    pub fn convoy_threshold_flits(&self) -> usize {
+        self.convoy_threshold_packets
+            .saturating_mul(self.cl_packet_flits())
+    }
+}

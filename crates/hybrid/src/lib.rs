@@ -1,0 +1,42 @@
+//! Hybrid Ring-Mesh network model for the `ringmesh` simulator.
+//!
+//! The source paper (Ravindran & Stumm, HPCA 1997) compares
+//! hierarchical rings against meshes; its follow-up line of work
+//! (arXiv:1904.03428) studies the *hybrid*: local rings for the
+//! cheap, low-latency neighbourhood traffic, joined by a global 2-D
+//! mesh that sidesteps the hierarchy's root-ring bottleneck. This
+//! crate assembles that network out of the two existing kernels —
+//! local rings reuse the NIC/IRI station machines of
+//! `ringmesh-ring`, the global mesh reuses the sharded three-phase
+//! e-cube kernel of `ringmesh-mesh` — glued by one *bridge* station
+//! per mesh router.
+//!
+//! * [`HybridConfig`] — buffer/queue sizing (one uniform link width
+//!   on both tiers).
+//! * [`HybridNetwork`] — the cycle-accurate simulator; implements
+//!   [`ringmesh_net::Interconnect`].
+//! * [`HybridBuilder`] — the [`ringmesh_net::TopologyBuilder`] for
+//!   `hybrid:GxG:L` specs.
+//!
+//! # Example
+//!
+//! ```
+//! use ringmesh_net::{CacheLineSize, Interconnect, TopologyBuilder};
+//! use ringmesh_hybrid::HybridBuilder;
+//!
+//! let b = HybridBuilder { side: 4, local: 4 };
+//! assert_eq!(b.num_pms(), 64);
+//! let net = b.build(CacheLineSize::B128).unwrap();
+//! assert_eq!(net.num_pms(), 64);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod builder;
+mod config;
+mod network;
+
+pub use builder::HybridBuilder;
+pub use config::HybridConfig;
+pub use network::HybridNetwork;

@@ -31,11 +31,22 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod builder;
 mod config;
 mod network;
 mod shard;
 pub mod topology;
 
+pub use builder::MeshBuilder;
 pub use config::MeshConfig;
 pub use network::MeshNetwork;
 pub use topology::{Direction, MeshTopology};
+
+/// Router-level kernels, re-exported for the hybrid ring-mesh network
+/// (`ringmesh-hybrid`), whose global mesh runs the same sharded
+/// three-phase stepping as [`MeshNetwork`]. Semver-exempt plumbing,
+/// not a stable API — everything here mirrors internal structure.
+#[doc(hidden)]
+pub mod kernel {
+    pub use crate::shard::{CommitOp, FaultCtx, MeshShard, Send, DROP, LOCAL};
+}

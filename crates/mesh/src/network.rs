@@ -290,75 +290,142 @@ impl Interconnect for MeshNetwork {
         if let Some(f) = &mut self.faults {
             f.advance(now);
         }
-        // Phase 1 — compute, in parallel across shards. Every shard
-        // reads only shared *previous-cycle* state (the registered
-        // stop/go buffer, the packet store, the fault view) and writes
-        // only its own arrays plus its `sends`/`ops` effect buffers.
-        {
-            let fc = FaultCtx {
-                inj: self.faults.as_ref(),
-                corrupt: &self.corrupt,
-                now,
-            };
-            let topo = &self.topo;
-            let go = &self.go;
-            let route_lut = &self.route_lut;
-            let store = &self.store;
-            self.kernel.run_mut(&mut self.shards, |_, shard| {
-                shard.compute(now, topo, go, route_lut, store, &fc);
-            });
-        }
-        // Phase 2 — commit, serial in shard order (= ascending node
-        // order, the order the old serial loop produced these effects):
-        // deliveries and drops first, so packet-store slot reuse and
-        // the delivered stream stay byte-identical, then the link
-        // transfers into destination buffers.
         let mut moved = 0u64;
         let mut blocked = 0u64;
-        self.sends.clear();
-        for si in 0..self.shards.len() {
-            for k in 0..self.shards[si].ops.len() {
-                match self.shards[si].ops[k] {
-                    CommitOp::Deliver { node, packet } => {
-                        let slot = packet.slot();
-                        let pkt = self.store.remove(packet);
-                        self.ledger.complete(slot, false);
-                        delivered.push((node, pkt));
-                    }
-                    CommitOp::Drop { packet, reason } => {
-                        let slot = packet.slot();
-                        let pkt = self.store.remove(packet);
-                        self.ledger.complete(slot, true);
-                        self.dropped.push((pkt, reason));
+        let mut nsends = 0u64;
+        if self.kernel.threads() == 1 && !enabled {
+            // Fused serial path: with one kernel thread the deferred
+            // compute→commit split only costs (buffer the effects, walk
+            // them again), so apply each shard's effects immediately
+            // after its own compute. Byte-identical to the phased path:
+            // shards still compute and commit in ascending shard order,
+            // so the delivered stream, ledger and packet-store slot
+            // reuse are unchanged; and a flit committed onto a link
+            // before a later shard's compute is pushed at cycle `now`,
+            // which FIFO freshness keeps invisible to that compute —
+            // its only observable effect, the receiving node's `active`
+            // flag and non-empty input, matches what `deliver_flit`
+            // after compute would have left (pinned by the
+            // `parallel_determinism` suite).
+            for si in 0..self.shards.len() {
+                {
+                    let fc = FaultCtx {
+                        inj: self.faults.as_ref(),
+                        corrupt: &self.corrupt,
+                        now,
+                    };
+                    self.shards[si].compute(
+                        now,
+                        &self.topo,
+                        &self.go,
+                        &self.route_lut,
+                        &self.store,
+                        &fc,
+                    );
+                }
+                let ops = std::mem::take(&mut self.shards[si].ops);
+                for &op in &ops {
+                    match op {
+                        CommitOp::Deliver { node, packet } => {
+                            let slot = packet.slot();
+                            let pkt = self.store.remove(packet);
+                            self.ledger.complete(slot, false);
+                            delivered.push((node, pkt));
+                        }
+                        CommitOp::Drop { packet, reason } => {
+                            let slot = packet.slot();
+                            let pkt = self.store.remove(packet);
+                            self.ledger.complete(slot, true);
+                            self.dropped.push((pkt, reason));
+                        }
                     }
                 }
+                self.shards[si].ops = ops;
+                moved += self.shards[si].moved;
+                blocked += self.shards[si].blocked;
+                let sends = std::mem::take(&mut self.shards[si].sends);
+                for &s in &sends {
+                    self.shards[s.to_sh as usize].deliver_flit(
+                        s.to_l as usize,
+                        s.to_port as usize,
+                        s.flit,
+                        now,
+                    );
+                }
+                nsends += sends.len() as u64;
+                self.shards[si].sends = sends;
             }
-            moved += self.shards[si].moved;
-            blocked += self.shards[si].blocked;
-            // The concatenated send list is only needed for tracing
-            // (heatmap bumps and Hop events); skip the copy otherwise.
-            if enabled {
-                self.sends.extend_from_slice(&self.shards[si].sends);
-            }
-        }
-        // Link transfers, applied shard by shard. Each input FIFO has
-        // exactly one upstream router, so at most one flit arrives per
-        // FIFO per cycle and application order across source shards
-        // cannot matter. Swapping each buffer out and back (no copy)
-        // satisfies the borrow checker without concatenating.
-        let mut nsends = 0u64;
-        for si in 0..self.shards.len() {
-            let sends = std::mem::take(&mut self.shards[si].sends);
-            for &s in &sends {
-                self.shards[s.to_sh as usize].deliver_flit(
-                    s.to_l as usize,
-                    s.to_port as usize,
-                    s.flit,
+        } else {
+            // Phase 1 — compute, in parallel across shards. Every shard
+            // reads only shared *previous-cycle* state (the registered
+            // stop/go buffer, the packet store, the fault view) and
+            // writes only its own arrays plus its `sends`/`ops` effect
+            // buffers.
+            {
+                let fc = FaultCtx {
+                    inj: self.faults.as_ref(),
+                    corrupt: &self.corrupt,
                     now,
-                );
+                };
+                let topo = &self.topo;
+                let go = &self.go;
+                let route_lut = &self.route_lut;
+                let store = &self.store;
+                self.kernel.run_mut(&mut self.shards, |_, shard| {
+                    shard.compute(now, topo, go, route_lut, store, &fc);
+                });
             }
-            nsends += sends.len() as u64;
-            self.shards[si].sends = sends;
+            // Phase 2 — commit, serial in shard order (= ascending node
+            // order, the order the old serial loop produced these
+            // effects): deliveries and drops first, so packet-store
+            // slot reuse and the delivered stream stay byte-identical,
+            // then the link transfers into destination buffers.
+            self.sends.clear();
+            for si in 0..self.shards.len() {
+                for k in 0..self.shards[si].ops.len() {
+                    match self.shards[si].ops[k] {
+                        CommitOp::Deliver { node, packet } => {
+                            let slot = packet.slot();
+                            let pkt = self.store.remove(packet);
+                            self.ledger.complete(slot, false);
+                            delivered.push((node, pkt));
+                        }
+                        CommitOp::Drop { packet, reason } => {
+                            let slot = packet.slot();
+                            let pkt = self.store.remove(packet);
+                            self.ledger.complete(slot, true);
+                            self.dropped.push((pkt, reason));
+                        }
+                    }
+                }
+                moved += self.shards[si].moved;
+                blocked += self.shards[si].blocked;
+                // The concatenated send list is only needed for tracing
+                // (heatmap bumps and Hop events); skip the copy
+                // otherwise.
+                if enabled {
+                    self.sends.extend_from_slice(&self.shards[si].sends);
+                }
+            }
+            // Link transfers, applied shard by shard. Each input FIFO
+            // has exactly one upstream router, so at most one flit
+            // arrives per FIFO per cycle and application order across
+            // source shards cannot matter. Swapping each buffer out and
+            // back (no copy) satisfies the borrow checker without
+            // concatenating.
+            for si in 0..self.shards.len() {
+                let sends = std::mem::take(&mut self.shards[si].sends);
+                for &s in &sends {
+                    self.shards[s.to_sh as usize].deliver_flit(
+                        s.to_l as usize,
+                        s.to_port as usize,
+                        s.flit,
+                        now,
+                    );
+                }
+                nsends += sends.len() as u64;
+                self.shards[si].sends = sends;
+            }
         }
         moved += nsends;
         self.link_flits += nsends;

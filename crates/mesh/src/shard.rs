@@ -46,22 +46,24 @@ use crate::topology::{Direction, MeshTopology};
 
 /// Port index of the local PM; ports 0..4 are N/E/S/W per
 /// [`Direction::port`].
-pub(crate) const LOCAL: usize = 4;
+pub const LOCAL: usize = 4;
 
 /// Sentinel "port" for packets with no usable route (every required
 /// direction leads to a dead router): the input sinks their flits and
 /// the packet is accounted as dropped.
-pub(crate) const DROP: usize = 5;
+pub const DROP: usize = 5;
 
 /// Per-cycle fault view handed to every shard's compute phase. With no
 /// injector installed every query answers "healthy" and routing is
 /// byte-for-byte the plain e-cube path. All queries are `&self`, so
 /// one view is shared by every compute thread.
 #[derive(Debug, Clone, Copy)]
-pub(crate) struct FaultCtx<'a> {
+pub struct FaultCtx<'a> {
+    /// The installed injector, if any.
     pub inj: Option<&'a FaultInjector>,
     /// Corruption marks by packet-store slot.
     pub corrupt: &'a [bool],
+    /// The current network cycle.
     pub now: u64,
 }
 
@@ -93,13 +95,17 @@ impl FaultCtx<'_> {
 /// A flit transfer onto an inter-router link, recorded during compute
 /// and applied at commit after all nodes have stepped.
 #[derive(Debug, Clone, Copy)]
-pub(crate) struct Send {
+pub struct Send {
+    /// Global id of the receiving node.
     pub to_node: u32,
     /// Destination shard and node-within-shard, precomputed at
     /// construction so commit does no divmod per flit.
     pub to_sh: u32,
+    /// Node-within-shard of the receiver.
     pub to_l: u32,
+    /// Receiving input port.
     pub to_port: u32,
+    /// The flit on the wire.
     pub flit: Flit,
 }
 
@@ -109,13 +115,20 @@ pub(crate) struct Send {
 /// freelist (and therefore every later `PacketRef`) byte-identical to
 /// the old serial loop.
 #[derive(Debug, Clone, Copy)]
-pub(crate) enum CommitOp {
+pub enum CommitOp {
     /// The assembler at `node` completed `packet` intact.
-    Deliver { node: NodeId, packet: PacketRef },
+    Deliver {
+        /// The delivering node.
+        node: NodeId,
+        /// The completed packet.
+        packet: PacketRef,
+    },
     /// `packet` fully arrived but is dropped (corrupt at ejection, or
     /// sunk by the drop port).
     Drop {
+        /// The dropped packet.
         packet: PacketRef,
+        /// Why it was dropped.
         reason: DropReason,
     },
 }
@@ -145,12 +158,13 @@ struct LinkInfo {
 /// Scratch buffers (`sends`, `ops`, `moved`, `blocked`) are the
 /// compute phase's only outputs besides shard-local state.
 #[derive(Debug)]
-pub(crate) struct MeshShard {
+pub struct MeshShard {
     /// First global node id in this shard.
     lo: usize,
     /// Number of nodes (= the mesh side, one row per shard).
     len: usize,
-    /// Total nodes in the mesh (row stride of the shared route LUT).
+    /// Destination stride of the shared route LUT (the mesh node count
+    /// for the plain mesh; the PM count for the hybrid host).
     n: usize,
     inputs: Vec<[FlitFifo; 5]>,
     /// Output port assigned to the packet at the front of each input,
@@ -174,24 +188,50 @@ pub(crate) struct MeshShard {
     /// quiescent, letting compute skip idle nodes under light load.
     active: Vec<bool>,
     /// Compute-phase output: link transfers, concatenated in node order.
-    pub(crate) sends: Vec<Send>,
+    pub sends: Vec<Send>,
     /// Compute-phase output: deliveries/drops, in node order.
-    pub(crate) ops: Vec<CommitOp>,
+    pub ops: Vec<CommitOp>,
     /// Flit movements observed during compute (watchdog food).
-    pub(crate) moved: u64,
+    pub moved: u64,
     /// Transfer opportunities blocked on downstream stop (tracing).
-    pub(crate) blocked: u64,
+    pub blocked: u64,
 }
 
 impl MeshShard {
-    pub(crate) fn new(
+    /// Builds the shard covering nodes `lo..lo + len` of `topo`, with
+    /// the route-LUT destination stride equal to the node count (the
+    /// plain mesh case, where destinations are mesh nodes).
+    pub fn new(
         lo: usize,
         len: usize,
         topo: &MeshTopology,
         buffer_flits: usize,
         out_queue_packets: usize,
     ) -> Self {
-        let n = topo.num_pms() as usize;
+        Self::with_stride(
+            lo,
+            len,
+            topo,
+            topo.num_pms() as usize,
+            buffer_flits,
+            out_queue_packets,
+        )
+    }
+
+    /// Like [`new`](Self::new) with an explicit route-LUT destination
+    /// stride: the shared LUT is indexed `node * stride + dst`, so a
+    /// host with more destinations than mesh nodes (the hybrid network
+    /// routes per *PM*, several of which share one mesh router) passes
+    /// its destination count here.
+    pub fn with_stride(
+        lo: usize,
+        len: usize,
+        topo: &MeshTopology,
+        stride: usize,
+        buffer_flits: usize,
+        out_queue_packets: usize,
+    ) -> Self {
+        let n = stride;
         let links = (0..len)
             .map(|l| {
                 let node = NodeId::new((lo + l) as u32);
@@ -240,37 +280,40 @@ impl MeshShard {
     }
 
     /// First global node id in this shard.
-    pub(crate) fn lo(&self) -> usize {
+    pub fn lo(&self) -> usize {
         self.lo
     }
 
     /// The latched next-cycle stop/go slice (`len * 5` entries).
-    pub(crate) fn go_out(&self) -> &[bool] {
+    pub fn go_out(&self) -> &[bool] {
         &self.go_out
     }
 
     /// Per-node activity flags (snapshot access).
-    pub(crate) fn active(&self) -> &[bool] {
+    pub fn active(&self) -> &[bool] {
         &self.active
     }
 
-    pub(crate) fn active_mut(&mut self) -> &mut [bool] {
+    /// Mutable form of [`active`](Self::active) (snapshot restore).
+    pub fn active_mut(&mut self) -> &mut [bool] {
         &mut self.active
     }
 
     /// Total flits across all input buffers (occupancy gauge probe).
-    pub(crate) fn occupancy(&self) -> usize {
+    pub fn occupancy(&self) -> usize {
         self.inputs.iter().flatten().map(FlitFifo::len).sum()
     }
 
-    pub(crate) fn can_accept(&self, l: usize, class: QueueClass) -> bool {
+    /// Whether node `l`'s PM-side output queue of `class` has room.
+    pub fn can_accept(&self, l: usize, class: QueueClass) -> bool {
         match class {
             QueueClass::Request => self.out_req[l].can_accept(),
             QueueClass::Response => self.out_resp[l].can_accept(),
         }
     }
 
-    pub(crate) fn enqueue(&mut self, l: usize, class: QueueClass, r: PacketRef) {
+    /// Enqueues an outgoing packet at node `l`'s PM boundary.
+    pub fn enqueue(&mut self, l: usize, class: QueueClass, r: PacketRef) {
         match class {
             QueueClass::Request => self.out_req[l].push(r),
             QueueClass::Response => self.out_resp[l].push(r),
@@ -280,7 +323,7 @@ impl MeshShard {
 
     /// Applies one arriving link flit at commit time and re-activates
     /// the node.
-    pub(crate) fn deliver_flit(&mut self, l: usize, port: usize, flit: Flit, now: u64) {
+    pub fn deliver_flit(&mut self, l: usize, port: usize, flit: Flit, now: u64) {
         self.inputs[l][port].push(flit, now);
         self.active[l] = true;
     }
@@ -361,7 +404,7 @@ impl MeshShard {
     /// fixed-size `[T; 5]` blocks — the same check-free codegen the old
     /// one-struct-per-router layout got, without giving up the
     /// per-field arrays.
-    pub(crate) fn compute(
+    pub fn compute(
         &mut self,
         now: u64,
         topo: &MeshTopology,
@@ -545,7 +588,7 @@ impl MeshShard {
 
     /// The parallel latch phase: registers every input buffer's
     /// occupancy and writes next-cycle stop/go into `go_out`.
-    pub(crate) fn latch(&mut self) {
+    pub fn latch(&mut self) {
         for (block, go) in self.inputs.iter_mut().zip(self.go_out.chunks_exact_mut(5)) {
             for (input, g) in block.iter_mut().zip(go.iter_mut()) {
                 input.latch();
@@ -557,7 +600,7 @@ impl MeshShard {
     /// Serializes node `l`'s state, byte-compatible with the previous
     /// per-router layout (5 FIFOs, route/conn/rr port arrays, the two
     /// PM queues, drain, assembler).
-    pub(crate) fn save_node_state(&self, l: usize, w: &mut SnapWriter) {
+    pub fn save_node_state(&self, l: usize, w: &mut SnapWriter) {
         for p in 0..5 {
             self.inputs[l][p].save_state(w);
         }
@@ -578,7 +621,7 @@ impl MeshShard {
 
     /// Restores node `l`'s state written by
     /// [`save_node_state`](Self::save_node_state).
-    pub(crate) fn restore_node_state(
+    pub fn restore_node_state(
         &mut self,
         l: usize,
         r: &mut SnapReader<'_>,

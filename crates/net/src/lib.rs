@@ -41,6 +41,7 @@ mod config;
 mod error;
 mod interconnect;
 mod packet;
+mod topology;
 
 pub use buffer::{Assembler, DrainState, FlitFifo, FlitPool, PacketQueue};
 pub use config::{
@@ -49,3 +50,4 @@ pub use config::{
 pub use error::ConfigError;
 pub use interconnect::{Interconnect, LevelUtil, QueueClass, UtilizationReport};
 pub use packet::{Flit, NodeId, Packet, PacketKind, PacketRef, PacketStore, TxnId};
+pub use topology::{Placement, TopologyBuilder};

@@ -13,13 +13,13 @@ use ringmesh_snap::{SnapError, SnapReader, SnapWriter, Snapshot, SnapshotState};
 use crate::station::{ClassQueues, Disposition, LinkOwner, Send, SideRef, StepPulse, TransitRoute};
 
 /// Side index of the child (lower) ring.
-pub(crate) const LOWER: usize = 0;
+pub const LOWER: usize = 0;
 /// Side index of the parent (upper) ring.
-pub(crate) const UPPER: usize = 1;
+pub const UPPER: usize = 1;
 
 /// Per-IRI simulation state.
 #[derive(Debug)]
-pub(crate) struct Iri {
+pub struct Iri {
     subtree: (u32, u32),
     convoy_threshold: usize,
     rings: [u32; 2],
@@ -34,7 +34,12 @@ pub(crate) struct Iri {
 }
 
 impl Iri {
-    pub(crate) fn new(
+    /// Builds an IRI joining the child ring covering PM interval
+    /// `subtree` (half-open) to its parent ring. `rings` and
+    /// `downstream` name the `[LOWER, UPPER]` ring ids and downstream
+    /// station sides; the remaining arguments size the transit buffers
+    /// and crossing queues.
+    pub fn new(
         subtree: (u32, u32),
         rings: [u32; 2],
         downstream: [SideRef; 2],
@@ -59,7 +64,9 @@ impl Iri {
         }
     }
 
-    pub(crate) fn buf_mut(&mut self, side: usize) -> &mut FlitFifo {
+    /// The transit buffer of `side`, for the network's send-commit
+    /// loop (flits arriving on the input link are pushed here).
+    pub fn buf_mut(&mut self, side: usize) -> &mut FlitFifo {
         &mut self.bufs[side]
     }
 
@@ -68,13 +75,32 @@ impl Iri {
         &self.bufs[side]
     }
 
+    /// The lower→upper crossing queue of `class`. The hybrid network's
+    /// bridge pump drains these into the global mesh.
+    pub fn up_queue(&self, class: QueueClass) -> &FlitFifo {
+        self.up.get(class)
+    }
+
+    /// Mutable form of [`up_queue`](Self::up_queue).
+    pub fn up_queue_mut(&mut self, class: QueueClass) -> &mut FlitFifo {
+        self.up.get_mut(class)
+    }
+
+    /// The upper→lower crossing queue of `class`. The hybrid network
+    /// commits mesh arrivals here; [`step_side`](Self::step_side) on
+    /// the `LOWER` side drains them onto the local ring under the
+    /// credit rule.
+    pub fn down_queue_mut(&mut self, class: QueueClass) -> &mut FlitFifo {
+        self.down.get_mut(class)
+    }
+
     /// Total flits in the two transit buffers (occupancy gauge probe).
-    pub(crate) fn occupancy(&self) -> usize {
+    pub fn occupancy(&self) -> usize {
         self.bufs[LOWER].len() + self.bufs[UPPER].len()
     }
 
     /// Total flits in the four crossing queues (occupancy gauge probe).
-    pub(crate) fn queue_flits(&self) -> usize {
+    pub fn queue_flits(&self) -> usize {
         self.up.get(QueueClass::Request).len()
             + self.up.get(QueueClass::Response).len()
             + self.down.get(QueueClass::Request).len()
@@ -86,7 +112,7 @@ impl Iri {
     /// worm holds an output link, and no route decision is latched.
     /// Such an IRI can be skipped until a flit arrives on a buffer or
     /// queue (which always goes through the network's send commit).
-    pub(crate) fn quiescent(&self) -> bool {
+    pub fn quiescent(&self) -> bool {
         self.occupancy() == 0
             && self.queue_flits() == 0
             && self.owner.iter().all(|o| matches!(o, LinkOwner::Idle))
@@ -120,7 +146,7 @@ impl Iri {
     /// and its [`PacketRef`] reported through `sunk` for the network to
     /// retire as an explicit drop.
     #[allow(clippy::too_many_arguments)]
-    pub(crate) fn step_side(
+    pub fn step_side(
         &mut self,
         side: usize,
         now: u64,
@@ -355,7 +381,7 @@ impl Iri {
 
     /// Latches all buffers; returns the free-slot counts for (lower,
     /// upper) transit buffers advertised to the upstream neighbours.
-    pub(crate) fn latch(&mut self) -> (usize, usize) {
+    pub fn latch(&mut self) -> (usize, usize) {
         self.bufs[LOWER].latch();
         self.bufs[UPPER].latch();
         self.up.each_mut(FlitFifo::latch);

@@ -32,6 +32,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod builder;
 mod config;
 mod iri;
 mod network;
@@ -40,7 +41,20 @@ mod slotted;
 mod station;
 pub mod topology;
 
+pub use builder::{RingBuilder, SlottedBuilder};
 pub use config::RingConfig;
 pub use network::RingNetwork;
 pub use slotted::SlottedRingNetwork;
 pub use topology::{RingAction, RingSpec, RingTopology, RouteTable, StationKind};
+
+/// Station-level kernels, re-exported for the hybrid ring-mesh network
+/// (`ringmesh-hybrid`), which assembles its local rings from the same
+/// NIC/IRI state machines this crate's own network uses. Semver-exempt
+/// plumbing, not a stable API — everything here mirrors internal
+/// structure.
+#[doc(hidden)]
+pub mod kernel {
+    pub use crate::iri::{Iri, LOWER, UPPER};
+    pub use crate::nic::Nic;
+    pub use crate::station::{Send, SideRef, StepPulse};
+}

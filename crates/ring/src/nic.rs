@@ -18,7 +18,7 @@ use crate::station::{ClassQueues, Disposition, LinkOwner, Send, SideRef, StepPul
 
 /// Per-NIC simulation state.
 #[derive(Debug)]
-pub(crate) struct Nic {
+pub struct Nic {
     pm: NodeId,
     ring: u32,
     downstream: SideRef,
@@ -31,7 +31,9 @@ pub(crate) struct Nic {
 }
 
 impl Nic {
-    pub(crate) fn new(
+    /// Builds the NIC attaching `pm` to ring `ring`, with its output
+    /// link feeding the `downstream` station side.
+    pub fn new(
         pm: NodeId,
         ring: u32,
         downstream: SideRef,
@@ -54,25 +56,28 @@ impl Nic {
         }
     }
 
-    pub(crate) fn pm(&self) -> NodeId {
+    /// The processing module this NIC serves.
+    pub fn pm(&self) -> NodeId {
         self.pm
     }
 
-    pub(crate) fn ring_buf_mut(&mut self) -> &mut FlitFifo {
+    /// The transit (bypass) buffer, for the network's send-commit loop.
+    pub fn ring_buf_mut(&mut self) -> &mut FlitFifo {
         &mut self.ring_buf
     }
 
-    pub(crate) fn ring_buf(&self) -> &FlitFifo {
+    /// Read access to the transit buffer (debug invariant checks).
+    pub fn ring_buf(&self) -> &FlitFifo {
         &self.ring_buf
     }
 
     /// Whether the PM-side output queue for `class` can accept a packet.
-    pub(crate) fn can_accept(&self, class: QueueClass) -> bool {
+    pub fn can_accept(&self, class: QueueClass) -> bool {
         self.out.get(class).can_accept()
     }
 
     /// Enqueues an outgoing packet from the PM.
-    pub(crate) fn enqueue(&mut self, class: QueueClass, r: PacketRef) {
+    pub fn enqueue(&mut self, class: QueueClass, r: PacketRef) {
         self.out.get_mut(class).push(r);
     }
 
@@ -94,7 +99,7 @@ impl Nic {
     /// in flight; such packets are dropped at reassembly instead of
     /// delivered.
     #[allow(clippy::too_many_arguments)]
-    pub(crate) fn step(
+    pub fn step(
         &mut self,
         now: u64,
         link_up: bool,
@@ -260,7 +265,7 @@ impl Nic {
     /// the NIC active even when everything else is idle — injection
     /// eligibility depends on downstream free space and ring credits,
     /// both of which change without touching this station.
-    pub(crate) fn quiescent(&self) -> bool {
+    pub fn quiescent(&self) -> bool {
         self.ring_buf.is_empty()
             && matches!(self.owner, LinkOwner::Idle)
             && !self.drain.is_active()
@@ -288,7 +293,7 @@ impl Nic {
 
     /// Latches the ring buffer's registered occupancy; returns the new
     /// free-slot count advertised to the upstream neighbour.
-    pub(crate) fn latch(&mut self) -> usize {
+    pub fn latch(&mut self) -> usize {
         self.ring_buf.latch();
         self.ring_buf.free_latched()
     }

@@ -5,12 +5,12 @@ use ringmesh_snap::{SnapError, SnapReader, SnapWriter, Snapshot, SnapshotState};
 
 /// `(station index, ring side)` — mirrors
 /// [`topology::SideRef`](crate::topology::SideRef).
-pub(crate) type SideRef = (u32, u8);
+pub type SideRef = (u32, u8);
 
 /// A flit transfer decided this cycle, applied after all stations have
 /// stepped (so everyone sees consistent registered state).
 #[derive(Debug, Clone, Copy)]
-pub(crate) struct Send {
+pub struct Send {
     /// Receiving station side (its transit buffer).
     pub to: SideRef,
     /// The flit on the wire.
@@ -23,7 +23,7 @@ pub(crate) struct Send {
 /// watchdog consumes `moved`; the tracer (when enabled) consumes all
 /// three.
 #[derive(Debug, Clone, Copy, Default)]
-pub(crate) struct StepPulse {
+pub struct StepPulse {
     /// Flits that advanced off a transit buffer or crossing queue
     /// (ejections and queue entries; link transfers are counted by the
     /// send-commit loop).

@@ -109,10 +109,20 @@ pub fn parse_job(v: &Json, default_id: &str) -> Result<JobSpec, String> {
 }
 
 fn parse_network(v: &Json) -> Result<NetworkSpec, String> {
+    // A 'topology' field carries the complete registry spec string
+    // ("ring:2:3:4", "mesh:12:cl", "hybrid:4x4:4", ...) and replaces
+    // the per-kind shape fields below.
+    if let Some(j) = v.get("topology") {
+        let spec = j.as_str().ok_or("field 'topology' must be a string")?;
+        if v.get("network").is_some() {
+            return Err("give either 'topology' or 'network', not both".into());
+        }
+        return spec.parse().map_err(|e| format!("bad topology spec: {e}"));
+    }
     let kind = v
         .get("network")
         .and_then(Json::as_str)
-        .ok_or("field 'network' must be \"ring\", \"slotted\" or \"mesh\"")?;
+        .ok_or("field 'network' must be \"ring\", \"slotted\", \"mesh\" or \"hybrid\"")?;
     match kind {
         "ring" | "slotted" => {
             let spec = v
@@ -149,6 +159,17 @@ fn parse_network(v: &Json) -> Result<NetworkSpec, String> {
                 None => BufferRegime::FourFlit,
             };
             Ok(NetworkSpec::Mesh { side, buffers })
+        }
+        "hybrid" => {
+            let side = v
+                .get("side")
+                .ok_or_else(|| "hybrid networks need a 'side' length".to_string())
+                .and_then(|j| u32_field(j, "side"))?;
+            let local = v
+                .get("local")
+                .ok_or_else(|| "hybrid networks need a 'local' ring size".to_string())
+                .and_then(|j| u32_field(j, "local"))?;
+            Ok(NetworkSpec::Hybrid { side, local })
         }
         other => Err(format!("unknown network kind '{other}'")),
     }
@@ -231,6 +252,50 @@ mod tests {
         let f = parse(r#"{"network":"ring","spec":"2:4","speedup":2}"#).unwrap();
         assert_eq!(f.cfg.network.label(), "ring 2:4 (2x global)");
         assert!(parse(r#"{"network":"slotted","spec":"2:4","speedup":2}"#).is_err());
+    }
+
+    #[test]
+    fn topology_field_reaches_every_registered_network() {
+        for (text, label) in [
+            (r#"{"topology":"ring:2:3:4"}"#, "ring 2:3:4"),
+            (r#"{"topology":"ring2x:2:4"}"#, "ring 2:4 (2x global)"),
+            (r#"{"topology":"slotted:2:2:3"}"#, "slotted ring 2:2:3"),
+            (r#"{"topology":"mesh:5:cl"}"#, "mesh 5x5 (cl-sized buffers)"),
+            (
+                r#"{"topology":"hybrid:4x4:4"}"#,
+                "hybrid 4x4 mesh of 4-PM rings",
+            ),
+        ] {
+            let job = parse(text).unwrap_or_else(|e| panic!("{text}: {e}"));
+            assert_eq!(job.cfg.network.label(), label);
+        }
+    }
+
+    #[test]
+    fn hybrid_kind_takes_side_and_local() {
+        let job = parse(r#"{"network":"hybrid","side":2,"local":8}"#).unwrap();
+        assert_eq!(job.cfg.network.num_pms(), 32);
+        assert!(parse(r#"{"network":"hybrid","side":2}"#)
+            .unwrap_err()
+            .contains("'local'"));
+    }
+
+    #[test]
+    fn malformed_topology_fields_draw_errors_not_panics() {
+        for (text, needle) in [
+            (r#"{"topology":"torus:4"}"#, "topology"),
+            (r#"{"topology":"hybrid:4x5:4"}"#, "square"),
+            (r#"{"topology":"hybrid:4x4:0"}"#, "positive"),
+            (r#"{"topology":"mesh:0"}"#, "mesh"),
+            (r#"{"topology":42}"#, "string"),
+            (
+                r#"{"topology":"mesh:3","network":"mesh","side":3}"#,
+                "not both",
+            ),
+        ] {
+            let err = parse(text).unwrap_err();
+            assert!(err.contains(needle), "{text} -> {err}");
+        }
     }
 
     #[test]

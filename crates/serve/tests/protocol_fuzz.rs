@@ -146,6 +146,81 @@ fn garbage_truncated_and_duplicated_lines_never_panic_or_wedge() {
 }
 
 #[test]
+fn malformed_topology_specs_draw_typed_errors_not_panics() {
+    let dir = tempdir("topology");
+    let server = Server::new(opts(&dir)).unwrap();
+
+    // Hand-picked near-misses plus deterministic mutations of valid
+    // specs: every one must answer with a typed error event naming the
+    // problem, and the session must stay usable.
+    let mut specs: Vec<String> = [
+        "",
+        ":",
+        "ring",
+        "ring:",
+        "ring:0",
+        "ring:2:",
+        "ringx:2",
+        "ring3x:2:3",
+        "mesh",
+        "mesh:",
+        "mesh:0",
+        "mesh:-3",
+        "mesh:3:5flit",
+        "mesh:3:cl:extra",
+        "hybrid",
+        "hybrid:",
+        "hybrid:4",
+        "hybrid:4x",
+        "hybrid:4x4",
+        "hybrid:4x5:4",
+        "hybrid:0x0:4",
+        "hybrid:4x4:0",
+        "hybrid:4x4:4:9",
+        "torus:4",
+        "slotted",
+        "slotted:0:0",
+        "MESH:3",
+        "mesh:3 ",
+        "hybrid:4×4:4",
+    ]
+    .iter()
+    .map(|s| s.to_string())
+    .collect();
+    let mut rng = Rng(0x5eed_70b0);
+    for base in ["ring:2:3:4", "mesh:12:cl", "hybrid:4x4:4", "slotted:2:2:3"] {
+        for _ in 0..8 {
+            let mut b = base.as_bytes().to_vec();
+            let at = rng.below(b.len());
+            b[at] = (rng.next() % 26) as u8 + b'a';
+            if let Ok(s) = String::from_utf8(b) {
+                if s.parse::<ringmesh::NetworkSpec>().is_err() {
+                    specs.push(s);
+                }
+            }
+        }
+    }
+    let mut script = String::new();
+    for s in &specs {
+        let esc = s.replace('\\', "\\\\").replace('"', "\\\"");
+        script.push_str(&format!("{{\"op\":\"job\",\"topology\":\"{esc}\"}}\n"));
+    }
+    let lines = fuzz_session(&server, script.as_bytes(), "topology corpus");
+    assert_eq!(lines.len(), specs.len(), "one typed answer per bad spec");
+    for l in &lines {
+        assert_eq!(l.get("event").and_then(Json::as_str), Some("error"));
+    }
+    // Still alive: a valid hybrid job keyed by its topology spec runs.
+    let clean = "{\"op\":\"job\",\"id\":\"h\",\"topology\":\"hybrid:2x2:2\",\"cache_line\":32,\
+                 \"warmup\":600,\"batch_cycles\":600,\"batches\":2}\n{\"op\":\"run\"}\n{\"op\":\"quit\"}\n";
+    let after = fuzz_session(&server, clean.as_bytes(), "post-corpus hybrid");
+    assert!(after
+        .iter()
+        .any(|l| l.get("event").and_then(Json::as_str) == Some("result")));
+    let _ = fs::remove_dir_all(&dir);
+}
+
+#[test]
 fn deep_nesting_and_pathological_json_are_rejected_typed() {
     let dir = tempdir("nesting");
     let server = Server::new(opts(&dir)).unwrap();

@@ -9,30 +9,10 @@
 
 use ringmesh_net::NodeId;
 
-/// How PM "closeness" is measured when building access regions.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub enum Placement {
-    /// PMs in a linear (ring DFS) order of `pms` nodes, wrapping.
-    Linear {
-        /// Total number of PMs.
-        pms: u32,
-    },
-    /// PMs on a `side × side` grid, closeness by Manhattan distance.
-    Grid {
-        /// Mesh side length.
-        side: u32,
-    },
-}
-
-impl Placement {
-    /// Total number of PMs under this placement.
-    pub fn num_pms(&self) -> u32 {
-        match *self {
-            Placement::Linear { pms } => pms,
-            Placement::Grid { side } => side * side,
-        }
-    }
-}
+// Placement itself lives in `ringmesh-net` with the topology registry
+// (each `TopologyBuilder` names its own placement); this module owns
+// its workload-side interpretation.
+pub use ringmesh_net::Placement;
 
 /// Builds the access region (including the local PM, always first) for
 /// processor `pm` with locality parameter `r`.
@@ -47,6 +27,7 @@ pub fn access_region(placement: Placement, pm: NodeId, r: f64) -> Vec<NodeId> {
     match placement {
         Placement::Linear { pms } => linear_region(pm, pms, r),
         Placement::Grid { side } => grid_region(pm, side, r),
+        Placement::RingGrid { side, local } => ring_grid_region(pm, side, local, r),
     }
 }
 
@@ -73,6 +54,27 @@ fn grid_region(pm: NodeId, side: u32, r: f64) -> Vec<NodeId> {
         .filter(|&n| n != pm.raw())
         .map(|n| {
             let (nr, nc) = (n / side, n % side);
+            (nr.abs_diff(pr) + nc.abs_diff(pc), n)
+        })
+        .collect();
+    others.sort_unstable();
+    let mut region = vec![pm];
+    region.extend(others.iter().take(m as usize).map(|&(_, n)| NodeId::new(n)));
+    region
+}
+
+fn ring_grid_region(pm: NodeId, side: u32, local: u32, r: f64) -> Vec<NodeId> {
+    let p = side * side * local;
+    // The ⌈R(P−1)⌉ nearest PMs: ring-mates are at distance 0, other
+    // rings at the Manhattan distance between their mesh routers, ties
+    // broken by node index for determinism.
+    let m = (r * f64::from(p - 1)).ceil() as u32;
+    let router = |n: u32| n / local;
+    let (pr, pc) = (router(pm.raw()) / side, router(pm.raw()) % side);
+    let mut others: Vec<(u32, u32)> = (0..p)
+        .filter(|&n| n != pm.raw())
+        .map(|n| {
+            let (nr, nc) = (router(n) / side, router(n) % side);
             (nr.abs_diff(pr) + nc.abs_diff(pc), n)
         })
         .collect();
@@ -174,5 +176,26 @@ mod tests {
     #[should_panic(expected = "outside (0, 1]")]
     fn zero_r_rejected() {
         access_region(Placement::Linear { pms: 4 }, NodeId::new(0), 0.0);
+    }
+
+    #[test]
+    fn ring_grid_region_prefers_ring_mates() {
+        // 2x2 mesh of 3-station rings; PM 4 lives on ring 1.
+        let placement = Placement::RingGrid { side: 2, local: 3 };
+        let region = access_region(placement, NodeId::new(4), 0.2);
+        // m = ceil(0.2 * 11) = 3: both ring-mates (distance 0) come
+        // before any PM on another ring.
+        assert_eq!(region[0], NodeId::new(4));
+        assert!(region.contains(&NodeId::new(3)));
+        assert!(region.contains(&NodeId::new(5)));
+    }
+
+    #[test]
+    fn ring_grid_full_region_covers_all_pms() {
+        let placement = Placement::RingGrid { side: 2, local: 2 };
+        let region = access_region(placement, NodeId::new(3), 1.0);
+        let mut ids: Vec<u32> = region.iter().map(|n| n.raw()).collect();
+        ids.sort_unstable();
+        assert_eq!(ids, (0..8).collect::<Vec<_>>());
     }
 }

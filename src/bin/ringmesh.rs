@@ -5,6 +5,7 @@
 //! ringmesh --ring 2:3:4 --cache-line 128B --r 0.2 --t 4
 //! ringmesh --mesh 6 --buffers 1flit --cache-line 64B --format csv
 //! ringmesh --slotted-ring 3:3:6 --cache-line 64B
+//! ringmesh run --topology hybrid:4x4:4 --cache-line 64B
 //! ringmesh serve --cache .ringmesh-cache --verify-cache 0.1
 //! ```
 //!
@@ -32,7 +33,7 @@ const HELP: &str = "\
 ringmesh — flit-level hierarchical-ring / mesh interconnect simulator
 
 USAGE:
-    ringmesh <NETWORK> [OPTIONS]
+    ringmesh [run] <NETWORK> [OPTIONS]
     ringmesh trace <NETWORK> [OPTIONS] [TRACE OPTIONS]
     ringmesh faults <NETWORK> [OPTIONS] [FAULT OPTIONS]
     ringmesh bench [BENCH OPTIONS]
@@ -98,6 +99,10 @@ Exit status: 0 success, 1 usage/config error, 2 simulation stall,
 violation (byte-divergent duplicate results in a worker fleet).
 
 NETWORK (exactly one):
+    --topology <SPEC>      any registered topology by its spec string:
+                           ring:2:3:4 | ring2x:2:3:4 | slotted:2:3:4 |
+                           mesh:12[:1flit|:4flit|:cl] | hybrid:4x4:4
+                           (a 4x4 global mesh of 4-PM local rings)
     --ring <SPEC>          hierarchical ring, e.g. --ring 2:3:4
     --slotted-ring <SPEC>  slotted (non-blocking) hierarchical ring
     --mesh <SIDE>          square bi-directional mesh, e.g. --mesh 6
@@ -243,6 +248,7 @@ impl Args {
 }
 
 fn build_config(args: &mut Args) -> Result<SystemConfig, String> {
+    let topology: Option<NetworkSpec> = args.take_parsed("--topology")?;
     let ring: Option<String> = args.take_value("--ring")?;
     let slotted: Option<String> = args.take_value("--slotted-ring")?;
     let mesh: Option<u32> = args.take_parsed("--mesh")?;
@@ -253,16 +259,28 @@ fn build_config(args: &mut Args) -> Result<SystemConfig, String> {
         Some(other) => return Err(format!("unknown buffer regime {other:?}")),
     };
     let double = args.take_flag("--double-global");
-    let network = match (ring, slotted, mesh) {
-        (Some(spec), None, None) => NetworkSpec::Ring {
+    let network = match (topology, ring, slotted, mesh) {
+        // `--topology` carries the complete registry spec string;
+        // mixing it with the shape-specific legacy flags is ambiguous.
+        (Some(spec), None, None, None) => {
+            if double {
+                return Err(
+                    "--double-global conflicts with --topology (use e.g. ring2x:2:3:4)".into(),
+                );
+            }
+            spec
+        }
+        (None, Some(spec), None, None) => NetworkSpec::Ring {
             spec: spec.parse()?,
             speedup: if double { 2 } else { 1 },
         },
-        (None, Some(spec), None) => NetworkSpec::SlottedRing {
+        (None, None, Some(spec), None) => NetworkSpec::SlottedRing {
             spec: spec.parse()?,
         },
-        (None, None, Some(side)) => NetworkSpec::Mesh { side, buffers },
-        _ => return Err("specify exactly one of --ring, --slotted-ring, --mesh".into()),
+        (None, None, None, Some(side)) => NetworkSpec::Mesh { side, buffers },
+        _ => {
+            return Err("specify exactly one of --topology, --ring, --slotted-ring, --mesh".into())
+        }
     };
     let cache_line: CacheLineSize = args
         .take_value("--cache-line")?
@@ -859,9 +877,11 @@ fn main() -> ExitCode {
         args.0.remove(0);
         return run_worker_cmd(args);
     }
+    // `run` is the default subcommand; the explicit token is accepted
+    // so scripts can spell every invocation uniformly.
     let tracing = args.0.first().is_some_and(|a| a == "trace");
     let faulting = args.0.first().is_some_and(|a| a == "faults");
-    if tracing || faulting {
+    if tracing || faulting || args.0.first().is_some_and(|a| a == "run") {
         args.0.remove(0);
     }
     let format = match args.take_value("--format") {

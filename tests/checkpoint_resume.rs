@@ -1,7 +1,8 @@
 //! Deterministic checkpoint/resume: an interrupted-and-resumed run must
 //! fingerprint-match an uninterrupted one, bit for bit, on every
 //! network model that supports snapshots (hierarchical ring, slotted
-//! ring, mesh — plain and hierarchical variants of each family).
+//! ring, mesh, hybrid mesh-of-rings — plain and hierarchical variants
+//! of each family).
 
 use ringmesh::{NetworkSpec, SimParams, SnapError, System, SystemConfig};
 use ringmesh_net::CacheLineSize;
@@ -28,6 +29,7 @@ fn snapshot_networks() -> Vec<NetworkSpec> {
             spec: "2:2:3".parse().unwrap(),
         },
         NetworkSpec::mesh(3),
+        "hybrid:2x2:2".parse().expect("registry spec"),
     ]
 }
 
